@@ -1,0 +1,296 @@
+// Benchmarks regenerating the paper's tables and figures (see DESIGN.md's
+// experiment index). Each table/figure has a bench whose measured quantity
+// mirrors the paper's: selectivity evaluation for Table 1, learning runs
+// for Figures 11/12, interactive sessions for Table 2, plus ablations and
+// substrate micro-benchmarks. cmd/pqbench runs the full-parameter
+// versions; the benches here are scaled to stay benchmarkable.
+package pathquery_test
+
+import (
+	"math/rand"
+	"sync"
+	"testing"
+
+	"pathquery/internal/automata"
+	"pathquery/internal/charsample"
+	"pathquery/internal/core"
+	"pathquery/internal/datasets"
+	"pathquery/internal/experiments"
+	"pathquery/internal/graph"
+	"pathquery/internal/interactive"
+	"pathquery/internal/paperfix"
+	"pathquery/internal/query"
+	"pathquery/internal/regex"
+	"pathquery/internal/rpni"
+	"pathquery/internal/scp"
+)
+
+// Shared fixtures, built once.
+var (
+	aliOnce    sync.Once
+	aliGraph   *graph.Graph
+	aliQueries []datasets.NamedQuery
+
+	synOnce    sync.Once
+	synGraph   *graph.Graph
+	synQueries []datasets.NamedQuery
+)
+
+func alibaba() (*graph.Graph, []datasets.NamedQuery) {
+	aliOnce.Do(func() {
+		aliGraph = datasets.AliBaba()
+		aliQueries = datasets.BioQueries(aliGraph)
+	})
+	return aliGraph, aliQueries
+}
+
+func synthetic() (*graph.Graph, []datasets.NamedQuery) {
+	synOnce.Do(func() {
+		synGraph = datasets.Synthetic(10000, 10000)
+		synQueries = datasets.SynQueries(synGraph)
+	})
+	return synGraph, synQueries
+}
+
+// BenchmarkTable1BioSelectivity regenerates Table 1: evaluate each bio
+// query on the AliBaba stand-in and measure selectivity computation.
+func BenchmarkTable1BioSelectivity(b *testing.B) {
+	g, qs := alibaba()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rows := experiments.Table1(g, qs)
+		if len(rows) != 6 {
+			b.Fatal("missing rows")
+		}
+	}
+}
+
+// BenchmarkFig11StaticF1Bio regenerates a Figure 11(a) sweep (scaled: one
+// trial, a short fraction grid) and reports the mean F1 at the largest
+// fraction as a custom metric.
+func BenchmarkFig11StaticF1Bio(b *testing.B) {
+	g, qs := alibaba()
+	cfg := experiments.StaticConfig{
+		Fractions: []float64{0.01, 0.07},
+		Trials:    1,
+		Seed:      1,
+	}
+	var lastF1 float64
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		series := experiments.RunStaticAll(g, qs, cfg)
+		lastF1 = series[5].Points[len(series[5].Points)-1].F1 // bio6 at 7%
+	}
+	b.ReportMetric(lastF1, "F1@7%")
+}
+
+// BenchmarkFig11StaticF1Syn regenerates a Figure 11(b) sweep on the 10k
+// synthetic graph (scaled).
+func BenchmarkFig11StaticF1Syn(b *testing.B) {
+	g, qs := synthetic()
+	cfg := experiments.StaticConfig{
+		Fractions: []float64{0.01, 0.05},
+		Trials:    1,
+		Seed:      1,
+	}
+	var f1 float64
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		series := experiments.RunStatic(g, qs[2], cfg) // syn3: fastest to converge
+		f1 = series.Points[len(series.Points)-1].F1
+	}
+	b.ReportMetric(f1, "F1@5%")
+}
+
+// BenchmarkFig12LearnTimeBio measures what Figure 12 plots: one learner
+// invocation on a fixed 7%-labeled sample, per query difficulty class
+// (bio1 most selective, bio6 least).
+func BenchmarkFig12LearnTimeBio(b *testing.B) {
+	g, qs := alibaba()
+	for _, nq := range []datasets.NamedQuery{qs[0], qs[2], qs[5]} {
+		b.Run(nq.Name, func(b *testing.B) {
+			rng := rand.New(rand.NewSource(1))
+			pos, neg := datasets.RandomSample(g, nq.Query, 0.07, rng)
+			s := core.Sample{Pos: pos, Neg: neg}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := core.LearnDetailed(g, s, core.Options{}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkFig12LearnTimeSyn is the synthetic counterpart of Figure 12(b):
+// one learner invocation at 1% labels on the 10k graph.
+func BenchmarkFig12LearnTimeSyn(b *testing.B) {
+	g, qs := synthetic()
+	rng := rand.New(rand.NewSource(2))
+	pos, neg := datasets.RandomSample(g, qs[1].Query, 0.01, rng)
+	s := core.Sample{Pos: pos, Neg: neg}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := core.LearnDetailed(g, s, core.Options{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkTable2Interactive runs one interactive session per strategy on
+// the AliBaba stand-in with goal bio6 (the fastest-converging query) and
+// reports labels used.
+func BenchmarkTable2Interactive(b *testing.B) {
+	g, qs := alibaba()
+	goal := qs[5]
+	for _, strat := range []interactive.Strategy{interactive.KR{}, interactive.KS{}} {
+		b.Run(strat.Name(), func(b *testing.B) {
+			var labels int
+			for i := 0; i < b.N; i++ {
+				sess := interactive.NewSession(g, interactive.Options{
+					Strategy:        strat,
+					Seed:            int64(i),
+					MaxInteractions: 200,
+				})
+				res, err := sess.Run(
+					interactive.NewQueryOracle(g, goal.Query),
+					interactive.ExactMatch(g, goal.Query))
+				if err != nil {
+					b.Fatal(err)
+				}
+				labels = res.Labels()
+			}
+			b.ReportMetric(float64(labels), "labels")
+		})
+	}
+}
+
+// BenchmarkAblationNoGeneralization measures the merge phase's cost and
+// contribution (§5.2): learning with and without generalization.
+func BenchmarkAblationNoGeneralization(b *testing.B) {
+	g, qs := alibaba()
+	rng := rand.New(rand.NewSource(3))
+	pos, neg := datasets.RandomSample(g, qs[5].Query, 0.07, rng)
+	s := core.Sample{Pos: pos, Neg: neg}
+	for _, mode := range []struct {
+		name    string
+		disable bool
+	}{{"full", false}, {"no-merge", true}} {
+		b.Run(mode.name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				_, err := core.LearnDetailed(g, s, core.Options{DisableGeneralization: mode.disable})
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkAblationDynamicK compares the dynamic schedule against fixed
+// k = 4 (§5.1: small k usually suffices; a fixed large k wastes SCP search).
+func BenchmarkAblationDynamicK(b *testing.B) {
+	g, qs := alibaba()
+	rng := rand.New(rand.NewSource(4))
+	pos, neg := datasets.RandomSample(g, qs[2].Query, 0.05, rng)
+	s := core.Sample{Pos: pos, Neg: neg}
+	for _, mode := range []struct {
+		name string
+		opts core.Options
+	}{
+		{"dynamic", core.Options{}},
+		{"fixed-k4", core.Options{K: 4}},
+	} {
+		b.Run(mode.name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := core.LearnDetailed(g, s, mode.opts); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkTheorem35Verify measures the full learnability pipeline:
+// characteristic sample construction plus exact identification.
+func BenchmarkTheorem35Verify(b *testing.B) {
+	g, _ := alibaba()
+	q := query.MustParse(g.Alphabet(), "(l02+l03)·l04*·l05")
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ok, err := charsample.Verify(q)
+		if err != nil || !ok {
+			b.Fatalf("not identified: %v", err)
+		}
+	}
+}
+
+// --- Substrate micro-benchmarks ---
+
+// BenchmarkSelectMonadic measures query evaluation (the product pass every
+// F1 measurement relies on) on the 10k synthetic graph.
+func BenchmarkSelectMonadic(b *testing.B) {
+	g, qs := synthetic()
+	d := qs[1].Query.DFA()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		g.SelectMonadic(d)
+	}
+}
+
+// BenchmarkSCPSearch measures smallest-consistent-path extraction with a
+// shared coverage index (the learner's inner loop).
+func BenchmarkSCPSearch(b *testing.B) {
+	g, qs := alibaba()
+	rng := rand.New(rand.NewSource(5))
+	pos, neg := datasets.RandomSample(g, qs[3].Query, 0.05, rng)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		cov := scp.NewCoverage(g, neg)
+		for _, nu := range pos {
+			cov.Smallest(nu, 3)
+		}
+	}
+}
+
+// BenchmarkLearnerPaperExample measures the end-to-end Algorithm 1 run on
+// the paper's own Figure 3 example.
+func BenchmarkLearnerPaperExample(b *testing.B) {
+	g, s := paperfix.G0()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := core.Learn(g, s, core.Options{K: 3}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkDeterminizeMinimize measures the automata substrate on random
+// Thompson NFAs.
+func BenchmarkDeterminizeMinimize(b *testing.B) {
+	g, _ := alibaba()
+	rng := rand.New(rand.NewSource(6))
+	exprs := make([]*regex.Node, 32)
+	for i := range exprs {
+		exprs[i] = automata.RandomRegex(rng, g.Alphabet(), 5)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		automata.CompileRegex(exprs[i%len(exprs)], g.Alphabet().Size())
+	}
+}
+
+// BenchmarkRPNIIdentification measures classic RPNI on characteristic word
+// samples.
+func BenchmarkRPNIIdentification(b *testing.B) {
+	rng := rand.New(rand.NewSource(7))
+	target := automata.RandomNonEmptyDFA(rng, 6, 2, 0.7)
+	sample := rpni.CharacteristicSample(target)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		got, err := rpni.Learn(2, sample)
+		if err != nil || !got.Equal(target) {
+			b.Fatal("identification failed")
+		}
+	}
+}

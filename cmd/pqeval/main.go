@@ -1,0 +1,83 @@
+// Command pqeval evaluates a path query on a graph database.
+//
+//	pqeval -graph g.tsv -query '(tram+bus)*·cinema' [-binary from]
+//
+// It prints the selected nodes (monadic semantics by default; with
+// -binary, the nodes reachable from the given source under binary
+// semantics) and the query's selectivity.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"pathquery"
+	"pathquery/internal/graph"
+	"pathquery/internal/query"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("pqeval: ")
+	graphPath := flag.String("graph", "", "graph TSV file (required)")
+	querySrc := flag.String("query", "", "regular expression")
+	queryFile := flag.String("query-file", "", "saved query file (pqlearn -save)")
+	binaryFrom := flag.String("binary", "", "evaluate under binary semantics from this node")
+	quiet := flag.Bool("quiet", false, "print only the selectivity")
+	flag.Parse()
+	if *graphPath == "" || (*querySrc == "" && *queryFile == "") {
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	f, err := os.Open(*graphPath)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer f.Close()
+	g, err := graph.ReadTSV(f, nil)
+	if err != nil {
+		log.Fatal(err)
+	}
+	var q *pathquery.Query
+	if *queryFile != "" {
+		qf, err := os.Open(*queryFile)
+		if err != nil {
+			log.Fatal(err)
+		}
+		loaded, err := query.Load(qf)
+		qf.Close()
+		if err != nil {
+			log.Fatal(err)
+		}
+		q = loaded.Rebase(g.Alphabet())
+	} else {
+		q, err = pathquery.ParseQuery(g.Alphabet(), *querySrc)
+		if err != nil {
+			log.Fatal(err)
+		}
+	}
+	fmt.Printf("graph: %v\nquery: %v (size %d)\n", g, q, q.Size())
+
+	if *binaryFrom != "" {
+		from, ok := g.NodeByName(*binaryFrom)
+		if !ok {
+			log.Fatalf("no node %q", *binaryFrom)
+		}
+		for _, v := range q.SelectPairsFrom(g, from) {
+			fmt.Printf("(%s, %s)\n", *binaryFrom, g.NodeName(v))
+		}
+		return
+	}
+
+	nodes := q.SelectNodes(g)
+	if !*quiet {
+		for _, v := range nodes {
+			fmt.Println(g.NodeName(v))
+		}
+	}
+	fmt.Printf("selected %d of %d nodes (selectivity %.4f%%)\n",
+		len(nodes), g.NumNodes(), 100*q.Selectivity(g))
+}

@@ -1,0 +1,97 @@
+// Command pqlearn learns a path query from labeled node examples (the
+// static protocol of the paper's Section 3).
+//
+//	pqlearn -graph g.tsv -pos N2,N6 -neg N5 [-k 3]
+//
+// It prints the learned query, the smallest consistent paths it was built
+// from, and the selected nodes. Exit status 1 with "abstain" means the
+// examples were insufficient (the paper's null answer).
+package main
+
+import (
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"strings"
+
+	"pathquery"
+	"pathquery/internal/graph"
+	"pathquery/internal/query"
+	"pathquery/internal/words"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("pqlearn: ")
+	graphPath := flag.String("graph", "", "graph TSV file (required)")
+	posList := flag.String("pos", "", "comma-separated positive node names (required)")
+	negList := flag.String("neg", "", "comma-separated negative node names")
+	k := flag.Int("k", 0, "SCP length bound; 0 = dynamic schedule (start 2)")
+	maxK := flag.Int("maxk", 8, "dynamic schedule cap")
+	noMerge := flag.Bool("no-generalization", false, "skip the merge phase (SCP disjunction only)")
+	savePath := flag.String("save", "", "write the learned query to this file")
+	flag.Parse()
+	if *graphPath == "" || *posList == "" {
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	f, err := os.Open(*graphPath)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer f.Close()
+	g, err := graph.ReadTSV(f, nil)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	nodes := func(list string) []pathquery.NodeID {
+		if list == "" {
+			return nil
+		}
+		var out []pathquery.NodeID
+		for _, name := range strings.Split(list, ",") {
+			id, ok := g.NodeByName(strings.TrimSpace(name))
+			if !ok {
+				log.Fatalf("no node %q", name)
+			}
+			out = append(out, id)
+		}
+		return out
+	}
+	sample := pathquery.Sample{Pos: nodes(*posList), Neg: nodes(*negList)}
+
+	res, err := pathquery.LearnDetailed(g, sample, pathquery.Options{
+		K: *k, MaxK: *maxK, DisableGeneralization: *noMerge,
+	})
+	if errors.Is(err, pathquery.ErrAbstain) {
+		fmt.Println("abstain: not enough examples to construct a consistent query")
+		fmt.Println("hint: label more nodes, or raise -maxk")
+		os.Exit(1)
+	}
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("learned query: %v (size %d, k = %d)\n", res.Query, res.Query.Size(), res.K)
+	for i, p := range res.SCPs {
+		fmt.Printf("  SCP %d: %s\n", i+1, words.String(p, g.Alphabet()))
+	}
+	fmt.Println("selected nodes:")
+	for _, v := range res.Query.SelectNodes(g) {
+		fmt.Println("  ", g.NodeName(v))
+	}
+	if *savePath != "" {
+		out, err := os.Create(*savePath)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer out.Close()
+		if err := query.Save(out, res.Query); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Println("saved to", *savePath)
+	}
+}

@@ -1,0 +1,36 @@
+package main
+
+import (
+	"fmt"
+
+	"pathquery"
+)
+
+func main() {
+	g := pathquery.NewGraph(nil)
+	flows := [][]string{
+		{"wf1", "ProteinPurification", "MassSpectrometry"},
+		{"wf2", "ProteinPurification", "ProteinSeparation", "MassSpectrometry"},
+		{"wf3", "ProteinPurification", "ProteinSeparation", "ProteinSeparation", "MassSpectrometry"},
+		{"wf4", "SampleCollection", "ProteinPurification"},
+		{"wf5", "ProteinPurification", "ProteinSeparation", "GelImaging"},
+		{"wf6", "RNAExtraction", "Sequencing", "MassSpectrometry"},
+	}
+	for _, wf := range flows {
+		prev := wf[0]
+		for i, m := range wf[1:] {
+			next := fmt.Sprintf("%s_s%d", wf[0], i+1)
+			g.AddEdgeByName(prev, m, next)
+			prev = next
+		}
+	}
+	node := func(n string) pathquery.NodeID { id, _ := g.NodeByName(n); return id }
+	goal, _ := pathquery.ParseQuery(g.Alphabet(), "ProteinPurification·ProteinSeparation*·MassSpectrometry")
+	s := pathquery.Sample{
+		Pos: []pathquery.NodeID{node("wf1"), node("wf2"), node("wf3")},
+		Neg: []pathquery.NodeID{node("wf4"), node("wf5"), node("wf6"), node("wf2_s1"), node("wf3_s2")},
+	}
+	q, err := pathquery.LearnDetailed(g, s, pathquery.Options{})
+	fmt.Println("learned:", q.Query, err)
+	fmt.Println("equivalentOn:", q.Query.EquivalentOn(g, goal))
+}

@@ -1,0 +1,148 @@
+// Package alphabet provides interned symbol tables for edge labels.
+//
+// Every component of the system — graphs, automata, regular expressions,
+// words — speaks Symbol, a dense small integer assigned by an Alphabet.
+// Interning makes multi-character labels (e.g. "ProteinPurification") as
+// cheap as single letters and gives all packages a common, ordered symbol
+// universe, which Section 2 of the paper requires for the canonical order
+// on words.
+package alphabet
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Symbol is an interned edge label. Symbols are dense: an Alphabet with n
+// labels uses symbols 0..n-1. The zero Symbol is the first interned label.
+type Symbol uint16
+
+// MaxSymbols is the maximum number of distinct labels an Alphabet can hold.
+const MaxSymbols = 1 << 16
+
+// Alphabet is a finite, ordered set of labels (Section 2 of the paper).
+// The order of symbols is the interning order; use Sorted or NewSorted when
+// a lexicographic symbol order is wanted (the canonical order on words is
+// derived from the symbol order).
+//
+// The zero value is an empty alphabet ready to use.
+type Alphabet struct {
+	names []string
+	ids   map[string]Symbol
+}
+
+// New returns an empty alphabet.
+func New() *Alphabet {
+	return &Alphabet{ids: make(map[string]Symbol)}
+}
+
+// NewSorted builds an alphabet from labels interned in sorted order, so that
+// Symbol order coincides with lexicographic label order.
+func NewSorted(labels ...string) *Alphabet {
+	sorted := make([]string, len(labels))
+	copy(sorted, labels)
+	sort.Strings(sorted)
+	a := New()
+	for _, l := range sorted {
+		a.Intern(l)
+	}
+	return a
+}
+
+// Intern returns the symbol for label, assigning a fresh one if needed.
+func (a *Alphabet) Intern(label string) Symbol {
+	if a.ids == nil {
+		a.ids = make(map[string]Symbol)
+	}
+	if s, ok := a.ids[label]; ok {
+		return s
+	}
+	if len(a.names) >= MaxSymbols {
+		panic(fmt.Sprintf("alphabet: too many symbols (max %d)", MaxSymbols))
+	}
+	s := Symbol(len(a.names))
+	a.names = append(a.names, label)
+	a.ids[label] = s
+	return s
+}
+
+// Lookup returns the symbol for label and whether it is interned.
+func (a *Alphabet) Lookup(label string) (Symbol, bool) {
+	s, ok := a.ids[label]
+	return s, ok
+}
+
+// Name returns the label of s. It panics if s was not interned.
+func (a *Alphabet) Name(s Symbol) string {
+	if int(s) >= len(a.names) {
+		panic(fmt.Sprintf("alphabet: unknown symbol %d", s))
+	}
+	return a.names[s]
+}
+
+// Size returns the number of interned labels.
+func (a *Alphabet) Size() int { return len(a.names) }
+
+// Symbols returns all symbols in interning order.
+func (a *Alphabet) Symbols() []Symbol {
+	out := make([]Symbol, len(a.names))
+	for i := range out {
+		out[i] = Symbol(i)
+	}
+	return out
+}
+
+// Names returns all labels in interning order. The returned slice is a copy.
+func (a *Alphabet) Names() []string {
+	out := make([]string, len(a.names))
+	copy(out, a.names)
+	return out
+}
+
+// Class is a named set of symbols, used for the disjunction classes of the
+// paper's experiments (A, C, E, I in Table 1 are disjunctions of up to 10
+// symbols). A Class prints as a1+a2+...+an.
+type Class struct {
+	Label   string
+	Members []Symbol
+}
+
+// NewClass builds a class over a from the given labels, interning them.
+// Members are stored in symbol order and deduplicated.
+func NewClass(a *Alphabet, label string, labels ...string) Class {
+	seen := make(map[Symbol]bool, len(labels))
+	var members []Symbol
+	for _, l := range labels {
+		s := a.Intern(l)
+		if !seen[s] {
+			seen[s] = true
+			members = append(members, s)
+		}
+	}
+	sort.Slice(members, func(i, j int) bool { return members[i] < members[j] })
+	return Class{Label: label, Members: members}
+}
+
+// Contains reports whether s is a member of the class.
+func (c Class) Contains(s Symbol) bool {
+	for _, m := range c.Members {
+		if m == s {
+			return true
+		}
+	}
+	return false
+}
+
+// Expr renders the class as a regular-expression disjunction over a,
+// e.g. "(a+b+c)". A singleton class renders as its bare label.
+func (c Class) Expr(a *Alphabet) string {
+	if len(c.Members) == 1 {
+		return a.Name(c.Members[0])
+	}
+	parts := make([]string, len(c.Members))
+	for i, s := range c.Members {
+		parts[i] = a.Name(s)
+	}
+	return "(" + strings.Join(parts, "+") + ")"
+}

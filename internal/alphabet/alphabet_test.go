@@ -1,0 +1,126 @@
+package alphabet
+
+import (
+	"testing"
+)
+
+func TestInternAssignsDenseSymbols(t *testing.T) {
+	a := New()
+	s0 := a.Intern("tram")
+	s1 := a.Intern("bus")
+	s2 := a.Intern("cinema")
+	if s0 != 0 || s1 != 1 || s2 != 2 {
+		t.Fatalf("expected dense symbols 0,1,2; got %d,%d,%d", s0, s1, s2)
+	}
+	if a.Size() != 3 {
+		t.Fatalf("size = %d, want 3", a.Size())
+	}
+}
+
+func TestInternIsIdempotent(t *testing.T) {
+	a := New()
+	s := a.Intern("x")
+	if again := a.Intern("x"); again != s {
+		t.Fatalf("re-interning changed symbol: %d vs %d", again, s)
+	}
+	if a.Size() != 1 {
+		t.Fatalf("size = %d, want 1", a.Size())
+	}
+}
+
+func TestLookup(t *testing.T) {
+	a := New()
+	a.Intern("a")
+	if _, ok := a.Lookup("b"); ok {
+		t.Fatal("lookup of uninterned label succeeded")
+	}
+	s, ok := a.Lookup("a")
+	if !ok || s != 0 {
+		t.Fatalf("lookup(a) = %d,%v; want 0,true", s, ok)
+	}
+}
+
+func TestNameRoundTrip(t *testing.T) {
+	a := New()
+	labels := []string{"tram", "bus", "cinema", "restaurant"}
+	for _, l := range labels {
+		if got := a.Name(a.Intern(l)); got != l {
+			t.Fatalf("Name(Intern(%q)) = %q", l, got)
+		}
+	}
+}
+
+func TestNamePanicsOnUnknown(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for unknown symbol")
+		}
+	}()
+	New().Name(7)
+}
+
+func TestNewSortedOrdersSymbolsLexicographically(t *testing.T) {
+	a := NewSorted("c", "a", "b")
+	for i, want := range []string{"a", "b", "c"} {
+		if got := a.Name(Symbol(i)); got != want {
+			t.Fatalf("symbol %d = %q, want %q", i, got, want)
+		}
+	}
+}
+
+func TestZeroValueAlphabetUsable(t *testing.T) {
+	var a Alphabet
+	if s := a.Intern("x"); s != 0 {
+		t.Fatalf("zero-value intern = %d, want 0", s)
+	}
+}
+
+func TestSymbolsAndNames(t *testing.T) {
+	a := NewSorted("a", "b")
+	syms := a.Symbols()
+	if len(syms) != 2 || syms[0] != 0 || syms[1] != 1 {
+		t.Fatalf("Symbols() = %v", syms)
+	}
+	names := a.Names()
+	names[0] = "mutated"
+	if a.Name(0) == "mutated" {
+		t.Fatal("Names() must return a copy")
+	}
+}
+
+func TestClassDeduplicatesAndSorts(t *testing.T) {
+	a := New()
+	a.Intern("z")
+	c := NewClass(a, "A", "b", "a", "b")
+	if len(c.Members) != 2 {
+		t.Fatalf("members = %v, want 2 entries", c.Members)
+	}
+	if c.Members[0] > c.Members[1] {
+		t.Fatalf("members not sorted: %v", c.Members)
+	}
+}
+
+func TestClassContains(t *testing.T) {
+	a := New()
+	c := NewClass(a, "A", "x", "y")
+	x, _ := a.Lookup("x")
+	if !c.Contains(x) {
+		t.Fatal("class should contain x")
+	}
+	z := a.Intern("z")
+	if c.Contains(z) {
+		t.Fatal("class should not contain z")
+	}
+}
+
+func TestClassExpr(t *testing.T) {
+	a := New()
+	single := NewClass(a, "S", "only")
+	if got := single.Expr(a); got != "only" {
+		t.Fatalf("singleton expr = %q", got)
+	}
+	multi := NewClass(a, "M", "a", "b")
+	if got := multi.Expr(a); got != "(a+b)" {
+		t.Fatalf("multi expr = %q", got)
+	}
+}

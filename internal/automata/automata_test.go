@@ -1,0 +1,447 @@
+package automata
+
+import (
+	"math/rand"
+	"testing"
+
+	"pathquery/internal/alphabet"
+	"pathquery/internal/regex"
+	"pathquery/internal/words"
+)
+
+// abc returns an alphabet with a=0, b=1, c=2 as in the paper's Figure 3.
+func abc() *alphabet.Alphabet {
+	return alphabet.NewSorted("a", "b", "c")
+}
+
+func compile(t *testing.T, a *alphabet.Alphabet, src string) *DFA {
+	t.Helper()
+	n, err := regex.Parse(a, src)
+	if err != nil {
+		t.Fatalf("parse %q: %v", src, err)
+	}
+	return CompileRegex(n, a.Size())
+}
+
+// allWords enumerates every word over numSyms symbols up to maxLen.
+func allWords(numSyms, maxLen int) []words.Word {
+	syms := make([]alphabet.Symbol, numSyms)
+	for i := range syms {
+		syms[i] = alphabet.Symbol(i)
+	}
+	total := 0
+	for l, p := 0, 1; l <= maxLen; l++ {
+		total += p
+		p *= numSyms
+	}
+	return words.Enumerate(syms, total)
+}
+
+func TestThompsonAcceptsKnownLanguage(t *testing.T) {
+	a := abc()
+	n, err := regex.Parse(a, "(a·b)*·c")
+	if err != nil {
+		t.Fatal(err)
+	}
+	nfa := Thompson(n, a.Size())
+	accepted := []string{"c", "abc", "ababc"}
+	rejected := []string{"", "a", "ab", "ac", "bc", "abab", "cc", "abcc"}
+	for _, s := range accepted {
+		if !nfa.Accepts(wordOf(a, s)) {
+			t.Errorf("NFA should accept %q", s)
+		}
+	}
+	for _, s := range rejected {
+		if nfa.Accepts(wordOf(a, s)) {
+			t.Errorf("NFA should reject %q", s)
+		}
+	}
+}
+
+// wordOf turns a string of single-letter labels into a word.
+func wordOf(a *alphabet.Alphabet, s string) words.Word {
+	w := make(words.Word, 0, len(s))
+	for _, r := range s {
+		sym, ok := a.Lookup(string(r))
+		if !ok {
+			panic("unknown label " + string(r))
+		}
+		w = append(w, sym)
+	}
+	return w
+}
+
+func TestDeterminizeMatchesNFA(t *testing.T) {
+	a := abc()
+	rng := rand.New(rand.NewSource(42))
+	for i := 0; i < 200; i++ {
+		n := RandomRegex(rng, a, 4)
+		nfa := Thompson(n, a.Size())
+		dfa := Determinize(nfa)
+		for _, w := range allWords(a.Size(), 5) {
+			if nfa.Accepts(w) != dfa.Accepts(w) {
+				t.Fatalf("iter %d: regex %s disagrees on %v (nfa=%v)",
+					i, n.String(a), w, nfa.Accepts(w))
+			}
+		}
+	}
+}
+
+func TestMinimizePreservesLanguage(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for i := 0; i < 300; i++ {
+		d := func() *DFA {
+			n := 1 + rng.Intn(8)
+			d := NewDFA(n, 2)
+			d.Start = 0
+			for s := 0; s < n; s++ {
+				d.Final[s] = rng.Intn(3) == 0
+				for sym := 0; sym < 2; sym++ {
+					if rng.Intn(3) > 0 {
+						d.Delta[s][sym] = int32(rng.Intn(n))
+					}
+				}
+			}
+			return d
+		}()
+		m := Minimize(d)
+		for _, w := range allWords(2, 7) {
+			if d.Accepts(w) != m.Accepts(w) {
+				t.Fatalf("iter %d: minimize changed language on %v", i, w)
+			}
+		}
+	}
+}
+
+func TestMinimizeIsCanonical(t *testing.T) {
+	a := abc()
+	// Two different expressions for the same language must minimize to
+	// structurally equal DFAs.
+	d1 := compile(t, a, "(a·b)*·c")
+	d2 := compile(t, a, "c+a·b·(a·b)*·c")
+	if !d1.Equal(d2) {
+		t.Fatalf("canonical DFAs differ:\n%v\n%v", d1, d2)
+	}
+}
+
+func TestPaperFigure4CanonicalDFASize(t *testing.T) {
+	// "the size of the query (a·b)*·c is 3 (cf. Figure 4)".
+	a := abc()
+	d := compile(t, a, "(a·b)*·c")
+	if d.NumStates() != 3 {
+		t.Fatalf("canonical DFA of (a·b)*·c has %d states, want 3", d.NumStates())
+	}
+}
+
+func TestMinimizeIdempotent(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for i := 0; i < 100; i++ {
+		d := RandomDFA(rng, 10, 3, 0.6)
+		again := Minimize(d)
+		if !d.Equal(again) {
+			t.Fatalf("iter %d: Minimize not idempotent", i)
+		}
+	}
+}
+
+func TestEquivalenceKnownPairs(t *testing.T) {
+	a := abc()
+	cases := []struct {
+		x, y string
+		want bool
+	}{
+		{"a", "a·b*", false}, // equivalent as *queries* but not as languages
+		{"a·(b+c)", "a·b+a·c", true},
+		{"(a·b)*·c", "c+a·b·(a·b)*·c", true},
+		{"a*", "ε+a·a*", true},
+		{"a", "b", false},
+	}
+	for _, c := range cases {
+		dx, dy := compile(t, a, c.x), compile(t, a, c.y)
+		if got := Equivalent(dx, dy); got != c.want {
+			t.Errorf("Equivalent(%s, %s) = %v, want %v", c.x, c.y, got, c.want)
+		}
+	}
+}
+
+func TestIncludedAgainstBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for i := 0; i < 200; i++ {
+		x := RandomDFA(rng, 5, 2, 0.7)
+		y := RandomDFA(rng, 5, 2, 0.7)
+		// A counterexample to inclusion, if any, exists with length below
+		// the product of the state counts (plus sink). Words up to 8 cover
+		// our sizes comfortably... enumerate to product bound.
+		bound := x.NumStates() * (y.NumStates() + 1)
+		if bound > 10 {
+			bound = 10
+		}
+		brute := true
+		for _, w := range allWords(2, bound) {
+			if x.Accepts(w) && !y.Accepts(w) {
+				brute = false
+				break
+			}
+		}
+		if got := Included(x, y); got != brute {
+			t.Fatalf("iter %d: Included = %v, brute force = %v", i, got, brute)
+		}
+	}
+}
+
+func TestDisjointFromAndIntersect(t *testing.T) {
+	a := abc()
+	x := compile(t, a, "a·b*")
+	y := compile(t, a, "a·b·b")
+	if DisjointFrom(x, y) {
+		t.Fatal("a·b* and a·b·b share abb")
+	}
+	z := compile(t, a, "c·a")
+	if !DisjointFrom(x, z) {
+		t.Fatal("a·b* and c·a are disjoint")
+	}
+	inter := Intersect(x, y)
+	if !Equivalent(inter, y) {
+		t.Fatal("a·b* ∩ a·b·b should be a·b·b")
+	}
+}
+
+func TestUnionAndComplement(t *testing.T) {
+	a := abc()
+	x := compile(t, a, "a")
+	y := compile(t, a, "b")
+	u := Union(x, y)
+	if !Equivalent(u, compile(t, a, "a+b")) {
+		t.Fatal("union wrong")
+	}
+	comp := Complement(u)
+	for _, w := range allWords(a.Size(), 3) {
+		if u.Accepts(w) == comp.Accepts(w) {
+			t.Fatalf("complement agrees with original on %v", w)
+		}
+	}
+}
+
+func TestUnionUniversal(t *testing.T) {
+	a := alphabet.NewSorted("a", "b")
+	all := compile(t, a, "(a+b)*")
+	if ok, _ := UnionUniversal([]*DFA{all}); !ok {
+		t.Fatal("(a+b)* should be universal")
+	}
+	x := compile(t, a, "a·(a+b)*+ε")
+	y := compile(t, a, "b·(a+b)*")
+	if ok, _ := UnionUniversal([]*DFA{x, y}); !ok {
+		t.Fatal("union covers all words")
+	}
+	z := compile(t, a, "a*")
+	ok, witness := UnionUniversal([]*DFA{z})
+	if ok {
+		t.Fatal("a* is not universal over {a,b}")
+	}
+	if z.Accepts(witness) {
+		t.Fatalf("witness %v is accepted", witness)
+	}
+}
+
+func TestPrefixFreeTransform(t *testing.T) {
+	a := abc()
+	// The paper's example: a and a·b* are equivalent queries; the unique
+	// prefix-free representative is a.
+	d := compile(t, a, "a·b*")
+	pf := d.PrefixFree()
+	if !Equivalent(pf, compile(t, a, "a")) {
+		t.Fatal("prefix-free of a·b* should be a")
+	}
+	if !pf.IsPrefixFree() {
+		t.Fatal("result not prefix-free")
+	}
+	if d.IsPrefixFree() {
+		t.Fatal("a·b* is not prefix-free")
+	}
+	if !compile(t, a, "(a·b)*·c").IsPrefixFree() {
+		t.Fatal("(a·b)*·c is prefix-free")
+	}
+}
+
+func TestPrefixFreeIdempotentProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	for i := 0; i < 100; i++ {
+		d := RandomNonEmptyDFA(rng, 8, 2, 0.7)
+		pf := d.PrefixFree()
+		if !pf.Equal(pf.PrefixFree()) {
+			t.Fatalf("iter %d: PrefixFree not idempotent", i)
+		}
+		if !pf.IsPrefixFree() {
+			t.Fatalf("iter %d: PrefixFree output not prefix-free", i)
+		}
+		// Every minimal word of the original language survives.
+		if w, ok := ShortestAccepted(d); ok {
+			if !pf.Accepts(w) {
+				t.Fatalf("iter %d: shortest word %v lost by PrefixFree", i, w)
+			}
+		}
+	}
+}
+
+func TestShortestAccepted(t *testing.T) {
+	a := abc()
+	d := compile(t, a, "(a·b)*·c")
+	w, ok := ShortestAccepted(d)
+	if !ok || words.String(w, a) != "c" {
+		t.Fatalf("shortest of (a·b)*·c = %v", w)
+	}
+	empty := compile(t, a, "a")
+	empty.Final[0] = false
+	empty.Final[1] = false
+	if _, ok := ShortestAccepted(empty); ok {
+		t.Fatal("empty language has no shortest word")
+	}
+	// Canonical tie-break: among same-length words pick lexicographic min.
+	d2 := compile(t, a, "b+a")
+	w2, _ := ShortestAccepted(d2)
+	if words.String(w2, a) != "a" {
+		t.Fatalf("shortest of b+a = %v, want a", words.String(w2, a))
+	}
+}
+
+func TestAccessWords(t *testing.T) {
+	a := abc()
+	d := compile(t, a, "(a·b)*·c")
+	access, have := AccessWords(d)
+	for s := 0; s < d.NumStates(); s++ {
+		if !have[s] {
+			t.Fatalf("state %d unreachable in trimmed DFA", s)
+		}
+		if got := d.Run(access[s]); got != int32(s) {
+			t.Fatalf("access word of %d runs to %d", s, got)
+		}
+	}
+	// SP((a·b)*·c) = {ε, a, c} per the paper's Theorem 3.5 example.
+	var names []string
+	for s := range access {
+		names = append(names, words.String(access[s], a))
+	}
+	want := map[string]bool{"ε": true, "a": true, "c": true}
+	for _, n := range names {
+		if !want[n] {
+			t.Fatalf("unexpected access word %q (all: %v)", n, names)
+		}
+	}
+}
+
+func TestCompletionWords(t *testing.T) {
+	a := abc()
+	d := compile(t, a, "(a·b)*·c")
+	comp, have := CompletionWords(d)
+	for s := 0; s < d.NumStates(); s++ {
+		if !have[s] {
+			t.Fatalf("state %d has no completion in trimmed DFA", s)
+		}
+		// Running the completion from s must end in a final state.
+		cur := int32(s)
+		for _, sym := range comp[s] {
+			cur = d.Step(cur, sym)
+		}
+		if cur == None || !d.Final[cur] {
+			t.Fatalf("completion of %d does not reach final", s)
+		}
+	}
+}
+
+func TestWordsUpToCanonicalOrder(t *testing.T) {
+	a := abc()
+	d := compile(t, a, "(a·b)*·c")
+	got := WordsUpTo(d, 5, 0)
+	wantFirst := []string{"c", "a·b·c", "a·b·a·b·c"}
+	if len(got) != 3 {
+		t.Fatalf("WordsUpTo = %d words", len(got))
+	}
+	for i, w := range got {
+		if words.String(w, a) != wantFirst[i] {
+			t.Fatalf("WordsUpTo[%d] = %v", i, words.String(w, a))
+		}
+	}
+	limited := WordsUpTo(d, 5, 2)
+	if len(limited) != 2 {
+		t.Fatalf("limit ignored: %d", len(limited))
+	}
+}
+
+func TestToRegexRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(19))
+	for i := 0; i < 60; i++ {
+		d := RandomNonEmptyDFA(rng, 6, 2, 0.7)
+		r := ToRegex(d)
+		back := CompileRegex(r, 2)
+		if !d.Equal(back) {
+			t.Fatalf("iter %d: ToRegex round trip failed", i)
+		}
+	}
+}
+
+func TestToRegexEmptyLanguage(t *testing.T) {
+	d := NewDFA(1, 2)
+	r := ToRegex(d)
+	if r.Kind != regex.Empty {
+		t.Fatalf("regex of empty DFA = %v", r.Kind)
+	}
+}
+
+func TestReverseNFA(t *testing.T) {
+	a := abc()
+	n, _ := regex.Parse(a, "a·b·c")
+	nfa := Thompson(n, a.Size())
+	rev := nfa.Reverse()
+	if !rev.Accepts(wordOf(a, "cba")) {
+		t.Fatal("reverse should accept cba")
+	}
+	if rev.Accepts(wordOf(a, "abc")) {
+		t.Fatal("reverse should reject abc")
+	}
+}
+
+func TestNFAIntersectionEmpty(t *testing.T) {
+	a := abc()
+	x := Thompson(regex.MustParse(a, "a·b*"), a.Size())
+	y := Thompson(regex.MustParse(a, "a·b·b"), a.Size())
+	if IntersectionEmpty(x, y) {
+		t.Fatal("should intersect at abb")
+	}
+	z := Thompson(regex.MustParse(a, "c"), a.Size())
+	if !IntersectionEmpty(x, z) {
+		t.Fatal("a·b* and c are disjoint")
+	}
+}
+
+func TestNFAIsEmpty(t *testing.T) {
+	a := abc()
+	if Thompson(regex.NewEmpty(), a.Size()).IsEmpty() != true {
+		t.Fatal("∅ should be empty")
+	}
+	if Thompson(regex.MustParse(a, "a"), a.Size()).IsEmpty() {
+		t.Fatal("a is not empty")
+	}
+}
+
+func TestDFACompleteAndTrim(t *testing.T) {
+	a := abc()
+	d := compile(t, a, "a·b")
+	c := d.Complete()
+	for s := range c.Delta {
+		for _, tgt := range c.Delta[s] {
+			if tgt == None {
+				t.Fatal("Complete left a hole")
+			}
+		}
+	}
+	if !Equivalent(d, c.Trim()) {
+		t.Fatal("Trim(Complete(d)) changed the language")
+	}
+}
+
+func TestSizeMeasure(t *testing.T) {
+	a := abc()
+	if got := Size(compile(t, a, "(a·b)*·c")); got != 3 {
+		t.Fatalf("Size = %d, want 3", got)
+	}
+}

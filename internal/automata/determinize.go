@@ -1,0 +1,74 @@
+package automata
+
+import (
+	"sort"
+
+	"pathquery/internal/alphabet"
+)
+
+// Determinize applies the subset construction to n, returning a partial DFA
+// over the same alphabet. Only reachable subset states are materialized;
+// the empty subset is represented implicitly by absent transitions.
+func Determinize(n *NFA) *DFA {
+	start := n.closure(n.Starts)
+	d := NewDFA(0, n.NumSyms)
+	ids := make(map[string]int32)
+	var sets [][]int32
+
+	intern := func(set []int32) int32 {
+		key := subsetKey(set)
+		if id, ok := ids[key]; ok {
+			return id
+		}
+		id := d.AddState()
+		ids[key] = id
+		sets = append(sets, set)
+		for _, s := range set {
+			if n.Final[s] {
+				d.Final[id] = true
+				break
+			}
+		}
+		return id
+	}
+
+	if len(start) == 0 {
+		// Empty start set: single dead state.
+		d.AddState()
+		d.Start = 0
+		return d
+	}
+	d.Start = intern(start)
+	for q := int32(0); int(q) < len(sets); q++ {
+		set := sets[q]
+		// Collect the symbols with any outgoing transition from the set.
+		symSet := make(map[alphabet.Symbol]bool)
+		for _, s := range set {
+			for sym := range n.Delta[s] {
+				symSet[sym] = true
+			}
+		}
+		syms := make([]alphabet.Symbol, 0, len(symSet))
+		for sym := range symSet {
+			syms = append(syms, sym)
+		}
+		sort.Slice(syms, func(i, j int) bool { return syms[i] < syms[j] })
+		for _, sym := range syms {
+			next := n.step(set, sym)
+			if len(next) == 0 {
+				continue
+			}
+			d.Delta[q][sym] = intern(next)
+		}
+	}
+	return d
+}
+
+// subsetKey encodes a sorted state set as a map key.
+func subsetKey(set []int32) string {
+	b := make([]byte, 0, len(set)*4)
+	for _, s := range set {
+		b = append(b, byte(s), byte(s>>8), byte(s>>16), byte(s>>24))
+	}
+	return string(b)
+}

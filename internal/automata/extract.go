@@ -1,0 +1,72 @@
+package automata
+
+import (
+	"pathquery/internal/alphabet"
+	"pathquery/internal/regex"
+)
+
+// ToRegex extracts a regular expression for L(d) by state elimination
+// (Brzozowski–McCluskey). The result is correct but not necessarily the
+// most compact; queries constructed from a regex keep their original source
+// for display, so extraction is only used for learned queries.
+func ToRegex(d *DFA) *regex.Node {
+	t := d.Trim()
+	n := t.NumStates()
+	// GNFA with fresh start (index n) and accept (index n+1) states.
+	// expr[i][j] is the regex labeling edge i→j, nil meaning ∅.
+	size := n + 2
+	start, accept := n, n+1
+	expr := make([][]*regex.Node, size)
+	for i := range expr {
+		expr[i] = make([]*regex.Node, size)
+	}
+	union := func(i, j int, e *regex.Node) {
+		if expr[i][j] == nil {
+			expr[i][j] = e
+		} else {
+			expr[i][j] = regex.NewUnion(expr[i][j], e)
+		}
+	}
+	union(start, int(t.Start), regex.NewEpsilon())
+	for s := 0; s < n; s++ {
+		if t.Final[s] {
+			union(s, accept, regex.NewEpsilon())
+		}
+		for sym, to := range t.Delta[s] {
+			if to != None {
+				union(s, int(to), regex.NewLiteral(alphabet.Symbol(sym)))
+			}
+		}
+	}
+	// Eliminate states 0..n-1.
+	alive := make([]bool, size)
+	for i := range alive {
+		alive[i] = true
+	}
+	for k := 0; k < n; k++ {
+		alive[k] = false
+		loop := regex.NewEpsilon()
+		if expr[k][k] != nil {
+			loop = regex.NewStar(expr[k][k])
+		}
+		for i := 0; i < size; i++ {
+			if !alive[i] || expr[i][k] == nil {
+				continue
+			}
+			for j := 0; j < size; j++ {
+				if !alive[j] || expr[k][j] == nil {
+					continue
+				}
+				union(i, j, regex.ConcatAll(expr[i][k], loop, expr[k][j]))
+			}
+		}
+		for i := 0; i < size; i++ {
+			expr[i][k] = nil
+			expr[k][i] = nil
+		}
+	}
+	if expr[start][accept] == nil {
+		return regex.NewEmpty()
+	}
+	return expr[start][accept]
+}

@@ -1,0 +1,101 @@
+package automata
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strings"
+)
+
+// Serialization of DFAs as a plain text format, used to persist learned
+// queries:
+//
+//	dfa <numStates> <numSyms> <start>
+//	final <s1> <s2> ...
+//	<from> <sym> <to>
+//	...
+//
+// The format is line-oriented, deterministic (transitions in state/symbol
+// order), and independent of label names — callers store the alphabet
+// separately (see the query package's Save/Load).
+
+// WriteTo serializes d. It never writes partial output on error paths
+// other than the underlying writer failing.
+func (d *DFA) WriteTo(w io.Writer) (int64, error) {
+	var total int64
+	emit := func(format string, args ...interface{}) error {
+		n, err := fmt.Fprintf(w, format, args...)
+		total += int64(n)
+		return err
+	}
+	if err := emit("dfa %d %d %d\n", d.NumStates(), d.NumSyms, d.Start); err != nil {
+		return total, err
+	}
+	finals := make([]string, 0, d.NumStates())
+	for s, f := range d.Final {
+		if f {
+			finals = append(finals, fmt.Sprint(s))
+		}
+	}
+	if err := emit("final %s\n", strings.Join(finals, " ")); err != nil {
+		return total, err
+	}
+	for s := range d.Delta {
+		for sym, t := range d.Delta[s] {
+			if t == None {
+				continue
+			}
+			if err := emit("%d %d %d\n", s, sym, t); err != nil {
+				return total, err
+			}
+		}
+	}
+	return total, nil
+}
+
+// ReadDFA parses the WriteTo format.
+func ReadDFA(r io.Reader) (*DFA, error) {
+	sc := bufio.NewScanner(r)
+	if !sc.Scan() {
+		return nil, fmt.Errorf("automata: empty DFA input")
+	}
+	var numStates, numSyms int
+	var start int32
+	if _, err := fmt.Sscanf(sc.Text(), "dfa %d %d %d", &numStates, &numSyms, &start); err != nil {
+		return nil, fmt.Errorf("automata: bad header %q: %w", sc.Text(), err)
+	}
+	if numStates < 1 || numSyms < 0 || start < 0 || int(start) >= numStates {
+		return nil, fmt.Errorf("automata: invalid header values in %q", sc.Text())
+	}
+	d := NewDFA(numStates, numSyms)
+	d.Start = start
+	if !sc.Scan() {
+		return nil, fmt.Errorf("automata: missing final line")
+	}
+	fields := strings.Fields(sc.Text())
+	if len(fields) == 0 || fields[0] != "final" {
+		return nil, fmt.Errorf("automata: bad final line %q", sc.Text())
+	}
+	for _, f := range fields[1:] {
+		var s int
+		if _, err := fmt.Sscan(f, &s); err != nil || s < 0 || s >= numStates {
+			return nil, fmt.Errorf("automata: bad final state %q", f)
+		}
+		d.Final[s] = true
+	}
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" {
+			continue
+		}
+		var from, sym, to int
+		if _, err := fmt.Sscanf(line, "%d %d %d", &from, &sym, &to); err != nil {
+			return nil, fmt.Errorf("automata: bad transition %q: %w", line, err)
+		}
+		if from < 0 || from >= numStates || to < 0 || to >= numStates || sym < 0 || sym >= numSyms {
+			return nil, fmt.Errorf("automata: transition %q out of range", line)
+		}
+		d.Delta[from][sym] = int32(to)
+	}
+	return d, sc.Err()
+}

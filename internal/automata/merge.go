@@ -1,0 +1,215 @@
+package automata
+
+// Merger is the mutable quotient automaton used during RPNI-style
+// generalization (lines 4-5 of Algorithm 1: A := A_{s'→s} while consistent).
+// It starts as a PTA and merges states under a union-find, folding
+// recursively to restore determinism after each merge, exactly as in
+// classic RPNI (Oncina & García).
+type Merger struct {
+	NumSyms int
+	parent  []int32
+	marks   []Mark
+	delta   [][]int32
+}
+
+// NewMerger initializes a merger from a PTA.
+func NewMerger(p *PTA) *Merger {
+	m := &Merger{NumSyms: p.NumSyms}
+	n := p.NumStates()
+	m.parent = make([]int32, n)
+	m.marks = make([]Mark, n)
+	m.delta = make([][]int32, n)
+	for s := 0; s < n; s++ {
+		m.parent[s] = int32(s)
+		m.marks[s] = p.Marks[s]
+		m.delta[s] = append([]int32(nil), p.Delta[s]...)
+	}
+	return m
+}
+
+// Clone deep-copies the merger, so speculative merges can be discarded.
+func (m *Merger) Clone() *Merger {
+	c := &Merger{NumSyms: m.NumSyms}
+	c.parent = append([]int32(nil), m.parent...)
+	c.marks = append([]Mark(nil), m.marks...)
+	c.delta = make([][]int32, len(m.delta))
+	for i, row := range m.delta {
+		c.delta[i] = append([]int32(nil), row...)
+	}
+	return c
+}
+
+// Find returns the representative of s.
+func (m *Merger) Find(s int32) int32 {
+	for m.parent[s] != s {
+		m.parent[s] = m.parent[m.parent[s]] // path halving
+		s = m.parent[s]
+	}
+	return s
+}
+
+// Merge merges state b into state a and folds recursively to restore
+// determinism. It reports false when folding would merge an Accepting state
+// with a Rejecting one (the classic RPNI conflict); in that case the merger
+// is left in an undefined state and must be discarded (use Clone first).
+func (m *Merger) Merge(a, b int32) bool {
+	a, b = m.Find(a), m.Find(b)
+	if a == b {
+		return true
+	}
+	// Union marks: Accepting + Rejecting conflict.
+	switch {
+	case m.marks[a] == Neutral:
+		m.marks[a] = m.marks[b]
+	case m.marks[b] == Neutral || m.marks[a] == m.marks[b]:
+		// keep m.marks[a]
+	default:
+		return false
+	}
+	m.parent[b] = a
+	// Fold successors: b's transitions move onto a's current representative;
+	// collisions merge recursively. a itself may be absorbed by a recursive
+	// merge (e.g. when b's successor is a), so the representative is
+	// re-resolved on every iteration. b's row is never written again after
+	// absorption, so reading it across iterations is safe.
+	for sym := 0; sym < m.NumSyms; sym++ {
+		tb := m.delta[b][sym]
+		if tb == None {
+			continue
+		}
+		ra := m.Find(a)
+		ta := m.delta[ra][sym]
+		if ta == None {
+			m.delta[ra][sym] = tb
+			continue
+		}
+		if !m.Merge(ta, tb) {
+			return false
+		}
+	}
+	return true
+}
+
+// DFA materializes the current quotient as a partial DFA with canonical
+// reachable-state numbering. Rejecting marks are dropped (they only guard
+// folding); Accepting representatives become final states.
+func (m *Merger) DFA() *DFA {
+	root := m.Find(0)
+	number := make(map[int32]int32)
+	var order []int32
+	number[root] = 0
+	order = append(order, root)
+	d := NewDFA(0, m.NumSyms)
+	d.AddState()
+	d.Start = 0
+	for i := 0; i < len(order); i++ {
+		s := order[i]
+		d.Final[i] = m.marks[s] == Accepting
+		for sym := 0; sym < m.NumSyms; sym++ {
+			t := m.delta[s][sym]
+			if t == None {
+				continue
+			}
+			t = m.Find(t)
+			id, ok := number[t]
+			if !ok {
+				id = d.AddState()
+				number[t] = id
+				order = append(order, t)
+			}
+			d.Delta[i][sym] = id
+		}
+	}
+	return d
+}
+
+// Representatives returns the live representative states in increasing
+// original-id order, which is the canonical access-word order for PTAs.
+func (m *Merger) Representatives() []int32 {
+	var out []int32
+	for s := int32(0); int(s) < len(m.parent); s++ {
+		if m.Find(s) == s {
+			out = append(out, s)
+		}
+	}
+	return out
+}
+
+// Generalize runs the RPNI red-blue merging loop: states are considered in
+// canonical order (of PTA access words); each "blue" state is merged into
+// the smallest compatible "red" state, where compatibility means the fold
+// succeeds and consistent(candidate DFA) returns true. If no red state is
+// compatible the blue state is promoted to red. The consistent callback
+// receives the quotient as a DFA; pass nil to rely on fold conflicts alone
+// (classic RPNI with word negatives).
+//
+// This implements both RPNI's generalization (with negatives in the PTA) and
+// lines 4-5 of the paper's Algorithm 1 (with consistency checked against the
+// graph's negative path languages).
+func (m *Merger) Generalize(consistent func(*DFA) bool) {
+	red := []int32{m.Find(0)}
+	inRed := map[int32]bool{m.Find(0): true}
+
+	for {
+		blue := m.smallestBlue(red, inRed)
+		if blue == None {
+			return
+		}
+		merged := false
+		for _, r := range red {
+			cand := m.Clone()
+			if !cand.Merge(r, blue) {
+				continue
+			}
+			if consistent != nil && !consistent(cand.DFA()) {
+				continue
+			}
+			// Commit the candidate.
+			*m = *cand
+			// Representatives of red may have moved: refresh.
+			for i := range red {
+				red[i] = m.Find(red[i])
+			}
+			merged = true
+			break
+		}
+		if !merged {
+			red = append(red, blue)
+			inRed[blue] = true
+		}
+		// Deduplicate red after refreshes.
+		inRed = make(map[int32]bool, len(red))
+		var fresh []int32
+		for _, r := range red {
+			r = m.Find(r)
+			if !inRed[r] {
+				inRed[r] = true
+				fresh = append(fresh, r)
+			}
+		}
+		red = fresh
+	}
+}
+
+// smallestBlue returns the smallest-id representative reachable in one step
+// from a red state that is not itself red, or None.
+func (m *Merger) smallestBlue(red []int32, inRed map[int32]bool) int32 {
+	best := None
+	for _, r := range red {
+		r = m.Find(r)
+		for sym := 0; sym < m.NumSyms; sym++ {
+			t := m.delta[r][sym]
+			if t == None {
+				continue
+			}
+			t = m.Find(t)
+			if inRed[t] {
+				continue
+			}
+			if best == None || t < best {
+				best = t
+			}
+		}
+	}
+	return best
+}

@@ -1,0 +1,208 @@
+package automata
+
+import (
+	"math/rand"
+	"testing"
+
+	"pathquery/internal/alphabet"
+	"pathquery/internal/words"
+)
+
+func wordsOf(a *alphabet.Alphabet, ss ...string) []words.Word {
+	out := make([]words.Word, len(ss))
+	for i, s := range ss {
+		out[i] = wordOf(a, s)
+	}
+	return out
+}
+
+func TestBuildPTAStatesInCanonicalOrder(t *testing.T) {
+	a := abc()
+	p := BuildPTA(a.Size(), wordsOf(a, "abc", "c"), nil)
+	// States are prefixes of {abc, c} in canonical order:
+	// ε, a, c, ab, abc.
+	want := []string{"ε", "a", "c", "a·b", "a·b·c"}
+	if p.NumStates() != len(want) {
+		t.Fatalf("PTA has %d states, want %d", p.NumStates(), len(want))
+	}
+	for i, w := range want {
+		if got := words.String(p.Access[i], a); got != w {
+			t.Fatalf("state %d access = %q, want %q", i, got, w)
+		}
+	}
+}
+
+func TestPTAAcceptsExactlyPositives(t *testing.T) {
+	a := abc()
+	pos := wordsOf(a, "abc", "c", "ab")
+	p := BuildPTA(a.Size(), pos, nil)
+	d := p.DFA()
+	for _, w := range pos {
+		if !d.Accepts(w) {
+			t.Fatalf("PTA rejects positive %v", words.String(w, a))
+		}
+	}
+	for _, w := range allWords(a.Size(), 4) {
+		inPos := false
+		for _, p := range pos {
+			if words.Equal(p, w) {
+				inPos = true
+			}
+		}
+		if d.Accepts(w) != inPos {
+			t.Fatalf("PTA acceptance of %v = %v", words.String(w, a), !inPos)
+		}
+	}
+}
+
+func TestPTANegativeMarks(t *testing.T) {
+	a := abc()
+	p := BuildPTA(a.Size(), wordsOf(a, "ab"), wordsOf(a, "a"))
+	var accepting, rejecting int
+	for _, m := range p.Marks {
+		switch m {
+		case Accepting:
+			accepting++
+		case Rejecting:
+			rejecting++
+		}
+	}
+	if accepting != 1 || rejecting != 1 {
+		t.Fatalf("marks: %d accepting, %d rejecting", accepting, rejecting)
+	}
+}
+
+func TestPTAPanicsOnContradiction(t *testing.T) {
+	a := abc()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for word both + and -")
+		}
+	}()
+	BuildPTA(a.Size(), wordsOf(a, "ab"), wordsOf(a, "ab"))
+}
+
+func TestMergerFoldConflict(t *testing.T) {
+	a := abc()
+	// PTA with ε rejecting and "a" accepting: merging them must fail.
+	p := BuildPTA(a.Size(), wordsOf(a, "a"), []words.Word{words.Epsilon})
+	m := NewMerger(p)
+	if m.Clone().Merge(0, 1) {
+		t.Fatal("merging accepting into rejecting should conflict")
+	}
+}
+
+func TestMergerSelfLoopFold(t *testing.T) {
+	// Merging a state with its own successor creates a self loop and the
+	// fold must terminate.
+	a := abc()
+	p := BuildPTA(a.Size(), wordsOf(a, "aaa"), nil)
+	m := NewMerger(p)
+	if !m.Merge(0, 1) {
+		t.Fatal("merge failed")
+	}
+	d := m.DFA()
+	// Language after merging ε-state with a-state: a* closure of aaa's
+	// acceptance — at minimum the original word must survive.
+	if !d.Accepts(wordOf(a, "aaa")) {
+		t.Fatal("merge lost the positive word")
+	}
+	if d.NumStates() >= p.NumStates() {
+		t.Fatal("merge did not shrink the automaton")
+	}
+}
+
+func TestGeneralizeLearnsAStarBFromCharacteristicWords(t *testing.T) {
+	// Classic RPNI sanity check: target a*b over {a,b}. The sample is the
+	// characteristic set of the *complete* canonical DFA (q0, q1, sink):
+	// P+ covers the kernel completions, P− distinguishes every kernel word
+	// from every shortest-prefix with a different residual — including the
+	// sink class, whose merges with q0/q1 must be blocked.
+	a := alphabet.NewSorted("a", "b")
+	pos := wordsOf(a, "b", "ab")
+	neg := append([]words.Word{words.Epsilon},
+		wordsOf(a, "a", "ba", "bb", "baa", "bab", "bbb", "baab", "babb")...)
+	p := BuildPTA(a.Size(), pos, neg)
+	m := NewMerger(p)
+	m.Generalize(nil)
+	got := Minimize(m.DFA())
+	want := compile(t, a, "a*·b")
+	if !got.Equal(want) {
+		t.Fatalf("RPNI learned %v, want a*·b (%v)", got, want)
+	}
+}
+
+func TestGeneralizeConsistencyCallbackBlocksMerges(t *testing.T) {
+	a := abc()
+	pos := wordsOf(a, "abc", "c")
+	p := BuildPTA(a.Size(), pos, nil)
+	m := NewMerger(p)
+	// Callback rejects everything: no merges happen, language unchanged.
+	m.Generalize(func(d *DFA) bool { return false })
+	d := Minimize(m.DFA())
+	if !Equivalent(d, Minimize(p.DFA())) {
+		t.Fatal("blocked generalization still changed the language")
+	}
+}
+
+func TestGeneralizeConsistentWithSampleProperty(t *testing.T) {
+	// Property: for random samples, RPNI's output accepts every positive
+	// and rejects every negative.
+	rng := rand.New(rand.NewSource(23))
+	for iter := 0; iter < 150; iter++ {
+		// Draw a random target and sample words labeled by it.
+		target := RandomNonEmptyDFA(rng, 5, 2, 0.8)
+		var pos, neg []words.Word
+		for _, w := range allWords(2, 5) {
+			if rng.Intn(3) != 0 {
+				continue
+			}
+			if target.Accepts(w) {
+				pos = append(pos, w)
+			} else {
+				neg = append(neg, w)
+			}
+		}
+		if len(pos) == 0 {
+			continue
+		}
+		p := BuildPTA(2, pos, neg)
+		m := NewMerger(p)
+		m.Generalize(nil)
+		d := m.DFA()
+		for _, w := range pos {
+			if !d.Accepts(w) {
+				t.Fatalf("iter %d: positive %v rejected", iter, w)
+			}
+		}
+		for _, w := range neg {
+			if d.Accepts(w) {
+				t.Fatalf("iter %d: negative %v accepted", iter, w)
+			}
+		}
+	}
+}
+
+func TestMergerRepresentatives(t *testing.T) {
+	a := abc()
+	p := BuildPTA(a.Size(), wordsOf(a, "ab", "c"), nil)
+	m := NewMerger(p)
+	if got := len(m.Representatives()); got != p.NumStates() {
+		t.Fatalf("fresh merger has %d representatives, want %d", got, p.NumStates())
+	}
+	m.Merge(0, 1)
+	if got := len(m.Representatives()); got >= p.NumStates() {
+		t.Fatalf("after merge: %d representatives", got)
+	}
+}
+
+func TestMergerCloneIsolation(t *testing.T) {
+	a := abc()
+	p := BuildPTA(a.Size(), wordsOf(a, "ab"), nil)
+	m := NewMerger(p)
+	c := m.Clone()
+	c.Merge(0, 1)
+	if len(m.Representatives()) != p.NumStates() {
+		t.Fatal("clone merge affected original")
+	}
+}

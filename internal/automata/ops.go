@@ -1,0 +1,196 @@
+package automata
+
+import (
+	"pathquery/internal/alphabet"
+	"pathquery/internal/words"
+)
+
+// Intersect returns a (trimmed) DFA for L(a) ∩ L(b) via the product
+// construction, exploring only reachable pairs.
+func Intersect(a, b *DFA) *DFA {
+	type pair struct{ x, y int32 }
+	ids := make(map[pair]int32)
+	var pairs []pair
+	out := NewDFA(0, a.NumSyms)
+	intern := func(p pair) int32 {
+		if id, ok := ids[p]; ok {
+			return id
+		}
+		id := out.AddState()
+		ids[p] = id
+		pairs = append(pairs, p)
+		out.Final[id] = a.Final[p.x] && b.Final[p.y]
+		return id
+	}
+	out.Start = intern(pair{a.Start, b.Start})
+	for q := int32(0); int(q) < len(pairs); q++ {
+		p := pairs[q]
+		for sym := 0; sym < a.NumSyms; sym++ {
+			nx := a.Delta[p.x][sym]
+			if nx == None {
+				continue
+			}
+			ny := b.Delta[p.y][sym]
+			if ny == None {
+				continue
+			}
+			out.Delta[q][sym] = intern(pair{nx, ny})
+		}
+	}
+	return out.Trim()
+}
+
+// Included reports whether L(a) ⊆ L(b): a word accepted by a and rejected by
+// b is searched over the product of a with the completed b.
+func Included(a, b *DFA) bool {
+	bc := b.Complete()
+	type pair struct{ x, y int32 }
+	seen := make(map[pair]bool)
+	stack := []pair{{a.Start, bc.Start}}
+	seen[stack[0]] = true
+	for len(stack) > 0 {
+		p := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		if a.Final[p.x] && !bc.Final[p.y] {
+			return false
+		}
+		for sym := 0; sym < a.NumSyms; sym++ {
+			nx := a.Delta[p.x][sym]
+			if nx == None {
+				continue
+			}
+			np := pair{nx, bc.Delta[p.y][sym]}
+			if !seen[np] {
+				seen[np] = true
+				stack = append(stack, np)
+			}
+		}
+	}
+	return true
+}
+
+// Equivalent reports whether L(a) = L(b).
+func Equivalent(a, b *DFA) bool {
+	return Included(a, b) && Included(b, a)
+}
+
+// DisjointFrom reports whether L(a) ∩ L(b) = ∅ without materializing the
+// product DFA.
+func DisjointFrom(a, b *DFA) bool {
+	type pair struct{ x, y int32 }
+	seen := make(map[pair]bool)
+	stack := []pair{{a.Start, b.Start}}
+	seen[stack[0]] = true
+	for len(stack) > 0 {
+		p := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		if a.Final[p.x] && b.Final[p.y] {
+			return false
+		}
+		for sym := 0; sym < a.NumSyms; sym++ {
+			nx := a.Delta[p.x][sym]
+			if nx == None {
+				continue
+			}
+			ny := b.Delta[p.y][sym]
+			if ny == None {
+				continue
+			}
+			np := pair{nx, ny}
+			if !seen[np] {
+				seen[np] = true
+				stack = append(stack, np)
+			}
+		}
+	}
+	return true
+}
+
+// UnionUniversal reports whether L(d1) ∪ ... ∪ L(dn) = Σ*. This is the
+// PSPACE-complete problem the paper reduces from in Lemma 3.2; here it is
+// decided by an (exponential worst case) subset-product search for a word
+// rejected by every DFA. Returns the witness word when not universal.
+func UnionUniversal(ds []*DFA) (bool, words.Word) {
+	if len(ds) == 0 {
+		return false, words.Epsilon
+	}
+	numSyms := ds[0].NumSyms
+	completed := make([]*DFA, len(ds))
+	for i, d := range ds {
+		completed[i] = d.Complete()
+	}
+	type node struct {
+		states []int32
+		word   words.Word
+	}
+	keyOf := func(states []int32) string { return subsetKey(states) }
+	start := make([]int32, len(completed))
+	for i, d := range completed {
+		start[i] = d.Start
+	}
+	anyFinal := func(states []int32) bool {
+		for i, s := range states {
+			if completed[i].Final[s] {
+				return true
+			}
+		}
+		return false
+	}
+	seen := map[string]bool{keyOf(start): true}
+	queue := []node{{start, words.Epsilon}}
+	for len(queue) > 0 {
+		cur := queue[0]
+		queue = queue[1:]
+		if !anyFinal(cur.states) {
+			return false, cur.word
+		}
+		for sym := 0; sym < numSyms; sym++ {
+			next := make([]int32, len(cur.states))
+			for i, s := range cur.states {
+				next[i] = completed[i].Delta[s][alphabet.Symbol(sym)]
+			}
+			k := keyOf(next)
+			if !seen[k] {
+				seen[k] = true
+				queue = append(queue, node{next, words.Append(cur.word, alphabet.Symbol(sym))})
+			}
+		}
+	}
+	return true, nil
+}
+
+// Union returns a DFA for L(a) ∪ L(b) (determinized product of completions).
+func Union(a, b *DFA) *DFA {
+	ac, bc := a.Complete(), b.Complete()
+	type pair struct{ x, y int32 }
+	ids := make(map[pair]int32)
+	var pairs []pair
+	out := NewDFA(0, a.NumSyms)
+	intern := func(p pair) int32 {
+		if id, ok := ids[p]; ok {
+			return id
+		}
+		id := out.AddState()
+		ids[p] = id
+		pairs = append(pairs, p)
+		out.Final[id] = ac.Final[p.x] || bc.Final[p.y]
+		return id
+	}
+	out.Start = intern(pair{ac.Start, bc.Start})
+	for q := int32(0); int(q) < len(pairs); q++ {
+		p := pairs[q]
+		for sym := 0; sym < a.NumSyms; sym++ {
+			out.Delta[q][sym] = intern(pair{ac.Delta[p.x][sym], bc.Delta[p.y][sym]})
+		}
+	}
+	return out.Trim()
+}
+
+// Complement returns a DFA for Σ* \ L(d).
+func Complement(d *DFA) *DFA {
+	c := d.Complete().Clone()
+	for s := range c.Final {
+		c.Final[s] = !c.Final[s]
+	}
+	return c.Trim()
+}

@@ -1,0 +1,87 @@
+package automata
+
+import (
+	"pathquery/internal/words"
+)
+
+// Mark is the classification a prefix-tree state carries in the RPNI
+// red-blue merging framework.
+type Mark int8
+
+const (
+	// Neutral states are prefixes that are neither accepting nor rejecting.
+	Neutral Mark = 0
+	// Accepting states end a positive word.
+	Accepting Mark = 1
+	// Rejecting states end a negative word (used only by word-sample RPNI;
+	// the graph learner expresses negatives through the graph instead).
+	Rejecting Mark = -1
+)
+
+// PTA is a prefix tree acceptor (a tree-shaped DFA accepting exactly the
+// positive words, cf. Section 3.2) augmented with Rejecting marks for
+// negative words, as used by classic RPNI. States are numbered in the
+// canonical order of their access words, which is the merge order RPNI and
+// the paper's learner use.
+type PTA struct {
+	NumSyms int
+	Marks   []Mark
+	Delta   [][]int32 // [state][sym] successor or None
+	Access  []words.Word
+}
+
+// BuildPTA constructs the PTA of the given positive and negative words.
+// It panics if a word occurs both positively and negatively (callers check
+// sample consistency first).
+func BuildPTA(numSyms int, pos, neg []words.Word) *PTA {
+	// Collect every prefix of every word, in canonical order, so state ids
+	// follow the canonical order of access words.
+	var all []words.Word
+	for _, w := range append(append([]words.Word{}, pos...), neg...) {
+		all = append(all, words.Prefixes(w)...)
+	}
+	all = words.Dedup(all)
+
+	p := &PTA{NumSyms: numSyms}
+	ids := make(map[string]int32, len(all))
+	for _, w := range all {
+		id := int32(len(p.Marks))
+		ids[words.Key(w)] = id
+		p.Marks = append(p.Marks, Neutral)
+		row := make([]int32, numSyms)
+		for j := range row {
+			row[j] = None
+		}
+		p.Delta = append(p.Delta, row)
+		p.Access = append(p.Access, words.Clone(w))
+		if len(w) > 0 {
+			parent := ids[words.Key(w[:len(w)-1])]
+			p.Delta[parent][w[len(w)-1]] = id
+		}
+	}
+	for _, w := range pos {
+		p.Marks[ids[words.Key(w)]] = Accepting
+	}
+	for _, w := range neg {
+		id := ids[words.Key(w)]
+		if p.Marks[id] == Accepting {
+			panic("automata: word is both positive and negative in PTA")
+		}
+		p.Marks[id] = Rejecting
+	}
+	return p
+}
+
+// NumStates returns the number of PTA states.
+func (p *PTA) NumStates() int { return len(p.Marks) }
+
+// DFA returns the PTA as a partial DFA accepting exactly the positive words.
+func (p *PTA) DFA() *DFA {
+	d := NewDFA(p.NumStates(), p.NumSyms)
+	d.Start = 0
+	for s := range p.Marks {
+		d.Final[s] = p.Marks[s] == Accepting
+		copy(d.Delta[s], p.Delta[s])
+	}
+	return d
+}

@@ -1,0 +1,161 @@
+package automata
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+
+	"pathquery/internal/alphabet"
+	"pathquery/internal/words"
+)
+
+// quick-generated word over 2 symbols, length ≤ 8.
+type qword []byte
+
+func (qword) Generate(rng *rand.Rand, size int) reflect.Value {
+	n := rng.Intn(9)
+	w := make(qword, n)
+	for i := range w {
+		w[i] = byte(rng.Intn(2))
+	}
+	return reflect.ValueOf(w)
+}
+
+func (w qword) word() words.Word {
+	out := make(words.Word, len(w))
+	for i, b := range w {
+		out[i] = alphabet.Symbol(b)
+	}
+	return out
+}
+
+// quick-generated DFA seed.
+type qseed int64
+
+func (qseed) Generate(rng *rand.Rand, size int) reflect.Value {
+	return reflect.ValueOf(qseed(rng.Int63()))
+}
+
+func (s qseed) dfa() *DFA {
+	return RandomDFA(rand.New(rand.NewSource(int64(s))), 6, 2, 0.7)
+}
+
+func TestQuickUnionAcceptance(t *testing.T) {
+	f := func(s1, s2 qseed, w qword) bool {
+		a, b := s1.dfa(), s2.dfa()
+		u := Union(a, b)
+		word := w.word()
+		return u.Accepts(word) == (a.Accepts(word) || b.Accepts(word))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 800}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickIntersectAcceptance(t *testing.T) {
+	f := func(s1, s2 qseed, w qword) bool {
+		a, b := s1.dfa(), s2.dfa()
+		i := Intersect(a, b)
+		word := w.word()
+		return i.Accepts(word) == (a.Accepts(word) && b.Accepts(word))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 800}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickComplementAcceptance(t *testing.T) {
+	f := func(s qseed, w qword) bool {
+		a := s.dfa()
+		c := Complement(a)
+		word := w.word()
+		return c.Accepts(word) == !a.Accepts(word)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 800}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickMinimizePreservesAcceptance(t *testing.T) {
+	f := func(s qseed, w qword) bool {
+		a := s.dfa()
+		return Minimize(a).Accepts(w.word()) == a.Accepts(w.word())
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 800}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickDeMorgan(t *testing.T) {
+	// ¬(A ∪ B) = ¬A ∩ ¬B as languages.
+	f := func(s1, s2 qseed) bool {
+		a, b := s1.dfa(), s2.dfa()
+		left := Complement(Union(a, b))
+		right := Intersect(Complement(a), Complement(b))
+		return Equivalent(left, right)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickInclusionAntisymmetry(t *testing.T) {
+	// Included(a,b) ∧ Included(b,a) ⇔ canonical equality.
+	f := func(s1, s2 qseed) bool {
+		a, b := s1.dfa(), s2.dfa()
+		both := Included(a, b) && Included(b, a)
+		return both == a.Equal(b) // RandomDFA returns canonical DFAs
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickPrefixFreeSubset(t *testing.T) {
+	// The prefix-free representative accepts a subset of the original
+	// language consisting exactly of the words with no accepted proper
+	// prefix.
+	f := func(s qseed, w qword) bool {
+		a := s.dfa()
+		pf := a.PrefixFree()
+		word := w.word()
+		if !pf.Accepts(word) {
+			return true
+		}
+		if !a.Accepts(word) {
+			return false // pf accepted something outside L(a)
+		}
+		for i := 0; i < len(word); i++ {
+			if a.Accepts(word[:i]) {
+				return false // an accepted proper prefix survived
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 800}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickDisjointIffIntersectEmpty(t *testing.T) {
+	f := func(s1, s2 qseed) bool {
+		a, b := s1.dfa(), s2.dfa()
+		return DisjointFrom(a, b) == Intersect(a, b).IsEmpty()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickReverseReverse(t *testing.T) {
+	// Reversing an NFA twice preserves acceptance.
+	f := func(s qseed, w qword) bool {
+		a := s.dfa().NFA()
+		rr := a.Reverse().Reverse()
+		return rr.Accepts(w.word()) == a.Accepts(w.word())
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}

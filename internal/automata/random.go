@@ -1,0 +1,73 @@
+package automata
+
+import (
+	"math/rand"
+
+	"pathquery/internal/alphabet"
+	"pathquery/internal/regex"
+)
+
+// RandomDFA generates a random trimmed, minimized DFA with at most maxStates
+// states over numSyms symbols, using rng. Density controls the fraction of
+// transitions present (0..1). Useful for property-based tests; the result
+// may have fewer states than requested after minimization, and may denote
+// the empty language.
+func RandomDFA(rng *rand.Rand, maxStates, numSyms int, density float64) *DFA {
+	n := 1 + rng.Intn(maxStates)
+	d := NewDFA(n, numSyms)
+	d.Start = 0
+	for s := 0; s < n; s++ {
+		d.Final[s] = rng.Intn(3) == 0
+		for sym := 0; sym < numSyms; sym++ {
+			if rng.Float64() < density {
+				d.Delta[s][sym] = int32(rng.Intn(n))
+			}
+		}
+	}
+	if rng.Intn(4) != 0 {
+		// Bias towards non-empty languages: force one final state.
+		d.Final[rng.Intn(n)] = true
+	}
+	return Minimize(d)
+}
+
+// RandomNonEmptyDFA is RandomDFA retried until the language is non-empty.
+func RandomNonEmptyDFA(rng *rand.Rand, maxStates, numSyms int, density float64) *DFA {
+	for {
+		d := RandomDFA(rng, maxStates, numSyms, density)
+		if !d.IsEmpty() {
+			return d
+		}
+	}
+}
+
+// RandomPrefixFreeDFA generates a random non-empty prefix-free canonical
+// DFA (the paper's query representation, cf. Section 2).
+func RandomPrefixFreeDFA(rng *rand.Rand, maxStates, numSyms int, density float64) *DFA {
+	for {
+		d := RandomNonEmptyDFA(rng, maxStates, numSyms, density).PrefixFree()
+		if !d.IsEmpty() {
+			return d
+		}
+	}
+}
+
+// RandomRegex generates a random regular expression of the given AST depth
+// over the symbols of a. Stars are made rarer than unions/concatenations to
+// keep languages from collapsing to Σ*-like behemoths.
+func RandomRegex(rng *rand.Rand, a *alphabet.Alphabet, depth int) *regex.Node {
+	if depth <= 0 || rng.Intn(4) == 0 {
+		if rng.Intn(8) == 0 {
+			return regex.NewEpsilon()
+		}
+		return regex.NewLiteral(alphabet.Symbol(rng.Intn(a.Size())))
+	}
+	switch rng.Intn(5) {
+	case 0:
+		return regex.NewStar(RandomRegex(rng, a, depth-1))
+	case 1, 2:
+		return regex.NewUnion(RandomRegex(rng, a, depth-1), RandomRegex(rng, a, depth-1))
+	default:
+		return regex.NewConcat(RandomRegex(rng, a, depth-1), RandomRegex(rng, a, depth-1))
+	}
+}

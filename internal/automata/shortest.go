@@ -1,0 +1,146 @@
+package automata
+
+import (
+	"pathquery/internal/alphabet"
+	"pathquery/internal/words"
+)
+
+// ShortestAccepted returns the canonical-order (length-lexicographic)
+// minimal word of L(d), and false if the language is empty. The BFS expands
+// symbols in increasing order so the first final state reached carries the
+// canonical-minimal word.
+func ShortestAccepted(d *DFA) (words.Word, bool) {
+	type node struct {
+		state int32
+		word  words.Word
+	}
+	seen := make([]bool, d.NumStates())
+	queue := []node{{d.Start, words.Epsilon}}
+	seen[d.Start] = true
+	for len(queue) > 0 {
+		cur := queue[0]
+		queue = queue[1:]
+		if d.Final[cur.state] {
+			return cur.word, true
+		}
+		for sym := 0; sym < d.NumSyms; sym++ {
+			t := d.Delta[cur.state][alphabet.Symbol(sym)]
+			if t != None && !seen[t] {
+				seen[t] = true
+				queue = append(queue, node{t, words.Append(cur.word, alphabet.Symbol(sym))})
+			}
+		}
+	}
+	return nil, false
+}
+
+// AccessWords returns, for every state reachable from Start, the
+// canonical-order minimal word reaching it (the "shortest prefixes" SP(A)
+// of the RPNI characteristic-sample construction). Unreachable states map
+// to nil with ok=false in the second return.
+func AccessWords(d *DFA) ([]words.Word, []bool) {
+	access := make([]words.Word, d.NumStates())
+	have := make([]bool, d.NumStates())
+	type node struct {
+		state int32
+		word  words.Word
+	}
+	queue := []node{{d.Start, words.Epsilon}}
+	have[d.Start] = true
+	access[d.Start] = words.Epsilon
+	for len(queue) > 0 {
+		cur := queue[0]
+		queue = queue[1:]
+		for sym := 0; sym < d.NumSyms; sym++ {
+			t := d.Delta[cur.state][alphabet.Symbol(sym)]
+			if t != None && !have[t] {
+				have[t] = true
+				access[t] = words.Append(cur.word, alphabet.Symbol(sym))
+				queue = append(queue, node{t, access[t]})
+			}
+		}
+	}
+	return access, have
+}
+
+// CompletionWords returns, for every state, the canonical-order minimal
+// word leading from it to a final state ("shortest completion"), with
+// have[s] = false when no final state is reachable from s. Computed by a
+// reverse BFS in canonical order: a layered relaxation that processes
+// candidate extensions smallest-symbol-first.
+func CompletionWords(d *DFA) ([]words.Word, []bool) {
+	n := d.NumStates()
+	comp := make([]words.Word, n)
+	have := make([]bool, n)
+	// Layered fixpoint: length-0 completions are finals (ε), then repeatedly
+	// relax: comp[s] = min over sym of sym·comp[δ(s,sym)]. Processing in
+	// rounds guarantees length-lexicographic minimality: round l fixes all
+	// states whose minimal completion has length l.
+	for s := 0; s < n; s++ {
+		if d.Final[s] {
+			have[s] = true
+			comp[s] = words.Epsilon
+		}
+	}
+	for changed := true; changed; {
+		changed = false
+		// Candidates per state this round: pick the best extension.
+		best := make([]words.Word, n)
+		for s := 0; s < n; s++ {
+			if have[s] {
+				continue
+			}
+			for sym := 0; sym < d.NumSyms; sym++ {
+				t := d.Delta[s][alphabet.Symbol(sym)]
+				if t == None || !have[t] {
+					continue
+				}
+				cand := append(words.Word{alphabet.Symbol(sym)}, comp[t]...)
+				if best[s] == nil || words.Less(cand, best[s]) {
+					best[s] = cand
+				}
+			}
+		}
+		for s := 0; s < n; s++ {
+			if best[s] != nil {
+				have[s] = true
+				comp[s] = best[s]
+				changed = true
+			}
+		}
+	}
+	return comp, have
+}
+
+// WordsUpTo enumerates L(d) ∩ Σ^{≤maxLen} in canonical order, stopping after
+// limit words (limit ≤ 0 means no limit). Used by tests and by the
+// characteristic-sample machinery.
+func WordsUpTo(d *DFA, maxLen, limit int) []words.Word {
+	var out []words.Word
+	type node struct {
+		state int32
+		word  words.Word
+	}
+	level := []node{{d.Start, words.Epsilon}}
+	for l := 0; l <= maxLen; l++ {
+		var next []node
+		for _, cur := range level {
+			if d.Final[cur.state] {
+				out = append(out, cur.word)
+				if limit > 0 && len(out) >= limit {
+					return out
+				}
+			}
+			if l < maxLen {
+				for sym := 0; sym < d.NumSyms; sym++ {
+					t := d.Delta[cur.state][alphabet.Symbol(sym)]
+					if t != None {
+						next = append(next, node{t, words.Append(cur.word, alphabet.Symbol(sym))})
+					}
+				}
+			}
+		}
+		level = next
+	}
+	return out
+}

@@ -1,0 +1,60 @@
+package automata
+
+import (
+	"pathquery/internal/regex"
+)
+
+// Thompson builds an NFA with ε-transitions for the regular expression n
+// over an alphabet of numSyms symbols, by the classic Thompson construction.
+// The resulting NFA has a single start and a single final state.
+func Thompson(n *regex.Node, numSyms int) *NFA {
+	a := NewNFA(0, numSyms)
+	start, end := thompson(a, n)
+	a.Starts = []int32{start}
+	a.Final[end] = true
+	return a
+}
+
+// thompson adds the fragment for n to a and returns its (start, end) states.
+func thompson(a *NFA, n *regex.Node) (int32, int32) {
+	switch n.Kind {
+	case regex.Empty:
+		s, e := a.AddState(), a.AddState()
+		return s, e // no connection: accepts nothing
+	case regex.Epsilon:
+		s := a.AddState()
+		return s, s
+	case regex.Literal:
+		s, e := a.AddState(), a.AddState()
+		a.AddTransition(s, n.Sym, e)
+		return s, e
+	case regex.Union:
+		ls, le := thompson(a, n.Left)
+		rs, re := thompson(a, n.Right)
+		s, e := a.AddState(), a.AddState()
+		a.AddEps(s, ls)
+		a.AddEps(s, rs)
+		a.AddEps(le, e)
+		a.AddEps(re, e)
+		return s, e
+	case regex.Concat:
+		ls, le := thompson(a, n.Left)
+		rs, re := thompson(a, n.Right)
+		a.AddEps(le, rs)
+		return ls, re
+	case regex.Star:
+		is, ie := thompson(a, n.Left)
+		s := a.AddState()
+		a.AddEps(s, is)
+		a.AddEps(ie, s)
+		return s, s
+	default:
+		panic("automata: unknown regex node kind")
+	}
+}
+
+// CompileRegex parses nothing: it converts an already-parsed regular
+// expression to its canonical (trimmed, minimal, canonically numbered) DFA.
+func CompileRegex(n *regex.Node, numSyms int) *DFA {
+	return Minimize(Determinize(Thompson(n, numSyms)))
+}

@@ -1,0 +1,264 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"pathquery/internal/alphabet"
+	"pathquery/internal/automata"
+	"pathquery/internal/graph"
+	"pathquery/internal/query"
+	"pathquery/internal/words"
+)
+
+// This file implements Algorithms 2 and 3 (Appendix B): learning under
+// binary and n-ary semantics. A binary example is a pair of nodes; the
+// only change from Algorithm 1 is that SCPs are drawn from the pair path
+// language paths2_G(ν, ν') — a smaller candidate space, since the
+// destination is fixed.
+
+// Pair is an ordered node pair (the example of binary semantics).
+type Pair struct {
+	From, To graph.NodeID
+}
+
+// PairSample is a set of positive and negative pair examples.
+type PairSample struct {
+	Pos []Pair
+	Neg []Pair
+}
+
+// Validate rejects samples labeling a pair both positive and negative.
+func (s PairSample) Validate() error {
+	seen := make(map[Pair]bool, len(s.Pos))
+	for _, p := range s.Pos {
+		seen[p] = true
+	}
+	for _, p := range s.Neg {
+		if seen[p] {
+			return fmt.Errorf("core: pair (%d,%d) labeled both positive and negative", p.From, p.To)
+		}
+	}
+	return nil
+}
+
+// LearnBinary runs Algorithm 2 and returns the learned binary query, or
+// ErrAbstain.
+func LearnBinary(g *graph.Graph, s PairSample, opt Options) (*query.Query, error) {
+	opt = opt.withDefaults()
+	if err := s.Validate(); err != nil {
+		return nil, err
+	}
+	if len(s.Pos) == 0 {
+		return nil, ErrAbstain
+	}
+	if opt.K > 0 {
+		return learnBinaryFixedK(g, s, opt, opt.K)
+	}
+	var lastErr error = ErrAbstain
+	for k := opt.StartK; k <= opt.MaxK; k++ {
+		q, err := learnBinaryFixedK(g, s, opt, k)
+		if err == nil {
+			return q, nil
+		}
+		lastErr = err
+	}
+	return nil, lastErr
+}
+
+func learnBinaryFixedK(g *graph.Graph, s PairSample, opt Options, k int) (*query.Query, error) {
+	// Lines 1-2: smallest consistent pair-path per positive pair.
+	var paths []words.Word
+	for _, p := range s.Pos {
+		if w, ok := smallestPairPath(g, p, s.Neg, k); ok {
+			paths = append(paths, w)
+		}
+	}
+	if len(paths) == 0 {
+		return nil, ErrAbstain
+	}
+
+	pta := automata.BuildPTA(g.Alphabet().Size(), paths, nil)
+	var d *automata.DFA
+	if opt.DisableGeneralization {
+		d = pta.DFA()
+	} else {
+		m := automata.NewMerger(pta)
+		m.Generalize(func(cand *automata.DFA) bool {
+			for _, n := range s.Neg {
+				if g.CoversPair(cand, n.From, n.To) {
+					return false
+				}
+			}
+			return true
+		})
+		d = m.DFA()
+	}
+	for _, p := range s.Pos {
+		if !g.CoversPair(d, p.From, p.To) {
+			return nil, ErrAbstain
+		}
+	}
+	// Binary queries keep their exact language: the prefix-free reduction
+	// is a monadic-semantics equivalence and does not apply to paths2.
+	return query.FromDFA(g.Alphabet(), d), nil
+}
+
+// smallestPairPath returns the canonical-order minimal word of length ≤ k
+// in paths2_G(p) \ paths2_G(neg). The whole search state — the node set
+// reachable from p.From and, per negative pair, the set reachable from its
+// origin — is a deterministic function of the word, so a BFS over those
+// subset tuples with sorted symbol expansion enumerates words canonically.
+func smallestPairPath(g *graph.Graph, p Pair, neg []Pair, k int) (words.Word, bool) {
+	type state struct {
+		mine []graph.NodeID
+		negs [][]graph.NodeID
+		word words.Word
+	}
+	encode := func(st state) string {
+		b := make([]byte, 0, 64)
+		app := func(set []graph.NodeID) {
+			for _, v := range set {
+				b = append(b, byte(v), byte(v>>8), byte(v>>16), byte(v>>24))
+			}
+			b = append(b, 0xff, 0xff, 0xff, 0xff)
+		}
+		app(st.mine)
+		for _, s := range st.negs {
+			app(s)
+		}
+		return string(b)
+	}
+	contains := func(set []graph.NodeID, v graph.NodeID) bool {
+		i := sort.Search(len(set), func(i int) bool { return set[i] >= v })
+		return i < len(set) && set[i] == v
+	}
+	accepts := func(st state) bool {
+		if !contains(st.mine, p.To) {
+			return false
+		}
+		for i, n := range neg {
+			if contains(st.negs[i], n.To) {
+				return false
+			}
+		}
+		return true
+	}
+
+	init := state{mine: []graph.NodeID{p.From}, word: words.Epsilon}
+	for _, n := range neg {
+		init.negs = append(init.negs, []graph.NodeID{n.From})
+	}
+	if accepts(init) {
+		return words.Epsilon, true
+	}
+	seen := map[string]bool{encode(init): true}
+	queue := []state{init}
+	for len(queue) > 0 {
+		cur := queue[0]
+		queue = queue[1:]
+		if len(cur.word) >= k {
+			continue
+		}
+		for _, sym := range outSymbols(g, cur.mine) {
+			next := state{
+				mine: g.Step(cur.mine, sym),
+				word: words.Append(cur.word, sym),
+			}
+			if len(next.mine) == 0 {
+				continue
+			}
+			for _, s := range cur.negs {
+				next.negs = append(next.negs, g.Step(s, sym))
+			}
+			if accepts(next) {
+				return next.word, true
+			}
+			key := encode(next)
+			if !seen[key] {
+				seen[key] = true
+				queue = append(queue, next)
+			}
+		}
+	}
+	return nil, false
+}
+
+// outSymbols returns the sorted distinct symbols leaving the node set.
+func outSymbols(g *graph.Graph, set []graph.NodeID) []alphabet.Symbol {
+	seen := make(map[alphabet.Symbol]bool)
+	var out []alphabet.Symbol
+	for _, v := range set {
+		for _, e := range g.OutEdges(v) {
+			if !seen[e.Sym] {
+				seen[e.Sym] = true
+				out = append(out, e.Sym)
+			}
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// TupleSample is a set of n-ary examples: node tuples labeled + or −.
+type TupleSample struct {
+	Pos [][]graph.NodeID
+	Neg [][]graph.NodeID
+}
+
+// Arity returns the tuple width, or 0 for an empty sample.
+func (s TupleSample) Arity() int {
+	if len(s.Pos) > 0 {
+		return len(s.Pos[0])
+	}
+	if len(s.Neg) > 0 {
+		return len(s.Neg[0])
+	}
+	return 0
+}
+
+// Validate checks that all tuples share an arity ≥ 2.
+func (s TupleSample) Validate() error {
+	n := s.Arity()
+	if n < 2 {
+		return fmt.Errorf("core: n-ary sample needs tuples of arity ≥ 2")
+	}
+	for _, t := range append(append([][]graph.NodeID{}, s.Pos...), s.Neg...) {
+		if len(t) != n {
+			return fmt.Errorf("core: mixed tuple arities %d and %d", n, len(t))
+		}
+	}
+	return nil
+}
+
+// LearnNary runs Algorithm 3: project the tuple sample onto each adjacent
+// position pair, learn a binary query per position with Algorithm 2, and
+// combine. Abstains if any position abstains.
+func LearnNary(g *graph.Graph, s TupleSample, opt Options) (*query.Nary, error) {
+	if err := s.Validate(); err != nil {
+		return nil, err
+	}
+	n := s.Arity()
+	parts := make([]*query.Query, 0, n-1)
+	for i := 0; i < n-1; i++ {
+		ps := PairSample{}
+		for _, t := range s.Pos {
+			ps.Pos = append(ps.Pos, Pair{t[i], t[i+1]})
+		}
+		for _, t := range s.Neg {
+			ps.Neg = append(ps.Neg, Pair{t[i], t[i+1]})
+		}
+		if err := ps.Validate(); err != nil {
+			// A pair may appear positively in one tuple and negatively in
+			// another projection; per the paper's Algorithm 3 semantics we
+			// abstain, since no single regular expression can satisfy both.
+			return nil, ErrAbstain
+		}
+		q, err := LearnBinary(g, ps, opt)
+		if err != nil {
+			return nil, err
+		}
+		parts = append(parts, q)
+	}
+	return query.NewNary(parts...)
+}

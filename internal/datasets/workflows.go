@@ -1,0 +1,117 @@
+package datasets
+
+import (
+	"fmt"
+	"math/rand"
+
+	"pathquery/internal/graph"
+	"pathquery/internal/nodelabeled"
+	"pathquery/internal/query"
+)
+
+// This file generates the scientific-workflow corpus of the paper's
+// introduction (Figure 2): interrelated workflows whose nodes are
+// processing modules, mined with path queries like
+// ProteinPurification·ProteinSeparation*·MassSpectrometry. Workflows are
+// node-labeled; WorkflowCorpus returns both forms via the nodelabeled
+// encoding.
+
+// WorkflowModules is the module vocabulary, loosely after the proteomics
+// pipelines the paper cites.
+var WorkflowModules = []string{
+	"SampleCollection",
+	"ProteinPurification",
+	"ProteinSeparation",
+	"MassSpectrometry",
+	"GelImaging",
+	"RNAExtraction",
+	"Sequencing",
+	"DataAnalysis",
+}
+
+// WorkflowConfig tunes corpus generation.
+type WorkflowConfig struct {
+	// Workflows is the number of workflow chains.
+	Workflows int
+	// MaxStages bounds each workflow's length (≥ 2).
+	MaxStages int
+	// TargetFraction is the approximate fraction of workflows matching the
+	// goal pattern Purification·Separation*·MassSpectrometry.
+	TargetFraction float64
+	Seed           int64
+}
+
+// WorkflowCorpus generates a node-labeled workflow corpus and its
+// edge-labeled encoding. Each workflow is a chain of module nodes starting
+// at an entry node named wfN; roughly TargetFraction of the chains match
+// the goal pattern.
+func WorkflowCorpus(cfg WorkflowConfig) (*nodelabeled.Graph, *graph.Graph, error) {
+	if cfg.Workflows <= 0 {
+		cfg.Workflows = 50
+	}
+	if cfg.MaxStages < 2 {
+		cfg.MaxStages = 5
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	nl := nodelabeled.New(nil)
+	for i := 0; i < cfg.Workflows; i++ {
+		name := fmt.Sprintf("wf%d", i)
+		var modules []string
+		if rng.Float64() < cfg.TargetFraction {
+			// A matching pipeline: purification, 0..n separations, mass spec.
+			modules = append(modules, "ProteinPurification")
+			for s := rng.Intn(cfg.MaxStages - 1); s > 0; s-- {
+				modules = append(modules, "ProteinSeparation")
+			}
+			modules = append(modules, "MassSpectrometry")
+		} else {
+			// A non-matching pipeline: random modules, fixed up if it
+			// accidentally matches.
+			n := 2 + rng.Intn(cfg.MaxStages-1)
+			for s := 0; s < n; s++ {
+				modules = append(modules, WorkflowModules[rng.Intn(len(WorkflowModules))])
+			}
+			if matchesGoal(modules) {
+				modules[len(modules)-1] = "GelImaging"
+			}
+		}
+		// Entry node labeled as a generic start marker.
+		if _, err := nl.AddNode(name, "Start"); err != nil {
+			return nil, nil, err
+		}
+		prev := name
+		for j, m := range modules {
+			stage := fmt.Sprintf("%s_s%d", name, j+1)
+			if _, err := nl.AddNode(stage, m); err != nil {
+				return nil, nil, err
+			}
+			if err := nl.AddEdgeByName(prev, stage); err != nil {
+				return nil, nil, err
+			}
+			prev = stage
+		}
+	}
+	return nl, nl.ToEdgeLabeled(), nil
+}
+
+// matchesGoal reports whether a module sequence (as a whole) matches
+// Purification·Separation*·MassSpectrometry.
+func matchesGoal(modules []string) bool {
+	if len(modules) < 2 || modules[0] != "ProteinPurification" ||
+		modules[len(modules)-1] != "MassSpectrometry" {
+		return false
+	}
+	for _, m := range modules[1 : len(modules)-1] {
+		if m != "ProteinSeparation" {
+			return false
+		}
+	}
+	return true
+}
+
+// WorkflowGoal compiles the Figure 2 goal pattern over the corpus
+// alphabet.
+func WorkflowGoal(g *graph.Graph) *query.Query {
+	return query.MustParse(g.Alphabet(),
+		"ProteinPurification·ProteinSeparation*·MassSpectrometry")
+}

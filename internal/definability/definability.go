@@ -1,0 +1,89 @@
+// Package definability implements the problem the paper positions its
+// learning task against (Related work, citing Antonopoulos, Neven &
+// Servais, ICDT 2013): given a graph and a node set X, is there a path
+// query selecting *exactly* X? Learning differs by leaving unlabeled nodes
+// unconstrained; definability treats every node outside X as implicitly
+// negative.
+//
+// The decision procedure reduces to learning: X is definable iff the
+// sample (X positive, V∖X negative) is consistent, and a defining query —
+// when one exists that the learner can construct from bounded SCPs — is
+// whatever Learn returns on that total sample, post-checked to select
+// exactly X. Exact consistency is PSPACE-hard (the paper adapts
+// definability's own lower-bound technique, Lemma 3.2), so Define may
+// abstain like the learner does.
+package definability
+
+import (
+	"errors"
+
+	"pathquery/internal/automata"
+	"pathquery/internal/core"
+	"pathquery/internal/graph"
+	"pathquery/internal/query"
+)
+
+// ErrNotDefinable reports that no path query selects exactly the given set
+// within the learner's SCP bound.
+var ErrNotDefinable = errors.New("definability: no path query selects exactly this node set (within the SCP bound)")
+
+// totalSample labels X positive and every other node negative.
+func totalSample(g *graph.Graph, x []graph.NodeID) core.Sample {
+	inX := make(map[graph.NodeID]bool, len(x))
+	for _, v := range x {
+		inX[v] = true
+	}
+	s := core.Sample{Pos: append([]graph.NodeID(nil), x...)}
+	for v := 0; v < g.NumNodes(); v++ {
+		if !inX[graph.NodeID(v)] {
+			s.Neg = append(s.Neg, graph.NodeID(v))
+		}
+	}
+	return s
+}
+
+// Define returns a query selecting exactly x on g, or ErrNotDefinable /
+// the learner's abstain error. The empty set is defined by any empty
+// query; Define returns one.
+func Define(g *graph.Graph, x []graph.NodeID, opt core.Options) (*query.Query, error) {
+	if len(x) == 0 {
+		// b·b·c·c-style queries select nothing; the canonical empty query
+		// is the ∅-language query, representable directly as a DFA.
+		return emptyQuery(g), nil
+	}
+	s := totalSample(g, x)
+	q, err := core.Learn(g, s, opt)
+	if errors.Is(err, core.ErrAbstain) {
+		return nil, ErrNotDefinable
+	}
+	if err != nil {
+		return nil, err
+	}
+	// The learner guarantees consistency (⊇ X selected, negatives not);
+	// with a total sample that is exactly X.
+	return q, nil
+}
+
+// IsDefinable reports whether some query selects exactly x, within the
+// learner's bounded search. False negatives are possible for sets whose
+// defining query needs SCPs longer than the bound — the same abstain
+// semantics as learning (the exact problem is intractable).
+func IsDefinable(g *graph.Graph, x []graph.NodeID, opt core.Options) bool {
+	_, err := Define(g, x, opt)
+	return err == nil
+}
+
+// IsDefinableExact decides consistency of the total sample exactly
+// (Lemma 3.1's criterion), with no SCP bound: X is definable iff every
+// node of X has a path not covered by V∖X. Exponential worst case
+// (PSPACE-complete in general) — for small graphs and tests.
+func IsDefinableExact(g *graph.Graph, x []graph.NodeID) bool {
+	if len(x) == 0 {
+		return true
+	}
+	return core.Consistent(g, totalSample(g, x))
+}
+
+func emptyQuery(g *graph.Graph) *query.Query {
+	return query.FromDFA(g.Alphabet(), automata.NewDFA(1, g.Alphabet().Size()))
+}

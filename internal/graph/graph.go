@@ -1,0 +1,346 @@
+// Package graph implements the graph-database substrate of the paper
+// (Section 2): a finite, directed, edge-labeled graph G = (V, E) with
+// E ⊆ V × Σ × V, plus the path-language machinery every other component
+// builds on. The language paths_G(ν) — all words matching a node sequence
+// starting at ν — is never materialized: it is the prefix-closed language
+// of the graph viewed as an NFA whose states are all accepting, and every
+// operation on it (membership, query products, inclusion) is computed as a
+// product construction over the adjacency lists.
+package graph
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"sync/atomic"
+
+	"pathquery/internal/alphabet"
+	"pathquery/internal/words"
+)
+
+// NodeID identifies a node; ids are dense 0..NumNodes-1.
+type NodeID = int32
+
+// Edge is an outgoing or incoming labeled edge.
+type Edge struct {
+	Sym alphabet.Symbol
+	To  NodeID // neighbor: head for out-edges, tail for in-edges
+}
+
+// Graph is a finite directed edge-labeled graph over an interned alphabet.
+// Adjacency lists are kept sorted by (symbol, neighbor), which makes
+// canonical-order path enumeration a plain BFS taking edges in list order.
+//
+// Concurrency: once construction is done, any number of goroutines may
+// read concurrently (the lazy adjacency sort is guarded); mutation must
+// not overlap with reads.
+type Graph struct {
+	alpha     *alphabet.Alphabet
+	nodeNames []string
+	nodeIDs   map[string]NodeID
+	out       [][]Edge
+	in        [][]Edge
+	numEdges  int
+	sorted    atomic.Bool
+	sortMu    sync.Mutex
+}
+
+// New returns an empty graph over alpha. If alpha is nil a fresh alphabet
+// is created.
+func New(alpha *alphabet.Alphabet) *Graph {
+	if alpha == nil {
+		alpha = alphabet.New()
+	}
+	g := &Graph{alpha: alpha, nodeIDs: make(map[string]NodeID)}
+	g.sorted.Store(true)
+	return g
+}
+
+// Alphabet returns the graph's alphabet.
+func (g *Graph) Alphabet() *alphabet.Alphabet { return g.alpha }
+
+// NumNodes returns the number of nodes.
+func (g *Graph) NumNodes() int { return len(g.nodeNames) }
+
+// NumEdges returns the number of edges.
+func (g *Graph) NumEdges() int { return g.numEdges }
+
+// AddNode adds a node named name and returns its id; adding an existing
+// name returns the existing id.
+func (g *Graph) AddNode(name string) NodeID {
+	if id, ok := g.nodeIDs[name]; ok {
+		return id
+	}
+	id := NodeID(len(g.nodeNames))
+	g.nodeNames = append(g.nodeNames, name)
+	g.nodeIDs[name] = id
+	g.out = append(g.out, nil)
+	g.in = append(g.in, nil)
+	return id
+}
+
+// AddEdge adds the edge (from, sym, to). Duplicate edges are kept (the
+// graph is a set in the paper; duplicates do not change any semantics and
+// generators avoid them).
+func (g *Graph) AddEdge(from NodeID, sym alphabet.Symbol, to NodeID) {
+	g.out[from] = append(g.out[from], Edge{sym, to})
+	g.in[to] = append(g.in[to], Edge{sym, from})
+	g.numEdges++
+	g.sorted.Store(false)
+}
+
+// AddEdgeByName interns label and adds an edge between named nodes,
+// creating them as needed.
+func (g *Graph) AddEdgeByName(from, label, to string) {
+	g.AddEdge(g.AddNode(from), g.alpha.Intern(label), g.AddNode(to))
+}
+
+// NodeName returns the name of id.
+func (g *Graph) NodeName(id NodeID) string { return g.nodeNames[id] }
+
+// NodeByName returns the id of the named node.
+func (g *Graph) NodeByName(name string) (NodeID, bool) {
+	id, ok := g.nodeIDs[name]
+	return id, ok
+}
+
+// Nodes returns all node ids.
+func (g *Graph) Nodes() []NodeID {
+	out := make([]NodeID, g.NumNodes())
+	for i := range out {
+		out[i] = NodeID(i)
+	}
+	return out
+}
+
+// ensureSorted sorts adjacency lists by (symbol, neighbor); all canonical-
+// order algorithms call it first. Double-checked locking keeps concurrent
+// readers safe while leaving the sorted fast path lock-free.
+func (g *Graph) ensureSorted() {
+	if g.sorted.Load() {
+		return
+	}
+	g.sortMu.Lock()
+	defer g.sortMu.Unlock()
+	if g.sorted.Load() {
+		return
+	}
+	for v := range g.out {
+		sort.Slice(g.out[v], func(i, j int) bool {
+			a, b := g.out[v][i], g.out[v][j]
+			if a.Sym != b.Sym {
+				return a.Sym < b.Sym
+			}
+			return a.To < b.To
+		})
+		sort.Slice(g.in[v], func(i, j int) bool {
+			a, b := g.in[v][i], g.in[v][j]
+			if a.Sym != b.Sym {
+				return a.Sym < b.Sym
+			}
+			return a.To < b.To
+		})
+	}
+	g.sorted.Store(true)
+}
+
+// OutEdges returns the sorted out-edges of v. The returned slice must not
+// be modified.
+func (g *Graph) OutEdges(v NodeID) []Edge {
+	g.ensureSorted()
+	return g.out[v]
+}
+
+// InEdges returns the sorted in-edges of v (Edge.To is the tail node).
+// The returned slice must not be modified.
+func (g *Graph) InEdges(v NodeID) []Edge {
+	g.ensureSorted()
+	return g.in[v]
+}
+
+// OutDegree returns the number of out-edges of v.
+func (g *Graph) OutDegree(v NodeID) int { return len(g.out[v]) }
+
+// Step returns the sorted, deduplicated set of a-successors of the sorted
+// node set set.
+func (g *Graph) Step(set []NodeID, sym alphabet.Symbol) []NodeID {
+	g.ensureSorted()
+	seen := make(map[NodeID]bool)
+	var out []NodeID
+	for _, v := range set {
+		for _, e := range g.out[v] {
+			if e.Sym == sym && !seen[e.To] {
+				seen[e.To] = true
+				out = append(out, e.To)
+			}
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// Matches reports whether w ∈ paths_G(ν): some node sequence starting at ν
+// is matched by w. The empty word matches everywhere.
+func (g *Graph) Matches(nu NodeID, w words.Word) bool {
+	cur := []NodeID{nu}
+	for _, sym := range w {
+		cur = g.Step(cur, sym)
+		if len(cur) == 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// MatchesAny reports whether w ∈ paths_G(X) for the node set X. The empty
+// set covers nothing: paths_G(∅) = ∅.
+func (g *Graph) MatchesAny(set []NodeID, w words.Word) bool {
+	cur := append([]NodeID(nil), set...)
+	for _, sym := range w {
+		cur = g.Step(cur, sym)
+		if len(cur) == 0 {
+			return false
+		}
+	}
+	return len(cur) > 0
+}
+
+// HasCycleFrom reports whether a cycle is reachable from ν, i.e. whether
+// paths_G(ν) is infinite (Section 2).
+func (g *Graph) HasCycleFrom(nu NodeID) bool {
+	g.ensureSorted()
+	const (
+		unvisited = 0
+		inStack   = 1
+		done      = 2
+	)
+	state := make([]int8, g.NumNodes())
+	var dfs func(NodeID) bool
+	dfs = func(v NodeID) bool {
+		state[v] = inStack
+		for _, e := range g.out[v] {
+			switch state[e.To] {
+			case inStack:
+				return true
+			case unvisited:
+				if dfs(e.To) {
+					return true
+				}
+			}
+		}
+		state[v] = done
+		return false
+	}
+	return dfs(nu)
+}
+
+// PathsUpTo enumerates paths_G(ν) ∩ Σ^{≤maxLen} in canonical order,
+// stopping after limit words (limit ≤ 0 means no limit). Distinct words
+// only: several node sequences matching the same word yield one entry.
+func (g *Graph) PathsUpTo(nu NodeID, maxLen, limit int) []words.Word {
+	g.ensureSorted()
+	type state struct {
+		set  []NodeID
+		word words.Word
+	}
+	var out []words.Word
+	level := []state{{[]NodeID{nu}, words.Epsilon}}
+	for l := 0; l <= maxLen; l++ {
+		var next []state
+		for _, cur := range level {
+			out = append(out, cur.word)
+			if limit > 0 && len(out) >= limit {
+				return out
+			}
+			if l == maxLen {
+				continue
+			}
+			for _, sym := range g.symbolsOf(cur.set) {
+				ns := g.Step(cur.set, sym)
+				if len(ns) > 0 {
+					next = append(next, state{ns, words.Append(cur.word, sym)})
+				}
+			}
+		}
+		level = next
+	}
+	return out
+}
+
+// symbolsOf returns the sorted distinct symbols with an out-edge from set.
+func (g *Graph) symbolsOf(set []NodeID) []alphabet.Symbol {
+	seen := make(map[alphabet.Symbol]bool)
+	var out []alphabet.Symbol
+	for _, v := range set {
+		for _, e := range g.out[v] {
+			if !seen[e.Sym] {
+				seen[e.Sym] = true
+				out = append(out, e.Sym)
+			}
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// Neighborhood returns the set of nodes within the given undirected radius
+// of ν, including ν — the "zoom out on its neighborhood" of the interactive
+// scenario (step 4 of Figure 9, where the paper suggests radius k).
+func (g *Graph) Neighborhood(nu NodeID, radius int) []NodeID {
+	g.ensureSorted()
+	dist := map[NodeID]int{nu: 0}
+	queue := []NodeID{nu}
+	for len(queue) > 0 {
+		v := queue[0]
+		queue = queue[1:]
+		if dist[v] == radius {
+			continue
+		}
+		for _, e := range g.out[v] {
+			if _, ok := dist[e.To]; !ok {
+				dist[e.To] = dist[v] + 1
+				queue = append(queue, e.To)
+			}
+		}
+		for _, e := range g.in[v] {
+			if _, ok := dist[e.To]; !ok {
+				dist[e.To] = dist[v] + 1
+				queue = append(queue, e.To)
+			}
+		}
+	}
+	out := make([]NodeID, 0, len(dist))
+	for v := range dist {
+		out = append(out, v)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// Subgraph returns the induced subgraph on keep, with the same node names
+// and alphabet. Node ids are renumbered.
+func (g *Graph) Subgraph(keep []NodeID) *Graph {
+	g.ensureSorted()
+	sub := New(g.alpha)
+	inKeep := make(map[NodeID]bool, len(keep))
+	for _, v := range keep {
+		inKeep[v] = true
+		sub.AddNode(g.NodeName(v))
+	}
+	for _, v := range keep {
+		for _, e := range g.out[v] {
+			if inKeep[e.To] {
+				from, _ := sub.NodeByName(g.NodeName(v))
+				to, _ := sub.NodeByName(g.NodeName(e.To))
+				sub.AddEdge(from, e.Sym, to)
+			}
+		}
+	}
+	return sub
+}
+
+// String renders a compact summary.
+func (g *Graph) String() string {
+	return fmt.Sprintf("Graph{%d nodes, %d edges, %d labels}",
+		g.NumNodes(), g.NumEdges(), g.alpha.Size())
+}

@@ -1,0 +1,75 @@
+package graph
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strings"
+
+	"pathquery/internal/alphabet"
+)
+
+// Serialization: a plain tab-separated text format.
+//
+//	# comment
+//	v<TAB>nodeName
+//	e<TAB>from<TAB>label<TAB>to
+//
+// Node lines are optional for nodes that appear in edges; they are required
+// to represent isolated nodes and they fix node-id order, which keeps
+// datasets reproducible byte-for-byte.
+
+// WriteTSV serializes g.
+func (g *Graph) WriteTSV(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	for v := 0; v < g.NumNodes(); v++ {
+		if _, err := fmt.Fprintf(bw, "v\t%s\n", g.nodeNames[v]); err != nil {
+			return err
+		}
+	}
+	g.ensureSorted()
+	for v := 0; v < g.NumNodes(); v++ {
+		for _, e := range g.out[v] {
+			if _, err := fmt.Fprintf(bw, "e\t%s\t%s\t%s\n",
+				g.nodeNames[v], g.alpha.Name(e.Sym), g.nodeNames[e.To]); err != nil {
+				return err
+			}
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadTSV parses a graph in the WriteTSV format. If alpha is nil a fresh
+// alphabet is created; labels are interned in file order.
+func ReadTSV(r io.Reader, alpha *alphabet.Alphabet) (*Graph, error) {
+	g := New(alpha)
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 1<<16), 1<<22)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := sc.Text()
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		fields := strings.Split(line, "\t")
+		switch fields[0] {
+		case "v":
+			if len(fields) != 2 {
+				return nil, fmt.Errorf("graph: line %d: want v<TAB>name", lineNo)
+			}
+			g.AddNode(fields[1])
+		case "e":
+			if len(fields) != 4 {
+				return nil, fmt.Errorf("graph: line %d: want e<TAB>from<TAB>label<TAB>to", lineNo)
+			}
+			g.AddEdgeByName(fields[1], fields[2], fields[3])
+		default:
+			return nil, fmt.Errorf("graph: line %d: unknown record %q", lineNo, fields[0])
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return g, nil
+}

@@ -1,0 +1,315 @@
+package graph
+
+import (
+	"sort"
+
+	"pathquery/internal/alphabet"
+	"pathquery/internal/automata"
+	"pathquery/internal/words"
+)
+
+// This file implements the product constructions between a graph and a
+// query DFA that power both query evaluation (Section 2: q(G) = {ν |
+// L(q) ∩ paths_G(ν) ≠ ∅}) and the learner's consistency checks (lines 4-6
+// of Algorithm 1). All of them run in O(|E| · |Q|) — the polynomial
+// emptiness-of-intersection the paper cites (Lange & Rossmanith).
+
+// SelectMonadic returns the per-node selection vector of the query DFA d
+// under monadic semantics: selected[ν] iff L(d) ∩ paths_G(ν) ≠ ∅.
+//
+// It marks product pairs (node, state) from which an accepting state is
+// reachable, by backward propagation from every (node, final) pair, then
+// reads off pairs (ν, start).
+func (g *Graph) SelectMonadic(d *automata.DFA) []bool {
+	g.ensureSorted()
+	nv, nq := g.NumNodes(), d.NumStates()
+	// DFA reverse transitions: revD[sym][q] = predecessors p with δ(p,sym)=q.
+	revD := make([][][]int32, d.NumSyms)
+	for sym := range revD {
+		revD[sym] = make([][]int32, nq)
+	}
+	for p := 0; p < nq; p++ {
+		for sym := 0; sym < d.NumSyms; sym++ {
+			if q := d.Delta[p][sym]; q != automata.None {
+				revD[sym][q] = append(revD[sym][q], int32(p))
+			}
+		}
+	}
+	good := make([]bool, nv*nq)
+	idx := func(v NodeID, q int32) int { return int(v)*nq + int(q) }
+	type pair struct {
+		v NodeID
+		q int32
+	}
+	var queue []pair
+	for q := int32(0); q < int32(nq); q++ {
+		if !d.Final[q] {
+			continue
+		}
+		for v := NodeID(0); v < NodeID(nv); v++ {
+			good[idx(v, q)] = true
+			queue = append(queue, pair{v, q})
+		}
+	}
+	for len(queue) > 0 {
+		cur := queue[len(queue)-1]
+		queue = queue[:len(queue)-1]
+		// Predecessors in the product: in-edge (u, sym, cur.v) combined with
+		// DFA transition p --sym--> cur.q.
+		for _, e := range g.in[cur.v] {
+			if int(e.Sym) >= d.NumSyms {
+				continue
+			}
+			for _, p := range revD[e.Sym][cur.q] {
+				if !good[idx(e.To, p)] {
+					good[idx(e.To, p)] = true
+					queue = append(queue, pair{e.To, p})
+				}
+			}
+		}
+	}
+	selected := make([]bool, nv)
+	for v := 0; v < nv; v++ {
+		selected[v] = good[idx(NodeID(v), d.Start)]
+	}
+	return selected
+}
+
+// Covers reports whether L(d) ∩ paths_G(ν) ≠ ∅ for a single node, with an
+// early-exit forward search from (ν, d.Start).
+func (g *Graph) Covers(d *automata.DFA, nu NodeID) bool {
+	return g.CoversAny(d, []NodeID{nu})
+}
+
+// CoversAny reports whether L(d) ∩ paths_G(X) ≠ ∅: some node of X has a
+// path in L(d). This is the learner's consistency primitive — with X = S−
+// it decides whether a candidate generalization selects a negative example.
+func (g *Graph) CoversAny(d *automata.DFA, set []NodeID) bool {
+	g.ensureSorted()
+	nq := d.NumStates()
+	seen := make(map[int]bool, len(set)*2)
+	idx := func(v NodeID, q int32) int { return int(v)*nq + int(q) }
+	type pair struct {
+		v NodeID
+		q int32
+	}
+	var stack []pair
+	push := func(v NodeID, q int32) {
+		i := idx(v, q)
+		if !seen[i] {
+			seen[i] = true
+			stack = append(stack, pair{v, q})
+		}
+	}
+	for _, v := range set {
+		push(v, d.Start)
+	}
+	for len(stack) > 0 {
+		cur := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		if d.Final[cur.q] {
+			return true
+		}
+		for _, e := range g.out[cur.v] {
+			if int(e.Sym) >= d.NumSyms {
+				continue
+			}
+			if nq := d.Delta[cur.q][e.Sym]; nq != automata.None {
+				push(e.To, nq)
+			}
+		}
+	}
+	return false
+}
+
+// CoversPair reports whether some path from u to v spells a word of L(d) —
+// the binary semantics of Appendix B: w ∈ paths2_G(u,v) ∩ L(d) ≠ ∅.
+// Note that the accepting condition requires landing exactly on v in a
+// final DFA state; ε is accepted only when u = v and the start is final.
+func (g *Graph) CoversPair(d *automata.DFA, u, v NodeID) bool {
+	g.ensureSorted()
+	nq := d.NumStates()
+	seen := make(map[int]bool)
+	idx := func(x NodeID, q int32) int { return int(x)*nq + int(q) }
+	type pair struct {
+		x NodeID
+		q int32
+	}
+	var stack []pair
+	push := func(x NodeID, q int32) {
+		i := idx(x, q)
+		if !seen[i] {
+			seen[i] = true
+			stack = append(stack, pair{x, q})
+		}
+	}
+	push(u, d.Start)
+	for len(stack) > 0 {
+		cur := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		if cur.x == v && d.Final[cur.q] {
+			return true
+		}
+		for _, e := range g.out[cur.x] {
+			if int(e.Sym) >= d.NumSyms {
+				continue
+			}
+			if nq := d.Delta[cur.q][e.Sym]; nq != automata.None {
+				push(e.To, nq)
+			}
+		}
+	}
+	return false
+}
+
+// SelectBinaryFrom returns all v such that (u, v) is selected by d under
+// binary semantics, in increasing id order.
+func (g *Graph) SelectBinaryFrom(d *automata.DFA, u NodeID) []NodeID {
+	g.ensureSorted()
+	nq := d.NumStates()
+	seen := make(map[int]bool)
+	idx := func(x NodeID, q int32) int { return int(x)*nq + int(q) }
+	type pair struct {
+		x NodeID
+		q int32
+	}
+	var stack []pair
+	push := func(x NodeID, q int32) {
+		i := idx(x, q)
+		if !seen[i] {
+			seen[i] = true
+			stack = append(stack, pair{x, q})
+		}
+	}
+	push(u, d.Start)
+	hit := make(map[NodeID]bool)
+	for len(stack) > 0 {
+		cur := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		if d.Final[cur.q] {
+			hit[cur.x] = true
+		}
+		for _, e := range g.out[cur.x] {
+			if int(e.Sym) >= d.NumSyms {
+				continue
+			}
+			if nq := d.Delta[cur.q][e.Sym]; nq != automata.None {
+				push(e.To, nq)
+			}
+		}
+	}
+	out := make([]NodeID, 0, len(hit))
+	for v := range hit {
+		out = append(out, v)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// PathsIncluded decides paths_G(left) ⊆ paths_G(right) exactly, via a
+// subset construction on the right side: it searches for a word matched
+// from left whose right-coverage set becomes empty. Both languages are
+// prefix-closed with every state accepting, so inclusion fails exactly when
+// such a word exists. The worst case is exponential in |right| — this is
+// the PSPACE-hard core of consistency checking (Lemma 3.2) and node
+// informativeness (Lemma 4.2); callers use it on small graphs or fall back
+// to the k-bounded variant below.
+func (g *Graph) PathsIncluded(left, right []NodeID) bool {
+	_, included := g.firstEscaping(left, right, -1)
+	return included
+}
+
+// FirstEscapingPath returns the canonical-order minimal word in
+// paths_G(left) \ paths_G(right), with ok=false when inclusion holds
+// (no such word). Depth < 0 means unbounded.
+func (g *Graph) FirstEscapingPath(left, right []NodeID, depth int) (words.Word, bool) {
+	w, included := g.firstEscaping(left, right, depth)
+	return w, !included
+}
+
+// firstEscaping runs the canonical-order BFS over pairs (left node, right
+// subset); returns the first word whose right subset is empty. depth < 0
+// means unbounded (termination is still guaranteed: the product state
+// space is finite).
+func (g *Graph) firstEscaping(left, right []NodeID, depth int) (words.Word, bool) {
+	g.ensureSorted()
+	rightStart := dedupNodes(right)
+	type state struct {
+		v    NodeID
+		set  []NodeID
+		word words.Word
+	}
+	if len(rightStart) == 0 {
+		// Right side covers nothing beyond... even ε is uncovered when the
+		// right node set is empty, for any left node.
+		if len(left) > 0 {
+			return words.Epsilon, false
+		}
+		return nil, true
+	}
+	seen := make(map[string]bool)
+	key := func(v NodeID, set []NodeID) string {
+		b := make([]byte, 0, (len(set)+1)*4)
+		for _, x := range append([]NodeID{v}, set...) {
+			b = append(b, byte(x), byte(x>>8), byte(x>>16), byte(x>>24))
+		}
+		return string(b)
+	}
+	var queue []state
+	for _, v := range dedupNodes(left) {
+		k := key(v, rightStart)
+		if !seen[k] {
+			seen[k] = true
+			queue = append(queue, state{v, rightStart, words.Epsilon})
+		}
+	}
+	for len(queue) > 0 {
+		cur := queue[0]
+		queue = queue[1:]
+		if len(cur.set) == 0 {
+			return cur.word, false
+		}
+		if depth >= 0 && len(cur.word) >= depth {
+			continue
+		}
+		for _, e := range g.out[cur.v] {
+			ns := g.Step(cur.set, e.Sym)
+			k := key(e.To, ns)
+			if !seen[k] {
+				seen[k] = true
+				queue = append(queue, state{e.To, ns, words.Append(cur.word, e.Sym)})
+			}
+		}
+	}
+	return nil, true
+}
+
+// dedupNodes returns a sorted, deduplicated copy of set.
+func dedupNodes(set []NodeID) []NodeID {
+	out := append([]NodeID(nil), set...)
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	n := 0
+	for i, v := range out {
+		if i == 0 || v != out[n-1] {
+			out[n] = v
+			n++
+		}
+	}
+	return out[:n]
+}
+
+// AsNFA materializes the graph as an NFA with the given start nodes and
+// every state accepting — the explicit form of paths_G(starts). Useful for
+// tests cross-checking product algorithms against the automata package.
+func (g *Graph) AsNFA(starts []NodeID) *automata.NFA {
+	g.ensureSorted()
+	n := automata.NewNFA(g.NumNodes(), g.alpha.Size())
+	for v := 0; v < g.NumNodes(); v++ {
+		n.Final[v] = true
+		for _, e := range g.out[v] {
+			n.AddTransition(NodeID(v), alphabet.Symbol(e.Sym), e.To)
+		}
+	}
+	n.Starts = append([]int32(nil), starts...)
+	return n
+}

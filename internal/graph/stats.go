@@ -1,0 +1,97 @@
+package graph
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"text/tabwriter"
+
+	"pathquery/internal/alphabet"
+)
+
+// Stats summarizes a graph's structure: the properties the paper's
+// synthetic generator controls (scale-free degree distribution, Zipfian
+// label distribution) and benchmark consumers inspect.
+type Stats struct {
+	Nodes, Edges int
+	// MaxOutDegree / MaxInDegree witness the heavy tail.
+	MaxOutDegree, MaxInDegree int
+	// Sinks counts nodes with no outgoing edges (paths(ν) = {ε}).
+	Sinks int
+	// Sources counts nodes with no incoming edges.
+	Sources int
+	// LabelCounts maps each label to its edge count, descending.
+	LabelCounts []LabelCount
+	// DegreeHistogram[d] is the number of nodes with out-degree d,
+	// capped at the last bucket.
+	DegreeHistogram []int
+}
+
+// LabelCount pairs a label with its frequency.
+type LabelCount struct {
+	Label string
+	Count int
+}
+
+// ComputeStats scans g once.
+func (g *Graph) ComputeStats() Stats {
+	s := Stats{Nodes: g.NumNodes(), Edges: g.NumEdges()}
+	labelCounts := make(map[alphabet.Symbol]int)
+	const histBuckets = 16
+	s.DegreeHistogram = make([]int, histBuckets)
+	for v := 0; v < g.NumNodes(); v++ {
+		out := len(g.out[v])
+		in := len(g.in[v])
+		if out > s.MaxOutDegree {
+			s.MaxOutDegree = out
+		}
+		if in > s.MaxInDegree {
+			s.MaxInDegree = in
+		}
+		if out == 0 {
+			s.Sinks++
+		}
+		if in == 0 {
+			s.Sources++
+		}
+		bucket := out
+		if bucket >= histBuckets {
+			bucket = histBuckets - 1
+		}
+		s.DegreeHistogram[bucket]++
+		for _, e := range g.out[v] {
+			labelCounts[e.Sym]++
+		}
+	}
+	for sym, c := range labelCounts {
+		s.LabelCounts = append(s.LabelCounts, LabelCount{g.alpha.Name(sym), c})
+	}
+	sort.Slice(s.LabelCounts, func(i, j int) bool {
+		if s.LabelCounts[i].Count != s.LabelCounts[j].Count {
+			return s.LabelCounts[i].Count > s.LabelCounts[j].Count
+		}
+		return s.LabelCounts[i].Label < s.LabelCounts[j].Label
+	})
+	return s
+}
+
+// Print renders the stats.
+func (s Stats) Print(w io.Writer) {
+	fmt.Fprintf(w, "nodes: %d  edges: %d  sinks: %d  sources: %d\n",
+		s.Nodes, s.Edges, s.Sinks, s.Sources)
+	fmt.Fprintf(w, "max out-degree: %d  max in-degree: %d\n",
+		s.MaxOutDegree, s.MaxInDegree)
+	fmt.Fprintln(w, "out-degree histogram (last bucket = ≥15):")
+	for d, c := range s.DegreeHistogram {
+		if c > 0 {
+			fmt.Fprintf(w, "  %2d: %d\n", d, c)
+		}
+	}
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "label\tedges\tshare")
+	for _, lc := range s.LabelCounts {
+		fmt.Fprintf(tw, "%s\t%d\t%.2f%%\n", lc.Label, lc.Count,
+			100*float64(lc.Count)/float64(s.Edges))
+	}
+	tw.Flush()
+}

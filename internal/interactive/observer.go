@@ -1,0 +1,67 @@
+package interactive
+
+import (
+	"fmt"
+	"io"
+
+	"pathquery/internal/graph"
+	"pathquery/internal/query"
+)
+
+// Observer receives session events — the hook a UI (like the paper's demo
+// system [12]) plugs into. All methods are optional via the embedded
+// no-op base; implementations must not retain the neighborhood slice.
+type Observer interface {
+	// Proposed fires after the strategy picked a node, before the user
+	// labels it.
+	Proposed(nu graph.NodeID, neighborhood []graph.NodeID, k int)
+	// Labeled fires after the user's answer is recorded.
+	Labeled(nu graph.NodeID, positive bool)
+	// Learned fires after each re-learning; q is nil when the learner
+	// abstained.
+	Learned(q *query.Query)
+}
+
+// NopObserver is an Observer doing nothing; embed it to implement only
+// some events.
+type NopObserver struct{}
+
+// Proposed implements Observer.
+func (NopObserver) Proposed(graph.NodeID, []graph.NodeID, int) {}
+
+// Labeled implements Observer.
+func (NopObserver) Labeled(graph.NodeID, bool) {}
+
+// Learned implements Observer.
+func (NopObserver) Learned(*query.Query) {}
+
+// LogObserver writes a human-readable transcript of the session.
+type LogObserver struct {
+	NopObserver
+	G *graph.Graph
+	W io.Writer
+}
+
+// Proposed implements Observer.
+func (l LogObserver) Proposed(nu graph.NodeID, neighborhood []graph.NodeID, k int) {
+	fmt.Fprintf(l.W, "propose %s (neighborhood %d nodes, k=%d)\n",
+		l.G.NodeName(nu), len(neighborhood), k)
+}
+
+// Labeled implements Observer.
+func (l LogObserver) Labeled(nu graph.NodeID, positive bool) {
+	sign := "-"
+	if positive {
+		sign = "+"
+	}
+	fmt.Fprintf(l.W, "label %s %s\n", l.G.NodeName(nu), sign)
+}
+
+// Learned implements Observer.
+func (l LogObserver) Learned(q *query.Query) {
+	if q == nil {
+		fmt.Fprintln(l.W, "learned: (abstain)")
+		return
+	}
+	fmt.Fprintf(l.W, "learned: %v\n", q)
+}

@@ -1,0 +1,71 @@
+// Package metrics computes the classifier-quality measures of the paper's
+// experimental study (Section 5.2): the learned query is viewed as a binary
+// classifier over the graph's nodes and scored against the goal query with
+// precision, recall and F1.
+package metrics
+
+// Confusion tallies a binary classifier against the truth.
+type Confusion struct {
+	TP, FP, TN, FN int
+}
+
+// Score compares a predicted selection vector against the goal's. The two
+// vectors must have equal length (one entry per graph node).
+func Score(goal, predicted []bool) Confusion {
+	if len(goal) != len(predicted) {
+		panic("metrics: selection vectors of different lengths")
+	}
+	var c Confusion
+	for i := range goal {
+		switch {
+		case goal[i] && predicted[i]:
+			c.TP++
+		case !goal[i] && predicted[i]:
+			c.FP++
+		case goal[i] && !predicted[i]:
+			c.FN++
+		default:
+			c.TN++
+		}
+	}
+	return c
+}
+
+// Precision returns TP / (TP + FP); 1 when nothing was predicted positive
+// (the learned query selecting nothing is vacuously precise).
+func (c Confusion) Precision() float64 {
+	if c.TP+c.FP == 0 {
+		return 1
+	}
+	return float64(c.TP) / float64(c.TP+c.FP)
+}
+
+// Recall returns TP / (TP + FN); 1 when the goal selects nothing.
+func (c Confusion) Recall() float64 {
+	if c.TP+c.FN == 0 {
+		return 1
+	}
+	return float64(c.TP) / float64(c.TP+c.FN)
+}
+
+// F1 returns the harmonic mean of precision and recall; by convention 1
+// when both goal and prediction select nothing, 0 when precision and
+// recall are both 0.
+func (c Confusion) F1() float64 {
+	p, r := c.Precision(), c.Recall()
+	if p+r == 0 {
+		return 0
+	}
+	return 2 * p * r / (p + r)
+}
+
+// Exact reports whether prediction and goal agree on every node (F1 = 1
+// and TN consistent) — the halt condition of the interactive experiments.
+func (c Confusion) Exact() bool {
+	return c.FP == 0 && c.FN == 0
+}
+
+// F1 is a convenience wrapper: F1 of predicted against goal.
+func F1(goal, predicted []bool) float64 {
+	return Score(goal, predicted).F1()
+}

@@ -1,0 +1,109 @@
+package metrics
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func almost(a, b float64) bool { return math.Abs(a-b) < 1e-9 }
+
+func TestScoreCounts(t *testing.T) {
+	goal := []bool{true, true, false, false, true}
+	pred := []bool{true, false, true, false, true}
+	c := Score(goal, pred)
+	if c.TP != 2 || c.FN != 1 || c.FP != 1 || c.TN != 1 {
+		t.Fatalf("confusion = %+v", c)
+	}
+}
+
+func TestPerfectPrediction(t *testing.T) {
+	goal := []bool{true, false, true}
+	c := Score(goal, goal)
+	if !almost(c.F1(), 1) || !c.Exact() {
+		t.Fatalf("perfect prediction: F1=%v exact=%v", c.F1(), c.Exact())
+	}
+}
+
+func TestKnownF1(t *testing.T) {
+	// P = 2/3, R = 2/4 → F1 = 2·(2/3)·(1/2) / (2/3 + 1/2) = 4/7.
+	goal := []bool{true, true, true, true, false, false}
+	pred := []bool{true, true, false, false, true, false}
+	c := Score(goal, pred)
+	if !almost(c.Precision(), 2.0/3) {
+		t.Fatalf("precision = %v", c.Precision())
+	}
+	if !almost(c.Recall(), 0.5) {
+		t.Fatalf("recall = %v", c.Recall())
+	}
+	if !almost(c.F1(), 4.0/7) {
+		t.Fatalf("F1 = %v", c.F1())
+	}
+}
+
+func TestEmptyPredictionConventions(t *testing.T) {
+	// Nothing predicted: precision 1 by convention, recall 0 (goal has
+	// positives) → F1 0.
+	goal := []bool{true, false}
+	pred := []bool{false, false}
+	c := Score(goal, pred)
+	if !almost(c.Precision(), 1) || !almost(c.Recall(), 0) || !almost(c.F1(), 0) {
+		t.Fatalf("conventions broken: %+v p=%v r=%v f=%v", c, c.Precision(), c.Recall(), c.F1())
+	}
+	// Goal empty too: everything vacuously perfect.
+	c = Score([]bool{false, false}, []bool{false, false})
+	if !almost(c.F1(), 1) || !c.Exact() {
+		t.Fatalf("empty-vs-empty should be perfect")
+	}
+}
+
+func TestMismatchedLengthsPanic(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	Score([]bool{true}, []bool{true, false})
+}
+
+func TestF1BoundsProperty(t *testing.T) {
+	f := func(goal, pred []bool) bool {
+		n := len(goal)
+		if len(pred) < n {
+			n = len(pred)
+		}
+		c := Score(goal[:n], pred[:n])
+		f1 := c.F1()
+		return f1 >= 0 && f1 <= 1
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestExactIffF1One(t *testing.T) {
+	f := func(goal, pred []bool) bool {
+		n := len(goal)
+		if len(pred) < n {
+			n = len(pred)
+		}
+		c := Score(goal[:n], pred[:n])
+		if c.Exact() {
+			return almost(c.F1(), 1)
+		}
+		// Non-exact with a positive somewhere: F1 < 1. (All-negative goal
+		// with false positives also gives F1 < 1 since precision < 1... but
+		// TP=0 → F1=0 unless both empty.)
+		return !almost(c.F1(), 1)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestF1Wrapper(t *testing.T) {
+	goal := []bool{true, false}
+	if !almost(F1(goal, goal), 1) {
+		t.Fatal("wrapper broken")
+	}
+}

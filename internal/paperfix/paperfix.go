@@ -1,0 +1,189 @@
+// Package paperfix builds the example graphs of the paper's figures, used
+// by tests, examples and documentation. The paper prints the figures but
+// not full edge lists, so each graph here is reconstructed to satisfy every
+// claim the text makes about it; where the text's claims about a figure
+// conflict (see G0's ν5 below), the query-semantics claims win and the
+// deviation is documented.
+package paperfix
+
+import (
+	"pathquery/internal/alphabet"
+	"pathquery/internal/core"
+	"pathquery/internal/graph"
+)
+
+// Sample is the paper's S = S+ ∪ S−, shared with the learner package.
+type Sample = core.Sample
+
+// Figure1 returns the geographic graph of Figure 1 (neighborhoods N1..N6,
+// cinemas C1, C2, restaurants R1, R2) on which the query
+// (tram+bus)*·cinema selects exactly {N1, N2, N4, N6}. The paper's example
+// labels N2 and N6 positive and N5 negative.
+func Figure1() (*graph.Graph, Sample) {
+	g := graph.New(alphabet.NewSorted("tram", "bus", "cinema", "restaurant"))
+	for _, n := range []string{"N1", "N2", "N3", "N4", "N5", "N6", "C1", "C2", "R1", "R2"} {
+		g.AddNode(n)
+	}
+	edges := [][3]string{
+		{"N1", "tram", "N4"},
+		{"N2", "bus", "N1"},
+		{"N2", "bus", "N3"},
+		{"N4", "cinema", "C1"},
+		{"N4", "tram", "N1"},
+		{"N6", "cinema", "C2"},
+		{"N6", "bus", "N5"},
+		{"N5", "restaurant", "R1"},
+		{"N5", "tram", "N3"},
+		{"N3", "restaurant", "R2"},
+	}
+	for _, e := range edges {
+		g.AddEdgeByName(e[0], e[1], e[2])
+	}
+	n2, _ := g.NodeByName("N2")
+	n6, _ := g.NodeByName("N6")
+	n5, _ := g.NodeByName("N5")
+	return g, Sample{Pos: []graph.NodeID{n2, n6}, Neg: []graph.NodeID{n5}}
+}
+
+// G0 returns the graph of Figure 3 (7 nodes ν1..ν7, 15 edges over {a,b,c})
+// together with the running-example sample S+ = {ν1, ν3}, S− = {ν2, ν7}.
+//
+// The reconstruction satisfies every claim the paper's text makes:
+//
+//   - aba matches ν1ν2ν3ν4 and ν3ν2ν3ν4 but not ν1ν2ν7ν2;
+//   - paths(ν1) is infinite (the cycle ν2 →b ν3 →a ν2 is reachable);
+//   - the query a selects every node except ν4;
+//   - the query b·b·c·c selects no node;
+//   - the query (a·b)*·c selects exactly {ν1, ν3};
+//   - with S+ = {ν1, ν3}, S− = {ν2, ν7} the SCPs are abc (for ν1) and c
+//     (for ν3); merging ε with a would accept bc which ν2 covers, merging
+//     ε with c would accept ε which both negatives cover, and merging ε
+//     with ab is consistent, so the learner returns (a·b)*·c.
+//
+// One deviation: the text states paths(ν5) = {ε, a, b, c}, but a bare
+// c-path from ν5 would make (a·b)*·c select ν5, contradicting the claim
+// that it selects exactly {ν1, ν3}. Here paths(ν5) = {ε, a, b}.
+func G0() (*graph.Graph, Sample) {
+	g := graph.New(alphabet.NewSorted("a", "b", "c"))
+	for _, n := range []string{"v1", "v2", "v3", "v4", "v5", "v6", "v7"} {
+		g.AddNode(n)
+	}
+	edges := [][3]string{
+		{"v1", "a", "v2"},
+		{"v1", "b", "v6"},
+		{"v2", "a", "v5"},
+		{"v2", "b", "v3"},
+		{"v2", "b", "v7"},
+		{"v3", "a", "v2"},
+		{"v3", "a", "v4"},
+		{"v3", "c", "v5"},
+		{"v5", "a", "v4"},
+		{"v5", "b", "v4"},
+		{"v6", "a", "v5"},
+		{"v6", "b", "v7"},
+		{"v7", "a", "v6"},
+		{"v7", "b", "v2"},
+		{"v7", "b", "v4"},
+	}
+	for _, e := range edges {
+		g.AddEdgeByName(e[0], e[1], e[2])
+	}
+	return g, Sample{
+		Pos: nodeIDs(g, "v1", "v3"),
+		Neg: nodeIDs(g, "v2", "v7"),
+	}
+}
+
+// Figure5 returns a graph with an inconsistent sample: the positive node
+// has infinitely many paths, all covered by the two negative nodes
+// (paths(neg1) ∪ paths(neg2) ⊇ paths(pos) since together they cover ε,
+// a·Σ* and b·Σ*). A naive SCP enumeration would never halt on it, which is
+// why Algorithm 1 bounds path length by k.
+func Figure5() (*graph.Graph, Sample) {
+	g := graph.New(alphabet.NewSorted("a", "b"))
+	for _, n := range []string{"pos", "neg1", "neg2", "u1", "u2"} {
+		g.AddNode(n)
+	}
+	edges := [][3]string{
+		{"pos", "a", "pos"},
+		{"pos", "b", "pos"},
+		{"neg1", "a", "u1"},
+		{"u1", "a", "u1"},
+		{"u1", "b", "u1"},
+		{"neg2", "b", "u2"},
+		{"u2", "a", "u2"},
+		{"u2", "b", "u2"},
+	}
+	for _, e := range edges {
+		g.AddEdgeByName(e[0], e[1], e[2])
+	}
+	return g, Sample{
+		Pos: nodeIDs(g, "pos"),
+		Neg: nodeIDs(g, "neg1", "neg2"),
+	}
+}
+
+// Figure8 returns a graph on which the goal query (a·b)*·c is
+// indistinguishable from the query a: a user labeling consistently with
+// (a·b)*·c yields a sample from which the learner returns a, and the two
+// queries select exactly the same nodes {p1, p2}.
+func Figure8() (*graph.Graph, Sample) {
+	g := graph.New(alphabet.NewSorted("a", "b", "c"))
+	for _, n := range []string{"m1", "p1", "p2", "m2"} {
+		g.AddNode(n)
+	}
+	edges := [][3]string{
+		{"m1", "b", "p1"},
+		{"p1", "a", "p2"},
+		{"p1", "c", "p2"},
+		{"p2", "a", "p1"},
+		{"p2", "c", "p1"},
+		{"m2", "b", "p2"},
+	}
+	for _, e := range edges {
+		g.AddEdgeByName(e[0], e[1], e[2])
+	}
+	return g, Sample{
+		Pos: nodeIDs(g, "p1", "p2"),
+		Neg: nodeIDs(g, "m1", "m2"),
+	}
+}
+
+// Figure10 returns a graph with one positive, one negative and one
+// unlabeled node u that is certain-positive: every query consistent with
+// the sample must accept the word b (the only path of the positive node
+// not covered by the negative), and u covers b, so labeling u positive
+// adds no information (and labeling it negative would make the sample
+// inconsistent).
+func Figure10() (*graph.Graph, Sample, graph.NodeID) {
+	g := graph.New(alphabet.NewSorted("a", "b"))
+	for _, n := range []string{"pos", "neg", "u", "sink"} {
+		g.AddNode(n)
+	}
+	edges := [][3]string{
+		{"pos", "a", "sink"},
+		{"pos", "b", "sink"},
+		{"neg", "a", "sink"},
+		{"u", "b", "sink"},
+	}
+	for _, e := range edges {
+		g.AddEdgeByName(e[0], e[1], e[2])
+	}
+	u, _ := g.NodeByName("u")
+	return g, Sample{
+		Pos: nodeIDs(g, "pos"),
+		Neg: nodeIDs(g, "neg"),
+	}, u
+}
+
+func nodeIDs(g *graph.Graph, names ...string) []graph.NodeID {
+	out := make([]graph.NodeID, len(names))
+	for i, n := range names {
+		id, ok := g.NodeByName(n)
+		if !ok {
+			panic("paperfix: unknown node " + n)
+		}
+		out[i] = id
+	}
+	return out
+}

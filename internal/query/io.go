@@ -1,0 +1,90 @@
+package query
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strings"
+
+	"pathquery/internal/alphabet"
+	"pathquery/internal/automata"
+)
+
+// Persistence for queries, used by the CLI tools to save learned queries
+// and re-evaluate them later. The format stores the label table (so the
+// query is portable across graphs sharing label names) followed by the
+// canonical DFA:
+//
+//	pathquery
+//	labels <l1> <l2> ...
+//	dfa ...            (automata serialization)
+
+// Save writes q.
+func Save(w io.Writer, q *Query) error {
+	if _, err := fmt.Fprintln(w, "pathquery"); err != nil {
+		return err
+	}
+	names := q.alpha.Names()
+	if _, err := fmt.Fprintf(w, "labels %s\n", strings.Join(names, " ")); err != nil {
+		return err
+	}
+	_, err := q.dfa.WriteTo(w)
+	return err
+}
+
+// Load reads a query saved by Save. The returned query owns a fresh
+// alphabet with the stored labels; use Rebase to evaluate it on a graph
+// with a different label table.
+func Load(r io.Reader) (*Query, error) {
+	br := bufio.NewReader(r)
+	header, err := br.ReadString('\n')
+	if err != nil {
+		return nil, fmt.Errorf("query: missing header: %w", err)
+	}
+	if strings.TrimSpace(header) != "pathquery" {
+		return nil, fmt.Errorf("query: bad header %q", strings.TrimSpace(header))
+	}
+	labelLine, err := br.ReadString('\n')
+	if err != nil {
+		return nil, fmt.Errorf("query: missing labels: %w", err)
+	}
+	fields := strings.Fields(labelLine)
+	if len(fields) == 0 || fields[0] != "labels" {
+		return nil, fmt.Errorf("query: bad labels line %q", strings.TrimSpace(labelLine))
+	}
+	alpha := alphabet.New()
+	for _, l := range fields[1:] {
+		alpha.Intern(l)
+	}
+	d, err := automata.ReadDFA(br)
+	if err != nil {
+		return nil, err
+	}
+	if d.NumSyms != alpha.Size() {
+		return nil, fmt.Errorf("query: DFA over %d symbols but %d labels stored",
+			d.NumSyms, alpha.Size())
+	}
+	return FromDFA(alpha, d), nil
+}
+
+// Rebase translates q onto another alphabet by label name: transitions on
+// labels the target alphabet lacks are dropped (they can never match).
+// Labels are matched by name, so queries move between graphs that agree on
+// edge-label vocabulary.
+func (q *Query) Rebase(target *alphabet.Alphabet) *Query {
+	d := automata.NewDFA(q.dfa.NumStates(), target.Size())
+	d.Start = q.dfa.Start
+	copy(d.Final, q.dfa.Final)
+	for s := range q.dfa.Delta {
+		for sym, t := range q.dfa.Delta[s] {
+			if t == automata.None {
+				continue
+			}
+			name := q.alpha.Name(alphabet.Symbol(sym))
+			if ns, ok := target.Lookup(name); ok {
+				d.Delta[s][ns] = t
+			}
+		}
+	}
+	return FromDFA(target, d)
+}

@@ -1,0 +1,250 @@
+// Package query implements path queries (Section 2): a query q is a regular
+// expression evaluated under monadic semantics on a graph database G,
+//
+//	q(G) = {ν ∈ G | L(q) ∩ paths_G(ν) ≠ ∅},
+//
+// plus the binary and n-ary semantics of Appendix B. Queries are
+// represented by the canonical DFA of their (prefix-free) language; the
+// size of a query is its canonical-DFA state count.
+package query
+
+import (
+	"fmt"
+	"sort"
+
+	"pathquery/internal/alphabet"
+	"pathquery/internal/automata"
+	"pathquery/internal/graph"
+	"pathquery/internal/regex"
+	"pathquery/internal/words"
+)
+
+// Query is a path query over a fixed alphabet.
+type Query struct {
+	alpha *alphabet.Alphabet
+	// dfa is the canonical (trimmed, minimal) DFA of the query language.
+	dfa *automata.DFA
+	// source is the originating expression when the query was parsed or
+	// built from a regex; nil for learned queries (String falls back to
+	// state-elimination extraction).
+	source *regex.Node
+}
+
+// Parse parses a regular expression over alpha into a query. New labels in
+// the expression are interned into alpha.
+func Parse(alpha *alphabet.Alphabet, src string) (*Query, error) {
+	n, err := regex.Parse(alpha, src)
+	if err != nil {
+		return nil, err
+	}
+	return FromRegex(alpha, n), nil
+}
+
+// MustParse is Parse panicking on error; for fixtures and tests.
+func MustParse(alpha *alphabet.Alphabet, src string) *Query {
+	q, err := Parse(alpha, src)
+	if err != nil {
+		panic(err)
+	}
+	return q
+}
+
+// FromRegex builds a query from a parsed expression.
+func FromRegex(alpha *alphabet.Alphabet, n *regex.Node) *Query {
+	return &Query{
+		alpha:  alpha,
+		dfa:    automata.CompileRegex(n, alpha.Size()),
+		source: n,
+	}
+}
+
+// FromDFA builds a query from an automaton; the DFA is canonicalized.
+func FromDFA(alpha *alphabet.Alphabet, d *automata.DFA) *Query {
+	return &Query{alpha: alpha, dfa: automata.Minimize(d)}
+}
+
+// Alphabet returns the query's alphabet.
+func (q *Query) Alphabet() *alphabet.Alphabet { return q.alpha }
+
+// DFA returns the canonical DFA. Callers must not modify it.
+func (q *Query) DFA() *automata.DFA { return q.dfa }
+
+// Size returns the paper's size measure: the number of canonical-DFA states.
+func (q *Query) Size() int { return q.dfa.NumStates() }
+
+// IsEmpty reports whether the query selects nothing on every graph.
+func (q *Query) IsEmpty() bool { return q.dfa.IsEmpty() }
+
+// Accepts reports whether w ∈ L(q).
+func (q *Query) Accepts(w words.Word) bool { return q.dfa.Accepts(w) }
+
+// PrefixFree returns the unique prefix-free query equivalent to q
+// (Section 2): the minimal representative of q's equivalence class.
+func (q *Query) PrefixFree() *Query {
+	return &Query{alpha: q.alpha, dfa: q.dfa.PrefixFree()}
+}
+
+// EquivalentTo reports language equality with o.
+func (q *Query) EquivalentTo(o *Query) bool {
+	return automata.Equivalent(q.dfa, o.dfa)
+}
+
+// EquivalentOn reports whether q and o select exactly the same nodes on g —
+// the paper's "indistinguishable by the user" relation (Section 3.3).
+func (q *Query) EquivalentOn(g *graph.Graph, o *Query) bool {
+	a, b := q.Select(g), o.Select(g)
+	for v := range a {
+		if a[v] != b[v] {
+			return false
+		}
+	}
+	return true
+}
+
+// Select evaluates q on g under monadic semantics and returns the per-node
+// selection vector.
+func (q *Query) Select(g *graph.Graph) []bool {
+	return g.SelectMonadic(q.dfa)
+}
+
+// SelectNodes evaluates q on g and returns the selected node ids in
+// increasing order.
+func (q *Query) SelectNodes(g *graph.Graph) []graph.NodeID {
+	sel := q.Select(g)
+	var out []graph.NodeID
+	for v, s := range sel {
+		if s {
+			out = append(out, graph.NodeID(v))
+		}
+	}
+	return out
+}
+
+// Selects reports whether q selects ν on g.
+func (q *Query) Selects(g *graph.Graph, nu graph.NodeID) bool {
+	return g.Covers(q.dfa, nu)
+}
+
+// Selectivity returns |q(G)| / |V|, the measure reported in Table 1.
+func (q *Query) Selectivity(g *graph.Graph) float64 {
+	if g.NumNodes() == 0 {
+		return 0
+	}
+	count := 0
+	for _, s := range q.Select(g) {
+		if s {
+			count++
+		}
+	}
+	return float64(count) / float64(g.NumNodes())
+}
+
+// SelectsPair reports whether (u, v) ∈ q(G) under binary semantics
+// (Appendix B): some path from u to v spells a word of L(q).
+func (q *Query) SelectsPair(g *graph.Graph, u, v graph.NodeID) bool {
+	return g.CoversPair(q.dfa, u, v)
+}
+
+// SelectPairsFrom returns all v with (u, v) selected under binary
+// semantics.
+func (q *Query) SelectPairsFrom(g *graph.Graph, u graph.NodeID) []graph.NodeID {
+	return g.SelectBinaryFrom(q.dfa, u)
+}
+
+// String renders the query: its source expression when known, otherwise an
+// expression extracted from the canonical DFA.
+func (q *Query) String() string {
+	if q.source != nil {
+		return q.source.String(q.alpha)
+	}
+	return automata.ToRegex(q.dfa).String(q.alpha)
+}
+
+// Regex returns a regular expression denoting L(q): the original source if
+// the query was parsed, otherwise one extracted from the DFA.
+func (q *Query) Regex() *regex.Node {
+	if q.source != nil {
+		return q.source
+	}
+	return automata.ToRegex(q.dfa)
+}
+
+// Nary is an n-ary path query (Appendix B): a sequence of n-1 regular
+// expressions selecting node tuples (ν1..νn) where each adjacent pair is
+// related by the corresponding expression under binary semantics.
+type Nary struct {
+	Parts []*Query
+}
+
+// NewNary builds an n-ary query from its component queries. All components
+// must share an alphabet.
+func NewNary(parts ...*Query) (*Nary, error) {
+	if len(parts) == 0 {
+		return nil, fmt.Errorf("query: n-ary query needs at least one component")
+	}
+	for _, p := range parts[1:] {
+		if p.alpha != parts[0].alpha {
+			return nil, fmt.Errorf("query: n-ary components must share an alphabet")
+		}
+	}
+	return &Nary{Parts: parts}, nil
+}
+
+// Arity returns n: the tuple width selected by the query.
+func (n *Nary) Arity() int { return len(n.Parts) + 1 }
+
+// SelectsTuple reports whether the tuple is selected:
+// ∀i. paths2_G(νi, νi+1) ∩ L(qi) ≠ ∅.
+func (n *Nary) SelectsTuple(g *graph.Graph, tuple []graph.NodeID) (bool, error) {
+	if len(tuple) != n.Arity() {
+		return false, fmt.Errorf("query: tuple arity %d, query arity %d", len(tuple), n.Arity())
+	}
+	for i, part := range n.Parts {
+		if !part.SelectsPair(g, tuple[i], tuple[i+1]) {
+			return false, nil
+		}
+	}
+	return true, nil
+}
+
+// SelectTuples enumerates all selected tuples on g, in lexicographic node
+// order. Intended for small graphs (the output is O(|V|^n)); callers on
+// large graphs should use SelectsTuple on candidate tuples instead.
+func (n *Nary) SelectTuples(g *graph.Graph) [][]graph.NodeID {
+	// Start from every node, extend via SelectPairsFrom per position.
+	var out [][]graph.NodeID
+	var extend func(prefix []graph.NodeID, pos int)
+	extend = func(prefix []graph.NodeID, pos int) {
+		if pos == len(n.Parts) {
+			out = append(out, append([]graph.NodeID(nil), prefix...))
+			return
+		}
+		for _, next := range n.Parts[pos].SelectPairsFrom(g, prefix[len(prefix)-1]) {
+			extend(append(prefix, next), pos+1)
+		}
+	}
+	for v := 0; v < g.NumNodes(); v++ {
+		extend([]graph.NodeID{graph.NodeID(v)}, 0)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		for k := range out[i] {
+			if out[i][k] != out[j][k] {
+				return out[i][k] < out[j][k]
+			}
+		}
+		return false
+	})
+	return out
+}
+
+// String renders the n-ary query as (q1, ..., qn-1).
+func (n *Nary) String() string {
+	s := "("
+	for i, p := range n.Parts {
+		if i > 0 {
+			s += ", "
+		}
+		s += p.String()
+	}
+	return s + ")"
+}

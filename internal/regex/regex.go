@@ -1,0 +1,364 @@
+// Package regex implements the regular expressions of the paper (Section 2):
+//
+//	q := ε | a (a ∈ Σ) | q1 + q2 | q1 · q2 | q*
+//
+// with '+' for disjunction, '·' (or '.') for concatenation and '*' for the
+// Kleene star. Labels are arbitrary identifiers (e.g. "tram",
+// "ProteinPurification"), interned into an alphabet.
+package regex
+
+import (
+	"fmt"
+	"strings"
+
+	"pathquery/internal/alphabet"
+)
+
+// Kind discriminates AST nodes.
+type Kind int
+
+const (
+	// Empty is the empty language ∅ (not expressible in the paper's
+	// grammar, but useful internally for simplification and for
+	// DFA→regex extraction).
+	Empty Kind = iota
+	// Epsilon is the empty word ε.
+	Epsilon
+	// Literal is a single symbol a ∈ Σ.
+	Literal
+	// Union is q1 + q2.
+	Union
+	// Concat is q1 · q2.
+	Concat
+	// Star is q*.
+	Star
+)
+
+// Node is a regular-expression AST node. Nodes are immutable once built.
+type Node struct {
+	Kind  Kind
+	Sym   alphabet.Symbol // Literal only
+	Left  *Node           // Union, Concat: left operand; Star: operand
+	Right *Node           // Union, Concat
+}
+
+// Constructors. They perform light local simplification so that printed
+// expressions stay readable (∅ and ε units are folded away).
+
+// NewEmpty returns ∅.
+func NewEmpty() *Node { return &Node{Kind: Empty} }
+
+// NewEpsilon returns ε.
+func NewEpsilon() *Node { return &Node{Kind: Epsilon} }
+
+// NewLiteral returns the single-symbol expression a.
+func NewLiteral(s alphabet.Symbol) *Node { return &Node{Kind: Literal, Sym: s} }
+
+// NewUnion returns l + r, folding ∅ units.
+func NewUnion(l, r *Node) *Node {
+	switch {
+	case l == nil || l.Kind == Empty:
+		return r
+	case r == nil || r.Kind == Empty:
+		return l
+	case l.Kind == Epsilon && r.Kind == Epsilon:
+		return l
+	}
+	return &Node{Kind: Union, Left: l, Right: r}
+}
+
+// NewConcat returns l · r, folding ε and ∅ units.
+func NewConcat(l, r *Node) *Node {
+	switch {
+	case l == nil || l.Kind == Empty || r == nil || r.Kind == Empty:
+		return NewEmpty()
+	case l.Kind == Epsilon:
+		return r
+	case r.Kind == Epsilon:
+		return l
+	}
+	return &Node{Kind: Concat, Left: l, Right: r}
+}
+
+// NewStar returns l*, folding (∅)* = (ε)* = ε and (l*)* = l*.
+func NewStar(l *Node) *Node {
+	switch {
+	case l == nil || l.Kind == Empty || l.Kind == Epsilon:
+		return NewEpsilon()
+	case l.Kind == Star:
+		return l
+	}
+	return &Node{Kind: Star, Left: l}
+}
+
+// UnionAll folds a slice of expressions into a disjunction. An empty slice
+// yields ∅.
+func UnionAll(nodes ...*Node) *Node {
+	out := NewEmpty()
+	for _, n := range nodes {
+		out = NewUnion(out, n)
+	}
+	return out
+}
+
+// ConcatAll folds a slice of expressions into a concatenation. An empty
+// slice yields ε.
+func ConcatAll(nodes ...*Node) *Node {
+	out := NewEpsilon()
+	for _, n := range nodes {
+		out = NewConcat(out, n)
+	}
+	return out
+}
+
+// ClassNode renders a symbol class (disjunction a1 + ... + an).
+func ClassNode(c alphabet.Class) *Node {
+	out := NewEmpty()
+	for _, s := range c.Members {
+		out = NewUnion(out, NewLiteral(s))
+	}
+	return out
+}
+
+// precedence for printing: Union < Concat < Star/atoms.
+func (n *Node) prec() int {
+	switch n.Kind {
+	case Union:
+		return 1
+	case Concat:
+		return 2
+	default:
+		return 3
+	}
+}
+
+// String renders the expression with labels from a, using the paper's
+// notation: '+' for disjunction, '·' for concatenation, '*' for star.
+func (n *Node) String(a *alphabet.Alphabet) string {
+	var b strings.Builder
+	n.print(&b, a)
+	return b.String()
+}
+
+func (n *Node) print(b *strings.Builder, a *alphabet.Alphabet) {
+	child := func(c *Node, minPrec int) {
+		if c.prec() < minPrec {
+			b.WriteByte('(')
+			c.print(b, a)
+			b.WriteByte(')')
+		} else {
+			c.print(b, a)
+		}
+	}
+	switch n.Kind {
+	case Empty:
+		b.WriteString("∅")
+	case Epsilon:
+		b.WriteString("ε")
+	case Literal:
+		b.WriteString(a.Name(n.Sym))
+	case Union:
+		child(n.Left, 1)
+		b.WriteString("+")
+		child(n.Right, 1)
+	case Concat:
+		child(n.Left, 2)
+		b.WriteString("·")
+		child(n.Right, 2)
+	case Star:
+		if n.Left.Kind == Literal {
+			child(n.Left, 3)
+		} else {
+			b.WriteByte('(')
+			n.Left.print(b, a)
+			b.WriteByte(')')
+		}
+		b.WriteByte('*')
+	}
+}
+
+// Size returns the number of AST nodes, a rough complexity measure.
+func (n *Node) Size() int {
+	if n == nil {
+		return 0
+	}
+	switch n.Kind {
+	case Union, Concat:
+		return 1 + n.Left.Size() + n.Right.Size()
+	case Star:
+		return 1 + n.Left.Size()
+	default:
+		return 1
+	}
+}
+
+// Symbols returns the set of symbols occurring in the expression.
+func (n *Node) Symbols() map[alphabet.Symbol]bool {
+	out := make(map[alphabet.Symbol]bool)
+	var walk func(*Node)
+	walk = func(m *Node) {
+		if m == nil {
+			return
+		}
+		if m.Kind == Literal {
+			out[m.Sym] = true
+		}
+		walk(m.Left)
+		walk(m.Right)
+	}
+	walk(n)
+	return out
+}
+
+// ---------------------------------------------------------------------------
+// Parser
+// ---------------------------------------------------------------------------
+
+type parser struct {
+	input string
+	pos   int
+	a     *alphabet.Alphabet
+}
+
+// Parse parses expr over a, interning any new labels. The grammar is the
+// paper's, with a few conveniences: '|' is accepted for '+', '.' for '·',
+// "()" for ε, and concatenation may be implicit between adjacent factors
+// (e.g. "(a+b)c" ≡ "(a+b)·c").
+func Parse(a *alphabet.Alphabet, expr string) (*Node, error) {
+	p := &parser{input: expr, a: a}
+	n, err := p.parseUnion()
+	if err != nil {
+		return nil, err
+	}
+	p.skipSpace()
+	if p.pos != len(p.input) {
+		return nil, fmt.Errorf("regex: unexpected %q at offset %d in %q",
+			p.rest(), p.pos, p.input)
+	}
+	return n, nil
+}
+
+// MustParse is Parse that panics on error; for tests and fixtures.
+func MustParse(a *alphabet.Alphabet, expr string) *Node {
+	n, err := Parse(a, expr)
+	if err != nil {
+		panic(err)
+	}
+	return n
+}
+
+func (p *parser) rest() string {
+	if p.pos >= len(p.input) {
+		return ""
+	}
+	return p.input[p.pos:]
+}
+
+func (p *parser) skipSpace() {
+	for p.pos < len(p.input) && (p.input[p.pos] == ' ' || p.input[p.pos] == '\t') {
+		p.pos++
+	}
+}
+
+func (p *parser) peek() byte {
+	p.skipSpace()
+	if p.pos >= len(p.input) {
+		return 0
+	}
+	return p.input[p.pos]
+}
+
+// hasPrefix reports whether the remaining input starts with s (after spaces).
+func (p *parser) hasPrefix(s string) bool {
+	p.skipSpace()
+	return strings.HasPrefix(p.input[p.pos:], s)
+}
+
+func (p *parser) consume(s string) bool {
+	if p.hasPrefix(s) {
+		p.pos += len(s)
+		return true
+	}
+	return false
+}
+
+func (p *parser) parseUnion() (*Node, error) {
+	left, err := p.parseConcat()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		if !p.consume("+") && !p.consume("|") {
+			return left, nil
+		}
+		right, err := p.parseConcat()
+		if err != nil {
+			return nil, err
+		}
+		left = &Node{Kind: Union, Left: left, Right: right}
+	}
+}
+
+func (p *parser) parseConcat() (*Node, error) {
+	left, err := p.parseStar()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		explicit := p.consume("·") || p.consume(".")
+		if !explicit {
+			// Implicit concatenation: next token starts a factor.
+			c := p.peek()
+			if c != '(' && !isIdentByte(c) && !p.hasPrefix("ε") {
+				return left, nil
+			}
+		}
+		right, err := p.parseStar()
+		if err != nil {
+			return nil, err
+		}
+		left = NewConcat(left, right)
+	}
+}
+
+func (p *parser) parseStar() (*Node, error) {
+	n, err := p.parseAtom()
+	if err != nil {
+		return nil, err
+	}
+	for p.consume("*") {
+		n = NewStar(n)
+	}
+	return n, nil
+}
+
+func (p *parser) parseAtom() (*Node, error) {
+	switch {
+	case p.consume("ε"):
+		return NewEpsilon(), nil
+	case p.consume("()"):
+		return NewEpsilon(), nil
+	case p.consume("("):
+		n, err := p.parseUnion()
+		if err != nil {
+			return nil, err
+		}
+		if !p.consume(")") {
+			return nil, fmt.Errorf("regex: missing ')' at offset %d in %q", p.pos, p.input)
+		}
+		return n, nil
+	}
+	p.skipSpace()
+	start := p.pos
+	for p.pos < len(p.input) && isIdentByte(p.input[p.pos]) {
+		p.pos++
+	}
+	if p.pos == start {
+		return nil, fmt.Errorf("regex: expected atom at offset %d in %q", p.pos, p.input)
+	}
+	return NewLiteral(p.a.Intern(p.input[start:p.pos])), nil
+}
+
+func isIdentByte(c byte) bool {
+	return c >= 'a' && c <= 'z' || c >= 'A' && c <= 'Z' || c >= '0' && c <= '9' || c == '_' || c == '-'
+}

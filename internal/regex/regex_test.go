@@ -1,0 +1,198 @@
+package regex
+
+import (
+	"testing"
+
+	"pathquery/internal/alphabet"
+)
+
+func TestParsePaperQueries(t *testing.T) {
+	// The queries appearing in the paper must parse and round-trip.
+	cases := []string{
+		"(tram+bus)*·cinema",
+		"ProteinPurification·ProteinSeparation*·MassSpectrometry",
+		"(a·b)*·c",
+		"c+(a·b·c)",
+		"b·b·c·c",
+		"a·b*",
+	}
+	a := alphabet.New()
+	for _, src := range cases {
+		n, err := Parse(a, src)
+		if err != nil {
+			t.Fatalf("Parse(%q): %v", src, err)
+		}
+		printed := n.String(a)
+		again, err := Parse(a, printed)
+		if err != nil {
+			t.Fatalf("reparse of %q (printed %q): %v", src, printed, err)
+		}
+		if again.String(a) != printed {
+			t.Fatalf("print not stable: %q -> %q", printed, again.String(a))
+		}
+	}
+}
+
+func TestParseAlternativeSyntax(t *testing.T) {
+	a := alphabet.New()
+	dot, err := Parse(a, "a.b")
+	if err != nil {
+		t.Fatal(err)
+	}
+	mid, err := Parse(a, "a·b")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dot.String(a) != mid.String(a) {
+		t.Fatalf("'.' and '·' parse differently: %q vs %q", dot.String(a), mid.String(a))
+	}
+	pipe, err := Parse(a, "a|b")
+	if err != nil {
+		t.Fatal(err)
+	}
+	plus, err := Parse(a, "a+b")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pipe.String(a) != plus.String(a) {
+		t.Fatalf("'|' and '+' parse differently")
+	}
+}
+
+func TestParseImplicitConcat(t *testing.T) {
+	a := alphabet.New()
+	implicit := MustParse(a, "(a+b)c")
+	explicit := MustParse(a, "(a+b)·c")
+	if implicit.String(a) != explicit.String(a) {
+		t.Fatalf("implicit concat differs: %q vs %q", implicit.String(a), explicit.String(a))
+	}
+}
+
+func TestParseEpsilon(t *testing.T) {
+	a := alphabet.New()
+	for _, src := range []string{"ε", "()"} {
+		n, err := Parse(a, src)
+		if err != nil {
+			t.Fatalf("Parse(%q): %v", src, err)
+		}
+		if n.Kind != Epsilon {
+			t.Fatalf("Parse(%q).Kind = %v, want Epsilon", src, n.Kind)
+		}
+	}
+}
+
+func TestParsePrecedence(t *testing.T) {
+	a := alphabet.New()
+	// Star binds tighter than concat, concat tighter than union.
+	n := MustParse(a, "a+b·c*")
+	if n.Kind != Union {
+		t.Fatalf("top = %v, want Union", n.Kind)
+	}
+	if n.Right.Kind != Concat {
+		t.Fatalf("right = %v, want Concat", n.Right.Kind)
+	}
+	if n.Right.Right.Kind != Star {
+		t.Fatalf("right.right = %v, want Star", n.Right.Right.Kind)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	a := alphabet.New()
+	for _, src := range []string{"", "(a", "a+", "*a", "a)", "a++b"} {
+		if _, err := Parse(a, src); err == nil {
+			t.Errorf("Parse(%q) unexpectedly succeeded", src)
+		}
+	}
+}
+
+func TestMultiCharacterLabels(t *testing.T) {
+	a := alphabet.New()
+	n := MustParse(a, "ProteinPurification·ProteinSeparation*·MassSpectrometry")
+	syms := n.Symbols()
+	if len(syms) != 3 {
+		t.Fatalf("symbols = %d, want 3", len(syms))
+	}
+	if _, ok := a.Lookup("ProteinSeparation"); !ok {
+		t.Fatal("multi-char label not interned")
+	}
+}
+
+func TestConstructorSimplifications(t *testing.T) {
+	a := alphabet.New()
+	x := NewLiteral(a.Intern("x"))
+	if NewUnion(NewEmpty(), x) != x {
+		t.Fatal("∅+x should fold to x")
+	}
+	if NewConcat(NewEpsilon(), x) != x {
+		t.Fatal("ε·x should fold to x")
+	}
+	if NewConcat(NewEmpty(), x).Kind != Empty {
+		t.Fatal("∅·x should fold to ∅")
+	}
+	if NewStar(NewEmpty()).Kind != Epsilon {
+		t.Fatal("∅* should fold to ε")
+	}
+	if NewStar(NewStar(x)) != NewStar(x) && NewStar(NewStar(x)).Kind != Star {
+		t.Fatal("(x*)* should stay a single star")
+	}
+	st := NewStar(x)
+	if NewStar(st) != st {
+		t.Fatal("(x*)* should fold to x*")
+	}
+}
+
+func TestUnionAllConcatAll(t *testing.T) {
+	a := alphabet.New()
+	x, y := NewLiteral(a.Intern("x")), NewLiteral(a.Intern("y"))
+	if UnionAll().Kind != Empty {
+		t.Fatal("empty UnionAll should be ∅")
+	}
+	if ConcatAll().Kind != Epsilon {
+		t.Fatal("empty ConcatAll should be ε")
+	}
+	u := UnionAll(x, y)
+	if u.Kind != Union {
+		t.Fatalf("UnionAll = %v", u.Kind)
+	}
+	c := ConcatAll(x, y, x)
+	if c.String(a) != "x·y·x" {
+		t.Fatalf("ConcatAll = %q", c.String(a))
+	}
+}
+
+func TestClassNode(t *testing.T) {
+	a := alphabet.New()
+	cls := alphabet.NewClass(a, "A", "p", "q", "r")
+	n := ClassNode(cls)
+	if got := n.String(a); got != "p+q+r" {
+		t.Fatalf("ClassNode = %q", got)
+	}
+}
+
+func TestSize(t *testing.T) {
+	a := alphabet.New()
+	n := MustParse(a, "(a·b)*·c")
+	if n.Size() != 6 { // concat, star, concat, a, b, c
+		t.Fatalf("Size = %d, want 6", n.Size())
+	}
+}
+
+func TestStringParenthesization(t *testing.T) {
+	a := alphabet.New()
+	n := MustParse(a, "(a+b)·c")
+	if got := n.String(a); got != "(a+b)·c" {
+		t.Fatalf("String = %q", got)
+	}
+	n2 := MustParse(a, "a+b·c")
+	if got := n2.String(a); got != "a+b·c" {
+		t.Fatalf("String = %q", got)
+	}
+	n3 := MustParse(a, "(a·b)*")
+	if got := n3.String(a); got != "(a·b)*" {
+		t.Fatalf("String = %q", got)
+	}
+	n4 := MustParse(a, "a*")
+	if got := n4.String(a); got != "a*" {
+		t.Fatalf("String = %q", got)
+	}
+}

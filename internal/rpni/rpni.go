@@ -1,0 +1,166 @@
+// Package rpni implements the classic RPNI algorithm (Oncina & García,
+// 1992) for learning a regular language from positive and negative word
+// examples, together with the characteristic-sample construction that
+// guarantees identification. The paper builds on both: its learner
+// generalizes SCPs "by state merges, similarly to RPNI" (Section 3.2), and
+// its learnability proof (Theorem 3.5) constructs graph samples whose SCPs
+// are exactly the word sample RPNI needs.
+package rpni
+
+import (
+	"fmt"
+
+	"pathquery/internal/alphabet"
+	"pathquery/internal/automata"
+	"pathquery/internal/words"
+)
+
+// Sample is a set of labeled words.
+type Sample struct {
+	Pos []words.Word
+	Neg []words.Word
+}
+
+// Validate rejects samples labeling a word both positive and negative.
+func (s Sample) Validate() error {
+	seen := make(map[string]bool, len(s.Pos))
+	for _, w := range s.Pos {
+		seen[words.Key(w)] = true
+	}
+	for _, w := range s.Neg {
+		if seen[words.Key(w)] {
+			return fmt.Errorf("rpni: word labeled both positive and negative")
+		}
+	}
+	return nil
+}
+
+// Merge combines two samples.
+func (s Sample) Merge(o Sample) Sample {
+	return Sample{
+		Pos: words.Dedup(append(append([]words.Word{}, s.Pos...), o.Pos...)),
+		Neg: words.Dedup(append(append([]words.Word{}, s.Neg...), o.Neg...)),
+	}
+}
+
+// Learn runs RPNI: build the augmented PTA of the sample and generalize by
+// red-blue state merging, rejecting merges that fold an accepting state
+// into a rejecting one. The result is the canonical DFA of the learned
+// language; it accepts every positive and rejects every negative.
+func Learn(numSyms int, s Sample) (*automata.DFA, error) {
+	if err := s.Validate(); err != nil {
+		return nil, err
+	}
+	if len(s.Pos) == 0 {
+		// No positive evidence: the empty language is the canonical
+		// consistent hypothesis.
+		return automata.NewDFA(1, numSyms), nil
+	}
+	pta := automata.BuildPTA(numSyms, s.Pos, s.Neg)
+	m := automata.NewMerger(pta)
+	m.Generalize(nil)
+	return automata.Minimize(m.DFA()), nil
+}
+
+// CharacteristicSample returns a sample that makes RPNI identify L(d)
+// exactly: any sample containing it (consistently) drives Learn to the
+// canonical DFA of L(d). The construction is the standard one over the
+// *complete* canonical DFA (the sink class included — merges with the
+// sink must be blocked too):
+//
+//   - SP: the canonical-order shortest prefix reaching each state;
+//   - kernel N: ε plus every SP extended by one transition;
+//   - P+: every kernel word with a live residual, completed to a final
+//     state by the shortest completion;
+//   - for every kernel word u and shortest prefix u' reaching distinct
+//     states, a shortest distinguishing suffix w, contributing u·w and
+//     u'·w to P+ or P− according to membership in L(d).
+//
+// The sample size is polynomial in the size of the canonical DFA, and the
+// longest word is bounded by 2·n+1 (the bound behind the paper's choice of
+// k in Theorem 3.5).
+func CharacteristicSample(d *automata.DFA) Sample {
+	c := automata.Minimize(d).Complete()
+	numSyms := c.NumSyms
+	access, _ := automata.AccessWords(c)
+	comp, hasComp := automata.CompletionWords(c)
+
+	type entry struct {
+		word  words.Word
+		state int32
+	}
+	var kernel []entry
+	kernel = append(kernel, entry{words.Epsilon, c.Start})
+	for q := int32(0); int(q) < c.NumStates(); q++ {
+		for sym := 0; sym < numSyms; sym++ {
+			t := c.Delta[q][sym]
+			if t == automata.None {
+				continue
+			}
+			kernel = append(kernel, entry{words.Append(access[q], alphabet.Symbol(sym)), t})
+		}
+	}
+
+	var s Sample
+	addPos := func(w words.Word) { s.Pos = append(s.Pos, w) }
+	addNeg := func(w words.Word) { s.Neg = append(s.Neg, w) }
+	classify := func(w words.Word) {
+		if c.Accepts(w) {
+			addPos(w)
+		} else {
+			addNeg(w)
+		}
+	}
+
+	// P+ core: kernel completions.
+	for _, e := range kernel {
+		if hasComp[e.state] {
+			addPos(words.Concat(e.word, comp[e.state]))
+		}
+	}
+	// Distinguishing pairs: kernel word vs shortest prefix.
+	for _, e := range kernel {
+		for q := int32(0); int(q) < c.NumStates(); q++ {
+			if q == e.state {
+				continue
+			}
+			w, ok := distinguish(c, e.state, q)
+			if !ok {
+				continue // states equivalent: impossible on a minimal DFA
+			}
+			classify(words.Concat(e.word, w))
+			classify(words.Concat(access[q], w))
+		}
+	}
+	s.Pos = words.Dedup(s.Pos)
+	s.Neg = words.Dedup(s.Neg)
+	return s
+}
+
+// distinguish returns the canonical-order minimal word w with
+// δ(s1, w) ∈ F xor δ(s2, w) ∈ F, by BFS over state pairs of the complete
+// DFA c. ok=false iff the states are equivalent.
+func distinguish(c *automata.DFA, s1, s2 int32) (words.Word, bool) {
+	type pair struct{ x, y int32 }
+	type node struct {
+		p    pair
+		word words.Word
+	}
+	seen := map[pair]bool{{s1, s2}: true}
+	queue := []node{{pair{s1, s2}, words.Epsilon}}
+	for len(queue) > 0 {
+		cur := queue[0]
+		queue = queue[1:]
+		if c.Final[cur.p.x] != c.Final[cur.p.y] {
+			return cur.word, true
+		}
+		for sym := 0; sym < c.NumSyms; sym++ {
+			np := pair{c.Delta[cur.p.x][sym], c.Delta[cur.p.y][sym]}
+			if !seen[np] {
+				seen[np] = true
+				queue = append(queue, node{np, words.Append(cur.word, alphabet.Symbol(sym))})
+			}
+		}
+	}
+	return nil, false
+}

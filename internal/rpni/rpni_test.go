@@ -1,0 +1,202 @@
+package rpni
+
+import (
+	"math/rand"
+	"testing"
+
+	"pathquery/internal/alphabet"
+	"pathquery/internal/automata"
+	"pathquery/internal/regex"
+	"pathquery/internal/words"
+)
+
+func compile(t *testing.T, a *alphabet.Alphabet, src string) *automata.DFA {
+	t.Helper()
+	n, err := regex.Parse(a, src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return automata.CompileRegex(n, a.Size())
+}
+
+func TestLearnConsistency(t *testing.T) {
+	a := alphabet.NewSorted("a", "b")
+	s := Sample{
+		Pos: []words.Word{words.FromLabels(a, "a"), words.FromLabels(a, "a", "a", "a")},
+		Neg: []words.Word{words.Epsilon, words.FromLabels(a, "a", "a")},
+	}
+	d, err := Learn(a.Size(), s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, w := range s.Pos {
+		if !d.Accepts(w) {
+			t.Errorf("positive %v rejected", w)
+		}
+	}
+	for _, w := range s.Neg {
+		if d.Accepts(w) {
+			t.Errorf("negative %v accepted", w)
+		}
+	}
+}
+
+func TestLearnEmptyPositives(t *testing.T) {
+	d, err := Learn(2, Sample{Neg: []words.Word{words.Epsilon}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !d.IsEmpty() {
+		t.Fatal("no positives should learn the empty language")
+	}
+}
+
+func TestLearnContradiction(t *testing.T) {
+	w := words.Word{0}
+	if _, err := Learn(2, Sample{Pos: []words.Word{w}, Neg: []words.Word{w}}); err == nil {
+		t.Fatal("contradictory sample should error")
+	}
+}
+
+func TestCharacteristicSamplePaperExample(t *testing.T) {
+	// Theorem 3.5's example: for q = (a·b)*·c, "we obtain P+ = {c, abc}
+	// and P− = {ε, a, ab, ac, bc}". Our construction is the standard one
+	// over the complete DFA, so it may contain more words, but it must
+	// contain the paper's P+ core and stay label-consistent.
+	a := alphabet.NewSorted("a", "b", "c")
+	d := compile(t, a, "(a·b)*·c")
+	s := CharacteristicSample(d)
+	has := func(ws []words.Word, labels ...string) bool {
+		w := words.FromLabels(a, labels...)
+		for _, x := range ws {
+			if words.Equal(x, w) {
+				return true
+			}
+		}
+		return false
+	}
+	if !has(s.Pos, "c") || !has(s.Pos, "a", "b", "c") {
+		t.Fatalf("P+ missing paper core: %v", s.Pos)
+	}
+	for _, w := range s.Pos {
+		if !d.Accepts(w) {
+			t.Fatalf("P+ word %v not in L", words.String(w, a))
+		}
+	}
+	for _, w := range s.Neg {
+		if d.Accepts(w) {
+			t.Fatalf("P− word %v in L", words.String(w, a))
+		}
+	}
+}
+
+func TestCharacteristicSampleWordLengthBound(t *testing.T) {
+	// The longest characteristic word is bounded by 2·n+1 where n is the
+	// canonical DFA size — the bound behind the paper's k (Theorem 3.5).
+	rng := rand.New(rand.NewSource(31))
+	for i := 0; i < 100; i++ {
+		d := automata.RandomNonEmptyDFA(rng, 6, 2, 0.7)
+		n := d.NumStates()
+		s := CharacteristicSample(d)
+		for _, w := range append(append([]words.Word{}, s.Pos...), s.Neg...) {
+			if len(w) > 2*n+1 {
+				t.Fatalf("iter %d: word of length %d exceeds 2·%d+1", i, len(w), n)
+			}
+		}
+	}
+}
+
+func TestRPNIIdentifiesFromCharacteristicSample(t *testing.T) {
+	// The central property: Learn(CharacteristicSample(A)) = A for random
+	// minimal DFAs. This is the guarantee Theorem 3.5 lifts to graphs.
+	rng := rand.New(rand.NewSource(37))
+	identified := 0
+	for i := 0; i < 200; i++ {
+		target := automata.RandomNonEmptyDFA(rng, 6, 2, 0.7)
+		s := CharacteristicSample(target)
+		got, err := Learn(2, s)
+		if err != nil {
+			t.Fatalf("iter %d: %v", i, err)
+		}
+		if !got.Equal(target) {
+			t.Fatalf("iter %d: learned %v, want %v (sample %d+/%d-)",
+				i, got, target, len(s.Pos), len(s.Neg))
+		}
+		identified++
+	}
+	if identified == 0 {
+		t.Fatal("no targets exercised")
+	}
+}
+
+func TestRPNIIdentificationSurvivesExtraExamples(t *testing.T) {
+	// Identification in the limit: any consistent extension of the
+	// characteristic sample still learns the target.
+	rng := rand.New(rand.NewSource(41))
+	for i := 0; i < 100; i++ {
+		target := automata.RandomNonEmptyDFA(rng, 5, 2, 0.7)
+		s := CharacteristicSample(target)
+		// Add random consistent labels.
+		for j := 0; j < 10; j++ {
+			n := rng.Intn(6)
+			w := make(words.Word, n)
+			for k := range w {
+				w[k] = alphabet.Symbol(rng.Intn(2))
+			}
+			if target.Accepts(w) {
+				s.Pos = append(s.Pos, w)
+			} else {
+				s.Neg = append(s.Neg, w)
+			}
+		}
+		s.Pos = words.Dedup(s.Pos)
+		s.Neg = words.Dedup(s.Neg)
+		got, err := Learn(2, s)
+		if err != nil {
+			t.Fatalf("iter %d: %v", i, err)
+		}
+		if !got.Equal(target) {
+			t.Fatalf("iter %d: extension broke identification", i)
+		}
+	}
+}
+
+func TestCharacteristicSamplePolynomialSize(t *testing.T) {
+	// |CS| is polynomial in the DFA size: crudely, O(n²·|Σ|) words.
+	rng := rand.New(rand.NewSource(43))
+	for i := 0; i < 50; i++ {
+		d := automata.RandomNonEmptyDFA(rng, 8, 2, 0.7)
+		n := d.NumStates() + 1 // sink included
+		s := CharacteristicSample(d)
+		bound := 4 * n * n * 2
+		if len(s.Pos)+len(s.Neg) > bound {
+			t.Fatalf("iter %d: sample size %d exceeds %d", i, len(s.Pos)+len(s.Neg), bound)
+		}
+	}
+}
+
+func TestSampleMerge(t *testing.T) {
+	a := alphabet.NewSorted("a", "b")
+	s1 := Sample{Pos: []words.Word{words.FromLabels(a, "a")}}
+	s2 := Sample{Pos: []words.Word{words.FromLabels(a, "a"), words.FromLabels(a, "b")}}
+	m := s1.Merge(s2)
+	if len(m.Pos) != 2 {
+		t.Fatalf("merge = %v", m.Pos)
+	}
+}
+
+func TestLearnKnownLanguages(t *testing.T) {
+	// End-to-end: characteristic samples of named languages.
+	a := alphabet.NewSorted("a", "b", "c")
+	for _, src := range []string{"a", "a*·b", "(a·b)*·c", "a·(b+c)", "(a+b)*", "a·a·a"} {
+		target := compile(t, a, src)
+		s := CharacteristicSample(target)
+		got, err := Learn(a.Size(), s)
+		if err != nil {
+			t.Fatalf("%s: %v", src, err)
+		}
+		if !got.Equal(target) {
+			t.Fatalf("%s: learned %v, want %v", src, got, target)
+		}
+	}
+}

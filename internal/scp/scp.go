@@ -1,0 +1,243 @@
+// Package scp implements the smallest-consistent-path machinery of
+// Section 3.2: for a positive node ν, the SCP is the canonical-order
+// minimal word in paths_G(ν) \ paths_G(S−), searched up to the length
+// bound k of Algorithm 1. The same search underlies the practical
+// interactive strategies of Section 4.2: a node is k-informative iff it
+// has a path of length ≤ k not covered by a negative example, and strategy
+// kS ranks k-informative nodes by their number of non-covered k-paths.
+//
+// For a fixed word w the negatives' coverage set is a function of w alone,
+// so it is determinized once per sample into a lazily-built Coverage index
+// shared by every positive node's search. The per-node search is then a
+// BFS over (graph node, coverage state) expanding symbols in sorted order,
+// which visits words in canonical order; the first state with empty
+// coverage yields the SCP. Depth is bounded by k (2–4 in the paper's
+// experiments), which bounds the subset blow-up that makes the unbounded
+// problem PSPACE-hard (Lemma 3.2).
+package scp
+
+import (
+	"sort"
+
+	"pathquery/internal/alphabet"
+	"pathquery/internal/graph"
+	"pathquery/internal/words"
+)
+
+// Coverage is the lazily-determinized automaton of paths_G(S−): state ids
+// stand for subsets of graph nodes reachable from the negative examples,
+// with transitions computed on demand and memoized. The empty subset is a
+// distinguished absorbing state meaning "no longer covered by any
+// negative".
+type Coverage struct {
+	g       *graph.Graph
+	subsets [][]graph.NodeID
+	trans   []map[alphabet.Symbol]int32
+	ids     map[string]int32
+	start   int32
+	emptyID int32
+}
+
+// NewCoverage builds the coverage index for the negative node set neg.
+func NewCoverage(g *graph.Graph, neg []graph.NodeID) *Coverage {
+	c := &Coverage{g: g, ids: make(map[string]int32), emptyID: -1}
+	c.start = c.intern(sortedUnique(neg))
+	return c
+}
+
+func (c *Coverage) intern(set []graph.NodeID) int32 {
+	k := encode(set)
+	if id, ok := c.ids[k]; ok {
+		return id
+	}
+	id := int32(len(c.subsets))
+	c.ids[k] = id
+	c.subsets = append(c.subsets, set)
+	c.trans = append(c.trans, nil)
+	if len(set) == 0 {
+		c.emptyID = id
+	}
+	return id
+}
+
+// Start returns the initial coverage state (the full negative set).
+func (c *Coverage) Start() int32 { return c.start }
+
+// Escaped reports whether the coverage state is the empty subset: words
+// reaching it are not covered by any negative example.
+func (c *Coverage) Escaped(id int32) bool { return len(c.subsets[id]) == 0 }
+
+// Step returns the coverage state after reading sym.
+func (c *Coverage) Step(id int32, sym alphabet.Symbol) int32 {
+	if t := c.trans[id]; t != nil {
+		if next, ok := t[sym]; ok {
+			return next
+		}
+	} else {
+		c.trans[id] = make(map[alphabet.Symbol]int32)
+	}
+	next := c.intern(c.g.Step(c.subsets[id], sym))
+	c.trans[id][sym] = next
+	return next
+}
+
+// NumStates returns how many subset states have been materialized; a
+// measure of the index's cost, used by benchmarks.
+func (c *Coverage) NumStates() int { return len(c.subsets) }
+
+// Smallest returns the SCP of ν bounded by k: the canonical-order minimal
+// word of length ≤ k in paths_G(ν) \ paths_G(S−); ok=false if none exists.
+func (c *Coverage) Smallest(nu graph.NodeID, k int) (words.Word, bool) {
+	type state struct {
+		v    graph.NodeID
+		cov  int32
+		word words.Word
+	}
+	type seenKey struct {
+		v   graph.NodeID
+		cov int32
+	}
+	if c.Escaped(c.start) {
+		return words.Epsilon, true
+	}
+	seen := map[seenKey]bool{{nu, c.start}: true}
+	queue := []state{{nu, c.start, words.Epsilon}}
+	for len(queue) > 0 {
+		cur := queue[0]
+		queue = queue[1:]
+		if len(cur.word) >= k {
+			continue
+		}
+		// Out-edges are sorted by symbol: expansion preserves canonical
+		// order across the BFS level.
+		for _, e := range c.g.OutEdges(cur.v) {
+			cov := c.Step(cur.cov, e.Sym)
+			if c.Escaped(cov) {
+				return words.Append(cur.word, e.Sym), true
+			}
+			k2 := seenKey{e.To, cov}
+			if !seen[k2] {
+				seen[k2] = true
+				queue = append(queue, state{e.To, cov, words.Append(cur.word, e.Sym)})
+			}
+		}
+	}
+	return nil, false
+}
+
+// IsKInformative reports whether ν has at least one path of length ≤ k not
+// covered by a negative example (Section 4.2).
+func (c *Coverage) IsKInformative(nu graph.NodeID, k int) bool {
+	_, ok := c.Smallest(nu, k)
+	return ok
+}
+
+// CountNonCovered returns the number of distinct words of length ≤ k in
+// paths_G(ν) \ paths_G(S−) — the ranking used by strategy kS, which favors
+// nodes with the smallest non-zero count (their SCP search space is
+// smallest).
+//
+// Distinct words are in bijection with paths of the determinized product
+// (reachable-set from ν, coverage state), so a per-level DP over those
+// product states counts exactly the non-covered words.
+func (c *Coverage) CountNonCovered(nu graph.NodeID, k int) int {
+	type key struct {
+		mine string
+		cov  int32
+	}
+	type st struct {
+		mine []graph.NodeID
+		cov  int32
+	}
+	level := map[key]st{}
+	counts := map[key]int{}
+	start := st{[]graph.NodeID{nu}, c.start}
+	sk := key{encode(start.mine), start.cov}
+	level[sk] = start
+	counts[sk] = 1
+
+	total := 0
+	if c.Escaped(c.start) {
+		total++ // ε itself is uncovered when there are no negatives
+	}
+	for depth := 0; depth < k; depth++ {
+		nextLevel := map[key]st{}
+		nextCounts := map[key]int{}
+		for kk, cur := range level {
+			n := counts[kk]
+			for _, sym := range symbolsFrom(c.g, cur.mine) {
+				mine := c.g.Step(cur.mine, sym)
+				if len(mine) == 0 {
+					continue
+				}
+				cov := c.Step(cur.cov, sym)
+				nk := key{encode(mine), cov}
+				if _, ok := nextLevel[nk]; !ok {
+					nextLevel[nk] = st{mine, cov}
+				}
+				nextCounts[nk] += n
+			}
+		}
+		for nk, cur := range nextLevel {
+			if c.Escaped(cur.cov) {
+				total += nextCounts[nk]
+			}
+		}
+		level, counts = nextLevel, nextCounts
+	}
+	return total
+}
+
+// Smallest is the one-shot convenience form of Coverage.Smallest.
+func Smallest(g *graph.Graph, nu graph.NodeID, neg []graph.NodeID, k int) (words.Word, bool) {
+	return NewCoverage(g, neg).Smallest(nu, k)
+}
+
+// IsKInformative is the one-shot convenience form of
+// Coverage.IsKInformative.
+func IsKInformative(g *graph.Graph, nu graph.NodeID, neg []graph.NodeID, k int) bool {
+	return NewCoverage(g, neg).IsKInformative(nu, k)
+}
+
+// CountNonCovered is the one-shot convenience form of
+// Coverage.CountNonCovered.
+func CountNonCovered(g *graph.Graph, nu graph.NodeID, neg []graph.NodeID, k int) int {
+	return NewCoverage(g, neg).CountNonCovered(nu, k)
+}
+
+// symbolsFrom returns the sorted distinct symbols with an out-edge from set.
+func symbolsFrom(g *graph.Graph, set []graph.NodeID) []alphabet.Symbol {
+	seen := make(map[alphabet.Symbol]bool)
+	var out []alphabet.Symbol
+	for _, v := range set {
+		for _, e := range g.OutEdges(v) {
+			if !seen[e.Sym] {
+				seen[e.Sym] = true
+				out = append(out, e.Sym)
+			}
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+func sortedUnique(set []graph.NodeID) []graph.NodeID {
+	out := append([]graph.NodeID(nil), set...)
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	n := 0
+	for i, v := range out {
+		if i == 0 || v != out[n-1] {
+			out[n] = v
+			n++
+		}
+	}
+	return out[:n]
+}
+
+func encode(set []graph.NodeID) string {
+	b := make([]byte, 0, len(set)*4)
+	for _, v := range set {
+		b = append(b, byte(v), byte(v>>8), byte(v>>16), byte(v>>24))
+	}
+	return string(b)
+}

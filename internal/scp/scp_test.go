@@ -1,0 +1,149 @@
+package scp_test
+
+import (
+	"testing"
+
+	"pathquery/internal/graph"
+	"pathquery/internal/paperfix"
+	"pathquery/internal/scp"
+	"pathquery/internal/words"
+)
+
+func node(t *testing.T, g *graph.Graph, name string) graph.NodeID {
+	t.Helper()
+	id, ok := g.NodeByName(name)
+	if !ok {
+		t.Fatalf("missing node %q", name)
+	}
+	return id
+}
+
+func TestSmallestPaperSCPs(t *testing.T) {
+	// Section 3.2: "we obtain the SCPs abc and c for ν1 and ν3".
+	g, s := paperfix.G0()
+	cov := scp.NewCoverage(g, s.Neg)
+	w1, ok := cov.Smallest(node(t, g, "v1"), 3)
+	if !ok || words.String(w1, g.Alphabet()) != "a·b·c" {
+		t.Fatalf("SCP(v1) = %v, want a·b·c", w1)
+	}
+	w3, ok := cov.Smallest(node(t, g, "v3"), 3)
+	if !ok || words.String(w3, g.Alphabet()) != "c" {
+		t.Fatalf("SCP(v3) = %v, want c", w3)
+	}
+}
+
+func TestSmallestRespectsBound(t *testing.T) {
+	g, s := paperfix.G0()
+	if _, ok := scp.Smallest(g, node(t, g, "v1"), s.Neg, 2); ok {
+		t.Fatal("SCP(v1) has length 3; k=2 must fail")
+	}
+}
+
+func TestSmallestNoNegatives(t *testing.T) {
+	// With no negatives, ε escapes immediately.
+	g, _ := paperfix.G0()
+	w, ok := scp.Smallest(g, node(t, g, "v5"), nil, 3)
+	if !ok || len(w) != 0 {
+		t.Fatalf("SCP with no negatives = %v, want ε", w)
+	}
+}
+
+func TestSmallestInconsistentNode(t *testing.T) {
+	// Figure 5: the positive's paths are all covered; no SCP at any k.
+	g, s := paperfix.Figure5()
+	for _, k := range []int{1, 3, 6, 10} {
+		if _, ok := scp.Smallest(g, s.Pos[0], s.Neg, k); ok {
+			t.Fatalf("k=%d: found an SCP for a fully covered node", k)
+		}
+	}
+}
+
+func TestIsKInformative(t *testing.T) {
+	g, s := paperfix.G0()
+	if !scp.IsKInformative(g, node(t, g, "v3"), s.Neg, 2) {
+		t.Fatal("v3 is 2-informative (path c)")
+	}
+	if scp.IsKInformative(g, node(t, g, "v1"), s.Neg, 2) {
+		t.Fatal("v1 is not 2-informative (SCP is abc)")
+	}
+	if !scp.IsKInformative(g, node(t, g, "v1"), s.Neg, 3) {
+		t.Fatal("v1 is 3-informative")
+	}
+}
+
+func TestCountNonCoveredMatchesEnumeration(t *testing.T) {
+	// Cross-check the DP against brute-force path enumeration on G0.
+	g, s := paperfix.G0()
+	cov := scp.NewCoverage(g, s.Neg)
+	for v := 0; v < g.NumNodes(); v++ {
+		nu := graph.NodeID(v)
+		for _, k := range []int{1, 2, 3, 4} {
+			brute := 0
+			for _, w := range g.PathsUpTo(nu, k, 0) {
+				if !g.MatchesAny(s.Neg, w) {
+					brute++
+				}
+			}
+			if got := cov.CountNonCovered(nu, k); got != brute {
+				t.Fatalf("node %s k=%d: DP=%d brute=%d", g.NodeName(nu), k, got, brute)
+			}
+		}
+	}
+}
+
+func TestCountNonCoveredNoNegatives(t *testing.T) {
+	g, _ := paperfix.G0()
+	// With no negatives every bounded path counts, ε included.
+	nu := node(t, g, "v5")
+	got := scp.CountNonCovered(g, nu, nil, 2)
+	want := len(g.PathsUpTo(nu, 2, 0)) // ε, a, b
+	if got != want {
+		t.Fatalf("count = %d, want %d", got, want)
+	}
+}
+
+func TestCoverageIsSharedAcrossNodes(t *testing.T) {
+	// One Coverage must serve many nodes and memoize subset transitions.
+	g, s := paperfix.G0()
+	cov := scp.NewCoverage(g, s.Neg)
+	for v := 0; v < g.NumNodes(); v++ {
+		cov.Smallest(graph.NodeID(v), 3)
+	}
+	if cov.NumStates() < 2 {
+		t.Fatalf("coverage materialized %d states", cov.NumStates())
+	}
+	// Determinism: a fresh coverage yields the same SCPs.
+	fresh := scp.NewCoverage(g, s.Neg)
+	for v := 0; v < g.NumNodes(); v++ {
+		w1, ok1 := cov.Smallest(graph.NodeID(v), 3)
+		w2, ok2 := fresh.Smallest(graph.NodeID(v), 3)
+		if ok1 != ok2 || (ok1 && !words.Equal(w1, w2)) {
+			t.Fatalf("node %d: SCP differs between coverage instances", v)
+		}
+	}
+}
+
+func TestSmallestCanonicalOrder(t *testing.T) {
+	// The SCP must be the canonical-order minimum of all escaping paths.
+	g, s := paperfix.G0()
+	cov := scp.NewCoverage(g, s.Neg)
+	for v := 0; v < g.NumNodes(); v++ {
+		nu := graph.NodeID(v)
+		got, ok := cov.Smallest(nu, 4)
+		var want words.Word
+		found := false
+		for _, w := range g.PathsUpTo(nu, 4, 0) {
+			if !g.MatchesAny(s.Neg, w) {
+				want = w
+				found = true
+				break // PathsUpTo is already canonical-ordered
+			}
+		}
+		if ok != found {
+			t.Fatalf("node %d: ok=%v brute=%v", v, ok, found)
+		}
+		if ok && !words.Equal(got, want) {
+			t.Fatalf("node %d: SCP %v, brute %v", v, got, want)
+		}
+	}
+}

@@ -1,0 +1,217 @@
+// Package words implements words over an interned alphabet and the
+// canonical (length-lexicographic) well-founded order of Section 2:
+//
+//	w ≤ u  iff  |w| < |u|, or |w| = |u| and w ≤lex u.
+//
+// The canonical order drives the selection of smallest consistent paths
+// (SCPs) in the learning algorithm and the enumeration order of paths.
+package words
+
+import (
+	"sort"
+	"strings"
+
+	"pathquery/internal/alphabet"
+)
+
+// Word is a finite sequence of symbols. The empty (nil) word is ε.
+type Word []alphabet.Symbol
+
+// Epsilon is the empty word ε.
+var Epsilon = Word{}
+
+// Compare orders w against u in the canonical order: negative if w < u,
+// zero if equal, positive if w > u.
+func Compare(w, u Word) int {
+	if len(w) != len(u) {
+		if len(w) < len(u) {
+			return -1
+		}
+		return 1
+	}
+	for i := range w {
+		if w[i] != u[i] {
+			if w[i] < u[i] {
+				return -1
+			}
+			return 1
+		}
+	}
+	return 0
+}
+
+// Less reports whether w < u in the canonical order.
+func Less(w, u Word) bool { return Compare(w, u) < 0 }
+
+// Equal reports whether w and u are the same word.
+func Equal(w, u Word) bool { return Compare(w, u) == 0 }
+
+// HasPrefix reports whether p is a prefix of w. Every word has ε as prefix.
+func HasPrefix(w, p Word) bool {
+	if len(p) > len(w) {
+		return false
+	}
+	for i := range p {
+		if w[i] != p[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// Concat returns the concatenation w·u as a fresh word.
+func Concat(w, u Word) Word {
+	out := make(Word, 0, len(w)+len(u))
+	out = append(out, w...)
+	out = append(out, u...)
+	return out
+}
+
+// Append returns w·a as a fresh word (w is not modified).
+func Append(w Word, a alphabet.Symbol) Word {
+	out := make(Word, 0, len(w)+1)
+	out = append(out, w...)
+	out = append(out, a)
+	return out
+}
+
+// Clone returns a copy of w.
+func Clone(w Word) Word {
+	out := make(Word, len(w))
+	copy(out, w)
+	return out
+}
+
+// Prefixes returns all prefixes of w (including ε and w itself) in
+// canonical order.
+func Prefixes(w Word) []Word {
+	out := make([]Word, 0, len(w)+1)
+	for i := 0; i <= len(w); i++ {
+		out = append(out, Clone(w[:i]))
+	}
+	return out
+}
+
+// Sort sorts ws in place in canonical order.
+func Sort(ws []Word) {
+	sort.Slice(ws, func(i, j int) bool { return Less(ws[i], ws[j]) })
+}
+
+// Min returns the canonical-order minimum of ws, which must be non-empty.
+func Min(ws []Word) Word {
+	min := ws[0]
+	for _, w := range ws[1:] {
+		if Less(w, min) {
+			min = w
+		}
+	}
+	return min
+}
+
+// Dedup sorts ws canonically and removes duplicates, returning the result.
+func Dedup(ws []Word) []Word {
+	if len(ws) == 0 {
+		return ws
+	}
+	Sort(ws)
+	out := ws[:1]
+	for _, w := range ws[1:] {
+		if !Equal(out[len(out)-1], w) {
+			out = append(out, w)
+		}
+	}
+	return out
+}
+
+// Key returns a map key uniquely identifying w. The encoding is the raw
+// little-endian bytes of the symbols, so it is injective.
+func Key(w Word) string {
+	var b strings.Builder
+	b.Grow(len(w) * 2)
+	for _, s := range w {
+		b.WriteByte(byte(s))
+		b.WriteByte(byte(s >> 8))
+	}
+	return b.String()
+}
+
+// String renders w with labels from a, separated by '·' for multi-symbol
+// words. ε renders as "ε".
+func String(w Word, a *alphabet.Alphabet) string {
+	if len(w) == 0 {
+		return "ε"
+	}
+	parts := make([]string, len(w))
+	for i, s := range w {
+		parts[i] = a.Name(s)
+	}
+	return strings.Join(parts, "·")
+}
+
+// FromLabels interns the labels into a and returns the resulting word.
+func FromLabels(a *alphabet.Alphabet, labels ...string) Word {
+	w := make(Word, len(labels))
+	for i, l := range labels {
+		w[i] = a.Intern(l)
+	}
+	return w
+}
+
+// Enumerate returns the first n words over the symbols syms in canonical
+// order, starting with ε. It is used by tests and by the characteristic
+// sample construction, which needs "all words smaller than p".
+func Enumerate(syms []alphabet.Symbol, n int) []Word {
+	out := make([]Word, 0, n)
+	if n == 0 {
+		return out
+	}
+	out = append(out, Epsilon)
+	// Generate level by level: words of length l+1 are words of length l
+	// extended by each symbol, with symbols in sorted order.
+	sorted := make([]alphabet.Symbol, len(syms))
+	copy(sorted, syms)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	level := []Word{Epsilon}
+	for len(out) < n && len(sorted) > 0 {
+		next := make([]Word, 0, len(level)*len(sorted))
+		for _, w := range level {
+			for _, s := range sorted {
+				next = append(next, Append(w, s))
+			}
+		}
+		for _, w := range next {
+			if len(out) == n {
+				break
+			}
+			out = append(out, w)
+		}
+		level = next
+	}
+	return out
+}
+
+// UpTo returns all words over syms that are ≤ bound in the canonical order
+// (including ε and bound itself if bound is over syms). The result is in
+// canonical order. Used by the characteristic-sample analysis.
+func UpTo(syms []alphabet.Symbol, bound Word) []Word {
+	var out []Word
+	sorted := make([]alphabet.Symbol, len(syms))
+	copy(sorted, syms)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	level := []Word{Epsilon}
+	out = append(out, Epsilon)
+	for l := 1; l <= len(bound); l++ {
+		next := make([]Word, 0, len(level)*len(sorted))
+		for _, w := range level {
+			for _, s := range sorted {
+				nw := Append(w, s)
+				if l < len(bound) || Compare(nw, bound) <= 0 {
+					out = append(out, nw)
+				}
+				next = append(next, nw)
+			}
+		}
+		level = next
+	}
+	return out
+}

@@ -1,0 +1,230 @@
+package words
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"pathquery/internal/alphabet"
+)
+
+func w(syms ...alphabet.Symbol) Word { return Word(syms) }
+
+func TestCompareCanonicalOrder(t *testing.T) {
+	// Canonical order: shorter first, then lexicographic (Section 2).
+	cases := []struct {
+		a, b Word
+		want int
+	}{
+		{Epsilon, Epsilon, 0},
+		{Epsilon, w(0), -1},
+		{w(1), w(0, 0), -1},    // length dominates lex
+		{w(0, 1), w(1, 0), -1}, // same length: lex
+		{w(2, 0), w(0, 0, 0), -1},
+		{w(0, 0), w(0, 0), 0},
+		{w(1, 0), w(0, 1), 1},
+	}
+	for _, c := range cases {
+		if got := Compare(c.a, c.b); sign(got) != c.want {
+			t.Errorf("Compare(%v,%v) = %d, want sign %d", c.a, c.b, got, c.want)
+		}
+	}
+}
+
+func sign(x int) int {
+	switch {
+	case x < 0:
+		return -1
+	case x > 0:
+		return 1
+	}
+	return 0
+}
+
+func TestCompareIsTotalOrderProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	gen := func() Word {
+		n := rng.Intn(5)
+		out := make(Word, n)
+		for i := range out {
+			out[i] = alphabet.Symbol(rng.Intn(3))
+		}
+		return out
+	}
+	for i := 0; i < 2000; i++ {
+		a, b, c := gen(), gen(), gen()
+		// Antisymmetry.
+		if sign(Compare(a, b)) != -sign(Compare(b, a)) {
+			t.Fatalf("antisymmetry violated for %v,%v", a, b)
+		}
+		// Transitivity.
+		if Compare(a, b) <= 0 && Compare(b, c) <= 0 && Compare(a, c) > 0 {
+			t.Fatalf("transitivity violated for %v,%v,%v", a, b, c)
+		}
+	}
+}
+
+func TestHasPrefix(t *testing.T) {
+	if !HasPrefix(w(0, 1, 2), Epsilon) {
+		t.Fatal("ε must prefix everything")
+	}
+	if !HasPrefix(w(0, 1, 2), w(0, 1)) {
+		t.Fatal("prefix not detected")
+	}
+	if HasPrefix(w(0, 1), w(0, 1, 2)) {
+		t.Fatal("longer word cannot be a prefix")
+	}
+	if HasPrefix(w(0, 1), w(1)) {
+		t.Fatal("non-prefix accepted")
+	}
+}
+
+func TestConcatAndAppendAreFresh(t *testing.T) {
+	a := w(0, 1)
+	b := w(2)
+	c := Concat(a, b)
+	if len(c) != 3 || c[2] != 2 {
+		t.Fatalf("Concat = %v", c)
+	}
+	c[0] = 9
+	if a[0] == 9 {
+		t.Fatal("Concat aliased its input")
+	}
+	d := Append(a, 5)
+	d[0] = 9
+	if a[0] == 9 {
+		t.Fatal("Append aliased its input")
+	}
+}
+
+func TestPrefixes(t *testing.T) {
+	ps := Prefixes(w(0, 1))
+	if len(ps) != 3 {
+		t.Fatalf("prefixes = %v", ps)
+	}
+	if !Equal(ps[0], Epsilon) || !Equal(ps[1], w(0)) || !Equal(ps[2], w(0, 1)) {
+		t.Fatalf("prefixes wrong: %v", ps)
+	}
+}
+
+func TestMinAndSort(t *testing.T) {
+	ws := []Word{w(1, 1), w(2), w(0, 0, 0), Epsilon}
+	if !Equal(Min(ws), Epsilon) {
+		t.Fatalf("Min = %v", Min(ws))
+	}
+	Sort(ws)
+	if !Equal(ws[0], Epsilon) || !Equal(ws[1], w(2)) || !Equal(ws[2], w(1, 1)) {
+		t.Fatalf("Sort = %v", ws)
+	}
+}
+
+func TestDedup(t *testing.T) {
+	ws := []Word{w(0), w(1), w(0), Epsilon, Epsilon}
+	out := Dedup(ws)
+	if len(out) != 3 {
+		t.Fatalf("Dedup = %v", out)
+	}
+}
+
+func TestKeyInjective(t *testing.T) {
+	seen := make(map[string]Word)
+	rng := rand.New(rand.NewSource(7))
+	for i := 0; i < 5000; i++ {
+		n := rng.Intn(6)
+		word := make(Word, n)
+		for j := range word {
+			word[j] = alphabet.Symbol(rng.Intn(300)) // exercise two-byte symbols
+		}
+		k := Key(word)
+		if prev, ok := seen[k]; ok && !Equal(prev, word) {
+			t.Fatalf("Key collision: %v vs %v", prev, word)
+		}
+		seen[k] = word
+	}
+}
+
+func TestStringRendering(t *testing.T) {
+	a := alphabet.New()
+	tram := a.Intern("tram")
+	bus := a.Intern("bus")
+	if got := String(Epsilon, a); got != "ε" {
+		t.Fatalf("ε renders as %q", got)
+	}
+	if got := String(w(tram, bus), a); got != "tram·bus" {
+		t.Fatalf("word renders as %q", got)
+	}
+}
+
+func TestFromLabels(t *testing.T) {
+	a := alphabet.New()
+	word := FromLabels(a, "x", "y", "x")
+	if len(word) != 3 || word[0] != word[2] {
+		t.Fatalf("FromLabels = %v", word)
+	}
+}
+
+func TestEnumerateIsCanonical(t *testing.T) {
+	syms := []alphabet.Symbol{0, 1}
+	got := Enumerate(syms, 7)
+	want := []Word{Epsilon, w(0), w(1), w(0, 0), w(0, 1), w(1, 0), w(1, 1)}
+	if len(got) != len(want) {
+		t.Fatalf("Enumerate len = %d", len(got))
+	}
+	for i := range got {
+		if !Equal(got[i], want[i]) {
+			t.Fatalf("Enumerate[%d] = %v, want %v", i, got[i], want[i])
+		}
+	}
+}
+
+func TestEnumerateSortedProperty(t *testing.T) {
+	got := Enumerate([]alphabet.Symbol{0, 1, 2}, 100)
+	for i := 1; i < len(got); i++ {
+		if !Less(got[i-1], got[i]) {
+			t.Fatalf("Enumerate not strictly increasing at %d: %v !< %v", i, got[i-1], got[i])
+		}
+	}
+}
+
+func TestUpToMatchesEnumerate(t *testing.T) {
+	syms := []alphabet.Symbol{0, 1}
+	bound := w(1, 0)
+	got := UpTo(syms, bound)
+	// Words ≤ (1,0): ε, 0, 1, 00, 01, 10.
+	if len(got) != 6 {
+		t.Fatalf("UpTo = %v", got)
+	}
+	if !Equal(got[len(got)-1], bound) {
+		t.Fatalf("last = %v, want bound", got[len(got)-1])
+	}
+}
+
+func TestCloneIndependent(t *testing.T) {
+	orig := w(1, 2, 3)
+	c := Clone(orig)
+	c[0] = 9
+	if orig[0] == 9 {
+		t.Fatal("Clone aliased")
+	}
+}
+
+func TestQuickCompareConsistentWithKeyOrder(t *testing.T) {
+	// Equal words have equal keys.
+	f := func(a, b []byte) bool {
+		wa := make(Word, len(a)%5)
+		for i := range wa {
+			wa[i] = alphabet.Symbol(a[i] % 4)
+		}
+		wb := make(Word, len(b)%5)
+		for i := range wb {
+			wb[i] = alphabet.Symbol(b[i] % 4)
+		}
+		if Equal(wa, wb) {
+			return Key(wa) == Key(wb)
+		}
+		return Key(wa) != Key(wb)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,173 @@
+// Package pathquery learns path queries on graph databases from node
+// examples, implementing Bonifati, Ciucanu & Lemay, "Learning Path Queries
+// on Graph Databases" (EDBT 2015).
+//
+// A graph database is a directed, edge-labeled graph. A path query is a
+// regular expression q evaluated under monadic semantics: q selects node ν
+// iff some path starting at ν spells a word of L(q). Given nodes the user
+// labeled positive ("I want this in the result") or negative, Learn
+// returns a query consistent with the labels, generalizing from the
+// smallest consistent path of each positive via RPNI-style state merging.
+// When the examples are insufficient, Learn returns ErrAbstain — the
+// paper's "learning with abstain" (consistency checking is
+// PSPACE-complete, so no polynomial learner can decide it exactly).
+//
+// # Quick start
+//
+//	g := pathquery.NewGraph(nil)
+//	g.AddEdgeByName("N1", "tram", "N4")
+//	g.AddEdgeByName("N4", "cinema", "C1")
+//	n1, _ := g.NodeByName("N1")
+//	c1, _ := g.NodeByName("C1")
+//	q, err := pathquery.Learn(g, pathquery.Sample{
+//	    Pos: []pathquery.NodeID{n1},
+//	    Neg: []pathquery.NodeID{c1},
+//	}, pathquery.Options{})
+//	// q selects exactly the nodes from which a tram·cinema path leaves.
+//
+// Interactive learning (Section 4 of the paper) starts with no examples
+// and asks the user to label proposed nodes until the learned query
+// matches their intent:
+//
+//	sess := pathquery.NewSession(g, pathquery.SessionOptions{})
+//	res, err := sess.Run(oracle, halt)
+//
+// The subpackages under internal implement the substrates: automata
+// (NFA/DFA/RPNI machinery), graph (storage and product constructions),
+// scp (smallest-consistent-path search), charsample (the Theorem 3.5
+// characteristic-sample construction), hardness (the Lemma 3.2/3.3
+// reductions), datasets and experiments (the paper's evaluation).
+package pathquery
+
+import (
+	"pathquery/internal/alphabet"
+	"pathquery/internal/certain"
+	"pathquery/internal/charsample"
+	"pathquery/internal/core"
+	"pathquery/internal/graph"
+	"pathquery/internal/interactive"
+	"pathquery/internal/metrics"
+	"pathquery/internal/query"
+)
+
+// Core types, re-exported for the public API.
+type (
+	// Graph is a directed edge-labeled graph database.
+	Graph = graph.Graph
+	// NodeID identifies a graph node.
+	NodeID = graph.NodeID
+	// Alphabet interns edge labels.
+	Alphabet = alphabet.Alphabet
+	// Query is a path query (regular expression + canonical DFA).
+	Query = query.Query
+	// NaryQuery is an n-ary path query (Appendix B).
+	NaryQuery = query.Nary
+	// Sample is a set of positive/negative node examples.
+	Sample = core.Sample
+	// Pair is a binary-semantics example.
+	Pair = core.Pair
+	// PairSample is a set of pair examples.
+	PairSample = core.PairSample
+	// TupleSample is a set of n-ary examples.
+	TupleSample = core.TupleSample
+	// Options tunes the learner (SCP bound k, dynamic schedule, ablation).
+	Options = core.Options
+	// Result carries the learned query plus diagnostics.
+	Result = core.Result
+	// Session is an interactive learning session.
+	Session = interactive.Session
+	// SessionOptions tunes an interactive session.
+	SessionOptions = interactive.Options
+	// SessionResult summarizes a finished session.
+	SessionResult = interactive.Result
+	// Oracle answers "would you select this node?".
+	Oracle = interactive.Oracle
+	// HaltCondition decides when the user is satisfied.
+	HaltCondition = interactive.HaltCondition
+	// Strategy proposes nodes to label (KR, KS).
+	Strategy = interactive.Strategy
+	// Confusion scores a learned query against a goal.
+	Confusion = metrics.Confusion
+)
+
+// ErrAbstain is returned when no consistent query can be constructed from
+// the given examples — the paper's null answer.
+var ErrAbstain = core.ErrAbstain
+
+// NewGraph returns an empty graph over alpha (nil for a fresh alphabet).
+func NewGraph(alpha *Alphabet) *Graph { return graph.New(alpha) }
+
+// NewAlphabet returns an empty label table.
+func NewAlphabet() *Alphabet { return alphabet.New() }
+
+// ParseQuery parses a regular expression (ε, labels, +, · or ., *) over
+// alpha into a query, interning new labels.
+func ParseQuery(alpha *Alphabet, src string) (*Query, error) {
+	return query.Parse(alpha, src)
+}
+
+// Learn runs the paper's Algorithm 1 on a monadic sample.
+func Learn(g *Graph, s Sample, opt Options) (*Query, error) {
+	return core.Learn(g, s, opt)
+}
+
+// LearnDetailed is Learn with diagnostics (selected SCPs, final k, merge
+// count).
+func LearnDetailed(g *Graph, s Sample, opt Options) (*Result, error) {
+	return core.LearnDetailed(g, s, opt)
+}
+
+// LearnBinary runs Algorithm 2 on pair examples.
+func LearnBinary(g *Graph, s PairSample, opt Options) (*Query, error) {
+	return core.LearnBinary(g, s, opt)
+}
+
+// LearnNary runs Algorithm 3 on tuple examples.
+func LearnNary(g *Graph, s TupleSample, opt Options) (*NaryQuery, error) {
+	return core.LearnNary(g, s, opt)
+}
+
+// Consistent decides sample consistency exactly (Lemma 3.1). Exponential
+// worst case — the problem is PSPACE-complete (Lemma 3.2); intended for
+// small graphs and diagnostics.
+func Consistent(g *Graph, s Sample) bool { return core.Consistent(g, s) }
+
+// NewSession starts an interactive learning session with an empty sample.
+func NewSession(g *Graph, opts SessionOptions) *Session {
+	return interactive.NewSession(g, opts)
+}
+
+// NewQueryOracle simulates a user holding the given goal query.
+func NewQueryOracle(g *Graph, goal *Query) Oracle {
+	return interactive.NewQueryOracle(g, goal)
+}
+
+// ExactMatch halts a session when the learned query selects exactly the
+// goal's nodes (F1 = 1).
+func ExactMatch(g *Graph, goal *Query) HaltCondition {
+	return interactive.ExactMatch(g, goal)
+}
+
+// Score rates a learned query against a goal query on g, viewing both as
+// binary node classifiers.
+func Score(g *Graph, goal, learned *Query) Confusion {
+	return metrics.Score(goal.Select(g), learned.Select(g))
+}
+
+// CharacteristicSample builds a graph and sample from which Learn is
+// guaranteed to identify q exactly (Theorem 3.5), with the SCP bound
+// CharacteristicK(q).
+func CharacteristicSample(q *Query) (*Graph, Sample, error) {
+	return charsample.Build(q)
+}
+
+// CharacteristicK returns the SCP length bound 2·n+1 Theorem 3.5
+// prescribes for q.
+func CharacteristicK(q *Query) int { return charsample.KFor(q) }
+
+// IsInformative decides exactly whether labeling ν would add information
+// (Section 4.2). PSPACE-complete in general (Lemma 4.2); intended for
+// small graphs.
+func IsInformative(g *Graph, s Sample, nu NodeID) bool {
+	return certain.IsInformative(g, s, nu)
+}
