@@ -8,6 +8,7 @@ package pathquery_test
 
 import (
 	"math/rand"
+	"sort"
 	"sync"
 	"testing"
 
@@ -235,6 +236,23 @@ func BenchmarkSelectMonadic(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		g.SelectMonadic(d)
+	}
+}
+
+// BenchmarkGraphStep measures the CSR set-transition primitive. With
+// -benchmem the only allocation per op is the result slice — dedup runs
+// on a pooled bitset, with no per-call map and no per-call sort.
+func BenchmarkGraphStep(b *testing.B) {
+	g, _ := synthetic()
+	rng := rand.New(rand.NewSource(8))
+	set := make([]graph.NodeID, 64)
+	for i := range set {
+		set[i] = graph.NodeID(rng.Intn(g.NumNodes()))
+	}
+	sort.Slice(set, func(i, j int) bool { return set[i] < set[j] })
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		g.Step(set, 0)
 	}
 }
 

@@ -8,11 +8,19 @@
 //	pqbench -table2-bio -table2-syn
 //	pqbench -ablation -theorem
 //	pqbench -all -quick          # everything, scaled down
+//	pqbench -snapshot            # go-bench snapshot into BENCH_<date>.json
 //
 // -quick shrinks trial counts, fraction grids, synthetic sizes, and
 // interaction budgets so the full suite finishes in minutes; without it
 // the parameters match the paper's. -csv DIR additionally writes
 // machine-readable series for plotting.
+//
+// -snapshot runs the repository's substrate go-benchmarks (via `go test
+// -bench`, so it must be invoked inside the module) and records the
+// parsed results as BENCH_<date>.json, tracking the perf trajectory
+// PR-over-PR; -snapshot-bench overrides the benchmark pattern,
+// -snapshot-out the file name, and -snapshot-note attaches free-form
+// context (e.g. the baseline being compared against).
 package main
 
 import (
@@ -49,12 +57,25 @@ var (
 	capFlag   = flag.Int("cap", 0, "interactive interaction budget override (0: default)")
 	baseline  = flag.Bool("static-baseline", false, "compute Table 2's 'without interactions' column even with -quick")
 	synSize   = flag.Int("syn-size", 0, "run synthetic experiments on this single size only")
+
+	snapshot      = flag.Bool("snapshot", false, "run go-benchmarks and write BENCH_<date>.json")
+	snapshotBench = flag.String("snapshot-bench", "BenchmarkSelectMonadic$|BenchmarkSCPSearch$|BenchmarkLearnerPaperExample$",
+		"benchmark pattern for -snapshot")
+	snapshotOut   = flag.String("snapshot-out", "", "snapshot file name (default BENCH_<date>.json)")
+	snapshotNote  = flag.String("snapshot-note", "", "free-form note stored in the snapshot")
+	snapshotCount = flag.Int("snapshot-count", 1, "benchmark repetitions for -snapshot")
 )
 
 func main() {
 	log.SetFlags(0)
 	log.SetPrefix("pqbench: ")
 	flag.Parse()
+	if *snapshot {
+		if err := runSnapshot(); err != nil {
+			log.Fatal(err)
+		}
+		return
+	}
 	if *all {
 		*table1, *staticBio, *staticSyn, *table2Bio, *table2Syn, *ablation, *sampled, *theorem =
 			true, true, true, true, true, true, true, true

@@ -1,0 +1,113 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"os/exec"
+	"regexp"
+	"runtime"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// Benchmark snapshots: run the repository's go-benchmarks and persist the
+// parsed results as BENCH_<date>.json so the perf trajectory is tracked
+// in-tree, PR over PR. The snapshot runs `go test -bench` as a subprocess
+// (benchmarks live in the root package's test binary), so it must be
+// invoked from inside the module.
+
+// Snapshot is the BENCH_<date>.json document.
+type Snapshot struct {
+	Date       string           `json:"date"`
+	GoVersion  string           `json:"go_version"`
+	GOOS       string           `json:"goos"`
+	GOARCH     string           `json:"goarch"`
+	CPUs       int              `json:"cpus"`
+	BenchFlags string           `json:"bench_flags"`
+	Note       string           `json:"note,omitempty"`
+	Benchmarks []BenchmarkEntry `json:"benchmarks"`
+}
+
+// BenchmarkEntry is one parsed benchmark result line. Metrics holds every
+// "value unit" pair go test reported: ns/op always, B/op and allocs/op
+// from -benchmem, plus any custom b.ReportMetric units.
+type BenchmarkEntry struct {
+	Name    string             `json:"name"`
+	Iters   int64              `json:"iters"`
+	Metrics map[string]float64 `json:"metrics"`
+}
+
+var benchLine = regexp.MustCompile(`^(Benchmark\S+?)(?:-\d+)?\s+(\d+)\s+(.+)$`)
+
+func runSnapshot() error {
+	args := []string{"test", "-run", "^$", "-bench", *snapshotBench,
+		"-benchmem", "-count", strconv.Itoa(*snapshotCount), "pathquery"}
+	cmd := exec.Command("go", args...)
+	cmd.Stderr = os.Stderr
+	out, err := cmd.Output()
+	if err != nil {
+		return fmt.Errorf("go %s: %w", strings.Join(args, " "), err)
+	}
+	snap := Snapshot{
+		Date:       time.Now().UTC().Format("2006-01-02"),
+		GoVersion:  runtime.Version(),
+		GOOS:       runtime.GOOS,
+		GOARCH:     runtime.GOARCH,
+		CPUs:       runtime.NumCPU(),
+		BenchFlags: strings.Join(args[1:], " "),
+		Note:       *snapshotNote,
+		Benchmarks: parseBenchOutput(string(out)),
+	}
+	if len(snap.Benchmarks) == 0 {
+		return fmt.Errorf("no benchmark results matched %q", *snapshotBench)
+	}
+	name := *snapshotOut
+	if name == "" {
+		name = "BENCH_" + snap.Date + ".json"
+	}
+	data, err := json.MarshalIndent(snap, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(name, append(data, '\n'), 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %s (%d benchmark lines)\n", name, len(snap.Benchmarks))
+	return nil
+}
+
+// parseBenchOutput extracts benchmark lines from go test output. Repeated
+// -count runs of the same benchmark keep the fastest ns/op line, matching
+// how benchstat-style comparisons read best-of runs.
+func parseBenchOutput(out string) []BenchmarkEntry {
+	best := map[string]BenchmarkEntry{}
+	var order []string
+	for _, line := range strings.Split(out, "\n") {
+		m := benchLine.FindStringSubmatch(strings.TrimSpace(line))
+		if m == nil {
+			continue
+		}
+		entry := BenchmarkEntry{Name: m[1], Metrics: map[string]float64{}}
+		entry.Iters, _ = strconv.ParseInt(m[2], 10, 64)
+		fields := strings.Fields(m[3])
+		for i := 0; i+1 < len(fields); i += 2 {
+			if v, err := strconv.ParseFloat(fields[i], 64); err == nil {
+				entry.Metrics[fields[i+1]] = v
+			}
+		}
+		prev, seen := best[entry.Name]
+		if !seen {
+			order = append(order, entry.Name)
+		}
+		if !seen || entry.Metrics["ns/op"] < prev.Metrics["ns/op"] {
+			best[entry.Name] = entry
+		}
+	}
+	entries := make([]BenchmarkEntry, 0, len(order))
+	for _, name := range order {
+		entries = append(entries, best[name])
+	}
+	return entries
+}

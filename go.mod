@@ -1,0 +1,3 @@
+module pathquery
+
+go 1.24

@@ -1,0 +1,114 @@
+package bitset_test
+
+import (
+	"math/rand"
+	"runtime"
+	"sync"
+	"testing"
+
+	"pathquery/internal/bitset"
+)
+
+func TestBasicOps(t *testing.T) {
+	b := bitset.Make(200)
+	if len(b) != bitset.WordsFor(200) {
+		t.Fatalf("Make(200) has %d words", len(b))
+	}
+	for _, i := range []int{0, 1, 63, 64, 65, 127, 128, 199} {
+		if b.Get(i) {
+			t.Fatalf("bit %d set in fresh bitset", i)
+		}
+		if !b.TrySet(i) {
+			t.Fatalf("TrySet(%d) on unset bit returned false", i)
+		}
+		if b.TrySet(i) {
+			t.Fatalf("TrySet(%d) on set bit returned true", i)
+		}
+		if !b.Get(i) {
+			t.Fatalf("bit %d unset after Set", i)
+		}
+	}
+	if got := b.Count(); got != 8 {
+		t.Fatalf("Count = %d, want 8", got)
+	}
+	b.Clear(64)
+	if b.Get(64) {
+		t.Fatal("bit 64 still set after Clear")
+	}
+	b.ClearAll()
+	if b.Count() != 0 {
+		t.Fatal("bits remain after ClearAll")
+	}
+}
+
+func TestGrowPreservesOrReplaces(t *testing.T) {
+	b := bitset.Make(64)
+	b.Set(3)
+	same := b.Grow(64)
+	if !same.Get(3) {
+		t.Fatal("Grow to same size must keep contents")
+	}
+	bigger := b.Grow(1000)
+	if len(bigger) != bitset.WordsFor(1000) {
+		t.Fatalf("Grow(1000) has %d words", len(bigger))
+	}
+	if bigger.Count() != 0 {
+		t.Fatal("grown bitset must be zeroed")
+	}
+}
+
+func TestForEachAscending(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	b := bitset.Make(500)
+	want := map[int]bool{}
+	for k := 0; k < 100; k++ {
+		i := rng.Intn(500)
+		b.Set(i)
+		want[i] = true
+	}
+	prev := -1
+	n := 0
+	b.ForEach(func(i int) {
+		if i <= prev {
+			t.Fatalf("ForEach out of order: %d after %d", i, prev)
+		}
+		if !want[i] {
+			t.Fatalf("ForEach visited unset bit %d", i)
+		}
+		prev = i
+		n++
+	})
+	if n != len(want) {
+		t.Fatalf("ForEach visited %d bits, want %d", n, len(want))
+	}
+}
+
+func TestTrySetAtomicExactlyOnce(t *testing.T) {
+	defer runtime.GOMAXPROCS(runtime.GOMAXPROCS(4))
+	const nBits = 1 << 12
+	b := bitset.Make(nBits)
+	var wins [8][]int
+	var wg sync.WaitGroup
+	for w := 0; w < len(wins); w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < nBits; i++ {
+				if b.TrySetAtomic(i) {
+					wins[w] = append(wins[w], i)
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	total := 0
+	for _, ws := range wins {
+		total += len(ws)
+	}
+	if total != nBits {
+		t.Fatalf("%d wins across workers, want exactly %d", total, nBits)
+	}
+	if b.Count() != nBits {
+		t.Fatalf("Count = %d, want %d", b.Count(), nBits)
+	}
+}

@@ -109,27 +109,40 @@ func learnBinaryFixedK(g *graph.Graph, s PairSample, opt Options, k int) (*query
 // reachable from p.From and, per negative pair, the set reachable from its
 // origin — is a deterministic function of the word, so a BFS over those
 // subset tuples with sorted symbol expansion enumerates words canonically.
+// Subsets are interned to dense ids (graph.NodeSetIndex) with memoized
+// (set, symbol) transitions, so tuple states are small id vectors and each
+// distinct subset is stepped at most once per symbol.
 func smallestPairPath(g *graph.Graph, p Pair, neg []Pair, k int) (words.Word, bool) {
+	g.Freeze()
+	ix := graph.NewNodeSetIndex()
+	trans := make(map[uint64]int32)
+	stepID := func(id int32, sym alphabet.Symbol) int32 {
+		key := uint64(uint32(id))<<32 | uint64(sym)
+		if t, ok := trans[key]; ok {
+			return t
+		}
+		t := ix.Intern(g.Step(ix.Set(id), sym))
+		trans[key] = t
+		return t
+	}
 	type state struct {
-		mine []graph.NodeID
-		negs [][]graph.NodeID
+		mine int32
+		negs []int32
 		word words.Word
 	}
 	encode := func(st state) string {
-		b := make([]byte, 0, 64)
-		app := func(set []graph.NodeID) {
-			for _, v := range set {
-				b = append(b, byte(v), byte(v>>8), byte(v>>16), byte(v>>24))
-			}
-			b = append(b, 0xff, 0xff, 0xff, 0xff)
+		b := make([]byte, 0, 4*(1+len(st.negs)))
+		app := func(id int32) {
+			b = append(b, byte(id), byte(id>>8), byte(id>>16), byte(id>>24))
 		}
 		app(st.mine)
-		for _, s := range st.negs {
-			app(s)
+		for _, id := range st.negs {
+			app(id)
 		}
 		return string(b)
 	}
-	contains := func(set []graph.NodeID, v graph.NodeID) bool {
+	contains := func(id int32, v graph.NodeID) bool {
+		set := ix.Set(id)
 		i := sort.Search(len(set), func(i int) bool { return set[i] >= v })
 		return i < len(set) && set[i] == v
 	}
@@ -145,9 +158,9 @@ func smallestPairPath(g *graph.Graph, p Pair, neg []Pair, k int) (words.Word, bo
 		return true
 	}
 
-	init := state{mine: []graph.NodeID{p.From}, word: words.Epsilon}
+	init := state{mine: ix.Intern([]graph.NodeID{p.From}), word: words.Epsilon}
 	for _, n := range neg {
-		init.negs = append(init.negs, []graph.NodeID{n.From})
+		init.negs = append(init.negs, ix.Intern([]graph.NodeID{n.From}))
 	}
 	if accepts(init) {
 		return words.Epsilon, true
@@ -160,16 +173,16 @@ func smallestPairPath(g *graph.Graph, p Pair, neg []Pair, k int) (words.Word, bo
 		if len(cur.word) >= k {
 			continue
 		}
-		for _, sym := range outSymbols(g, cur.mine) {
+		for _, sym := range g.SymbolsOf(ix.Set(cur.mine)) {
 			next := state{
-				mine: g.Step(cur.mine, sym),
+				mine: stepID(cur.mine, sym),
 				word: words.Append(cur.word, sym),
 			}
-			if len(next.mine) == 0 {
+			if len(ix.Set(next.mine)) == 0 {
 				continue
 			}
-			for _, s := range cur.negs {
-				next.negs = append(next.negs, g.Step(s, sym))
+			for _, id := range cur.negs {
+				next.negs = append(next.negs, stepID(id, sym))
 			}
 			if accepts(next) {
 				return next.word, true
@@ -182,22 +195,6 @@ func smallestPairPath(g *graph.Graph, p Pair, neg []Pair, k int) (words.Word, bo
 		}
 	}
 	return nil, false
-}
-
-// outSymbols returns the sorted distinct symbols leaving the node set.
-func outSymbols(g *graph.Graph, set []graph.NodeID) []alphabet.Symbol {
-	seen := make(map[alphabet.Symbol]bool)
-	var out []alphabet.Symbol
-	for _, v := range set {
-		for _, e := range g.OutEdges(v) {
-			if !seen[e.Sym] {
-				seen[e.Sym] = true
-				out = append(out, e.Sym)
-			}
-		}
-	}
-	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
-	return out
 }
 
 // TupleSample is a set of n-ary examples: node tuples labeled + or −.

@@ -121,6 +121,9 @@ func Learn(g *graph.Graph, s Sample, opt Options) (*query.Query, error) {
 
 // LearnDetailed is Learn exposing diagnostics.
 func LearnDetailed(g *graph.Graph, s Sample, opt Options) (*Result, error) {
+	// Freeze once up front: every consistency check below runs on the CSR
+	// read view, and freezing here keeps the first check's timing honest.
+	g.Freeze()
 	opt = opt.withDefaults()
 	if err := s.Validate(); err != nil {
 		return nil, err

@@ -104,6 +104,9 @@ func ScaleFree(cfg ScaleFreeConfig) *graph.Graph {
 		outPool = append(outPool, from)
 		inPool = append(inPool, to)
 	}
+	// Generated graphs are immutable from here on: build the CSR read
+	// view before the graph fans out to queries and benchmarks.
+	g.Freeze()
 	return g
 }
 

@@ -71,6 +71,9 @@ func (c StaticConfig) withDefaults() StaticConfig {
 // binary node classifier.
 func RunStatic(g *graph.Graph, goal datasets.NamedQuery, cfg StaticConfig) StaticSeries {
 	cfg = cfg.withDefaults()
+	// Freeze before timing starts: the CSR build is a one-time setup cost
+	// and must not be attributed to the first trial's LearnTime.
+	g.Freeze()
 	series := StaticSeries{Query: goal}
 	goalSel := goal.Query.Select(g)
 	for fi, fraction := range cfg.Fractions {

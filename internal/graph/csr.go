@@ -1,0 +1,250 @@
+package graph
+
+import (
+	"sort"
+
+	"pathquery/internal/alphabet"
+	"pathquery/internal/bitset"
+)
+
+// This file implements the frozen read-side representation of a Graph: a
+// compressed sparse row (CSR) adjacency grouped by symbol, the scratch
+// pools shared by the hot product searches, and the node-set interner used
+// by the subset constructions (firstEscaping here, Coverage in
+// internal/scp).
+//
+// Freeze contract: the first read operation freezes the graph — both
+// adjacency directions are flattened into one []Edge array per direction,
+// grouped by node and sorted by (symbol, neighbor), with a per-(node,
+// symbol) segment index on top. After that, Step, symbolsOf and the
+// product successor loops are contiguous range scans with no per-call map
+// and no per-call sort. Mutation (AddNode/AddEdge) invalidates the frozen
+// view; the next read rebuilds it. Reads may run concurrently; mutation
+// must not overlap with reads — the same contract the lazy sort had.
+
+// csr is a symbol-indexed compressed-sparse-row adjacency. Edges are
+// grouped by node and sorted by (symbol, neighbor); within a node, runs of
+// equal symbols form segments so the (node, symbol) successor list is one
+// contiguous slice.
+type csr struct {
+	edges    []Edge             // all edges, grouped by node, sorted (sym, nbr)
+	rowStart []int32            // len nv+1: node v's edges are edges[rowStart[v]:rowStart[v+1]]
+	segStart []int32            // len nv+1: node v's segments are segStart[v]..segStart[v+1]
+	segSym   []alphabet.Symbol  // per-segment symbol, ascending within a node
+	segOff   []int32            // len nSegs+1: segment s covers edges[segOff[s]:segOff[s+1]]
+}
+
+func buildCSR(adj [][]Edge) csr {
+	nv := len(adj)
+	total := 0
+	for _, es := range adj {
+		total += len(es)
+	}
+	c := csr{
+		edges:    make([]Edge, 0, total),
+		rowStart: make([]int32, nv+1),
+		segStart: make([]int32, nv+1),
+	}
+	for v, es := range adj {
+		c.rowStart[v] = int32(len(c.edges))
+		c.edges = append(c.edges, es...)
+		row := c.edges[c.rowStart[v]:]
+		sort.Slice(row, func(i, j int) bool {
+			if row[i].Sym != row[j].Sym {
+				return row[i].Sym < row[j].Sym
+			}
+			return row[i].To < row[j].To
+		})
+	}
+	c.rowStart[nv] = int32(len(c.edges))
+	for v := 0; v < nv; v++ {
+		c.segStart[v] = int32(len(c.segSym))
+		lo, hi := c.rowStart[v], c.rowStart[v+1]
+		for i := lo; i < hi; {
+			sym := c.edges[i].Sym
+			c.segSym = append(c.segSym, sym)
+			c.segOff = append(c.segOff, i)
+			for i < hi && c.edges[i].Sym == sym {
+				i++
+			}
+		}
+	}
+	c.segStart[nv] = int32(len(c.segSym))
+	c.segOff = append(c.segOff, int32(len(c.edges)))
+	return c
+}
+
+// row returns node v's edges, sorted by (symbol, neighbor).
+func (c *csr) row(v NodeID) []Edge {
+	return c.edges[c.rowStart[v]:c.rowStart[v+1]]
+}
+
+// succ returns the edges of v labeled sym (sorted by neighbor, possibly
+// with duplicates), as one contiguous slice.
+func (c *csr) succ(v NodeID, sym alphabet.Symbol) []Edge {
+	lo, hi := c.segStart[v], c.segStart[v+1]
+	for lo < hi {
+		mid := (lo + hi) >> 1
+		if c.segSym[mid] < sym {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	if lo < c.segStart[v+1] && c.segSym[lo] == sym {
+		return c.edges[c.segOff[lo]:c.segOff[lo+1]]
+	}
+	return nil
+}
+
+// Freeze builds the CSR read-side index now instead of on first read.
+// Useful right after bulk construction, before handing the graph to
+// concurrent readers or benchmarks.
+func (g *Graph) Freeze() { g.freeze() }
+
+func (g *Graph) freeze() {
+	if g.frozen.Load() {
+		return
+	}
+	g.freezeMu.Lock()
+	defer g.freezeMu.Unlock()
+	if g.frozen.Load() {
+		return
+	}
+	g.csrOut = buildCSR(g.out)
+	g.csrIn = buildCSR(g.in)
+	g.frozen.Store(true)
+}
+
+// stepScratch is pooled per-call state for Step and symbolsOf: dedup
+// bitsets over the node and symbol universes. Pool discipline: all bits
+// zero while in the pool (both users clear the words they touched while
+// emitting output).
+type stepScratch struct {
+	nodes bitset.Bits
+	syms  bitset.Bits
+	// StepAll per-symbol edge buckets and the symbols present, reused
+	// across calls.
+	buckets [][]NodeID
+	present []alphabet.Symbol
+}
+
+func (g *Graph) getStep() *stepScratch {
+	s, _ := g.stepPool.Get().(*stepScratch)
+	if s == nil {
+		s = &stepScratch{}
+	}
+	s.nodes = s.nodes.Grow(g.NumNodes())
+	s.syms = s.syms.Grow(g.alpha.Size())
+	return s
+}
+
+func (g *Graph) putStep(s *stepScratch) { g.stepPool.Put(s) }
+
+// productScratch is pooled per-call state for the |V|·|Q| product
+// searches: the visited bitset, the DFS/BFS work stack and, for the
+// early-exit searches, the list of set bit indices so release clears in
+// O(visited) instead of O(|V|·|Q|). Pool discipline: bits all zero while
+// in the pool.
+type productScratch struct {
+	bits    bitset.Bits
+	stack   []uint64
+	next    []uint64   // second frontier for level-synchronous BFS
+	touched []uint64   // set-bit indices, for sparse clearing
+	shards  [][]uint64 // per-worker frontier buffers, parallel SelectMonadic
+	// Per-node pending-state masks for the |Q| ≤ 64 SelectMonadic fast
+	// path; all-zero between uses (each level consumes its own array).
+	maskCur  bitset.Bits
+	maskNext bitset.Bits
+}
+
+func (g *Graph) getProduct(bits int) *productScratch {
+	s, _ := g.prodPool.Get().(*productScratch)
+	if s == nil {
+		s = &productScratch{}
+	}
+	s.bits = s.bits.Grow(bits)
+	return s
+}
+
+// putProductSparse releases scratch whose set bits are all recorded in
+// touched.
+func (g *Graph) putProductSparse(s *productScratch) {
+	for _, i := range s.touched {
+		s.bits.Clear(int(i))
+	}
+	g.putProductClean(s)
+}
+
+// putProductDense releases scratch after a search that may have marked a
+// large fraction of the product space: clear the used prefix wholesale.
+func (g *Graph) putProductDense(s *productScratch, bits int) {
+	clear(s.bits[:bitset.WordsFor(bits)])
+	g.putProductClean(s)
+}
+
+func (g *Graph) putProductClean(s *productScratch) {
+	s.stack = s.stack[:0]
+	s.next = s.next[:0]
+	s.touched = s.touched[:0]
+	g.prodPool.Put(s)
+}
+
+// NodeSetIndex interns sorted node sets as dense int32 ids, replacing the
+// string-keyed subset maps of the pre-CSR implementation. Sets are hashed
+// (FNV-1a over the ids) into buckets and compared element-wise on
+// collision. Intern takes ownership of the slice it is given; callers must
+// not modify a set after interning it.
+type NodeSetIndex struct {
+	sets    [][]NodeID
+	buckets map[uint64][]int32
+}
+
+// NewNodeSetIndex returns an empty index.
+func NewNodeSetIndex() *NodeSetIndex {
+	return &NodeSetIndex{buckets: make(map[uint64][]int32)}
+}
+
+func hashNodeSet(set []NodeID) uint64 {
+	h := uint64(14695981039346656037)
+	for _, v := range set {
+		h ^= uint64(uint32(v))
+		h *= 1099511628211
+	}
+	return h
+}
+
+// Intern returns the id of set, assigning a fresh one (and taking
+// ownership of the slice) if it is new. The set must be sorted and
+// duplicate-free — the canonical form Step and dedupNodes produce.
+func (ix *NodeSetIndex) Intern(set []NodeID) int32 {
+	h := hashNodeSet(set)
+	for _, id := range ix.buckets[h] {
+		if nodeSetsEqual(ix.sets[id], set) {
+			return id
+		}
+	}
+	id := int32(len(ix.sets))
+	ix.sets = append(ix.sets, set)
+	ix.buckets[h] = append(ix.buckets[h], id)
+	return id
+}
+
+// Set returns the node set with the given id. The returned slice must not
+// be modified.
+func (ix *NodeSetIndex) Set(id int32) []NodeID { return ix.sets[id] }
+
+// Len returns the number of distinct sets interned.
+func (ix *NodeSetIndex) Len() int { return len(ix.sets) }
+
+func nodeSetsEqual(a, b []NodeID) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}

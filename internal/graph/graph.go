@@ -5,7 +5,11 @@
 // starting at ν — is never materialized: it is the prefix-closed language
 // of the graph viewed as an NFA whose states are all accepting, and every
 // operation on it (membership, query products, inclusion) is computed as a
-// product construction over the adjacency lists.
+// product construction over the adjacency.
+//
+// Reads run against a frozen compressed-sparse-row view (see csr.go and
+// DESIGN.md): adjacency flattened per direction into one flat edge array
+// grouped by node and symbol, so the hot loops are contiguous range scans.
 package graph
 
 import (
@@ -15,6 +19,7 @@ import (
 	"sync/atomic"
 
 	"pathquery/internal/alphabet"
+	"pathquery/internal/bitset"
 	"pathquery/internal/words"
 )
 
@@ -28,21 +33,28 @@ type Edge struct {
 }
 
 // Graph is a finite directed edge-labeled graph over an interned alphabet.
-// Adjacency lists are kept sorted by (symbol, neighbor), which makes
-// canonical-order path enumeration a plain BFS taking edges in list order.
+// Construction appends to per-node adjacency lists; the first read freezes
+// them into symbol-indexed CSR form (csr.go), which keeps canonical-order
+// path enumeration a plain BFS taking edges in (symbol, neighbor) order.
 //
 // Concurrency: once construction is done, any number of goroutines may
-// read concurrently (the lazy adjacency sort is guarded); mutation must
-// not overlap with reads.
+// read concurrently (the lazy freeze is guarded and the scratch pools are
+// concurrent); mutation must not overlap with reads.
 type Graph struct {
 	alpha     *alphabet.Alphabet
 	nodeNames []string
 	nodeIDs   map[string]NodeID
-	out       [][]Edge
+	out       [][]Edge // build-side adjacency; reads use csrOut/csrIn
 	in        [][]Edge
 	numEdges  int
-	sorted    atomic.Bool
-	sortMu    sync.Mutex
+
+	frozen   atomic.Bool
+	freezeMu sync.Mutex
+	csrOut   csr
+	csrIn    csr
+
+	stepPool sync.Pool // *stepScratch
+	prodPool sync.Pool // *productScratch
 }
 
 // New returns an empty graph over alpha. If alpha is nil a fresh alphabet
@@ -51,9 +63,7 @@ func New(alpha *alphabet.Alphabet) *Graph {
 	if alpha == nil {
 		alpha = alphabet.New()
 	}
-	g := &Graph{alpha: alpha, nodeIDs: make(map[string]NodeID)}
-	g.sorted.Store(true)
-	return g
+	return &Graph{alpha: alpha, nodeIDs: make(map[string]NodeID)}
 }
 
 // Alphabet returns the graph's alphabet.
@@ -76,6 +86,7 @@ func (g *Graph) AddNode(name string) NodeID {
 	g.nodeIDs[name] = id
 	g.out = append(g.out, nil)
 	g.in = append(g.in, nil)
+	g.frozen.Store(false)
 	return id
 }
 
@@ -86,7 +97,7 @@ func (g *Graph) AddEdge(from NodeID, sym alphabet.Symbol, to NodeID) {
 	g.out[from] = append(g.out[from], Edge{sym, to})
 	g.in[to] = append(g.in[to], Edge{sym, from})
 	g.numEdges++
-	g.sorted.Store(false)
+	g.frozen.Store(false)
 }
 
 // AddEdgeByName interns label and adds an edge between named nodes,
@@ -113,69 +124,45 @@ func (g *Graph) Nodes() []NodeID {
 	return out
 }
 
-// ensureSorted sorts adjacency lists by (symbol, neighbor); all canonical-
-// order algorithms call it first. Double-checked locking keeps concurrent
-// readers safe while leaving the sorted fast path lock-free.
-func (g *Graph) ensureSorted() {
-	if g.sorted.Load() {
-		return
-	}
-	g.sortMu.Lock()
-	defer g.sortMu.Unlock()
-	if g.sorted.Load() {
-		return
-	}
-	for v := range g.out {
-		sort.Slice(g.out[v], func(i, j int) bool {
-			a, b := g.out[v][i], g.out[v][j]
-			if a.Sym != b.Sym {
-				return a.Sym < b.Sym
-			}
-			return a.To < b.To
-		})
-		sort.Slice(g.in[v], func(i, j int) bool {
-			a, b := g.in[v][i], g.in[v][j]
-			if a.Sym != b.Sym {
-				return a.Sym < b.Sym
-			}
-			return a.To < b.To
-		})
-	}
-	g.sorted.Store(true)
-}
-
-// OutEdges returns the sorted out-edges of v. The returned slice must not
-// be modified.
+// OutEdges returns the out-edges of v sorted by (symbol, neighbor). The
+// returned slice must not be modified and is invalidated by mutation.
 func (g *Graph) OutEdges(v NodeID) []Edge {
-	g.ensureSorted()
-	return g.out[v]
+	g.freeze()
+	return g.csrOut.row(v)
 }
 
 // InEdges returns the sorted in-edges of v (Edge.To is the tail node).
-// The returned slice must not be modified.
+// The returned slice must not be modified and is invalidated by mutation.
 func (g *Graph) InEdges(v NodeID) []Edge {
-	g.ensureSorted()
-	return g.in[v]
+	g.freeze()
+	return g.csrIn.row(v)
 }
 
 // OutDegree returns the number of out-edges of v.
 func (g *Graph) OutDegree(v NodeID) int { return len(g.out[v]) }
 
+// InDegree returns the number of in-edges of v.
+func (g *Graph) InDegree(v NodeID) int { return len(g.in[v]) }
+
 // Step returns the sorted, deduplicated set of a-successors of the sorted
-// node set set.
+// node set set. Successor segments are contiguous in the CSR, and dedup
+// uses a pooled bitset emitted in ascending order — no per-call map, no
+// per-call sort.
 func (g *Graph) Step(set []NodeID, sym alphabet.Symbol) []NodeID {
-	g.ensureSorted()
-	seen := make(map[NodeID]bool)
-	var out []NodeID
+	g.freeze()
+	sc := g.getStep()
+	defer g.putStep(sc)
+	mk := bitset.NewMarker(sc.nodes)
 	for _, v := range set {
-		for _, e := range g.out[v] {
-			if e.Sym == sym && !seen[e.To] {
-				seen[e.To] = true
-				out = append(out, e.To)
-			}
+		for _, e := range g.csrOut.succ(v, sym) {
+			mk.TrySet(int(e.To))
 		}
 	}
-	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	if mk.Count() == 0 {
+		return nil
+	}
+	out := make([]NodeID, 0, mk.Count())
+	mk.Drain(func(i int) { out = append(out, NodeID(i)) })
 	return out
 }
 
@@ -206,39 +193,48 @@ func (g *Graph) MatchesAny(set []NodeID, w words.Word) bool {
 }
 
 // HasCycleFrom reports whether a cycle is reachable from ν, i.e. whether
-// paths_G(ν) is infinite (Section 2).
+// paths_G(ν) is infinite (Section 2). The DFS keeps an explicit stack so
+// deep synthetic graphs cannot overflow the goroutine stack.
 func (g *Graph) HasCycleFrom(nu NodeID) bool {
-	g.ensureSorted()
+	g.freeze()
 	const (
 		unvisited = 0
 		inStack   = 1
 		done      = 2
 	)
 	state := make([]int8, g.NumNodes())
-	var dfs func(NodeID) bool
-	dfs = func(v NodeID) bool {
-		state[v] = inStack
-		for _, e := range g.out[v] {
-			switch state[e.To] {
+	type frame struct {
+		v  NodeID
+		ei int32 // next out-edge index within the node's CSR row
+	}
+	stack := []frame{{nu, 0}}
+	state[nu] = inStack
+	for len(stack) > 0 {
+		f := &stack[len(stack)-1]
+		row := g.csrOut.row(f.v)
+		if int(f.ei) < len(row) {
+			to := row[f.ei].To
+			f.ei++
+			switch state[to] {
 			case inStack:
 				return true
 			case unvisited:
-				if dfs(e.To) {
-					return true
-				}
+				state[to] = inStack
+				stack = append(stack, frame{to, 0})
 			}
+			continue
 		}
-		state[v] = done
-		return false
+		state[f.v] = done
+		stack = stack[:len(stack)-1]
 	}
-	return dfs(nu)
+	return false
 }
 
 // PathsUpTo enumerates paths_G(ν) ∩ Σ^{≤maxLen} in canonical order,
 // stopping after limit words (limit ≤ 0 means no limit). Distinct words
 // only: several node sequences matching the same word yield one entry.
 func (g *Graph) PathsUpTo(nu NodeID, maxLen, limit int) []words.Word {
-	g.ensureSorted()
+	g.freeze()
 	type state struct {
 		set  []NodeID
 		word words.Word
@@ -255,7 +251,7 @@ func (g *Graph) PathsUpTo(nu NodeID, maxLen, limit int) []words.Word {
 			if l == maxLen {
 				continue
 			}
-			for _, sym := range g.symbolsOf(cur.set) {
+			for _, sym := range g.SymbolsOf(cur.set) {
 				ns := g.Step(cur.set, sym)
 				if len(ns) > 0 {
 					next = append(next, state{ns, words.Append(cur.word, sym)})
@@ -267,19 +263,69 @@ func (g *Graph) PathsUpTo(nu NodeID, maxLen, limit int) []words.Word {
 	return out
 }
 
-// symbolsOf returns the sorted distinct symbols with an out-edge from set.
-func (g *Graph) symbolsOf(set []NodeID) []alphabet.Symbol {
-	seen := make(map[alphabet.Symbol]bool)
-	var out []alphabet.Symbol
+// StepAll visits, for every symbol with at least one successor from the
+// node set, the sorted deduplicated stepped set — one pass over the set's
+// CSR segments instead of one Step per symbol. Visit order is unspecified
+// but deterministic. The succ slice is freshly allocated per symbol and
+// owned by the callback. This is the bulk transition primitive behind the
+// lazily-determinized Coverage index in internal/scp.
+func (g *Graph) StepAll(set []NodeID, fn func(sym alphabet.Symbol, succ []NodeID)) {
+	g.freeze()
+	sc := g.getStep()
+	defer g.putStep(sc)
+	nsym := g.alpha.Size()
+	if cap(sc.buckets) < nsym {
+		sc.buckets = make([][]NodeID, nsym)
+	}
+	buckets := sc.buckets[:nsym]
+	present := sc.present[:0]
+	symMarks := sc.syms
+	co := &g.csrOut
 	for _, v := range set {
-		for _, e := range g.out[v] {
-			if !seen[e.Sym] {
-				seen[e.Sym] = true
-				out = append(out, e.Sym)
+		for si := co.segStart[v]; si < co.segStart[v+1]; si++ {
+			sym := co.segSym[si]
+			if symMarks.TrySet(int(sym)) {
+				present = append(present, sym)
+				buckets[sym] = buckets[sym][:0]
 			}
+			b := buckets[sym]
+			for _, e := range co.edges[co.segOff[si]:co.segOff[si+1]] {
+				b = append(b, e.To)
+			}
+			buckets[sym] = b
 		}
 	}
-	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	sc.present = present
+	for _, sym := range present {
+		symMarks.Clear(int(sym))
+		mk := bitset.NewMarker(sc.nodes)
+		for _, to := range buckets[sym] {
+			mk.TrySet(int(to))
+		}
+		out := make([]NodeID, 0, mk.Count())
+		mk.Drain(func(i int) { out = append(out, NodeID(i)) })
+		fn(sym, out)
+	}
+}
+
+// SymbolsOf returns the sorted distinct symbols with an out-edge from set.
+// Per-node symbols are one CSR segment scan; dedup is a pooled bitset over
+// the alphabet, emitted in ascending (= sorted) symbol order.
+func (g *Graph) SymbolsOf(set []NodeID) []alphabet.Symbol {
+	g.freeze()
+	sc := g.getStep()
+	defer g.putStep(sc)
+	mk := bitset.NewMarker(sc.syms)
+	for _, v := range set {
+		for _, sym := range g.csrOut.segSym[g.csrOut.segStart[v]:g.csrOut.segStart[v+1]] {
+			mk.TrySet(int(sym))
+		}
+	}
+	if mk.Count() == 0 {
+		return nil
+	}
+	out := make([]alphabet.Symbol, 0, mk.Count())
+	mk.Drain(func(i int) { out = append(out, alphabet.Symbol(i)) })
 	return out
 }
 
@@ -287,7 +333,7 @@ func (g *Graph) symbolsOf(set []NodeID) []alphabet.Symbol {
 // of ν, including ν — the "zoom out on its neighborhood" of the interactive
 // scenario (step 4 of Figure 9, where the paper suggests radius k).
 func (g *Graph) Neighborhood(nu NodeID, radius int) []NodeID {
-	g.ensureSorted()
+	g.freeze()
 	dist := map[NodeID]int{nu: 0}
 	queue := []NodeID{nu}
 	for len(queue) > 0 {
@@ -296,13 +342,13 @@ func (g *Graph) Neighborhood(nu NodeID, radius int) []NodeID {
 		if dist[v] == radius {
 			continue
 		}
-		for _, e := range g.out[v] {
+		for _, e := range g.csrOut.row(v) {
 			if _, ok := dist[e.To]; !ok {
 				dist[e.To] = dist[v] + 1
 				queue = append(queue, e.To)
 			}
 		}
-		for _, e := range g.in[v] {
+		for _, e := range g.csrIn.row(v) {
 			if _, ok := dist[e.To]; !ok {
 				dist[e.To] = dist[v] + 1
 				queue = append(queue, e.To)
@@ -320,7 +366,7 @@ func (g *Graph) Neighborhood(nu NodeID, radius int) []NodeID {
 // Subgraph returns the induced subgraph on keep, with the same node names
 // and alphabet. Node ids are renumbered.
 func (g *Graph) Subgraph(keep []NodeID) *Graph {
-	g.ensureSorted()
+	g.freeze()
 	sub := New(g.alpha)
 	inKeep := make(map[NodeID]bool, len(keep))
 	for _, v := range keep {
@@ -328,7 +374,7 @@ func (g *Graph) Subgraph(keep []NodeID) *Graph {
 		sub.AddNode(g.NodeName(v))
 	}
 	for _, v := range keep {
-		for _, e := range g.out[v] {
+		for _, e := range g.csrOut.row(v) {
 			if inKeep[e.To] {
 				from, _ := sub.NodeByName(g.NodeName(v))
 				to, _ := sub.NodeByName(g.NodeName(e.To))

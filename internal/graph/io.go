@@ -27,9 +27,9 @@ func (g *Graph) WriteTSV(w io.Writer) error {
 			return err
 		}
 	}
-	g.ensureSorted()
+	g.freeze()
 	for v := 0; v < g.NumNodes(); v++ {
-		for _, e := range g.out[v] {
+		for _, e := range g.csrOut.row(NodeID(v)) {
 			if _, err := fmt.Fprintf(bw, "e\t%s\t%s\t%s\n",
 				g.nodeNames[v], g.alpha.Name(e.Sym), g.nodeNames[e.To]); err != nil {
 				return err

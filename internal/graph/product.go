@@ -1,10 +1,14 @@
 package graph
 
 import (
-	"sort"
+	"math/bits"
+	"runtime"
+	"slices"
+	"sync"
+	"sync/atomic"
 
-	"pathquery/internal/alphabet"
 	"pathquery/internal/automata"
+	"pathquery/internal/bitset"
 	"pathquery/internal/words"
 )
 
@@ -13,66 +17,380 @@ import (
 // L(q) ∩ paths_G(ν) ≠ ∅}) and the learner's consistency checks (lines 4-6
 // of Algorithm 1). All of them run in O(|E| · |Q|) — the polynomial
 // emptiness-of-intersection the paper cites (Lange & Rossmanith).
+//
+// The product space is the dense index v·|Q|+q over (node, DFA state)
+// pairs; visited sets are pooled bitsets over it (see csr.go), successor
+// loops walk CSR segments so the DFA transition is looked up once per
+// (state, distinct symbol), and SelectMonadic's backward propagation runs
+// level-synchronously across worker shards when the space is large enough
+// to amortize the goroutines.
+
+// Parallelization gates for SelectMonadic, tunable by white-box tests:
+// shards engage only when the product space and the current frontier are
+// both large enough that atomic marking beats a single-threaded pass.
+var (
+	selectParallelMinSpace    = 1 << 15
+	selectParallelMinFrontier = 2048
+	selectMaxWorkers          = 8
+)
 
 // SelectMonadic returns the per-node selection vector of the query DFA d
 // under monadic semantics: selected[ν] iff L(d) ∩ paths_G(ν) ≠ ∅.
 //
 // It marks product pairs (node, state) from which an accepting state is
 // reachable, by backward propagation from every (node, final) pair, then
-// reads off pairs (ν, start).
+// reads off pairs (ν, start). Propagation is a level-synchronous BFS whose
+// frontier is split across worker shards marking the shared visited bitset
+// with atomic try-set (exactly-once enqueue); small instances run the same
+// loop single-threaded without atomics.
 func (g *Graph) SelectMonadic(d *automata.DFA) []bool {
-	g.ensureSorted()
+	g.freeze()
 	nv, nq := g.NumNodes(), d.NumStates()
-	// DFA reverse transitions: revD[sym][q] = predecessors p with δ(p,sym)=q.
-	revD := make([][][]int32, d.NumSyms)
-	for sym := range revD {
-		revD[sym] = make([][]int32, nq)
+	selected := make([]bool, nv)
+	if nv == 0 || nq == 0 {
+		return selected
 	}
+	if nq <= 64 {
+		// Learned and workload DFAs are small: pack each node's marked
+		// state set into one word and propagate whole masks at once.
+		return g.selectMonadicMasked(d, selected)
+	}
+	// Flat reverse DFA transitions, bucketed by sym·|Q|+q: one counting
+	// pass sizes the buckets, a second fills them.
+	nsym := d.NumSyms
+	revOff := make([]int32, nsym*nq+1)
 	for p := 0; p < nq; p++ {
-		for sym := 0; sym < d.NumSyms; sym++ {
-			if q := d.Delta[p][sym]; q != automata.None {
-				revD[sym][q] = append(revD[sym][q], int32(p))
+		for sym, q := range d.Delta[p] {
+			if q != automata.None {
+				revOff[sym*nq+int(q)+1]++
 			}
 		}
 	}
-	good := make([]bool, nv*nq)
-	idx := func(v NodeID, q int32) int { return int(v)*nq + int(q) }
-	type pair struct {
-		v NodeID
-		q int32
+	for i := 1; i < len(revOff); i++ {
+		revOff[i] += revOff[i-1]
 	}
-	var queue []pair
-	for q := int32(0); q < int32(nq); q++ {
+	revPred := make([]int32, revOff[len(revOff)-1])
+	fill := append([]int32(nil), revOff[:len(revOff)-1]...)
+	for p := 0; p < nq; p++ {
+		for sym, q := range d.Delta[p] {
+			if q != automata.None {
+				k := sym*nq + int(q)
+				revPred[fill[k]] = int32(p)
+				fill[k]++
+			}
+		}
+	}
+
+	size := nv * nq
+	sc := g.getProduct(size)
+	defer g.putProductDense(sc, size)
+	good := sc.bits
+	frontier, next := sc.stack, sc.next
+	for q := 0; q < nq; q++ {
 		if !d.Final[q] {
 			continue
 		}
-		for v := NodeID(0); v < NodeID(nv); v++ {
-			good[idx(v, q)] = true
-			queue = append(queue, pair{v, q})
+		for v := 0; v < nv; v++ {
+			idx := v*nq + q
+			good.Set(idx)
+			frontier = append(frontier, uint64(idx))
 		}
 	}
-	for len(queue) > 0 {
-		cur := queue[len(queue)-1]
-		queue = queue[:len(queue)-1]
-		// Predecessors in the product: in-edge (u, sym, cur.v) combined with
-		// DFA transition p --sym--> cur.q.
-		for _, e := range g.in[cur.v] {
-			if int(e.Sym) >= d.NumSyms {
+
+	workers := runtime.GOMAXPROCS(0)
+	if workers > selectMaxWorkers {
+		workers = selectMaxWorkers
+	}
+	parallel := workers > 1 && size >= selectParallelMinSpace
+	for len(frontier) > 0 {
+		if !parallel || len(frontier) < selectParallelMinFrontier {
+			next = g.relaxMonadic(d, nq, revOff, revPred, good, frontier, next, false)
+		} else {
+			next = relaxSharded(sc, frontier, next, workers, func(part, buf []uint64) []uint64 {
+				return g.relaxMonadic(d, nq, revOff, revPred, good, part, buf, true)
+			})
+		}
+		frontier, next = next, frontier[:0]
+	}
+	sc.stack, sc.next = frontier, next
+
+	start := int(d.Start)
+	for v := 0; v < nv; v++ {
+		selected[v] = good.Get(v*nq+start)
+	}
+	return selected
+}
+
+// relaxMonadic expands one frontier of the backward product BFS: for each
+// pair (v, q), every in-edge (u, sym, v) combines with every DFA
+// transition p --sym--> q into the predecessor pair (u, p). Newly marked
+// pairs are appended to next. With atomic=true marking is safe for
+// concurrent shards sharing good.
+func (g *Graph) relaxMonadic(d *automata.DFA, nq int, revOff, revPred []int32, good bitset.Bits, frontier, next []uint64, atomic bool) []uint64 {
+	ci := &g.csrIn
+	for _, idx := range frontier {
+		v := NodeID(idx / uint64(nq))
+		q := int(idx % uint64(nq))
+		for si := ci.segStart[v]; si < ci.segStart[v+1]; si++ {
+			sym := int(ci.segSym[si])
+			if sym >= d.NumSyms {
 				continue
 			}
-			for _, p := range revD[e.Sym][cur.q] {
-				if !good[idx(e.To, p)] {
-					good[idx(e.To, p)] = true
-					queue = append(queue, pair{e.To, p})
+			k := sym*nq + q
+			preds := revPred[revOff[k]:revOff[k+1]]
+			if len(preds) == 0 {
+				continue
+			}
+			tails := ci.edges[ci.segOff[si]:ci.segOff[si+1]]
+			for _, p := range preds {
+				base := int(p)
+				for _, e := range tails {
+					pidx := int(e.To)*nq + base
+					if atomic {
+						if good.TrySetAtomic(pidx) {
+							next = append(next, uint64(pidx))
+						}
+					} else if good.TrySet(pidx) {
+						next = append(next, uint64(pidx))
+					}
 				}
 			}
 		}
 	}
-	selected := make([]bool, nv)
+	return next
+}
+
+// selectMonadicMasked is SelectMonadic for DFAs with at most 64 states:
+// good[v] is the bitmask of states q with an accepting path from (v, q).
+// Propagation is level-synchronous with the frontier deduplicated by node
+// — newly marked states accumulate into a per-node pending mask, so each
+// active node's in-segments are scanned once per level no matter how many
+// product pairs became good there. predMask[sym·|Q|+q] is the mask of DFA
+// predecessors p with δ(p, sym) = q, so product predecessor sets are
+// word-parallel unions.
+func (g *Graph) selectMonadicMasked(d *automata.DFA, selected []bool) []bool {
+	nv, nq := g.NumNodes(), d.NumStates()
+	nsym := d.NumSyms
+	predMask := make([]uint64, nsym*nq)
+	for p := 0; p < nq; p++ {
+		for sym, q := range d.Delta[p] {
+			if q != automata.None {
+				predMask[sym*nq+int(q)] |= 1 << uint(p)
+			}
+		}
+	}
+	var finalMask uint64
+	for q, f := range d.Final {
+		if f {
+			finalMask |= 1 << uint(q)
+		}
+	}
+	if finalMask == 0 {
+		return selected
+	}
+
+	sc := g.getProduct(nv * 64)
+	defer g.putProductDense(sc, nv*64)
+	good := sc.bits // one word per node
+	sc.maskCur = sc.maskCur.Grow(nv * 64)
+	sc.maskNext = sc.maskNext.Grow(nv * 64)
+
+	workers := runtime.GOMAXPROCS(0)
+	if workers > selectMaxWorkers {
+		workers = selectMaxWorkers
+	}
+	startBit := uint64(1) << uint(d.Start)
+	if workers > 1 && nv*nq >= selectParallelMinSpace {
+		g.selectMaskedParallel(d, nq, predMask, finalMask, good, sc, workers)
+		for v := 0; v < nv; v++ {
+			selected[v] = good[v]&startBit != 0
+		}
+		return selected
+	}
+	g.selectMaskedSerial(d, nq, predMask, finalMask, good, sc)
+	// The serial path keeps finalMask implicit (every (v, final) pair is
+	// good by definition and was relaxed by the level-1 sweep).
 	for v := 0; v < nv; v++ {
-		selected[v] = good[idx(NodeID(v), d.Start)]
+		selected[v] = (good[v]|finalMask)&startBit != 0
 	}
 	return selected
+}
+
+// selectMaskedSerial runs the mask-based backward propagation
+// single-threaded. Level 1 relaxes the identical finalMask from every
+// node, so it collapses to one linear sweep over all in-segments with a
+// per-symbol predecessor mask — segments whose symbol has no DFA
+// transition into a final state are skipped without touching their edges.
+// The sparse remainder drains through a worklist deduplicated by a
+// per-node pending mask.
+func (g *Graph) selectMaskedSerial(d *automata.DFA, nq int, predMask []uint64, finalMask uint64, good bitset.Bits, sc *productScratch) {
+	ci := &g.csrIn
+	nsym := d.NumSyms
+	pm1 := make([]uint64, g.alpha.Size())
+	for sym := 0; sym < nsym && sym < len(pm1); sym++ {
+		var pm uint64
+		for mm := finalMask; mm != 0; mm &= mm - 1 {
+			pm |= predMask[sym*nq+bits.TrailingZeros64(mm)]
+		}
+		pm1[sym] = pm
+	}
+	pending := sc.maskCur
+	stack := sc.stack
+	for s := 0; s < len(ci.segSym); s++ {
+		pm := pm1[ci.segSym[s]]
+		if pm == 0 {
+			continue
+		}
+		for _, e := range ci.edges[ci.segOff[s]:ci.segOff[s+1]] {
+			if add := pm &^ (good[e.To] | finalMask); add != 0 {
+				good[e.To] |= add
+				if pending[e.To] == 0 {
+					stack = append(stack, uint64(e.To))
+				}
+				pending[e.To] |= add
+			}
+		}
+	}
+	for len(stack) > 0 {
+		vi := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		v := NodeID(vi)
+		m := pending[v]
+		pending[v] = 0
+		for si := ci.segStart[v]; si < ci.segStart[v+1]; si++ {
+			sym := int(ci.segSym[si])
+			if sym >= nsym {
+				continue
+			}
+			base := sym * nq
+			var pm uint64
+			for mm := m; mm != 0; mm &= mm - 1 {
+				pm |= predMask[base+bits.TrailingZeros64(mm)]
+			}
+			if pm == 0 {
+				continue
+			}
+			for _, e := range ci.edges[ci.segOff[si]:ci.segOff[si+1]] {
+				if add := pm &^ (good[e.To] | finalMask); add != 0 {
+					good[e.To] |= add
+					if pending[e.To] == 0 {
+						stack = append(stack, uint64(e.To))
+					}
+					pending[e.To] |= add
+				}
+			}
+		}
+	}
+	sc.stack = stack
+}
+
+// selectMaskedParallel runs the mask-based backward propagation as a
+// level-synchronous BFS whose frontier is split across worker shards
+// marking the shared good array with atomic-or (exactly-once per state
+// bit). Small frontiers fall back to the single-threaded relax to avoid
+// goroutine overhead between dense levels.
+func (g *Graph) selectMaskedParallel(d *automata.DFA, nq int, predMask []uint64, finalMask uint64, good bitset.Bits, sc *productScratch, workers int) {
+	nv := g.NumNodes()
+	curNew, nextNew := sc.maskCur, sc.maskNext
+	frontier, next := sc.stack, sc.next
+	for v := 0; v < nv; v++ {
+		good[v] = finalMask
+		curNew[v] = finalMask
+		frontier = append(frontier, uint64(v))
+	}
+	for len(frontier) > 0 {
+		if len(frontier) < selectParallelMinFrontier {
+			next = g.relaxMasked(d, nq, predMask, good, curNew, nextNew, frontier, next, false)
+		} else {
+			cn, nn := curNew, nextNew
+			next = relaxSharded(sc, frontier, next, workers, func(part, buf []uint64) []uint64 {
+				return g.relaxMasked(d, nq, predMask, good, cn, nn, part, buf, true)
+			})
+		}
+		frontier, next = next, frontier[:0]
+		curNew, nextNew = nextNew, curNew
+	}
+	sc.stack, sc.next = frontier, next
+}
+
+// relaxSharded expands one level-synchronous frontier across worker
+// shards: the frontier is chunked over the workers, each relaxing its
+// part into a reused per-shard buffer (marking must be atomic inside
+// relax), and the shard results are merged into next after the barrier.
+func relaxSharded(sc *productScratch, frontier, next []uint64, workers int, relax func(part, buf []uint64) []uint64) []uint64 {
+	if len(sc.shards) < workers {
+		sc.shards = make([][]uint64, workers)
+	}
+	chunk := (len(frontier) + workers - 1) / workers
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		lo := w * chunk
+		hi := lo + chunk
+		if hi > len(frontier) {
+			hi = len(frontier)
+		}
+		if lo >= hi {
+			sc.shards[w] = sc.shards[w][:0]
+			continue
+		}
+		wg.Add(1)
+		go func(w int, part []uint64) {
+			defer wg.Done()
+			sc.shards[w] = relax(part, sc.shards[w][:0])
+		}(w, frontier[lo:hi])
+	}
+	wg.Wait()
+	for w := 0; w < workers; w++ {
+		next = append(next, sc.shards[w]...)
+	}
+	return next
+}
+
+// relaxMasked expands one deduplicated frontier level of the mask-based
+// backward BFS: each entry is a node whose pending mask curNew[v] holds
+// the states marked good there last level (consumed and cleared here).
+// Nodes gaining their first new state this level are appended to next,
+// with the state bits accumulating in nextNew. With atomicMark=true,
+// marking uses atomic-or so concurrent shards observe each transition
+// exactly once.
+func (g *Graph) relaxMasked(d *automata.DFA, nq int, predMask []uint64, good, curNew, nextNew bitset.Bits, frontier, next []uint64, atomicMark bool) []uint64 {
+	ci := &g.csrIn
+	for _, vi := range frontier {
+		v := NodeID(vi)
+		m := curNew[v]
+		curNew[v] = 0
+		for si := ci.segStart[v]; si < ci.segStart[v+1]; si++ {
+			sym := int(ci.segSym[si])
+			if sym >= d.NumSyms {
+				continue
+			}
+			base := sym * nq
+			var pm uint64
+			for mm := m; mm != 0; mm &= mm - 1 {
+				pm |= predMask[base+bits.TrailingZeros64(mm)]
+			}
+			if pm == 0 {
+				continue
+			}
+			for _, e := range ci.edges[ci.segOff[si]:ci.segOff[si+1]] {
+				if atomicMark {
+					old := atomic.OrUint64(&good[e.To], pm)
+					if add := pm &^ old; add != 0 {
+						if atomic.OrUint64(&nextNew[e.To], add) == 0 {
+							next = append(next, uint64(e.To))
+						}
+					}
+				} else if add := pm &^ good[e.To]; add != 0 {
+					good[e.To] |= add
+					if nextNew[e.To] == 0 {
+						next = append(next, uint64(e.To))
+					}
+					nextNew[e.To] |= add
+				}
+			}
+		}
+	}
+	return next
 }
 
 // Covers reports whether L(d) ∩ paths_G(ν) ≠ ∅ for a single node, with an
@@ -85,41 +403,62 @@ func (g *Graph) Covers(d *automata.DFA, nu NodeID) bool {
 // path in L(d). This is the learner's consistency primitive — with X = S−
 // it decides whether a candidate generalization selects a negative example.
 func (g *Graph) CoversAny(d *automata.DFA, set []NodeID) bool {
-	g.ensureSorted()
+	g.freeze()
 	nq := d.NumStates()
-	seen := make(map[int]bool, len(set)*2)
-	idx := func(v NodeID, q int32) int { return int(v)*nq + int(q) }
-	type pair struct {
-		v NodeID
-		q int32
+	if nq == 0 || len(set) == 0 {
+		return false
 	}
-	var stack []pair
-	push := func(v NodeID, q int32) {
-		i := idx(v, q)
-		if !seen[i] {
-			seen[i] = true
-			stack = append(stack, pair{v, q})
-		}
-	}
+	sc := g.getProduct(g.NumNodes() * nq)
+	defer g.putProductSparse(sc)
+	stack := sc.stack
 	for _, v := range set {
-		push(v, d.Start)
+		idx := int(v)*nq + int(d.Start)
+		if sc.bits.TrySet(idx) {
+			sc.touched = append(sc.touched, uint64(idx))
+			stack = append(stack, uint64(idx))
+		}
 	}
+	found := false
+	co := &g.csrOut
 	for len(stack) > 0 {
-		cur := stack[len(stack)-1]
+		idx := stack[len(stack)-1]
 		stack = stack[:len(stack)-1]
-		if d.Final[cur.q] {
-			return true
+		v := NodeID(idx / uint64(nq))
+		q := int32(idx % uint64(nq))
+		if d.Final[q] {
+			found = true
+			break
 		}
-		for _, e := range g.out[cur.v] {
-			if int(e.Sym) >= d.NumSyms {
-				continue
-			}
-			if nq := d.Delta[cur.q][e.Sym]; nq != automata.None {
-				push(e.To, nq)
+		stack = g.expandForward(d, co, v, q, nq, sc, stack)
+	}
+	sc.stack = stack
+	return found
+}
+
+// expandForward pushes the unvisited forward product successors of (v, q):
+// out-segment symbols look up the DFA transition once, then mark every
+// neighbor in the contiguous segment.
+func (g *Graph) expandForward(d *automata.DFA, co *csr, v NodeID, q int32, nq int, sc *productScratch, stack []uint64) []uint64 {
+	delta := d.Delta[q]
+	for si := co.segStart[v]; si < co.segStart[v+1]; si++ {
+		sym := int(co.segSym[si])
+		if sym >= d.NumSyms {
+			continue
+		}
+		t := delta[sym]
+		if t == automata.None {
+			continue
+		}
+		base := int(t)
+		for _, e := range co.edges[co.segOff[si]:co.segOff[si+1]] {
+			idx := int(e.To)*nq + base
+			if sc.bits.TrySet(idx) {
+				sc.touched = append(sc.touched, uint64(idx))
+				stack = append(stack, uint64(idx))
 			}
 		}
 	}
-	return false
+	return stack
 }
 
 // CoversPair reports whether some path from u to v spells a word of L(d) —
@@ -127,82 +466,68 @@ func (g *Graph) CoversAny(d *automata.DFA, set []NodeID) bool {
 // Note that the accepting condition requires landing exactly on v in a
 // final DFA state; ε is accepted only when u = v and the start is final.
 func (g *Graph) CoversPair(d *automata.DFA, u, v NodeID) bool {
-	g.ensureSorted()
+	g.freeze()
 	nq := d.NumStates()
-	seen := make(map[int]bool)
-	idx := func(x NodeID, q int32) int { return int(x)*nq + int(q) }
-	type pair struct {
-		x NodeID
-		q int32
+	if nq == 0 {
+		return false
 	}
-	var stack []pair
-	push := func(x NodeID, q int32) {
-		i := idx(x, q)
-		if !seen[i] {
-			seen[i] = true
-			stack = append(stack, pair{x, q})
-		}
-	}
-	push(u, d.Start)
+	sc := g.getProduct(g.NumNodes() * nq)
+	defer g.putProductSparse(sc)
+	start := int(u)*nq + int(d.Start)
+	sc.bits.Set(start)
+	sc.touched = append(sc.touched, uint64(start))
+	stack := append(sc.stack, uint64(start))
+	found := false
+	co := &g.csrOut
 	for len(stack) > 0 {
-		cur := stack[len(stack)-1]
+		idx := stack[len(stack)-1]
 		stack = stack[:len(stack)-1]
-		if cur.x == v && d.Final[cur.q] {
-			return true
+		x := NodeID(idx / uint64(nq))
+		q := int32(idx % uint64(nq))
+		if x == v && d.Final[q] {
+			found = true
+			break
 		}
-		for _, e := range g.out[cur.x] {
-			if int(e.Sym) >= d.NumSyms {
-				continue
-			}
-			if nq := d.Delta[cur.q][e.Sym]; nq != automata.None {
-				push(e.To, nq)
-			}
-		}
+		stack = g.expandForward(d, co, x, q, nq, sc, stack)
 	}
-	return false
+	sc.stack = stack
+	return found
 }
 
 // SelectBinaryFrom returns all v such that (u, v) is selected by d under
 // binary semantics, in increasing id order.
 func (g *Graph) SelectBinaryFrom(d *automata.DFA, u NodeID) []NodeID {
-	g.ensureSorted()
+	g.freeze()
 	nq := d.NumStates()
-	seen := make(map[int]bool)
-	idx := func(x NodeID, q int32) int { return int(x)*nq + int(q) }
-	type pair struct {
-		x NodeID
-		q int32
+	if nq == 0 {
+		return nil
 	}
-	var stack []pair
-	push := func(x NodeID, q int32) {
-		i := idx(x, q)
-		if !seen[i] {
-			seen[i] = true
-			stack = append(stack, pair{x, q})
-		}
-	}
-	push(u, d.Start)
-	hit := make(map[NodeID]bool)
+	sc := g.getProduct(g.NumNodes() * nq)
+	defer g.putProductSparse(sc)
+	hits := g.getStep()
+	defer g.putStep(hits)
+	start := int(u)*nq + int(d.Start)
+	sc.bits.Set(start)
+	sc.touched = append(sc.touched, uint64(start))
+	stack := append(sc.stack, uint64(start))
+	mk := bitset.NewMarker(hits.nodes)
+	co := &g.csrOut
 	for len(stack) > 0 {
-		cur := stack[len(stack)-1]
+		idx := stack[len(stack)-1]
 		stack = stack[:len(stack)-1]
-		if d.Final[cur.q] {
-			hit[cur.x] = true
+		x := NodeID(idx / uint64(nq))
+		q := int32(idx % uint64(nq))
+		if d.Final[q] {
+			mk.TrySet(int(x))
 		}
-		for _, e := range g.out[cur.x] {
-			if int(e.Sym) >= d.NumSyms {
-				continue
-			}
-			if nq := d.Delta[cur.q][e.Sym]; nq != automata.None {
-				push(e.To, nq)
-			}
-		}
+		stack = g.expandForward(d, co, x, q, nq, sc, stack)
 	}
-	out := make([]NodeID, 0, len(hit))
-	for v := range hit {
-		out = append(out, v)
+	sc.stack = stack
+	if mk.Count() == 0 {
+		return nil
 	}
-	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	out := make([]NodeID, 0, mk.Count())
+	mk.Drain(func(i int) { out = append(out, NodeID(i)) })
 	return out
 }
 
@@ -230,54 +555,67 @@ func (g *Graph) FirstEscapingPath(left, right []NodeID, depth int) (words.Word, 
 // firstEscaping runs the canonical-order BFS over pairs (left node, right
 // subset); returns the first word whose right subset is empty. depth < 0
 // means unbounded (termination is still guaranteed: the product state
-// space is finite).
+// space is finite). Right subsets are interned to dense ids via
+// NodeSetIndex with memoized (set, symbol) transitions, so each distinct
+// subset is stepped once per symbol instead of re-encoded per edge.
 func (g *Graph) firstEscaping(left, right []NodeID, depth int) (words.Word, bool) {
-	g.ensureSorted()
+	g.freeze()
 	rightStart := dedupNodes(right)
-	type state struct {
-		v    NodeID
-		set  []NodeID
-		word words.Word
-	}
 	if len(rightStart) == 0 {
-		// Right side covers nothing beyond... even ε is uncovered when the
-		// right node set is empty, for any left node.
+		// Right side covers nothing: even ε is uncovered when the right
+		// node set is empty, for any left node.
 		if len(left) > 0 {
 			return words.Epsilon, false
 		}
 		return nil, true
 	}
-	seen := make(map[string]bool)
-	key := func(v NodeID, set []NodeID) string {
-		b := make([]byte, 0, (len(set)+1)*4)
-		for _, x := range append([]NodeID{v}, set...) {
-			b = append(b, byte(x), byte(x>>8), byte(x>>16), byte(x>>24))
-		}
-		return string(b)
+	ix := NewNodeSetIndex()
+	startSet := ix.Intern(rightStart)
+	type state struct {
+		v    NodeID
+		set  int32
+		word words.Word
 	}
+	seenKey := func(v NodeID, set int32) uint64 {
+		return uint64(uint32(set))<<32 | uint64(uint32(v))
+	}
+	seen := make(map[uint64]bool)
+	trans := make(map[uint64]int32) // (set, sym) -> stepped set id
 	var queue []state
 	for _, v := range dedupNodes(left) {
-		k := key(v, rightStart)
-		if !seen[k] {
+		if k := seenKey(v, startSet); !seen[k] {
 			seen[k] = true
-			queue = append(queue, state{v, rightStart, words.Epsilon})
+			queue = append(queue, state{v, startSet, words.Epsilon})
 		}
 	}
+	co := &g.csrOut
 	for len(queue) > 0 {
 		cur := queue[0]
 		queue = queue[1:]
-		if len(cur.set) == 0 {
+		if len(ix.Set(cur.set)) == 0 {
 			return cur.word, false
 		}
 		if depth >= 0 && len(cur.word) >= depth {
 			continue
 		}
-		for _, e := range g.out[cur.v] {
-			ns := g.Step(cur.set, e.Sym)
-			k := key(e.To, ns)
-			if !seen[k] {
-				seen[k] = true
-				queue = append(queue, state{e.To, ns, words.Append(cur.word, e.Sym)})
+		for si := co.segStart[cur.v]; si < co.segStart[cur.v+1]; si++ {
+			sym := co.segSym[si]
+			tk := uint64(uint32(cur.set))<<32 | uint64(sym)
+			ns, ok := trans[tk]
+			if !ok {
+				ns = ix.Intern(g.Step(ix.Set(cur.set), sym))
+				trans[tk] = ns
+			}
+			var w words.Word
+			for _, e := range co.edges[co.segOff[si]:co.segOff[si+1]] {
+				k := seenKey(e.To, ns)
+				if !seen[k] {
+					seen[k] = true
+					if w == nil {
+						w = words.Append(cur.word, sym)
+					}
+					queue = append(queue, state{e.To, ns, w})
+				}
 			}
 		}
 	}
@@ -287,7 +625,7 @@ func (g *Graph) firstEscaping(left, right []NodeID, depth int) (words.Word, bool
 // dedupNodes returns a sorted, deduplicated copy of set.
 func dedupNodes(set []NodeID) []NodeID {
 	out := append([]NodeID(nil), set...)
-	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	slices.Sort(out)
 	n := 0
 	for i, v := range out {
 		if i == 0 || v != out[n-1] {
@@ -302,12 +640,12 @@ func dedupNodes(set []NodeID) []NodeID {
 // every state accepting — the explicit form of paths_G(starts). Useful for
 // tests cross-checking product algorithms against the automata package.
 func (g *Graph) AsNFA(starts []NodeID) *automata.NFA {
-	g.ensureSorted()
+	g.freeze()
 	n := automata.NewNFA(g.NumNodes(), g.alpha.Size())
 	for v := 0; v < g.NumNodes(); v++ {
 		n.Final[v] = true
-		for _, e := range g.out[v] {
-			n.AddTransition(NodeID(v), alphabet.Symbol(e.Sym), e.To)
+		for _, e := range g.csrOut.row(NodeID(v)) {
+			n.AddTransition(NodeID(v), e.Sym, e.To)
 		}
 	}
 	n.Starts = append([]int32(nil), starts...)

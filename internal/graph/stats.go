@@ -40,8 +40,8 @@ func (g *Graph) ComputeStats() Stats {
 	const histBuckets = 16
 	s.DegreeHistogram = make([]int, histBuckets)
 	for v := 0; v < g.NumNodes(); v++ {
-		out := len(g.out[v])
-		in := len(g.in[v])
+		out := g.OutDegree(NodeID(v))
+		in := g.InDegree(NodeID(v))
 		if out > s.MaxOutDegree {
 			s.MaxOutDegree = out
 		}
@@ -59,7 +59,7 @@ func (g *Graph) ComputeStats() Stats {
 			bucket = histBuckets - 1
 		}
 		s.DegreeHistogram[bucket]++
-		for _, e := range g.out[v] {
+		for _, e := range g.OutEdges(NodeID(v)) {
 			labelCounts[e.Sym]++
 		}
 	}

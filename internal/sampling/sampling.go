@@ -56,6 +56,9 @@ func RandomWalk(g *graph.Graph, cfg Config) []graph.NodeID {
 	if cfg.TargetNodes >= n {
 		return g.Nodes()
 	}
+	// One freeze up front instead of on the first neighbor lookup: walks
+	// touch adjacency thousands of times.
+	g.Freeze()
 	rng := rand.New(rand.NewSource(cfg.Seed))
 	visited := make(map[graph.NodeID]bool, cfg.TargetNodes)
 	origin := graph.NodeID(rng.Intn(n))
@@ -99,6 +102,7 @@ func ForestFire(g *graph.Graph, cfg Config) []graph.NodeID {
 	if cfg.TargetNodes >= n {
 		return g.Nodes()
 	}
+	g.Freeze()
 	rng := rand.New(rand.NewSource(cfg.Seed))
 	visited := make(map[graph.NodeID]bool, cfg.TargetNodes)
 	var queue []graph.NodeID

@@ -14,10 +14,15 @@
 // coverage yields the SCP. Depth is bounded by k (2–4 in the paper's
 // experiments), which bounds the subset blow-up that makes the unbounded
 // problem PSPACE-hard (Lemma 3.2).
+//
+// Subset states are interned to dense ids via graph.NodeSetIndex (hashed
+// sorted-set interning over the CSR substrate) and transitions are flat
+// per-state symbol slabs, so the learner's thousands of consistency checks
+// run without per-step string encoding or per-state maps.
 package scp
 
 import (
-	"sort"
+	"slices"
 
 	"pathquery/internal/alphabet"
 	"pathquery/internal/graph"
@@ -31,33 +36,24 @@ import (
 // negative".
 type Coverage struct {
 	g       *graph.Graph
-	subsets [][]graph.NodeID
-	trans   []map[alphabet.Symbol]int32
-	ids     map[string]int32
+	ix      *graph.NodeSetIndex
+	nsym    int
 	start   int32
 	emptyID int32
+	// trans[id] is the state's full transition slab over symbols, built in
+	// one StepAll pass on first use; nil means not yet determinized.
+	// Entries store the successor id so absent symbols read as the empty
+	// (escaped) subset.
+	trans [][]int32
 }
 
 // NewCoverage builds the coverage index for the negative node set neg.
 func NewCoverage(g *graph.Graph, neg []graph.NodeID) *Coverage {
-	c := &Coverage{g: g, ids: make(map[string]int32), emptyID: -1}
-	c.start = c.intern(sortedUnique(neg))
+	g.Freeze()
+	c := &Coverage{g: g, ix: graph.NewNodeSetIndex(), nsym: g.Alphabet().Size()}
+	c.emptyID = c.ix.Intern(nil)
+	c.start = c.ix.Intern(sortedUnique(neg))
 	return c
-}
-
-func (c *Coverage) intern(set []graph.NodeID) int32 {
-	k := encode(set)
-	if id, ok := c.ids[k]; ok {
-		return id
-	}
-	id := int32(len(c.subsets))
-	c.ids[k] = id
-	c.subsets = append(c.subsets, set)
-	c.trans = append(c.trans, nil)
-	if len(set) == 0 {
-		c.emptyID = id
-	}
-	return id
 }
 
 // Start returns the initial coverage state (the full negative set).
@@ -65,25 +61,43 @@ func (c *Coverage) Start() int32 { return c.start }
 
 // Escaped reports whether the coverage state is the empty subset: words
 // reaching it are not covered by any negative example.
-func (c *Coverage) Escaped(id int32) bool { return len(c.subsets[id]) == 0 }
+func (c *Coverage) Escaped(id int32) bool { return len(c.ix.Set(id)) == 0 }
 
 // Step returns the coverage state after reading sym.
 func (c *Coverage) Step(id int32, sym alphabet.Symbol) int32 {
-	if t := c.trans[id]; t != nil {
-		if next, ok := t[sym]; ok {
-			return next
-		}
-	} else {
-		c.trans[id] = make(map[alphabet.Symbol]int32)
+	row := c.row(id)
+	if int(sym) >= len(row) {
+		// The alphabet grew since this Coverage was built: no edge carried
+		// sym when the graph froze, so the successor is the empty subset.
+		return c.emptyID
 	}
-	next := c.intern(c.g.Step(c.subsets[id], sym))
-	c.trans[id][sym] = next
-	return next
+	return row[sym]
+}
+
+// row determinizes state id on first use: one StepAll pass computes every
+// symbol's successor subset at once.
+func (c *Coverage) row(id int32) []int32 {
+	for int(id) >= len(c.trans) {
+		c.trans = append(c.trans, nil)
+	}
+	row := c.trans[id]
+	if row != nil {
+		return row
+	}
+	row = make([]int32, c.nsym)
+	for i := range row {
+		row[i] = c.emptyID
+	}
+	c.g.StepAll(c.ix.Set(id), func(sym alphabet.Symbol, succ []graph.NodeID) {
+		row[sym] = c.ix.Intern(succ)
+	})
+	c.trans[id] = row
+	return row
 }
 
 // NumStates returns how many subset states have been materialized; a
 // measure of the index's cost, used by benchmarks.
-func (c *Coverage) NumStates() int { return len(c.subsets) }
+func (c *Coverage) NumStates() int { return c.ix.Len() }
 
 // Smallest returns the SCP of ν bounded by k: the canonical-order minimal
 // word of length ≤ k in paths_G(ν) \ paths_G(S−); ok=false if none exists.
@@ -93,14 +107,13 @@ func (c *Coverage) Smallest(nu graph.NodeID, k int) (words.Word, bool) {
 		cov  int32
 		word words.Word
 	}
-	type seenKey struct {
-		v   graph.NodeID
-		cov int32
-	}
 	if c.Escaped(c.start) {
 		return words.Epsilon, true
 	}
-	seen := map[seenKey]bool{{nu, c.start}: true}
+	key := func(v graph.NodeID, cov int32) uint64 {
+		return uint64(uint32(cov))<<32 | uint64(uint32(v))
+	}
+	seen := map[uint64]bool{key(nu, c.start): true}
 	queue := []state{{nu, c.start, words.Epsilon}}
 	for len(queue) > 0 {
 		cur := queue[0]
@@ -115,7 +128,7 @@ func (c *Coverage) Smallest(nu graph.NodeID, k int) (words.Word, bool) {
 			if c.Escaped(cov) {
 				return words.Append(cur.word, e.Sym), true
 			}
-			k2 := seenKey{e.To, cov}
+			k2 := key(e.To, cov)
 			if !seen[k2] {
 				seen[k2] = true
 				queue = append(queue, state{e.To, cov, words.Append(cur.word, e.Sym)})
@@ -139,51 +152,40 @@ func (c *Coverage) IsKInformative(nu graph.NodeID, k int) bool {
 //
 // Distinct words are in bijection with paths of the determinized product
 // (reachable-set from ν, coverage state), so a per-level DP over those
-// product states counts exactly the non-covered words.
+// product states counts exactly the non-covered words. Reachable sets are
+// interned in the same index as the coverage subsets, making the DP keys
+// plain integer pairs.
 func (c *Coverage) CountNonCovered(nu graph.NodeID, k int) int {
 	type key struct {
-		mine string
+		mine int32
 		cov  int32
 	}
-	type st struct {
-		mine []graph.NodeID
-		cov  int32
-	}
-	level := map[key]st{}
-	counts := map[key]int{}
-	start := st{[]graph.NodeID{nu}, c.start}
-	sk := key{encode(start.mine), start.cov}
-	level[sk] = start
-	counts[sk] = 1
+	level := map[key]int{}
+	startMine := c.ix.Intern([]graph.NodeID{nu})
+	level[key{startMine, c.start}] = 1
 
 	total := 0
 	if c.Escaped(c.start) {
 		total++ // ε itself is uncovered when there are no negatives
 	}
 	for depth := 0; depth < k; depth++ {
-		nextLevel := map[key]st{}
-		nextCounts := map[key]int{}
-		for kk, cur := range level {
-			n := counts[kk]
-			for _, sym := range symbolsFrom(c.g, cur.mine) {
-				mine := c.g.Step(cur.mine, sym)
+		nextLevel := map[key]int{}
+		for kk, n := range level {
+			for _, sym := range c.g.SymbolsOf(c.ix.Set(kk.mine)) {
+				mine := c.g.Step(c.ix.Set(kk.mine), sym)
 				if len(mine) == 0 {
 					continue
 				}
-				cov := c.Step(cur.cov, sym)
-				nk := key{encode(mine), cov}
-				if _, ok := nextLevel[nk]; !ok {
-					nextLevel[nk] = st{mine, cov}
-				}
-				nextCounts[nk] += n
+				cov := c.Step(kk.cov, sym)
+				nextLevel[key{c.ix.Intern(mine), cov}] += n
 			}
 		}
-		for nk, cur := range nextLevel {
-			if c.Escaped(cur.cov) {
-				total += nextCounts[nk]
+		for nk, n := range nextLevel {
+			if c.Escaped(nk.cov) {
+				total += n
 			}
 		}
-		level, counts = nextLevel, nextCounts
+		level = nextLevel
 	}
 	return total
 }
@@ -205,25 +207,9 @@ func CountNonCovered(g *graph.Graph, nu graph.NodeID, neg []graph.NodeID, k int)
 	return NewCoverage(g, neg).CountNonCovered(nu, k)
 }
 
-// symbolsFrom returns the sorted distinct symbols with an out-edge from set.
-func symbolsFrom(g *graph.Graph, set []graph.NodeID) []alphabet.Symbol {
-	seen := make(map[alphabet.Symbol]bool)
-	var out []alphabet.Symbol
-	for _, v := range set {
-		for _, e := range g.OutEdges(v) {
-			if !seen[e.Sym] {
-				seen[e.Sym] = true
-				out = append(out, e.Sym)
-			}
-		}
-	}
-	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
-	return out
-}
-
 func sortedUnique(set []graph.NodeID) []graph.NodeID {
 	out := append([]graph.NodeID(nil), set...)
-	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	slices.Sort(out)
 	n := 0
 	for i, v := range out {
 		if i == 0 || v != out[n-1] {
@@ -232,12 +218,4 @@ func sortedUnique(set []graph.NodeID) []graph.NodeID {
 		}
 	}
 	return out[:n]
-}
-
-func encode(set []graph.NodeID) string {
-	b := make([]byte, 0, len(set)*4)
-	for _, v := range set {
-		b = append(b, byte(v), byte(v>>8), byte(v>>16), byte(v>>24))
-	}
-	return string(b)
 }
