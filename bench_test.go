@@ -11,11 +11,13 @@ import (
 	"sort"
 	"sync"
 	"testing"
+	"time"
 
 	"pathquery/internal/automata"
 	"pathquery/internal/charsample"
 	"pathquery/internal/core"
 	"pathquery/internal/datasets"
+	"pathquery/internal/engine"
 	"pathquery/internal/experiments"
 	"pathquery/internal/graph"
 	"pathquery/internal/interactive"
@@ -236,6 +238,132 @@ func BenchmarkSelectMonadic(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		g.SelectMonadic(d)
+	}
+}
+
+// BenchmarkEngineServe measures the query-serving layer on the 10k
+// synthetic graph. "uncached" is the baseline library path: every request
+// pays a full product pass through Query.Select. "cached" is the engine's
+// repeat-query path (plan cache + result cache on a stable epoch) — the
+// acceptance criterion is cached ≥ 10× faster than uncached. "closedloop"
+// drives a concurrent closed-loop mix (16 clients, mutations publishing
+// fresh epochs every 50 requests) and reports throughput and tail latency
+// as custom metrics, so the serving numbers land in BENCH_<date>.json.
+func BenchmarkEngineServe(b *testing.B) {
+	g, qs := synthetic()
+	src := qs[1].Expr
+	q := qs[1].Query
+
+	b.Run("uncached", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			q.Select(g)
+		}
+	})
+
+	b.Run("cached", func(b *testing.B) {
+		e := engine.New(g, engine.Options{})
+		if _, err := e.Select(src); err != nil { // warm plan + result caches
+			b.Fatal(err)
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			res, err := e.Select(src)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if !res.Cached {
+				b.Fatal("repeat query missed the result cache")
+			}
+		}
+	})
+
+	b.Run("closedloop", func(b *testing.B) {
+		// A fresh mutable graph per run: the shared fixture must stay
+		// immutable for the other benchmarks.
+		queries := make([]string, len(qs))
+		for i, nq := range qs {
+			queries[i] = nq.Expr
+		}
+		var report engine.LoadReport
+		for i := 0; i < b.N; i++ {
+			b.StopTimer()
+			e := engine.New(datasets.Synthetic(5000, 11), engine.Options{})
+			b.StartTimer()
+			var err error
+			report, err = engine.RunLoad(e, engine.LoadConfig{
+				Clients:     16,
+				Duration:    300 * time.Millisecond,
+				Queries:     queries,
+				MutateEvery: 50,
+				Seed:        1,
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.ReportMetric(report.Throughput, "req/s")
+		b.ReportMetric(float64(report.P50.Nanoseconds()), "p50-ns")
+		b.ReportMetric(float64(report.P99.Nanoseconds()), "p99-ns")
+	})
+}
+
+// TestEngineCachedSpeedup is the acceptance assertion behind
+// BenchmarkEngineServe: serving a repeat query from the result cache must
+// be at least 10× faster than an uncached Query.Select of the same
+// workload. The generous bound (the measured gap is orders of magnitude)
+// keeps the test robust on loaded CI machines.
+func TestEngineCachedSpeedup(t *testing.T) {
+	if testing.Short() {
+		t.Skip("timing comparison")
+	}
+	g, qs := synthetic()
+	src, q := qs[1].Expr, qs[1].Query
+	e := engine.New(g, engine.Options{})
+	if _, err := e.Select(src); err != nil {
+		t.Fatal(err)
+	}
+	const rounds = 20
+	q.Select(g) // warm pools
+	t0 := time.Now()
+	for i := 0; i < rounds; i++ {
+		q.Select(g)
+	}
+	uncached := time.Since(t0)
+	t0 = time.Now()
+	for i := 0; i < rounds; i++ {
+		if _, err := e.Select(src); err != nil {
+			t.Fatal(err)
+		}
+	}
+	cached := time.Since(t0)
+	if cached*10 > uncached {
+		t.Errorf("cached path %v not ≥10× faster than uncached %v", cached/rounds, uncached/rounds)
+	}
+}
+
+// TestSelectAllocRegression pins the allocation behavior of the one-pass
+// Query.Evaluate path (SelectNodes/Selectivity ride on it): with warm
+// scratch pools, a full monadic evaluation plus node extraction on the
+// 10k graph must stay within a small constant allocation budget —
+// regression here means a pooled structure fell off the pool or a
+// per-node allocation crept into the product engine.
+func TestSelectAllocRegression(t *testing.T) {
+	g, qs := synthetic()
+	q := qs[1].Query
+	g.Freeze()
+	for i := 0; i < 3; i++ { // warm the scratch pools
+		q.SelectNodes(g)
+	}
+	allocs := testing.AllocsPerRun(10, func() {
+		sel := q.Evaluate(g)
+		sel.Nodes()
+		sel.Selectivity()
+	})
+	// Budget: selection vector, nodes slice, parallel-shard goroutine
+	// bookkeeping, pool slack. Measured ~30 on 8 cores; 64 is the alarm
+	// threshold, far under the 10k+ of a per-node regression.
+	if allocs > 64 {
+		t.Errorf("Evaluate+Nodes+Selectivity allocated %.0f times per run, want ≤ 64", allocs)
 	}
 }
 

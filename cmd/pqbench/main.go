@@ -59,11 +59,18 @@ var (
 	synSize   = flag.Int("syn-size", 0, "run synthetic experiments on this single size only")
 
 	snapshot      = flag.Bool("snapshot", false, "run go-benchmarks and write BENCH_<date>.json")
-	snapshotBench = flag.String("snapshot-bench", "BenchmarkSelectMonadic$|BenchmarkSCPSearch$|BenchmarkLearnerPaperExample$",
+	snapshotBench = flag.String("snapshot-bench", "BenchmarkSelectMonadic$|BenchmarkSCPSearch$|BenchmarkLearnerPaperExample$|BenchmarkEngineServe",
 		"benchmark pattern for -snapshot")
 	snapshotOut   = flag.String("snapshot-out", "", "snapshot file name (default BENCH_<date>.json)")
 	snapshotNote  = flag.String("snapshot-note", "", "free-form note stored in the snapshot")
 	snapshotCount = flag.Int("snapshot-count", 1, "benchmark repetitions for -snapshot")
+
+	serve            = flag.Bool("serve", false, "closed-loop serving benchmark against the in-process engine")
+	serveSyn         = flag.Int("serve-syn", 10000, "synthetic graph size for -serve")
+	serveClients     = flag.Int("serve-clients", 16, "closed-loop clients for -serve")
+	serveDuration    = flag.Duration("serve-duration", 5*time.Second, "load duration for -serve")
+	serveMutateEvery = flag.Int("serve-mutate-every", 50, "every n-th request per client mutates and publishes an epoch (0: read-only)")
+	serveBatch       = flag.Int("serve-batch", 0, "issue SelectBatch requests of this size instead of single selects")
 )
 
 func main() {
@@ -72,6 +79,12 @@ func main() {
 	flag.Parse()
 	if *snapshot {
 		if err := runSnapshot(); err != nil {
+			log.Fatal(err)
+		}
+		return
+	}
+	if *serve {
+		if err := runServeBench(); err != nil {
 			log.Fatal(err)
 		}
 		return

@@ -25,6 +25,7 @@ type Snapshot struct {
 	GOOS       string           `json:"goos"`
 	GOARCH     string           `json:"goarch"`
 	CPUs       int              `json:"cpus"`
+	GOMAXPROCS int              `json:"gomaxprocs"`
 	BenchFlags string           `json:"bench_flags"`
 	Note       string           `json:"note,omitempty"`
 	Benchmarks []BenchmarkEntry `json:"benchmarks"`
@@ -56,6 +57,7 @@ func runSnapshot() error {
 		GOOS:       runtime.GOOS,
 		GOARCH:     runtime.GOARCH,
 		CPUs:       runtime.NumCPU(),
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
 		BenchFlags: strings.Join(args[1:], " "),
 		Note:       *snapshotNote,
 		Benchmarks: parseBenchOutput(string(out)),
@@ -65,7 +67,7 @@ func runSnapshot() error {
 	}
 	name := *snapshotOut
 	if name == "" {
-		name = "BENCH_" + snap.Date + ".json"
+		name = availableName("BENCH_" + snap.Date)
 	}
 	data, err := json.MarshalIndent(snap, "", "  ")
 	if err != nil {
@@ -76,6 +78,19 @@ func runSnapshot() error {
 	}
 	fmt.Printf("wrote %s (%d benchmark lines)\n", name, len(snap.Benchmarks))
 	return nil
+}
+
+// availableName returns the first unused snapshot file name for the given
+// base: base.json, then base-2.json, base-3.json, ... — earlier snapshots
+// of the same day are history, never silently overwritten.
+func availableName(base string) string {
+	name := base + ".json"
+	for n := 2; ; n++ {
+		if _, err := os.Stat(name); os.IsNotExist(err) {
+			return name
+		}
+		name = fmt.Sprintf("%s-%d.json", base, n)
+	}
 }
 
 // parseBenchOutput extracts benchmark lines from go test output. Repeated

@@ -72,12 +72,12 @@ func main() {
 		return
 	}
 
-	nodes := q.SelectNodes(g)
+	sel := q.Evaluate(g)
 	if !*quiet {
-		for _, v := range nodes {
+		for _, v := range sel.Nodes() {
 			fmt.Println(g.NodeName(v))
 		}
 	}
 	fmt.Printf("selected %d of %d nodes (selectivity %.4f%%)\n",
-		len(nodes), g.NumNodes(), 100*q.Selectivity(g))
+		sel.Count(), g.NumNodes(), 100*sel.Selectivity())
 }

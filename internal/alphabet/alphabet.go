@@ -12,6 +12,7 @@ import (
 	"fmt"
 	"sort"
 	"strings"
+	"sync"
 )
 
 // Symbol is an interned edge label. Symbols are dense: an Alphabet with n
@@ -27,7 +28,14 @@ const MaxSymbols = 1 << 16
 // derived from the symbol order).
 //
 // The zero value is an empty alphabet ready to use.
+//
+// Alphabets are safe for concurrent use: interning takes a write lock,
+// lookups a read lock. Symbols are assigned append-only, so a Symbol
+// obtained from any method stays valid forever — the serving engine relies
+// on this to parse queries (which may intern new labels) while readers
+// resolve names against pinned graph snapshots.
 type Alphabet struct {
+	mu    sync.RWMutex
 	names []string
 	ids   map[string]Symbol
 }
@@ -52,6 +60,8 @@ func NewSorted(labels ...string) *Alphabet {
 
 // Intern returns the symbol for label, assigning a fresh one if needed.
 func (a *Alphabet) Intern(label string) Symbol {
+	a.mu.Lock()
+	defer a.mu.Unlock()
 	if a.ids == nil {
 		a.ids = make(map[string]Symbol)
 	}
@@ -69,12 +79,16 @@ func (a *Alphabet) Intern(label string) Symbol {
 
 // Lookup returns the symbol for label and whether it is interned.
 func (a *Alphabet) Lookup(label string) (Symbol, bool) {
+	a.mu.RLock()
+	defer a.mu.RUnlock()
 	s, ok := a.ids[label]
 	return s, ok
 }
 
 // Name returns the label of s. It panics if s was not interned.
 func (a *Alphabet) Name(s Symbol) string {
+	a.mu.RLock()
+	defer a.mu.RUnlock()
 	if int(s) >= len(a.names) {
 		panic(fmt.Sprintf("alphabet: unknown symbol %d", s))
 	}
@@ -82,11 +96,15 @@ func (a *Alphabet) Name(s Symbol) string {
 }
 
 // Size returns the number of interned labels.
-func (a *Alphabet) Size() int { return len(a.names) }
+func (a *Alphabet) Size() int {
+	a.mu.RLock()
+	defer a.mu.RUnlock()
+	return len(a.names)
+}
 
 // Symbols returns all symbols in interning order.
 func (a *Alphabet) Symbols() []Symbol {
-	out := make([]Symbol, len(a.names))
+	out := make([]Symbol, a.Size())
 	for i := range out {
 		out[i] = Symbol(i)
 	}
@@ -95,6 +113,8 @@ func (a *Alphabet) Symbols() []Symbol {
 
 // Names returns all labels in interning order. The returned slice is a copy.
 func (a *Alphabet) Names() []string {
+	a.mu.RLock()
+	defer a.mu.RUnlock()
 	out := make([]string, len(a.names))
 	copy(out, a.names)
 	return out

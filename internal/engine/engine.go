@@ -1,0 +1,262 @@
+// Package engine is the concurrent query-serving layer: it owns a graph
+// and answers monadic and binary selections from any number of goroutines
+// while a single logical writer keeps mutating the graph underneath.
+//
+// Four mechanisms make that safe and fast (see DESIGN.md):
+//
+//   - Epoch snapshots: every request pins one immutable CSR epoch
+//     (graph.Snapshot) with a single atomic pointer load; mutations build
+//     a new epoch and swap it in, so readers never block writers.
+//   - A plan cache interning query sources to compiled plans (parse →
+//     determinize → minimize happens once per distinct query), deduplicated
+//     across syntactic variants by the canonical language key
+//     (query.CacheKey).
+//   - A result cache keyed by (epoch, plan) with single-flight
+//     deduplication: concurrent identical requests share one product-engine
+//     pass, and a new epoch implicitly invalidates every older entry.
+//   - Batched evaluation: SelectBatch runs many plans against one pinned
+//     snapshot through the worker-shard product engine, amortizing the
+//     pooled bitset scratch across queries.
+package engine
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"pathquery/internal/graph"
+)
+
+// Options tunes an Engine.
+type Options struct {
+	// ResultCacheCap bounds the number of cached result entries
+	// (default 4096). Stale-epoch entries are evicted first.
+	ResultCacheCap int
+}
+
+// Engine serves path queries over a mutable graph. All methods are safe
+// for concurrent use; mutations are serialized internally.
+type Engine struct {
+	g       *graph.Graph
+	mu      sync.RWMutex // write: mutate+publish; read: build-side name lookups
+	plans   *planCache
+	results *resultCache
+
+	queries   atomic.Uint64
+	batches   atomic.Uint64
+	mutations atomic.Uint64
+}
+
+// New wraps g in a serving engine and publishes its first epoch. The
+// engine takes over concurrency control: from here on, mutate only through
+// Mutate/Update and read only through the engine (or through snapshots).
+func New(g *graph.Graph, opt Options) *Engine {
+	if opt.ResultCacheCap <= 0 {
+		opt.ResultCacheCap = 4096
+	}
+	e := &Engine{
+		g:       g,
+		plans:   newPlanCache(g.Alphabet()),
+		results: newResultCache(opt.ResultCacheCap),
+	}
+	g.Snapshot()
+	return e
+}
+
+// Graph returns the underlying graph. Mutating it directly bypasses the
+// engine's write serialization; use Mutate/Update instead.
+func (e *Engine) Graph() *graph.Graph { return e.g }
+
+// Epoch returns the currently served epoch.
+func (e *Engine) Epoch() uint64 { return e.g.Current().Epoch() }
+
+// Result is the outcome of one selection, pinned to the epoch it was
+// evaluated (or cached) on.
+type Result struct {
+	// Epoch is the snapshot the result is valid for.
+	Epoch uint64
+	// Nodes are the selected node ids in increasing order. The slice is
+	// shared with the result cache and must not be modified.
+	Nodes []graph.NodeID
+	// Cached reports whether the result came from the result cache (or an
+	// in-flight computation shared via single-flight) rather than a fresh
+	// product pass.
+	Cached bool
+
+	snap *graph.Snapshot
+}
+
+// Count returns the number of selected nodes.
+func (r Result) Count() int { return len(r.Nodes) }
+
+// Names resolves the selected nodes to names, as of the result's epoch.
+func (r Result) Names() []string {
+	out := make([]string, len(r.Nodes))
+	for i, v := range r.Nodes {
+		out[i] = r.snap.NodeName(v)
+	}
+	return out
+}
+
+// Select evaluates src under monadic semantics on the current epoch.
+func (e *Engine) Select(src string) (Result, error) {
+	plan, err := e.plans.get(src)
+	if err != nil {
+		return Result{}, err
+	}
+	e.queries.Add(1)
+	return e.selectOn(e.g.Current(), plan), nil
+}
+
+// selectOn answers one monadic selection against a pinned snapshot,
+// through the single-flight result cache.
+func (e *Engine) selectOn(snap *graph.Snapshot, p *plan) Result {
+	key := resultKey{epoch: snap.Epoch(), kind: kindMonadic, plan: p.key}
+	nodes, cached := e.results.do(key, func() []graph.NodeID {
+		return p.q.EvaluateOn(snap).Nodes()
+	})
+	return Result{Epoch: snap.Epoch(), Nodes: nodes, Cached: cached, snap: snap}
+}
+
+// SelectPairsFrom evaluates src under binary semantics from the named
+// node: all v with (from, v) selected, on the current epoch. A node
+// created after the served epoch was published is not visible yet.
+func (e *Engine) SelectPairsFrom(src, from string) (Result, error) {
+	plan, err := e.plans.get(src)
+	if err != nil {
+		return Result{}, err
+	}
+	snap := e.g.Current()
+	e.mu.RLock()
+	u, ok := e.g.NodeByName(from)
+	e.mu.RUnlock()
+	if !ok || int(u) >= snap.NumNodes() {
+		return Result{}, fmt.Errorf("engine: no node %q in epoch %d", from, snap.Epoch())
+	}
+	e.queries.Add(1)
+	key := resultKey{epoch: snap.Epoch(), kind: kindPairs, from: u, plan: plan.key}
+	nodes, cached := e.results.do(key, func() []graph.NodeID {
+		return snap.SelectBinaryFrom(plan.q.DFA(), u)
+	})
+	return Result{Epoch: snap.Epoch(), Nodes: nodes, Cached: cached, snap: snap}, nil
+}
+
+// SelectBatch evaluates every query in srcs against one pinned snapshot,
+// so all results share an epoch. Cache misses run concurrently through the
+// product engine (bounded by GOMAXPROCS); duplicate queries inside the
+// batch collapse into one pass via the single-flight result cache. The
+// whole batch fails on the first parse error.
+func (e *Engine) SelectBatch(srcs []string) ([]Result, error) {
+	plans := make([]*plan, len(srcs))
+	for i, src := range srcs {
+		p, err := e.plans.get(src)
+		if err != nil {
+			return nil, fmt.Errorf("engine: batch query %d: %w", i, err)
+		}
+		plans[i] = p
+	}
+	e.batches.Add(1)
+	e.queries.Add(uint64(len(srcs)))
+	snap := e.g.Current()
+	results := make([]Result, len(plans))
+	workers := runtime.GOMAXPROCS(0)
+	if workers > len(plans) {
+		workers = len(plans)
+	}
+	if workers <= 1 {
+		for i, p := range plans {
+			results[i] = e.selectOn(snap, p)
+		}
+		return results, nil
+	}
+	var wg sync.WaitGroup
+	sem := make(chan struct{}, workers)
+	for i, p := range plans {
+		wg.Add(1)
+		go func(i int, p *plan) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			results[i] = e.selectOn(snap, p)
+		}(i, p)
+	}
+	wg.Wait()
+	return results, nil
+}
+
+// EdgeSpec names one edge to add.
+type EdgeSpec struct {
+	From  string `json:"from"`
+	Label string `json:"label"`
+	To    string `json:"to"`
+}
+
+// MutationResult summarizes a published mutation.
+type MutationResult struct {
+	// Epoch is the newly published epoch serving the mutation.
+	Epoch uint64
+	// Nodes and Edges are the graph totals as of Epoch.
+	Nodes, Edges int
+}
+
+// Mutate adds the given edges (creating nodes and interning labels as
+// needed) and publishes a new epoch serving them. Mutations from any
+// number of goroutines are serialized; in-flight readers keep their
+// pinned epochs.
+func (e *Engine) Mutate(edges []EdgeSpec) MutationResult {
+	return e.Update(func(g *graph.Graph) {
+		for _, ed := range edges {
+			g.AddEdgeByName(ed.From, ed.Label, ed.To)
+		}
+	})
+}
+
+// Update runs fn against the build side under the write lock and
+// publishes a new epoch. fn must only mutate (AddNode/AddEdge/...), not
+// read through Graph-level read methods.
+func (e *Engine) Update(fn func(g *graph.Graph)) MutationResult {
+	e.mu.Lock()
+	fn(e.g)
+	snap := e.g.Snapshot()
+	e.mu.Unlock()
+	e.mutations.Add(1)
+	e.results.prune(snap.Epoch())
+	return MutationResult{Epoch: snap.Epoch(), Nodes: snap.NumNodes(), Edges: snap.NumEdges()}
+}
+
+// Stats is a point-in-time counter snapshot of the engine.
+type Stats struct {
+	Epoch uint64 `json:"epoch"`
+	Nodes int    `json:"nodes"`
+	Edges int    `json:"edges"`
+
+	Queries   uint64 `json:"queries"`
+	Batches   uint64 `json:"batches"`
+	Mutations uint64 `json:"mutations"`
+
+	PlanHits   uint64 `json:"plan_hits"`
+	PlanMisses uint64 `json:"plan_misses"`
+	Plans      int    `json:"plans"`
+
+	ResultHits    uint64 `json:"result_hits"`
+	ResultMisses  uint64 `json:"result_misses"`
+	ResultShared  uint64 `json:"result_shared"` // single-flight waiters
+	ResultEntries int    `json:"result_entries"`
+}
+
+// Stats returns current counters.
+func (e *Engine) Stats() Stats {
+	snap := e.g.Current()
+	s := Stats{
+		Epoch:     snap.Epoch(),
+		Nodes:     snap.NumNodes(),
+		Edges:     snap.NumEdges(),
+		Queries:   e.queries.Load(),
+		Batches:   e.batches.Load(),
+		Mutations: e.mutations.Load(),
+	}
+	e.plans.fill(&s)
+	e.results.fill(&s)
+	return s
+}

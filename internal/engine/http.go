@@ -1,0 +1,150 @@
+package engine
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+)
+
+// NewHandler exposes e as a JSON-over-HTTP API — the wire surface of
+// cmd/pqserve:
+//
+//	POST /select      {"query": "a·b*", "limit": 10}   -> selection
+//	POST /selectPairs {"query": "...", "from": "N1"}   -> selection
+//	POST /batch       {"queries": ["...", ...]}        -> {"epoch", "results": [...]}
+//	POST /mutate      {"edges": [{"from","label","to"}]} -> {"epoch", "nodes", "edges"}
+//	GET  /stats                                         -> engine counters
+//	GET  /healthz                                       -> ok
+//
+// A selection is {"epoch", "count", "cached", "nodes": [names...]};
+// "limit" (optional, select/selectPairs/batch) truncates nodes, never
+// count.
+func NewHandler(e *Engine) http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /select", func(w http.ResponseWriter, r *http.Request) {
+		var req selectRequest
+		if !decode(w, r, &req) {
+			return
+		}
+		res, err := e.Select(req.Query)
+		if err != nil {
+			httpError(w, http.StatusBadRequest, err)
+			return
+		}
+		writeJSON(w, newSelectionResponse(res, req.Limit))
+	})
+	mux.HandleFunc("POST /selectPairs", func(w http.ResponseWriter, r *http.Request) {
+		var req selectRequest
+		if !decode(w, r, &req) {
+			return
+		}
+		res, err := e.SelectPairsFrom(req.Query, req.From)
+		if err != nil {
+			httpError(w, http.StatusBadRequest, err)
+			return
+		}
+		writeJSON(w, newSelectionResponse(res, req.Limit))
+	})
+	mux.HandleFunc("POST /batch", func(w http.ResponseWriter, r *http.Request) {
+		var req struct {
+			Queries []string `json:"queries"`
+			Limit   int      `json:"limit"`
+		}
+		if !decode(w, r, &req) {
+			return
+		}
+		results, err := e.SelectBatch(req.Queries)
+		if err != nil {
+			httpError(w, http.StatusBadRequest, err)
+			return
+		}
+		out := struct {
+			Epoch   uint64              `json:"epoch"`
+			Results []selectionResponse `json:"results"`
+		}{Epoch: e.Epoch(), Results: make([]selectionResponse, len(results))}
+		for i, res := range results {
+			out.Epoch = res.Epoch
+			out.Results[i] = newSelectionResponse(res, req.Limit)
+		}
+		writeJSON(w, out)
+	})
+	mux.HandleFunc("POST /mutate", func(w http.ResponseWriter, r *http.Request) {
+		var req struct {
+			Edges []EdgeSpec `json:"edges"`
+		}
+		if !decode(w, r, &req) {
+			return
+		}
+		for i, ed := range req.Edges {
+			if ed.From == "" || ed.Label == "" || ed.To == "" {
+				httpError(w, http.StatusBadRequest,
+					fmt.Errorf("edge %d: from, label and to are all required", i))
+				return
+			}
+		}
+		m := e.Mutate(req.Edges)
+		writeJSON(w, struct {
+			Epoch uint64 `json:"epoch"`
+			Nodes int    `json:"nodes"`
+			Edges int    `json:"edges"`
+		}{m.Epoch, m.Nodes, m.Edges})
+	})
+	mux.HandleFunc("GET /stats", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, e.Stats())
+	})
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+		fmt.Fprintln(w, "ok")
+	})
+	return mux
+}
+
+type selectRequest struct {
+	Query string `json:"query"`
+	From  string `json:"from"`
+	Limit int    `json:"limit"`
+}
+
+type selectionResponse struct {
+	Epoch  uint64   `json:"epoch"`
+	Count  int      `json:"count"`
+	Cached bool     `json:"cached"`
+	Nodes  []string `json:"nodes"`
+}
+
+func newSelectionResponse(res Result, limit int) selectionResponse {
+	r := res
+	if limit > 0 && len(r.Nodes) > limit {
+		r.Nodes = r.Nodes[:limit]
+	}
+	return selectionResponse{
+		Epoch:  res.Epoch,
+		Count:  res.Count(),
+		Cached: res.Cached,
+		Nodes:  r.Names(),
+	}
+}
+
+func decode(w http.ResponseWriter, r *http.Request, into any) bool {
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(into); err != nil {
+		httpError(w, http.StatusBadRequest, fmt.Errorf("bad request body: %w", err))
+		return false
+	}
+	return true
+}
+
+func writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetEscapeHTML(false)
+	_ = enc.Encode(v)
+}
+
+func httpError(w http.ResponseWriter, code int, err error) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	_ = json.NewEncoder(w).Encode(struct {
+		Error string `json:"error"`
+	}{err.Error()})
+}

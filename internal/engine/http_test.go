@@ -1,0 +1,103 @@
+package engine
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+func TestHTTPHandler(t *testing.T) {
+	e := New(buildFixture(), Options{})
+	srv := httptest.NewServer(NewHandler(e))
+	defer srv.Close()
+
+	post := func(path, body string) (int, map[string]any) {
+		t.Helper()
+		resp, err := http.Post(srv.URL+path, "application/json", strings.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		var out map[string]any
+		if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+			t.Fatalf("%s: %v", path, err)
+		}
+		return resp.StatusCode, out
+	}
+
+	code, out := post("/select", `{"query":"tram·cinema"}`)
+	if code != http.StatusOK {
+		t.Fatalf("/select: status %d (%v)", code, out)
+	}
+	if out["count"].(float64) != 1 || out["nodes"].([]any)[0] != "N1" {
+		t.Fatalf("/select: %v", out)
+	}
+	epoch0 := out["epoch"].(float64)
+
+	if code, out = post("/select", `{"query":"tram·("}`); code != http.StatusBadRequest {
+		t.Fatalf("/select bad query: status %d (%v)", code, out)
+	}
+	if code, out = post("/select", `{"quer":"tram"}`); code != http.StatusBadRequest {
+		t.Fatalf("/select unknown field: status %d (%v)", code, out)
+	}
+
+	code, out = post("/selectPairs", `{"query":"tram·cinema","from":"N1"}`)
+	if code != http.StatusOK || out["nodes"].([]any)[0] != "C1" {
+		t.Fatalf("/selectPairs: status %d %v", code, out)
+	}
+
+	code, out = post("/batch", `{"queries":["tram","bus"],"limit":1}`)
+	if code != http.StatusOK || len(out["results"].([]any)) != 2 {
+		t.Fatalf("/batch: status %d %v", code, out)
+	}
+
+	code, out = post("/mutate", `{"edges":[{"from":"N9","label":"tram","to":"N4"}]}`)
+	if code != http.StatusOK {
+		t.Fatalf("/mutate: status %d %v", code, out)
+	}
+	if got := out["epoch"].(float64); got != epoch0+1 {
+		t.Fatalf("/mutate: epoch %v, want %v", got, epoch0+1)
+	}
+	if code, out = post("/mutate", `{"edges":[{"from":"N9","to":"N4"}]}`); code != http.StatusBadRequest {
+		t.Fatalf("/mutate missing label: status %d %v", code, out)
+	}
+
+	resp, err := http.Get(srv.URL + "/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var st Stats
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		t.Fatal(err)
+	}
+	if st.Epoch != uint64(epoch0)+1 || st.Mutations != 1 || st.Queries == 0 {
+		t.Fatalf("/stats: %+v", st)
+	}
+}
+
+func TestRunLoadSmoke(t *testing.T) {
+	e := New(buildFixture(), Options{})
+	report, err := RunLoad(e, LoadConfig{
+		Clients:     4,
+		Duration:    50 * 1e6, // 50ms
+		Queries:     []string{"tram·cinema", "bus·cinema"},
+		MutateEvery: 10,
+		BatchSize:   0,
+		Seed:        1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if report.Requests == 0 || report.Throughput <= 0 {
+		t.Fatalf("empty load report: %+v", report)
+	}
+	if report.Mutations == 0 {
+		t.Errorf("MutateEvery produced no mutations: %+v", report)
+	}
+	if _, err := RunLoad(e, LoadConfig{Queries: []string{"("}}); err == nil {
+		t.Error("bad load query not rejected")
+	}
+}

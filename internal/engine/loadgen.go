@@ -1,0 +1,172 @@
+package engine
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"sync"
+	"time"
+)
+
+// Closed-loop load driver: a fixed number of client goroutines issue
+// requests back-to-back (each client waits for its response before
+// sending the next — closed loop), drawing queries from a weighted-free
+// uniform mix with an optional mutation every n-th request. Used by
+// `pqbench -serve` and by BenchmarkEngineServe/closedloop, which records
+// throughput and tail latency into the BENCH_<date>.json snapshots.
+
+// LoadConfig configures one closed-loop run.
+type LoadConfig struct {
+	// Clients is the number of concurrent closed-loop clients
+	// (default 8).
+	Clients int
+	// Duration is how long to drive load (default 1s).
+	Duration time.Duration
+	// Queries is the query mix; each request draws one uniformly.
+	Queries []string
+	// MutateEvery makes every n-th request of each client a mutation
+	// (0: read-only load).
+	MutateEvery int
+	// MutateEdges generates the edges of the i-th mutation; nil uses a
+	// default that links fresh load-generated nodes into the graph.
+	MutateEdges func(i int) []EdgeSpec
+	// BatchSize > 1 issues SelectBatch requests of that many queries
+	// instead of single Selects.
+	BatchSize int
+	// Seed makes the query mix deterministic per client.
+	Seed int64
+}
+
+// LoadReport summarizes a closed-loop run.
+type LoadReport struct {
+	Clients   int
+	Requests  uint64 // selects + batches + mutations completed
+	Selects   uint64
+	Mutations uint64
+	Duration  time.Duration
+
+	// Throughput is completed requests per second.
+	Throughput float64
+	// Latency percentiles over all requests.
+	P50, P90, P99, Max time.Duration
+}
+
+// String renders the report as a one-stanza summary.
+func (r LoadReport) String() string {
+	return fmt.Sprintf(
+		"clients %d  requests %d (selects %d, mutations %d)  wall %v\n"+
+			"throughput %.0f req/s   latency p50 %v  p90 %v  p99 %v  max %v",
+		r.Clients, r.Requests, r.Selects, r.Mutations, r.Duration.Round(time.Millisecond),
+		r.Throughput, r.P50, r.P90, r.P99, r.Max)
+}
+
+// RunLoad drives e with a closed-loop workload and reports throughput and
+// latency percentiles. It returns an error only for an unusable config
+// (no queries, or a query that fails to parse — verified up front so the
+// hot loop never hits parse errors).
+func RunLoad(e *Engine, cfg LoadConfig) (LoadReport, error) {
+	if len(cfg.Queries) == 0 {
+		return LoadReport{}, fmt.Errorf("engine: load config needs at least one query")
+	}
+	for _, src := range cfg.Queries {
+		if _, err := e.plans.get(src); err != nil {
+			return LoadReport{}, fmt.Errorf("engine: load query %q: %w", src, err)
+		}
+	}
+	if cfg.Clients <= 0 {
+		cfg.Clients = 8
+	}
+	if cfg.Duration <= 0 {
+		cfg.Duration = time.Second
+	}
+	if cfg.MutateEdges == nil {
+		cfg.MutateEdges = func(i int) []EdgeSpec {
+			// Attach a fresh node somewhere deterministic so every
+			// mutation really changes the graph (and the epoch).
+			return []EdgeSpec{{
+				From:  fmt.Sprintf("loadgen-%d", i),
+				Label: "loadgen",
+				To:    fmt.Sprintf("loadgen-%d", i+1),
+			}}
+		}
+	}
+
+	type clientStats struct {
+		lat       []time.Duration
+		selects   uint64
+		mutations uint64
+	}
+	stats := make([]clientStats, cfg.Clients)
+	var mutSeq sync.Mutex
+	mutI := 0
+	nextMutation := func() []EdgeSpec {
+		mutSeq.Lock()
+		i := mutI
+		mutI++
+		mutSeq.Unlock()
+		return cfg.MutateEdges(i)
+	}
+
+	deadline := time.Now().Add(cfg.Duration)
+	start := time.Now()
+	var wg sync.WaitGroup
+	for c := 0; c < cfg.Clients; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(cfg.Seed + int64(c)))
+			st := &stats[c]
+			for n := 1; ; n++ {
+				if time.Now().After(deadline) {
+					return
+				}
+				t0 := time.Now()
+				if cfg.MutateEvery > 0 && n%cfg.MutateEvery == 0 {
+					e.Mutate(nextMutation())
+					st.mutations++
+				} else if cfg.BatchSize > 1 {
+					batch := make([]string, cfg.BatchSize)
+					for i := range batch {
+						batch[i] = cfg.Queries[rng.Intn(len(cfg.Queries))]
+					}
+					if _, err := e.SelectBatch(batch); err != nil {
+						panic(err) // queries were verified above
+					}
+					st.selects++
+				} else {
+					if _, err := e.Select(cfg.Queries[rng.Intn(len(cfg.Queries))]); err != nil {
+						panic(err)
+					}
+					st.selects++
+				}
+				st.lat = append(st.lat, time.Since(t0))
+			}
+		}(c)
+	}
+	wg.Wait()
+	wall := time.Since(start)
+
+	report := LoadReport{Clients: cfg.Clients, Duration: wall}
+	var all []time.Duration
+	for i := range stats {
+		report.Selects += stats[i].selects
+		report.Mutations += stats[i].mutations
+		all = append(all, stats[i].lat...)
+	}
+	report.Requests = uint64(len(all))
+	if wall > 0 {
+		report.Throughput = float64(report.Requests) / wall.Seconds()
+	}
+	if len(all) > 0 {
+		sort.Slice(all, func(i, j int) bool { return all[i] < all[j] })
+		pct := func(p float64) time.Duration {
+			i := int(p * float64(len(all)-1))
+			return all[i]
+		}
+		report.P50 = pct(0.50)
+		report.P90 = pct(0.90)
+		report.P99 = pct(0.99)
+		report.Max = all[len(all)-1]
+	}
+	return report, nil
+}

@@ -1,0 +1,129 @@
+package engine
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"pathquery/internal/alphabet"
+	"pathquery/internal/query"
+)
+
+// plan is a compiled, interned query: the canonical DFA plus its
+// language-level cache key. Plans are immutable and shared by every
+// request with an equivalent query.
+type plan struct {
+	q   *query.Query
+	key string // canonical language key (query.CacheKey)
+}
+
+// planEntry is one (possibly in-flight) compilation of a source string.
+// done is closed when p/err are set; waiters on an open channel share the
+// single compile instead of duplicating it.
+type planEntry struct {
+	done chan struct{}
+	p    *plan
+	err  error
+}
+
+// planCache interns query sources to plans. Two maps give two levels of
+// sharing: bySrc short-circuits repeated identical strings before any
+// parsing, and byKey deduplicates syntactic variants ("a·b" vs "a.b", or
+// any equivalent expression) onto one plan after the canonical DFA is
+// built — so the result cache sees one key per query *language*.
+// Compilation (parse → determinize → minimize) runs outside the lock,
+// single-flighted per source: a slow or pathological query never stalls
+// cache hits for other queries.
+type planCache struct {
+	alpha *alphabet.Alphabet
+
+	mu    sync.RWMutex
+	bySrc map[string]*planEntry
+	byKey map[string]*plan
+
+	hits   atomic.Uint64
+	misses atomic.Uint64
+}
+
+func newPlanCache(alpha *alphabet.Alphabet) *planCache {
+	return &planCache{
+		alpha: alpha,
+		bySrc: make(map[string]*planEntry),
+		byKey: make(map[string]*plan),
+	}
+}
+
+// get returns the plan for src, compiling it at most once per distinct
+// source string (parse errors are deterministic and cached too).
+func (c *planCache) get(src string) (*plan, error) {
+	c.mu.RLock()
+	e := c.bySrc[src]
+	c.mu.RUnlock()
+	if e == nil {
+		c.mu.Lock()
+		if e = c.bySrc[src]; e == nil {
+			e = &planEntry{done: make(chan struct{})}
+			c.bySrc[src] = e
+			c.mu.Unlock()
+			c.compile(src, e)
+			c.misses.Add(1)
+			return e.p, e.err
+		}
+		c.mu.Unlock()
+	}
+	<-e.done
+	if e.err != nil {
+		return nil, e.err
+	}
+	c.hits.Add(1)
+	return e.p, nil
+}
+
+// compile fills e for src and releases its waiters. Runs without holding
+// the cache lock (the alphabet is itself concurrency-safe); only the
+// cheap canonical-key dedup step relocks.
+func (c *planCache) compile(src string, e *planEntry) {
+	completed := false
+	defer func() {
+		if !completed {
+			// Parse/compile panicked: unregister the source so the next
+			// request retries it, and fail the waiters of this flight.
+			c.mu.Lock()
+			delete(c.bySrc, src)
+			c.mu.Unlock()
+			e.err = errCompilePanicked
+		}
+		close(e.done)
+	}()
+	q, err := query.Parse(c.alpha, src)
+	if err != nil {
+		e.err = err
+		completed = true
+		return
+	}
+	key := q.CacheKey()
+	c.mu.Lock()
+	p := c.byKey[key]
+	if p == nil {
+		p = &plan{q: q, key: key}
+		c.byKey[key] = p
+	}
+	c.mu.Unlock()
+	e.p = p
+	completed = true
+}
+
+// errCompilePanicked is served to single-flight waiters whose compiling
+// goroutine panicked; the panic itself propagates on that goroutine.
+var errCompilePanicked = errPlan("query compilation failed; retry")
+
+type errPlan string
+
+func (e errPlan) Error() string { return string(e) }
+
+func (c *planCache) fill(s *Stats) {
+	s.PlanHits = c.hits.Load()
+	s.PlanMisses = c.misses.Load()
+	c.mu.RLock()
+	s.Plans = len(c.byKey)
+	c.mu.RUnlock()
+}

@@ -1,0 +1,164 @@
+package engine
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"pathquery/internal/graph"
+)
+
+type resultKind uint8
+
+const (
+	kindMonadic resultKind = iota
+	kindPairs
+)
+
+// resultKey identifies one cached selection: the epoch it was evaluated
+// on, the semantics, the source node (binary semantics only), and the
+// plan's canonical language key. Because the epoch is part of the key,
+// publishing a new epoch invalidates every older entry implicitly; prune
+// reclaims their memory.
+type resultKey struct {
+	epoch uint64
+	kind  resultKind
+	from  graph.NodeID
+	plan  string
+}
+
+// resultEntry is one cached (or in-flight) selection. done is closed when
+// the computation finished; waiters observing an open channel are
+// single-flight sharers. failed marks an entry whose compute panicked —
+// sharers must not serve its nil result.
+type resultEntry struct {
+	done   chan struct{}
+	nodes  []graph.NodeID
+	failed bool
+}
+
+// resultCache is a bounded single-flight cache of selection results.
+type resultCache struct {
+	mu      sync.Mutex
+	cap     int
+	entries map[resultKey]*resultEntry
+	// latest is the newest epoch seen in any request or prune; eviction
+	// treats entries from older epochs as stale.
+	latest uint64
+
+	hits   atomic.Uint64
+	misses atomic.Uint64
+	shared atomic.Uint64
+}
+
+func newResultCache(cap int) *resultCache {
+	return &resultCache{cap: cap, entries: make(map[resultKey]*resultEntry)}
+}
+
+// do returns the result for key, computing it via compute exactly once
+// across all concurrent callers. cached reports whether the caller got a
+// stored or shared result instead of running compute itself. The returned
+// slice is owned by the cache.
+func (c *resultCache) do(key resultKey, compute func() []graph.NodeID) (nodes []graph.NodeID, cached bool) {
+	c.mu.Lock()
+	if key.epoch > c.latest {
+		c.latest = key.epoch
+	}
+	if e, ok := c.entries[key]; ok {
+		c.mu.Unlock()
+		select {
+		case <-e.done:
+			if e.failed {
+				// The computing goroutine panicked (and removed the
+				// entry); retry as a fresh flight rather than serving its
+				// nil result as an empty selection.
+				return c.do(key, compute)
+			}
+			c.hits.Add(1)
+		default:
+			c.shared.Add(1)
+			<-e.done
+			if e.failed {
+				return c.do(key, compute)
+			}
+		}
+		return e.nodes, true
+	}
+	e := &resultEntry{done: make(chan struct{})}
+	if len(c.entries) >= c.cap {
+		c.evictLocked()
+	}
+	c.entries[key] = e
+	c.mu.Unlock()
+	c.misses.Add(1)
+
+	defer func() {
+		if !e.failed {
+			return
+		}
+		// compute panicked: drop the entry so the key can be retried,
+		// release waiters (flagged failed), and let the panic propagate.
+		c.mu.Lock()
+		delete(c.entries, key)
+		c.mu.Unlock()
+		close(e.done)
+	}()
+	e.failed = true
+	e.nodes = compute()
+	e.failed = false
+	close(e.done)
+	return e.nodes, false
+}
+
+// evictLocked makes room: completed entries from epochs older than the
+// newest seen go first, then completed entries of the current epoch.
+// In-flight entries are never evicted.
+func (c *resultCache) evictLocked() {
+	for k, e := range c.entries {
+		if k.epoch < c.latest {
+			select {
+			case <-e.done:
+				delete(c.entries, k)
+			default:
+			}
+		}
+	}
+	for k, e := range c.entries {
+		if len(c.entries) < c.cap {
+			break
+		}
+		select {
+		case <-e.done:
+			delete(c.entries, k)
+		default:
+		}
+	}
+}
+
+// prune drops completed entries from epochs before cur — called after a
+// mutation publishes a new epoch. (Stale in-flight entries finish, serve
+// their pinned-epoch waiters, and are reclaimed by a later eviction.)
+func (c *resultCache) prune(cur uint64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if cur > c.latest {
+		c.latest = cur
+	}
+	for k, e := range c.entries {
+		if k.epoch < cur {
+			select {
+			case <-e.done:
+				delete(c.entries, k)
+			default:
+			}
+		}
+	}
+}
+
+func (c *resultCache) fill(s *Stats) {
+	s.ResultHits = c.hits.Load()
+	s.ResultMisses = c.misses.Load()
+	s.ResultShared = c.shared.Load()
+	c.mu.Lock()
+	s.ResultEntries = len(c.entries)
+	c.mu.Unlock()
+}

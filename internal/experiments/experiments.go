@@ -252,13 +252,13 @@ type Table1Row struct {
 func Table1(g *graph.Graph, queries []datasets.NamedQuery) []Table1Row {
 	rows := make([]Table1Row, len(queries))
 	for i, nq := range queries {
-		sel := nq.Query.Selectivity(g)
+		sel := nq.Query.Evaluate(g)
 		rows[i] = Table1Row{
 			Name:             nq.Name,
 			Expr:             nq.Expr,
-			Selectivity:      sel,
+			Selectivity:      sel.Selectivity(),
 			PaperSelectivity: nq.PaperSelectivity,
-			SelectedNodes:    int(sel*float64(g.NumNodes()) + 0.5),
+			SelectedNodes:    sel.Count(),
 		}
 	}
 	return rows

@@ -8,30 +8,31 @@ import (
 )
 
 // This file implements the frozen read-side representation of a Graph: a
-// compressed sparse row (CSR) adjacency grouped by symbol, the scratch
-// pools shared by the hot product searches, and the node-set interner used
-// by the subset constructions (firstEscaping here, Coverage in
-// internal/scp).
+// compressed sparse row (CSR) adjacency grouped by symbol, published as
+// immutable epoch Snapshots, the scratch pools shared by the hot product
+// searches, and the node-set interner used by the subset constructions
+// (firstEscaping here, Coverage in internal/scp).
 //
-// Freeze contract: the first read operation freezes the graph — both
-// adjacency directions are flattened into one []Edge array per direction,
-// grouped by node and sorted by (symbol, neighbor), with a per-(node,
-// symbol) segment index on top. After that, Step, symbolsOf and the
-// product successor loops are contiguous range scans with no per-call map
-// and no per-call sort. Mutation (AddNode/AddEdge) invalidates the frozen
-// view; the next read rebuilds it. Reads may run concurrently; mutation
-// must not overlap with reads — the same contract the lazy sort had.
+// Epoch contract: mutations (AddNode/AddEdge) always go to the build-side
+// adjacency and never touch a published Snapshot. Snapshot() (or any
+// legacy read through the Graph) publishes a new immutable CSR epoch with
+// an atomic pointer swap; Current() returns the latest published epoch
+// without rebuilding. Readers holding a Snapshot never block writers and
+// never observe mutations — they keep serving their epoch until they pick
+// up a newer one. The single-writer rule still applies to the build side:
+// at most one goroutine may mutate (or publish) at a time; the serving
+// engine (internal/engine) serializes writers behind one lock.
 
 // csr is a symbol-indexed compressed-sparse-row adjacency. Edges are
 // grouped by node and sorted by (symbol, neighbor); within a node, runs of
 // equal symbols form segments so the (node, symbol) successor list is one
 // contiguous slice.
 type csr struct {
-	edges    []Edge             // all edges, grouped by node, sorted (sym, nbr)
-	rowStart []int32            // len nv+1: node v's edges are edges[rowStart[v]:rowStart[v+1]]
-	segStart []int32            // len nv+1: node v's segments are segStart[v]..segStart[v+1]
-	segSym   []alphabet.Symbol  // per-segment symbol, ascending within a node
-	segOff   []int32            // len nSegs+1: segment s covers edges[segOff[s]:segOff[s+1]]
+	edges    []Edge            // all edges, grouped by node, sorted (sym, nbr)
+	rowStart []int32           // len nv+1: node v's edges are edges[rowStart[v]:rowStart[v+1]]
+	segStart []int32           // len nv+1: node v's segments are segStart[v]..segStart[v+1]
+	segSym   []alphabet.Symbol // per-segment symbol, ascending within a node
+	segOff   []int32           // len nSegs+1: segment s covers edges[segOff[s]:segOff[s+1]]
 }
 
 func buildCSR(adj [][]Edge) csr {
@@ -97,23 +98,94 @@ func (c *csr) succ(v NodeID, sym alphabet.Symbol) []Edge {
 	return nil
 }
 
-// Freeze builds the CSR read-side index now instead of on first read.
-// Useful right after bulk construction, before handing the graph to
-// concurrent readers or benchmarks.
-func (g *Graph) Freeze() { g.freeze() }
+// Snapshot is an immutable read-side view of a Graph at one publication
+// point: both CSR adjacency directions, the node-name table prefix, and
+// the alphabet size as of the publish. Snapshots are safe for unlimited
+// concurrent readers and stay valid (and consistent) while the owning
+// Graph keeps mutating and publishing newer epochs. All read operations on
+// Graph delegate here; the serving engine pins Snapshots explicitly so a
+// request observes exactly one epoch.
+type Snapshot struct {
+	g     *Graph // scratch pools + alphabet only; never the mutable build side
+	epoch uint64
+	nv    int
+	ne    int
+	nsym  int
+	names []string // immutable prefix of the name table at publish time
+	out   csr
+	in    csr
+}
 
-func (g *Graph) freeze() {
-	if g.frozen.Load() {
-		return
+// Epoch returns the snapshot's epoch number. Epochs start at 1 and
+// increase by 1 per publication.
+func (s *Snapshot) Epoch() uint64 { return s.epoch }
+
+// NumNodes returns the number of nodes in this epoch.
+func (s *Snapshot) NumNodes() int { return s.nv }
+
+// NumEdges returns the number of edges in this epoch.
+func (s *Snapshot) NumEdges() int { return s.ne }
+
+// NodeName returns the name of id as of this epoch.
+func (s *Snapshot) NodeName(id NodeID) string { return s.names[id] }
+
+// Alphabet returns the (concurrency-safe) alphabet shared with the graph.
+func (s *Snapshot) Alphabet() *alphabet.Alphabet { return s.g.alpha }
+
+// Freeze builds and publishes the CSR read-side epoch now instead of on
+// first read. Useful right after bulk construction, before handing the
+// graph to concurrent readers or benchmarks.
+func (g *Graph) Freeze() { g.reader() }
+
+// Snapshot publishes a new immutable epoch reflecting every mutation so
+// far and returns it; if nothing changed since the last publication the
+// current epoch is returned. Like mutation, publication is a writer-side
+// operation: it must not run concurrently with other mutations.
+func (g *Graph) Snapshot() *Snapshot { return g.reader() }
+
+// Current returns the latest published snapshot without publishing
+// pending mutations — the serving read path: loading the epoch pointer is
+// the only synchronization, so readers never block writers. Before the
+// first publication it publishes epoch 1.
+func (g *Graph) Current() *Snapshot {
+	if s := g.cur.Load(); s != nil {
+		return s
 	}
-	g.freezeMu.Lock()
-	defer g.freezeMu.Unlock()
-	if g.frozen.Load() {
-		return
+	return g.publish()
+}
+
+// reader returns a snapshot reflecting every mutation so far — the legacy
+// read-your-writes path behind the Graph-level read methods.
+func (g *Graph) reader() *Snapshot {
+	if s := g.cur.Load(); s != nil && !g.dirty.Load() {
+		return s
 	}
-	g.csrOut = buildCSR(g.out)
-	g.csrIn = buildCSR(g.in)
-	g.frozen.Store(true)
+	return g.publish()
+}
+
+func (g *Graph) publish() *Snapshot {
+	g.publishMu.Lock()
+	defer g.publishMu.Unlock()
+	if s := g.cur.Load(); s != nil && !g.dirty.Load() {
+		return s
+	}
+	// Clear dirty before reading the build side: a mutation racing with
+	// this build (only possible through engine misuse) re-marks it so the
+	// next publication rebuilds.
+	g.dirty.Store(false)
+	nv := len(g.nodeNames)
+	s := &Snapshot{
+		g:     g,
+		epoch: g.epoch.Add(1),
+		nv:    nv,
+		ne:    g.numEdges,
+		nsym:  g.alpha.Size(),
+		names: g.nodeNames[:nv:nv],
+		out:   buildCSR(g.out),
+		in:    buildCSR(g.in),
+	}
+	g.cur.Store(s)
+	return s
 }
 
 // stepScratch is pooled per-call state for Step and symbolsOf: dedup
@@ -129,17 +201,17 @@ type stepScratch struct {
 	present []alphabet.Symbol
 }
 
-func (g *Graph) getStep() *stepScratch {
-	s, _ := g.stepPool.Get().(*stepScratch)
-	if s == nil {
-		s = &stepScratch{}
+func (s *Snapshot) getStep() *stepScratch {
+	sc, _ := s.g.stepPool.Get().(*stepScratch)
+	if sc == nil {
+		sc = &stepScratch{}
 	}
-	s.nodes = s.nodes.Grow(g.NumNodes())
-	s.syms = s.syms.Grow(g.alpha.Size())
-	return s
+	sc.nodes = sc.nodes.Grow(s.nv)
+	sc.syms = sc.syms.Grow(s.nsym)
+	return sc
 }
 
-func (g *Graph) putStep(s *stepScratch) { g.stepPool.Put(s) }
+func (s *Snapshot) putStep(sc *stepScratch) { s.g.stepPool.Put(sc) }
 
 // productScratch is pooled per-call state for the |V|·|Q| product
 // searches: the visited bitset, the DFS/BFS work stack and, for the
@@ -158,36 +230,36 @@ type productScratch struct {
 	maskNext bitset.Bits
 }
 
-func (g *Graph) getProduct(bits int) *productScratch {
-	s, _ := g.prodPool.Get().(*productScratch)
-	if s == nil {
-		s = &productScratch{}
+func (s *Snapshot) getProduct(bits int) *productScratch {
+	sc, _ := s.g.prodPool.Get().(*productScratch)
+	if sc == nil {
+		sc = &productScratch{}
 	}
-	s.bits = s.bits.Grow(bits)
-	return s
+	sc.bits = sc.bits.Grow(bits)
+	return sc
 }
 
 // putProductSparse releases scratch whose set bits are all recorded in
 // touched.
-func (g *Graph) putProductSparse(s *productScratch) {
-	for _, i := range s.touched {
-		s.bits.Clear(int(i))
+func (s *Snapshot) putProductSparse(sc *productScratch) {
+	for _, i := range sc.touched {
+		sc.bits.Clear(int(i))
 	}
-	g.putProductClean(s)
+	s.putProductClean(sc)
 }
 
 // putProductDense releases scratch after a search that may have marked a
 // large fraction of the product space: clear the used prefix wholesale.
-func (g *Graph) putProductDense(s *productScratch, bits int) {
-	clear(s.bits[:bitset.WordsFor(bits)])
-	g.putProductClean(s)
+func (s *Snapshot) putProductDense(sc *productScratch, bits int) {
+	clear(sc.bits[:bitset.WordsFor(bits)])
+	s.putProductClean(sc)
 }
 
-func (g *Graph) putProductClean(s *productScratch) {
-	s.stack = s.stack[:0]
-	s.next = s.next[:0]
-	s.touched = s.touched[:0]
-	g.prodPool.Put(s)
+func (s *Snapshot) putProductClean(sc *productScratch) {
+	sc.stack = sc.stack[:0]
+	sc.next = sc.next[:0]
+	sc.touched = sc.touched[:0]
+	s.g.prodPool.Put(sc)
 }
 
 // NodeSetIndex interns sorted node sets as dense int32 ids, replacing the

@@ -7,9 +7,11 @@
 // operation on it (membership, query products, inclusion) is computed as a
 // product construction over the adjacency.
 //
-// Reads run against a frozen compressed-sparse-row view (see csr.go and
-// DESIGN.md): adjacency flattened per direction into one flat edge array
-// grouped by node and symbol, so the hot loops are contiguous range scans.
+// Reads run against immutable epoch Snapshots of a compressed-sparse-row
+// view (see csr.go and DESIGN.md): adjacency flattened per direction into
+// one flat edge array grouped by node and symbol, so the hot loops are
+// contiguous range scans. Mutations go to a build-side delta and become
+// visible to concurrent readers only when a new epoch is published.
 package graph
 
 import (
@@ -33,25 +35,29 @@ type Edge struct {
 }
 
 // Graph is a finite directed edge-labeled graph over an interned alphabet.
-// Construction appends to per-node adjacency lists; the first read freezes
-// them into symbol-indexed CSR form (csr.go), which keeps canonical-order
-// path enumeration a plain BFS taking edges in (symbol, neighbor) order.
+// Construction appends to per-node adjacency lists; reads go through
+// published epoch Snapshots in symbol-indexed CSR form (csr.go), which
+// keeps canonical-order path enumeration a plain BFS taking edges in
+// (symbol, neighbor) order.
 //
-// Concurrency: once construction is done, any number of goroutines may
-// read concurrently (the lazy freeze is guarded and the scratch pools are
-// concurrent); mutation must not overlap with reads.
+// Concurrency: a single writer may mutate and publish epochs while any
+// number of goroutines read — provided the readers hold Snapshots (via
+// Current/Snapshot) rather than calling Graph-level read methods, which
+// rebuild lazily on a dirty build side. Graph-level reads keep the legacy
+// contract: any number of concurrent readers, but no overlap with
+// mutation.
 type Graph struct {
 	alpha     *alphabet.Alphabet
 	nodeNames []string
 	nodeIDs   map[string]NodeID
-	out       [][]Edge // build-side adjacency; reads use csrOut/csrIn
+	out       [][]Edge // build-side adjacency; reads use published snapshots
 	in        [][]Edge
 	numEdges  int
 
-	frozen   atomic.Bool
-	freezeMu sync.Mutex
-	csrOut   csr
-	csrIn    csr
+	dirty     atomic.Bool // build side differs from the published snapshot
+	publishMu sync.Mutex
+	cur       atomic.Pointer[Snapshot]
+	epoch     atomic.Uint64
 
 	stepPool sync.Pool // *stepScratch
 	prodPool sync.Pool // *productScratch
@@ -69,14 +75,19 @@ func New(alpha *alphabet.Alphabet) *Graph {
 // Alphabet returns the graph's alphabet.
 func (g *Graph) Alphabet() *alphabet.Alphabet { return g.alpha }
 
-// NumNodes returns the number of nodes.
+// NumNodes returns the number of nodes on the build side.
 func (g *Graph) NumNodes() int { return len(g.nodeNames) }
 
-// NumEdges returns the number of edges.
+// NumEdges returns the number of edges on the build side.
 func (g *Graph) NumEdges() int { return g.numEdges }
 
+// Epoch returns the number of the most recently published epoch (0 before
+// the first publication).
+func (g *Graph) Epoch() uint64 { return g.epoch.Load() }
+
 // AddNode adds a node named name and returns its id; adding an existing
-// name returns the existing id.
+// name returns the existing id. The node joins the published read view at
+// the next Snapshot().
 func (g *Graph) AddNode(name string) NodeID {
 	if id, ok := g.nodeIDs[name]; ok {
 		return id
@@ -86,18 +97,19 @@ func (g *Graph) AddNode(name string) NodeID {
 	g.nodeIDs[name] = id
 	g.out = append(g.out, nil)
 	g.in = append(g.in, nil)
-	g.frozen.Store(false)
+	g.dirty.Store(true)
 	return id
 }
 
-// AddEdge adds the edge (from, sym, to). Duplicate edges are kept (the
-// graph is a set in the paper; duplicates do not change any semantics and
-// generators avoid them).
+// AddEdge adds the edge (from, sym, to) to the build side. Duplicate edges
+// are kept (the graph is a set in the paper; duplicates do not change any
+// semantics and generators avoid them). The edge joins the published read
+// view at the next Snapshot().
 func (g *Graph) AddEdge(from NodeID, sym alphabet.Symbol, to NodeID) {
 	g.out[from] = append(g.out[from], Edge{sym, to})
 	g.in[to] = append(g.in[to], Edge{sym, from})
 	g.numEdges++
-	g.frozen.Store(false)
+	g.dirty.Store(true)
 }
 
 // AddEdgeByName interns label and adds an edge between named nodes,
@@ -125,36 +137,44 @@ func (g *Graph) Nodes() []NodeID {
 }
 
 // OutEdges returns the out-edges of v sorted by (symbol, neighbor). The
-// returned slice must not be modified and is invalidated by mutation.
-func (g *Graph) OutEdges(v NodeID) []Edge {
-	g.freeze()
-	return g.csrOut.row(v)
-}
+// returned slice must not be modified; it stays valid for the lifetime of
+// the epoch it was read from.
+func (g *Graph) OutEdges(v NodeID) []Edge { return g.reader().OutEdges(v) }
+
+// OutEdges returns the out-edges of v sorted by (symbol, neighbor). The
+// returned slice must not be modified.
+func (s *Snapshot) OutEdges(v NodeID) []Edge { return s.out.row(v) }
 
 // InEdges returns the sorted in-edges of v (Edge.To is the tail node).
-// The returned slice must not be modified and is invalidated by mutation.
-func (g *Graph) InEdges(v NodeID) []Edge {
-	g.freeze()
-	return g.csrIn.row(v)
-}
+// The returned slice must not be modified.
+func (g *Graph) InEdges(v NodeID) []Edge { return g.reader().InEdges(v) }
 
-// OutDegree returns the number of out-edges of v.
+// InEdges returns the sorted in-edges of v (Edge.To is the tail node).
+// The returned slice must not be modified.
+func (s *Snapshot) InEdges(v NodeID) []Edge { return s.in.row(v) }
+
+// OutDegree returns the number of out-edges of v on the build side.
 func (g *Graph) OutDegree(v NodeID) int { return len(g.out[v]) }
 
-// InDegree returns the number of in-edges of v.
+// InDegree returns the number of in-edges of v on the build side.
 func (g *Graph) InDegree(v NodeID) int { return len(g.in[v]) }
+
+// Step returns the sorted, deduplicated set of a-successors of the sorted
+// node set set.
+func (g *Graph) Step(set []NodeID, sym alphabet.Symbol) []NodeID {
+	return g.reader().Step(set, sym)
+}
 
 // Step returns the sorted, deduplicated set of a-successors of the sorted
 // node set set. Successor segments are contiguous in the CSR, and dedup
 // uses a pooled bitset emitted in ascending order — no per-call map, no
 // per-call sort.
-func (g *Graph) Step(set []NodeID, sym alphabet.Symbol) []NodeID {
-	g.freeze()
-	sc := g.getStep()
-	defer g.putStep(sc)
+func (s *Snapshot) Step(set []NodeID, sym alphabet.Symbol) []NodeID {
+	sc := s.getStep()
+	defer s.putStep(sc)
 	mk := bitset.NewMarker(sc.nodes)
 	for _, v := range set {
-		for _, e := range g.csrOut.succ(v, sym) {
+		for _, e := range s.out.succ(v, sym) {
 			mk.TrySet(int(e.To))
 		}
 	}
@@ -169,9 +189,15 @@ func (g *Graph) Step(set []NodeID, sym alphabet.Symbol) []NodeID {
 // Matches reports whether w ∈ paths_G(ν): some node sequence starting at ν
 // is matched by w. The empty word matches everywhere.
 func (g *Graph) Matches(nu NodeID, w words.Word) bool {
+	return g.reader().Matches(nu, w)
+}
+
+// Matches reports whether w ∈ paths_G(ν): some node sequence starting at ν
+// is matched by w. The empty word matches everywhere.
+func (s *Snapshot) Matches(nu NodeID, w words.Word) bool {
 	cur := []NodeID{nu}
 	for _, sym := range w {
-		cur = g.Step(cur, sym)
+		cur = s.Step(cur, sym)
 		if len(cur) == 0 {
 			return false
 		}
@@ -182,9 +208,14 @@ func (g *Graph) Matches(nu NodeID, w words.Word) bool {
 // MatchesAny reports whether w ∈ paths_G(X) for the node set X. The empty
 // set covers nothing: paths_G(∅) = ∅.
 func (g *Graph) MatchesAny(set []NodeID, w words.Word) bool {
+	return g.reader().MatchesAny(set, w)
+}
+
+// MatchesAny reports whether w ∈ paths_G(X) for the node set X.
+func (s *Snapshot) MatchesAny(set []NodeID, w words.Word) bool {
 	cur := append([]NodeID(nil), set...)
 	for _, sym := range w {
-		cur = g.Step(cur, sym)
+		cur = s.Step(cur, sym)
 		if len(cur) == 0 {
 			return false
 		}
@@ -193,16 +224,19 @@ func (g *Graph) MatchesAny(set []NodeID, w words.Word) bool {
 }
 
 // HasCycleFrom reports whether a cycle is reachable from ν, i.e. whether
-// paths_G(ν) is infinite (Section 2). The DFS keeps an explicit stack so
-// deep synthetic graphs cannot overflow the goroutine stack.
-func (g *Graph) HasCycleFrom(nu NodeID) bool {
-	g.freeze()
+// paths_G(ν) is infinite (Section 2).
+func (g *Graph) HasCycleFrom(nu NodeID) bool { return g.reader().HasCycleFrom(nu) }
+
+// HasCycleFrom reports whether a cycle is reachable from ν. The DFS keeps
+// an explicit stack so deep synthetic graphs cannot overflow the goroutine
+// stack.
+func (s *Snapshot) HasCycleFrom(nu NodeID) bool {
 	const (
 		unvisited = 0
 		inStack   = 1
 		done      = 2
 	)
-	state := make([]int8, g.NumNodes())
+	state := make([]int8, s.nv)
 	type frame struct {
 		v  NodeID
 		ei int32 // next out-edge index within the node's CSR row
@@ -211,7 +245,7 @@ func (g *Graph) HasCycleFrom(nu NodeID) bool {
 	state[nu] = inStack
 	for len(stack) > 0 {
 		f := &stack[len(stack)-1]
-		row := g.csrOut.row(f.v)
+		row := s.out.row(f.v)
 		if int(f.ei) < len(row) {
 			to := row[f.ei].To
 			f.ei++
@@ -231,10 +265,15 @@ func (g *Graph) HasCycleFrom(nu NodeID) bool {
 }
 
 // PathsUpTo enumerates paths_G(ν) ∩ Σ^{≤maxLen} in canonical order,
+// stopping after limit words (limit ≤ 0 means no limit).
+func (g *Graph) PathsUpTo(nu NodeID, maxLen, limit int) []words.Word {
+	return g.reader().PathsUpTo(nu, maxLen, limit)
+}
+
+// PathsUpTo enumerates paths_G(ν) ∩ Σ^{≤maxLen} in canonical order,
 // stopping after limit words (limit ≤ 0 means no limit). Distinct words
 // only: several node sequences matching the same word yield one entry.
-func (g *Graph) PathsUpTo(nu NodeID, maxLen, limit int) []words.Word {
-	g.freeze()
+func (s *Snapshot) PathsUpTo(nu NodeID, maxLen, limit int) []words.Word {
 	type state struct {
 		set  []NodeID
 		word words.Word
@@ -251,8 +290,8 @@ func (g *Graph) PathsUpTo(nu NodeID, maxLen, limit int) []words.Word {
 			if l == maxLen {
 				continue
 			}
-			for _, sym := range g.SymbolsOf(cur.set) {
-				ns := g.Step(cur.set, sym)
+			for _, sym := range s.SymbolsOf(cur.set) {
+				ns := s.Step(cur.set, sym)
 				if len(ns) > 0 {
 					next = append(next, state{ns, words.Append(cur.word, sym)})
 				}
@@ -264,23 +303,28 @@ func (g *Graph) PathsUpTo(nu NodeID, maxLen, limit int) []words.Word {
 }
 
 // StepAll visits, for every symbol with at least one successor from the
+// node set, the sorted deduplicated stepped set.
+func (g *Graph) StepAll(set []NodeID, fn func(sym alphabet.Symbol, succ []NodeID)) {
+	g.reader().StepAll(set, fn)
+}
+
+// StepAll visits, for every symbol with at least one successor from the
 // node set, the sorted deduplicated stepped set — one pass over the set's
 // CSR segments instead of one Step per symbol. Visit order is unspecified
 // but deterministic. The succ slice is freshly allocated per symbol and
 // owned by the callback. This is the bulk transition primitive behind the
 // lazily-determinized Coverage index in internal/scp.
-func (g *Graph) StepAll(set []NodeID, fn func(sym alphabet.Symbol, succ []NodeID)) {
-	g.freeze()
-	sc := g.getStep()
-	defer g.putStep(sc)
-	nsym := g.alpha.Size()
+func (s *Snapshot) StepAll(set []NodeID, fn func(sym alphabet.Symbol, succ []NodeID)) {
+	sc := s.getStep()
+	defer s.putStep(sc)
+	nsym := s.nsym
 	if cap(sc.buckets) < nsym {
 		sc.buckets = make([][]NodeID, nsym)
 	}
 	buckets := sc.buckets[:nsym]
 	present := sc.present[:0]
 	symMarks := sc.syms
-	co := &g.csrOut
+	co := &s.out
 	for _, v := range set {
 		for si := co.segStart[v]; si < co.segStart[v+1]; si++ {
 			sym := co.segSym[si]
@@ -309,15 +353,19 @@ func (g *Graph) StepAll(set []NodeID, fn func(sym alphabet.Symbol, succ []NodeID
 }
 
 // SymbolsOf returns the sorted distinct symbols with an out-edge from set.
+func (g *Graph) SymbolsOf(set []NodeID) []alphabet.Symbol {
+	return g.reader().SymbolsOf(set)
+}
+
+// SymbolsOf returns the sorted distinct symbols with an out-edge from set.
 // Per-node symbols are one CSR segment scan; dedup is a pooled bitset over
 // the alphabet, emitted in ascending (= sorted) symbol order.
-func (g *Graph) SymbolsOf(set []NodeID) []alphabet.Symbol {
-	g.freeze()
-	sc := g.getStep()
-	defer g.putStep(sc)
+func (s *Snapshot) SymbolsOf(set []NodeID) []alphabet.Symbol {
+	sc := s.getStep()
+	defer s.putStep(sc)
 	mk := bitset.NewMarker(sc.syms)
 	for _, v := range set {
-		for _, sym := range g.csrOut.segSym[g.csrOut.segStart[v]:g.csrOut.segStart[v+1]] {
+		for _, sym := range s.out.segSym[s.out.segStart[v]:s.out.segStart[v+1]] {
 			mk.TrySet(int(sym))
 		}
 	}
@@ -330,10 +378,15 @@ func (g *Graph) SymbolsOf(set []NodeID) []alphabet.Symbol {
 }
 
 // Neighborhood returns the set of nodes within the given undirected radius
+// of ν, including ν.
+func (g *Graph) Neighborhood(nu NodeID, radius int) []NodeID {
+	return g.reader().Neighborhood(nu, radius)
+}
+
+// Neighborhood returns the set of nodes within the given undirected radius
 // of ν, including ν — the "zoom out on its neighborhood" of the interactive
 // scenario (step 4 of Figure 9, where the paper suggests radius k).
-func (g *Graph) Neighborhood(nu NodeID, radius int) []NodeID {
-	g.freeze()
+func (s *Snapshot) Neighborhood(nu NodeID, radius int) []NodeID {
 	dist := map[NodeID]int{nu: 0}
 	queue := []NodeID{nu}
 	for len(queue) > 0 {
@@ -342,13 +395,13 @@ func (g *Graph) Neighborhood(nu NodeID, radius int) []NodeID {
 		if dist[v] == radius {
 			continue
 		}
-		for _, e := range g.csrOut.row(v) {
+		for _, e := range s.out.row(v) {
 			if _, ok := dist[e.To]; !ok {
 				dist[e.To] = dist[v] + 1
 				queue = append(queue, e.To)
 			}
 		}
-		for _, e := range g.csrIn.row(v) {
+		for _, e := range s.in.row(v) {
 			if _, ok := dist[e.To]; !ok {
 				dist[e.To] = dist[v] + 1
 				queue = append(queue, e.To)
@@ -365,19 +418,22 @@ func (g *Graph) Neighborhood(nu NodeID, radius int) []NodeID {
 
 // Subgraph returns the induced subgraph on keep, with the same node names
 // and alphabet. Node ids are renumbered.
-func (g *Graph) Subgraph(keep []NodeID) *Graph {
-	g.freeze()
-	sub := New(g.alpha)
+func (g *Graph) Subgraph(keep []NodeID) *Graph { return g.reader().Subgraph(keep) }
+
+// Subgraph returns the induced subgraph on keep, with the same node names
+// and alphabet. Node ids are renumbered.
+func (s *Snapshot) Subgraph(keep []NodeID) *Graph {
+	sub := New(s.g.alpha)
 	inKeep := make(map[NodeID]bool, len(keep))
 	for _, v := range keep {
 		inKeep[v] = true
-		sub.AddNode(g.NodeName(v))
+		sub.AddNode(s.NodeName(v))
 	}
 	for _, v := range keep {
-		for _, e := range g.csrOut.row(v) {
+		for _, e := range s.out.row(v) {
 			if inKeep[e.To] {
-				from, _ := sub.NodeByName(g.NodeName(v))
-				to, _ := sub.NodeByName(g.NodeName(e.To))
+				from, _ := sub.NodeByName(s.NodeName(v))
+				to, _ := sub.NodeByName(s.NodeName(e.To))
 				sub.AddEdge(from, e.Sym, to)
 			}
 		}

@@ -21,17 +21,17 @@ import (
 
 // WriteTSV serializes g.
 func (g *Graph) WriteTSV(w io.Writer) error {
+	rd := g.reader()
 	bw := bufio.NewWriter(w)
-	for v := 0; v < g.NumNodes(); v++ {
-		if _, err := fmt.Fprintf(bw, "v\t%s\n", g.nodeNames[v]); err != nil {
+	for v := 0; v < rd.NumNodes(); v++ {
+		if _, err := fmt.Fprintf(bw, "v\t%s\n", rd.names[v]); err != nil {
 			return err
 		}
 	}
-	g.freeze()
-	for v := 0; v < g.NumNodes(); v++ {
-		for _, e := range g.csrOut.row(NodeID(v)) {
+	for v := 0; v < rd.NumNodes(); v++ {
+		for _, e := range rd.out.row(NodeID(v)) {
 			if _, err := fmt.Fprintf(bw, "e\t%s\t%s\t%s\n",
-				g.nodeNames[v], g.alpha.Name(e.Sym), g.nodeNames[e.To]); err != nil {
+				rd.names[v], g.alpha.Name(e.Sym), rd.names[e.To]); err != nil {
 				return err
 			}
 		}

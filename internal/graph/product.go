@@ -23,7 +23,8 @@ import (
 // loops walk CSR segments so the DFA transition is looked up once per
 // (state, distinct symbol), and SelectMonadic's backward propagation runs
 // level-synchronously across worker shards when the space is large enough
-// to amortize the goroutines.
+// to amortize the goroutines. Every search runs against one immutable
+// epoch Snapshot, so concurrent queries and mutations never interfere.
 
 // Parallelization gates for SelectMonadic, tunable by white-box tests:
 // shards engage only when the product space and the current frontier are
@@ -36,6 +37,12 @@ var (
 
 // SelectMonadic returns the per-node selection vector of the query DFA d
 // under monadic semantics: selected[ν] iff L(d) ∩ paths_G(ν) ≠ ∅.
+func (g *Graph) SelectMonadic(d *automata.DFA) []bool {
+	return g.reader().SelectMonadic(d)
+}
+
+// SelectMonadic returns the per-node selection vector of the query DFA d
+// under monadic semantics: selected[ν] iff L(d) ∩ paths_G(ν) ≠ ∅.
 //
 // It marks product pairs (node, state) from which an accepting state is
 // reachable, by backward propagation from every (node, final) pair, then
@@ -43,9 +50,8 @@ var (
 // frontier is split across worker shards marking the shared visited bitset
 // with atomic try-set (exactly-once enqueue); small instances run the same
 // loop single-threaded without atomics.
-func (g *Graph) SelectMonadic(d *automata.DFA) []bool {
-	g.freeze()
-	nv, nq := g.NumNodes(), d.NumStates()
+func (s *Snapshot) SelectMonadic(d *automata.DFA) []bool {
+	nv, nq := s.nv, d.NumStates()
 	selected := make([]bool, nv)
 	if nv == 0 || nq == 0 {
 		return selected
@@ -53,7 +59,7 @@ func (g *Graph) SelectMonadic(d *automata.DFA) []bool {
 	if nq <= 64 {
 		// Learned and workload DFAs are small: pack each node's marked
 		// state set into one word and propagate whole masks at once.
-		return g.selectMonadicMasked(d, selected)
+		return s.selectMonadicMasked(d, selected)
 	}
 	// Flat reverse DFA transitions, bucketed by sym·|Q|+q: one counting
 	// pass sizes the buckets, a second fills them.
@@ -82,8 +88,8 @@ func (g *Graph) SelectMonadic(d *automata.DFA) []bool {
 	}
 
 	size := nv * nq
-	sc := g.getProduct(size)
-	defer g.putProductDense(sc, size)
+	sc := s.getProduct(size)
+	defer s.putProductDense(sc, size)
 	good := sc.bits
 	frontier, next := sc.stack, sc.next
 	for q := 0; q < nq; q++ {
@@ -104,10 +110,10 @@ func (g *Graph) SelectMonadic(d *automata.DFA) []bool {
 	parallel := workers > 1 && size >= selectParallelMinSpace
 	for len(frontier) > 0 {
 		if !parallel || len(frontier) < selectParallelMinFrontier {
-			next = g.relaxMonadic(d, nq, revOff, revPred, good, frontier, next, false)
+			next = s.relaxMonadic(d, nq, revOff, revPred, good, frontier, next, false)
 		} else {
 			next = relaxSharded(sc, frontier, next, workers, func(part, buf []uint64) []uint64 {
-				return g.relaxMonadic(d, nq, revOff, revPred, good, part, buf, true)
+				return s.relaxMonadic(d, nq, revOff, revPred, good, part, buf, true)
 			})
 		}
 		frontier, next = next, frontier[:0]
@@ -116,7 +122,7 @@ func (g *Graph) SelectMonadic(d *automata.DFA) []bool {
 
 	start := int(d.Start)
 	for v := 0; v < nv; v++ {
-		selected[v] = good.Get(v*nq+start)
+		selected[v] = good.Get(v*nq + start)
 	}
 	return selected
 }
@@ -126,8 +132,8 @@ func (g *Graph) SelectMonadic(d *automata.DFA) []bool {
 // transition p --sym--> q into the predecessor pair (u, p). Newly marked
 // pairs are appended to next. With atomic=true marking is safe for
 // concurrent shards sharing good.
-func (g *Graph) relaxMonadic(d *automata.DFA, nq int, revOff, revPred []int32, good bitset.Bits, frontier, next []uint64, atomic bool) []uint64 {
-	ci := &g.csrIn
+func (s *Snapshot) relaxMonadic(d *automata.DFA, nq int, revOff, revPred []int32, good bitset.Bits, frontier, next []uint64, atomic bool) []uint64 {
+	ci := &s.in
 	for _, idx := range frontier {
 		v := NodeID(idx / uint64(nq))
 		q := int(idx % uint64(nq))
@@ -168,8 +174,8 @@ func (g *Graph) relaxMonadic(d *automata.DFA, nq int, revOff, revPred []int32, g
 // product pairs became good there. predMask[sym·|Q|+q] is the mask of DFA
 // predecessors p with δ(p, sym) = q, so product predecessor sets are
 // word-parallel unions.
-func (g *Graph) selectMonadicMasked(d *automata.DFA, selected []bool) []bool {
-	nv, nq := g.NumNodes(), d.NumStates()
+func (s *Snapshot) selectMonadicMasked(d *automata.DFA, selected []bool) []bool {
+	nv, nq := s.nv, d.NumStates()
 	nsym := d.NumSyms
 	predMask := make([]uint64, nsym*nq)
 	for p := 0; p < nq; p++ {
@@ -189,8 +195,8 @@ func (g *Graph) selectMonadicMasked(d *automata.DFA, selected []bool) []bool {
 		return selected
 	}
 
-	sc := g.getProduct(nv * 64)
-	defer g.putProductDense(sc, nv*64)
+	sc := s.getProduct(nv * 64)
+	defer s.putProductDense(sc, nv*64)
 	good := sc.bits // one word per node
 	sc.maskCur = sc.maskCur.Grow(nv * 64)
 	sc.maskNext = sc.maskNext.Grow(nv * 64)
@@ -201,13 +207,13 @@ func (g *Graph) selectMonadicMasked(d *automata.DFA, selected []bool) []bool {
 	}
 	startBit := uint64(1) << uint(d.Start)
 	if workers > 1 && nv*nq >= selectParallelMinSpace {
-		g.selectMaskedParallel(d, nq, predMask, finalMask, good, sc, workers)
+		s.selectMaskedParallel(d, nq, predMask, finalMask, good, sc, workers)
 		for v := 0; v < nv; v++ {
 			selected[v] = good[v]&startBit != 0
 		}
 		return selected
 	}
-	g.selectMaskedSerial(d, nq, predMask, finalMask, good, sc)
+	s.selectMaskedSerial(d, nq, predMask, finalMask, good, sc)
 	// The serial path keeps finalMask implicit (every (v, final) pair is
 	// good by definition and was relaxed by the level-1 sweep).
 	for v := 0; v < nv; v++ {
@@ -223,10 +229,10 @@ func (g *Graph) selectMonadicMasked(d *automata.DFA, selected []bool) []bool {
 // transition into a final state are skipped without touching their edges.
 // The sparse remainder drains through a worklist deduplicated by a
 // per-node pending mask.
-func (g *Graph) selectMaskedSerial(d *automata.DFA, nq int, predMask []uint64, finalMask uint64, good bitset.Bits, sc *productScratch) {
-	ci := &g.csrIn
+func (s *Snapshot) selectMaskedSerial(d *automata.DFA, nq int, predMask []uint64, finalMask uint64, good bitset.Bits, sc *productScratch) {
+	ci := &s.in
 	nsym := d.NumSyms
-	pm1 := make([]uint64, g.alpha.Size())
+	pm1 := make([]uint64, s.nsym)
 	for sym := 0; sym < nsym && sym < len(pm1); sym++ {
 		var pm uint64
 		for mm := finalMask; mm != 0; mm &= mm - 1 {
@@ -236,12 +242,12 @@ func (g *Graph) selectMaskedSerial(d *automata.DFA, nq int, predMask []uint64, f
 	}
 	pending := sc.maskCur
 	stack := sc.stack
-	for s := 0; s < len(ci.segSym); s++ {
-		pm := pm1[ci.segSym[s]]
+	for si := 0; si < len(ci.segSym); si++ {
+		pm := pm1[ci.segSym[si]]
 		if pm == 0 {
 			continue
 		}
-		for _, e := range ci.edges[ci.segOff[s]:ci.segOff[s+1]] {
+		for _, e := range ci.edges[ci.segOff[si]:ci.segOff[si+1]] {
 			if add := pm &^ (good[e.To] | finalMask); add != 0 {
 				good[e.To] |= add
 				if pending[e.To] == 0 {
@@ -289,8 +295,8 @@ func (g *Graph) selectMaskedSerial(d *automata.DFA, nq int, predMask []uint64, f
 // marking the shared good array with atomic-or (exactly-once per state
 // bit). Small frontiers fall back to the single-threaded relax to avoid
 // goroutine overhead between dense levels.
-func (g *Graph) selectMaskedParallel(d *automata.DFA, nq int, predMask []uint64, finalMask uint64, good bitset.Bits, sc *productScratch, workers int) {
-	nv := g.NumNodes()
+func (s *Snapshot) selectMaskedParallel(d *automata.DFA, nq int, predMask []uint64, finalMask uint64, good bitset.Bits, sc *productScratch, workers int) {
+	nv := s.nv
 	curNew, nextNew := sc.maskCur, sc.maskNext
 	frontier, next := sc.stack, sc.next
 	for v := 0; v < nv; v++ {
@@ -300,11 +306,11 @@ func (g *Graph) selectMaskedParallel(d *automata.DFA, nq int, predMask []uint64,
 	}
 	for len(frontier) > 0 {
 		if len(frontier) < selectParallelMinFrontier {
-			next = g.relaxMasked(d, nq, predMask, good, curNew, nextNew, frontier, next, false)
+			next = s.relaxMasked(d, nq, predMask, good, curNew, nextNew, frontier, next, false)
 		} else {
 			cn, nn := curNew, nextNew
 			next = relaxSharded(sc, frontier, next, workers, func(part, buf []uint64) []uint64 {
-				return g.relaxMasked(d, nq, predMask, good, cn, nn, part, buf, true)
+				return s.relaxMasked(d, nq, predMask, good, cn, nn, part, buf, true)
 			})
 		}
 		frontier, next = next, frontier[:0]
@@ -353,8 +359,8 @@ func relaxSharded(sc *productScratch, frontier, next []uint64, workers int, rela
 // with the state bits accumulating in nextNew. With atomicMark=true,
 // marking uses atomic-or so concurrent shards observe each transition
 // exactly once.
-func (g *Graph) relaxMasked(d *automata.DFA, nq int, predMask []uint64, good, curNew, nextNew bitset.Bits, frontier, next []uint64, atomicMark bool) []uint64 {
-	ci := &g.csrIn
+func (s *Snapshot) relaxMasked(d *automata.DFA, nq int, predMask []uint64, good, curNew, nextNew bitset.Bits, frontier, next []uint64, atomicMark bool) []uint64 {
+	ci := &s.in
 	for _, vi := range frontier {
 		v := NodeID(vi)
 		m := curNew[v]
@@ -393,23 +399,33 @@ func (g *Graph) relaxMasked(d *automata.DFA, nq int, predMask []uint64, good, cu
 	return next
 }
 
+// Covers reports whether L(d) ∩ paths_G(ν) ≠ ∅ for a single node.
+func (g *Graph) Covers(d *automata.DFA, nu NodeID) bool {
+	return g.reader().CoversAny(d, []NodeID{nu})
+}
+
 // Covers reports whether L(d) ∩ paths_G(ν) ≠ ∅ for a single node, with an
 // early-exit forward search from (ν, d.Start).
-func (g *Graph) Covers(d *automata.DFA, nu NodeID) bool {
-	return g.CoversAny(d, []NodeID{nu})
+func (s *Snapshot) Covers(d *automata.DFA, nu NodeID) bool {
+	return s.CoversAny(d, []NodeID{nu})
+}
+
+// CoversAny reports whether L(d) ∩ paths_G(X) ≠ ∅: some node of X has a
+// path in L(d).
+func (g *Graph) CoversAny(d *automata.DFA, set []NodeID) bool {
+	return g.reader().CoversAny(d, set)
 }
 
 // CoversAny reports whether L(d) ∩ paths_G(X) ≠ ∅: some node of X has a
 // path in L(d). This is the learner's consistency primitive — with X = S−
 // it decides whether a candidate generalization selects a negative example.
-func (g *Graph) CoversAny(d *automata.DFA, set []NodeID) bool {
-	g.freeze()
+func (s *Snapshot) CoversAny(d *automata.DFA, set []NodeID) bool {
 	nq := d.NumStates()
 	if nq == 0 || len(set) == 0 {
 		return false
 	}
-	sc := g.getProduct(g.NumNodes() * nq)
-	defer g.putProductSparse(sc)
+	sc := s.getProduct(s.nv * nq)
+	defer s.putProductSparse(sc)
 	stack := sc.stack
 	for _, v := range set {
 		idx := int(v)*nq + int(d.Start)
@@ -419,7 +435,7 @@ func (g *Graph) CoversAny(d *automata.DFA, set []NodeID) bool {
 		}
 	}
 	found := false
-	co := &g.csrOut
+	co := &s.out
 	for len(stack) > 0 {
 		idx := stack[len(stack)-1]
 		stack = stack[:len(stack)-1]
@@ -429,7 +445,7 @@ func (g *Graph) CoversAny(d *automata.DFA, set []NodeID) bool {
 			found = true
 			break
 		}
-		stack = g.expandForward(d, co, v, q, nq, sc, stack)
+		stack = s.expandForward(d, co, v, q, nq, sc, stack)
 	}
 	sc.stack = stack
 	return found
@@ -438,7 +454,7 @@ func (g *Graph) CoversAny(d *automata.DFA, set []NodeID) bool {
 // expandForward pushes the unvisited forward product successors of (v, q):
 // out-segment symbols look up the DFA transition once, then mark every
 // neighbor in the contiguous segment.
-func (g *Graph) expandForward(d *automata.DFA, co *csr, v NodeID, q int32, nq int, sc *productScratch, stack []uint64) []uint64 {
+func (s *Snapshot) expandForward(d *automata.DFA, co *csr, v NodeID, q int32, nq int, sc *productScratch, stack []uint64) []uint64 {
 	delta := d.Delta[q]
 	for si := co.segStart[v]; si < co.segStart[v+1]; si++ {
 		sym := int(co.segSym[si])
@@ -461,24 +477,28 @@ func (g *Graph) expandForward(d *automata.DFA, co *csr, v NodeID, q int32, nq in
 	return stack
 }
 
+// CoversPair reports whether some path from u to v spells a word of L(d).
+func (g *Graph) CoversPair(d *automata.DFA, u, v NodeID) bool {
+	return g.reader().CoversPair(d, u, v)
+}
+
 // CoversPair reports whether some path from u to v spells a word of L(d) —
 // the binary semantics of Appendix B: w ∈ paths2_G(u,v) ∩ L(d) ≠ ∅.
 // Note that the accepting condition requires landing exactly on v in a
 // final DFA state; ε is accepted only when u = v and the start is final.
-func (g *Graph) CoversPair(d *automata.DFA, u, v NodeID) bool {
-	g.freeze()
+func (s *Snapshot) CoversPair(d *automata.DFA, u, v NodeID) bool {
 	nq := d.NumStates()
 	if nq == 0 {
 		return false
 	}
-	sc := g.getProduct(g.NumNodes() * nq)
-	defer g.putProductSparse(sc)
+	sc := s.getProduct(s.nv * nq)
+	defer s.putProductSparse(sc)
 	start := int(u)*nq + int(d.Start)
 	sc.bits.Set(start)
 	sc.touched = append(sc.touched, uint64(start))
 	stack := append(sc.stack, uint64(start))
 	found := false
-	co := &g.csrOut
+	co := &s.out
 	for len(stack) > 0 {
 		idx := stack[len(stack)-1]
 		stack = stack[:len(stack)-1]
@@ -488,7 +508,7 @@ func (g *Graph) CoversPair(d *automata.DFA, u, v NodeID) bool {
 			found = true
 			break
 		}
-		stack = g.expandForward(d, co, x, q, nq, sc, stack)
+		stack = s.expandForward(d, co, x, q, nq, sc, stack)
 	}
 	sc.stack = stack
 	return found
@@ -497,21 +517,26 @@ func (g *Graph) CoversPair(d *automata.DFA, u, v NodeID) bool {
 // SelectBinaryFrom returns all v such that (u, v) is selected by d under
 // binary semantics, in increasing id order.
 func (g *Graph) SelectBinaryFrom(d *automata.DFA, u NodeID) []NodeID {
-	g.freeze()
+	return g.reader().SelectBinaryFrom(d, u)
+}
+
+// SelectBinaryFrom returns all v such that (u, v) is selected by d under
+// binary semantics, in increasing id order.
+func (s *Snapshot) SelectBinaryFrom(d *automata.DFA, u NodeID) []NodeID {
 	nq := d.NumStates()
 	if nq == 0 {
 		return nil
 	}
-	sc := g.getProduct(g.NumNodes() * nq)
-	defer g.putProductSparse(sc)
-	hits := g.getStep()
-	defer g.putStep(hits)
+	sc := s.getProduct(s.nv * nq)
+	defer s.putProductSparse(sc)
+	hits := s.getStep()
+	defer s.putStep(hits)
 	start := int(u)*nq + int(d.Start)
 	sc.bits.Set(start)
 	sc.touched = append(sc.touched, uint64(start))
 	stack := append(sc.stack, uint64(start))
 	mk := bitset.NewMarker(hits.nodes)
-	co := &g.csrOut
+	co := &s.out
 	for len(stack) > 0 {
 		idx := stack[len(stack)-1]
 		stack = stack[:len(stack)-1]
@@ -520,7 +545,7 @@ func (g *Graph) SelectBinaryFrom(d *automata.DFA, u NodeID) []NodeID {
 		if d.Final[q] {
 			mk.TrySet(int(x))
 		}
-		stack = g.expandForward(d, co, x, q, nq, sc, stack)
+		stack = s.expandForward(d, co, x, q, nq, sc, stack)
 	}
 	sc.stack = stack
 	if mk.Count() == 0 {
@@ -540,7 +565,7 @@ func (g *Graph) SelectBinaryFrom(d *automata.DFA, u NodeID) []NodeID {
 // informativeness (Lemma 4.2); callers use it on small graphs or fall back
 // to the k-bounded variant below.
 func (g *Graph) PathsIncluded(left, right []NodeID) bool {
-	_, included := g.firstEscaping(left, right, -1)
+	_, included := g.reader().firstEscaping(left, right, -1)
 	return included
 }
 
@@ -548,7 +573,7 @@ func (g *Graph) PathsIncluded(left, right []NodeID) bool {
 // paths_G(left) \ paths_G(right), with ok=false when inclusion holds
 // (no such word). Depth < 0 means unbounded.
 func (g *Graph) FirstEscapingPath(left, right []NodeID, depth int) (words.Word, bool) {
-	w, included := g.firstEscaping(left, right, depth)
+	w, included := g.reader().firstEscaping(left, right, depth)
 	return w, !included
 }
 
@@ -558,8 +583,7 @@ func (g *Graph) FirstEscapingPath(left, right []NodeID, depth int) (words.Word, 
 // space is finite). Right subsets are interned to dense ids via
 // NodeSetIndex with memoized (set, symbol) transitions, so each distinct
 // subset is stepped once per symbol instead of re-encoded per edge.
-func (g *Graph) firstEscaping(left, right []NodeID, depth int) (words.Word, bool) {
-	g.freeze()
+func (s *Snapshot) firstEscaping(left, right []NodeID, depth int) (words.Word, bool) {
 	rightStart := dedupNodes(right)
 	if len(rightStart) == 0 {
 		// Right side covers nothing: even ε is uncovered when the right
@@ -588,7 +612,7 @@ func (g *Graph) firstEscaping(left, right []NodeID, depth int) (words.Word, bool
 			queue = append(queue, state{v, startSet, words.Epsilon})
 		}
 	}
-	co := &g.csrOut
+	co := &s.out
 	for len(queue) > 0 {
 		cur := queue[0]
 		queue = queue[1:]
@@ -603,7 +627,7 @@ func (g *Graph) firstEscaping(left, right []NodeID, depth int) (words.Word, bool
 			tk := uint64(uint32(cur.set))<<32 | uint64(sym)
 			ns, ok := trans[tk]
 			if !ok {
-				ns = ix.Intern(g.Step(ix.Set(cur.set), sym))
+				ns = ix.Intern(s.Step(ix.Set(cur.set), sym))
 				trans[tk] = ns
 			}
 			var w words.Word
@@ -640,11 +664,16 @@ func dedupNodes(set []NodeID) []NodeID {
 // every state accepting — the explicit form of paths_G(starts). Useful for
 // tests cross-checking product algorithms against the automata package.
 func (g *Graph) AsNFA(starts []NodeID) *automata.NFA {
-	g.freeze()
-	n := automata.NewNFA(g.NumNodes(), g.alpha.Size())
-	for v := 0; v < g.NumNodes(); v++ {
+	return g.reader().AsNFA(starts)
+}
+
+// AsNFA materializes the snapshot as an NFA with the given start nodes and
+// every state accepting.
+func (s *Snapshot) AsNFA(starts []NodeID) *automata.NFA {
+	n := automata.NewNFA(s.nv, s.nsym)
+	for v := 0; v < s.nv; v++ {
 		n.Final[v] = true
-		for _, e := range g.csrOut.row(NodeID(v)) {
+		for _, e := range s.out.row(NodeID(v)) {
 			n.AddTransition(NodeID(v), e.Sym, e.To)
 		}
 	}

@@ -11,6 +11,7 @@ package query
 import (
 	"fmt"
 	"sort"
+	"sync"
 
 	"pathquery/internal/alphabet"
 	"pathquery/internal/automata"
@@ -28,6 +29,9 @@ type Query struct {
 	// built from a regex; nil for learned queries (String falls back to
 	// state-elimination extraction).
 	source *regex.Node
+
+	keyOnce sync.Once
+	key     string
 }
 
 // Parse parses a regular expression over alpha into a query. New labels in
@@ -72,6 +76,17 @@ func (q *Query) DFA() *automata.DFA { return q.dfa }
 // Size returns the paper's size measure: the number of canonical-DFA states.
 func (q *Query) Size() int { return q.dfa.NumStates() }
 
+// CacheKey returns a canonical key for the query's language over its
+// alphabet: two queries parsed against the same alphabet have equal keys
+// iff they are equivalent (their canonical DFAs coincide), regardless of
+// how the source expression was written and of labels interned after
+// compilation. The serving engine's plan and result caches are keyed on
+// it. Computed once and memoized; safe for concurrent use.
+func (q *Query) CacheKey() string {
+	q.keyOnce.Do(func() { q.key = q.dfa.CanonicalKey() })
+	return q.key
+}
+
 // IsEmpty reports whether the query selects nothing on every graph.
 func (q *Query) IsEmpty() bool { return q.dfa.IsEmpty() }
 
@@ -107,17 +122,68 @@ func (q *Query) Select(g *graph.Graph) []bool {
 	return g.SelectMonadic(q.dfa)
 }
 
-// SelectNodes evaluates q on g and returns the selected node ids in
-// increasing order.
-func (q *Query) SelectNodes(g *graph.Graph) []graph.NodeID {
-	sel := q.Select(g)
-	var out []graph.NodeID
-	for v, s := range sel {
+// Selection is the outcome of one monadic evaluation pass. It lets call
+// sites that need several views of the same result — the selected ids, the
+// count, the selectivity — pay for a single product pass instead of
+// re-running the engine per accessor.
+type Selection struct {
+	vec   []bool
+	count int
+}
+
+// Evaluate runs one monadic evaluation pass of q on g.
+func (q *Query) Evaluate(g *graph.Graph) Selection {
+	return NewSelection(g.SelectMonadic(q.dfa))
+}
+
+// EvaluateOn runs one monadic evaluation pass of q on an epoch snapshot.
+func (q *Query) EvaluateOn(s *graph.Snapshot) Selection {
+	return NewSelection(s.SelectMonadic(q.dfa))
+}
+
+// NewSelection wraps a selection vector, taking ownership of it.
+func NewSelection(vec []bool) Selection {
+	count := 0
+	for _, s := range vec {
 		if s {
+			count++
+		}
+	}
+	return Selection{vec: vec, count: count}
+}
+
+// Vector returns the per-node selection vector. Callers must not modify it.
+func (s Selection) Vector() []bool { return s.vec }
+
+// Count returns |q(G)|, the number of selected nodes.
+func (s Selection) Count() int { return s.count }
+
+// Nodes returns the selected node ids in increasing order.
+func (s Selection) Nodes() []graph.NodeID {
+	if s.count == 0 {
+		return nil
+	}
+	out := make([]graph.NodeID, 0, s.count)
+	for v, sel := range s.vec {
+		if sel {
 			out = append(out, graph.NodeID(v))
 		}
 	}
 	return out
+}
+
+// Selectivity returns |q(G)| / |V|, the measure reported in Table 1.
+func (s Selection) Selectivity() float64 {
+	if len(s.vec) == 0 {
+		return 0
+	}
+	return float64(s.count) / float64(len(s.vec))
+}
+
+// SelectNodes evaluates q on g and returns the selected node ids in
+// increasing order.
+func (q *Query) SelectNodes(g *graph.Graph) []graph.NodeID {
+	return q.Evaluate(g).Nodes()
 }
 
 // Selects reports whether q selects ν on g.
@@ -126,17 +192,10 @@ func (q *Query) Selects(g *graph.Graph, nu graph.NodeID) bool {
 }
 
 // Selectivity returns |q(G)| / |V|, the measure reported in Table 1.
+// Callers needing the nodes and the selectivity of the same query should
+// use Evaluate once instead of paying two product passes.
 func (q *Query) Selectivity(g *graph.Graph) float64 {
-	if g.NumNodes() == 0 {
-		return 0
-	}
-	count := 0
-	for _, s := range q.Select(g) {
-		if s {
-			count++
-		}
-	}
-	return float64(count) / float64(g.NumNodes())
+	return q.Evaluate(g).Selectivity()
 }
 
 // SelectsPair reports whether (u, v) ∈ q(G) under binary semantics

@@ -40,10 +40,13 @@
 package pathquery
 
 import (
+	"net/http"
+
 	"pathquery/internal/alphabet"
 	"pathquery/internal/certain"
 	"pathquery/internal/charsample"
 	"pathquery/internal/core"
+	"pathquery/internal/engine"
 	"pathquery/internal/graph"
 	"pathquery/internal/interactive"
 	"pathquery/internal/metrics"
@@ -88,6 +91,19 @@ type (
 	Strategy = interactive.Strategy
 	// Confusion scores a learned query against a goal.
 	Confusion = metrics.Confusion
+	// Snapshot is an immutable epoch view of a graph.
+	Snapshot = graph.Snapshot
+	// Engine is the concurrent query-serving layer: epoch snapshots, plan
+	// and result caches with single-flight, and batched evaluation.
+	Engine = engine.Engine
+	// EngineOptions tunes an Engine.
+	EngineOptions = engine.Options
+	// EngineStats is a point-in-time counter snapshot of an Engine.
+	EngineStats = engine.Stats
+	// EdgeSpec names one edge for Engine.Mutate.
+	EdgeSpec = engine.EdgeSpec
+	// Selection is the outcome of one monadic evaluation pass.
+	Selection = query.Selection
 )
 
 // ErrAbstain is returned when no consistent query can be constructed from
@@ -96,6 +112,17 @@ var ErrAbstain = core.ErrAbstain
 
 // NewGraph returns an empty graph over alpha (nil for a fresh alphabet).
 func NewGraph(alpha *Alphabet) *Graph { return graph.New(alpha) }
+
+// NewEngine wraps g in a concurrent query-serving engine and publishes
+// its first epoch. From then on, mutate through the engine and read from
+// any number of goroutines: selections pin immutable epoch snapshots,
+// repeated queries skip parse/determinize/minimize via the plan cache,
+// and identical concurrent requests share one product pass.
+func NewEngine(g *Graph, opt EngineOptions) *Engine { return engine.New(g, opt) }
+
+// NewEngineHandler exposes e as a JSON-over-HTTP API — the handler behind
+// cmd/pqserve (select, selectPairs, batch, mutate, stats).
+func NewEngineHandler(e *Engine) http.Handler { return engine.NewHandler(e) }
 
 // NewAlphabet returns an empty label table.
 func NewAlphabet() *Alphabet { return alphabet.New() }
