@@ -411,6 +411,51 @@ func BenchmarkLearnerPaperExample(b *testing.B) {
 	}
 }
 
+// BenchmarkLearn measures one full Algorithm 1 run on a realistically
+// sized sample over the pinned snapshot — the learner throughput the
+// serving engine's Learn endpoint pays per request. The serial variant
+// pins Workers=1 (the pre-fan-out path); parallel lets the per-positive
+// SCP searches and the merger's negative-shard consistency checks spread
+// over GOMAXPROCS, so the pair tracks the speedup of the worker-shard
+// fan-out PR over PR.
+func BenchmarkLearn(b *testing.B) {
+	g, qs := alibaba()
+	snap := g.Snapshot()
+	rng := rand.New(rand.NewSource(9))
+	pos, neg := datasets.RandomSample(g, qs[2].Query, 0.07, rng)
+	s := core.Sample{Pos: pos, Neg: neg}
+	for _, bc := range []struct {
+		name    string
+		workers int
+	}{{"serial", 1}, {"parallel", 0}} {
+		b.Run(bc.name, func(b *testing.B) {
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := core.LearnDetailedOn(snap, s, core.Options{Workers: bc.workers}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkEngineLearn measures the engine's learn→serve path: pin the
+// served epoch, learn, install into the plan cache, warm the result
+// cache.
+func BenchmarkEngineLearn(b *testing.B) {
+	g, qs := alibaba()
+	rng := rand.New(rand.NewSource(9))
+	pos, neg := datasets.RandomSample(g, qs[2].Query, 0.07, rng)
+	s := core.Sample{Pos: pos, Neg: neg}
+	e := engine.New(g, engine.Options{})
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := e.Learn(s, core.Options{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
 // BenchmarkDeterminizeMinimize measures the automata substrate on random
 // Thompson NFAs.
 func BenchmarkDeterminizeMinimize(b *testing.B) {

@@ -2,10 +2,17 @@
 // static protocol of the paper's Section 3).
 //
 //	pqlearn -graph g.tsv -pos N2,N6 -neg N5 [-k 3]
+//	pqlearn -graph g.tsv -pos N2,N6 -neg N5 -serve :8080
 //
 // It prints the learned query, the smallest consistent paths it was built
 // from, and the selected nodes. Exit status 1 with "abstain" means the
 // examples were insufficient (the paper's null answer).
+//
+// With -serve ADDR the learned query is installed into a serving engine
+// over the same graph and the pqserve HTTP API comes up on ADDR: the
+// printed query answers /select from the warmed caches immediately, and
+// /learn accepts further samples — learn→serve parity with cmd/pqserve in
+// one process.
 package main
 
 import (
@@ -13,6 +20,7 @@ import (
 	"flag"
 	"fmt"
 	"log"
+	"net/http"
 	"os"
 	"strings"
 
@@ -32,6 +40,7 @@ func main() {
 	maxK := flag.Int("maxk", 8, "dynamic schedule cap")
 	noMerge := flag.Bool("no-generalization", false, "skip the merge phase (SCP disjunction only)")
 	savePath := flag.String("save", "", "write the learned query to this file")
+	serveAddr := flag.String("serve", "", "after learning, serve the graph and installed query on this address")
 	flag.Parse()
 	if *graphPath == "" || *posList == "" {
 		flag.Usage()
@@ -93,5 +102,21 @@ func main() {
 			log.Fatal(err)
 		}
 		fmt.Println("saved to", *savePath)
+	}
+	if *serveAddr != "" {
+		// Learn→serve parity with cmd/pqserve: install the learned query
+		// into a serving engine over the same graph (re-learned through the
+		// engine so the plan and result caches are warmed on the served
+		// epoch) and expose the full HTTP API, /learn included.
+		eng := pathquery.NewEngine(g, pathquery.EngineOptions{})
+		lr, err := eng.Learn(sample, pathquery.Options{
+			K: *k, MaxK: *maxK, DisableGeneralization: *noMerge,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		log.Printf("serving on %s: epoch %d, learned query %q installed (selects %d nodes)",
+			*serveAddr, lr.Epoch, lr.Source, lr.Selection.Count())
+		log.Fatal(http.ListenAndServe(*serveAddr, pathquery.NewEngineHandler(eng)))
 	}
 }

@@ -1,7 +1,8 @@
 // Command pqserve runs the concurrent query-serving engine
 // (internal/engine) as an HTTP server: monadic and binary selections,
-// batched evaluation, and live mutation with epoch publication, over a
-// graph loaded from TSV or generated synthetically.
+// batched evaluation, live mutation with epoch publication, and online
+// learning from node examples, over a graph loaded from TSV or generated
+// synthetically.
 //
 //	pqserve -graph data.tsv -addr :8080
 //	pqserve -synthetic 10000 -seed 1
@@ -12,8 +13,14 @@
 //	POST /selectPairs {"query": "...", "from": "N1"}
 //	POST /batch       {"queries": ["...", ...]}
 //	POST /mutate      {"edges": [{"from": "u", "label": "a", "to": "v"}]}
+//	POST /learn       {"pos": ["u", ...], "neg": ["v", ...], "k": 0}
 //	GET  /stats
 //	GET  /healthz
+//
+// /learn runs the paper's Algorithm 1 on the served epoch — concurrent
+// mutations keep publishing newer epochs unharmed — and installs the
+// learned query as a serving plan, so the returned "query" string answers
+// /select from the warmed caches immediately.
 package main
 
 import (

@@ -57,6 +57,19 @@ func main() {
 	fmt.Printf("select after mutation    -> epoch %v, nodes %v, cached %v\n",
 		sel["epoch"], sel["nodes"], sel["cached"])
 
+	// The learner is a service of the same engine: /learn pins the served
+	// epoch, runs Algorithm 1 on it, and installs the learned query as a
+	// serving plan — the returned expression answers /select from the
+	// warmed caches immediately.
+	learned := post(srv.URL+"/learn", `{"pos": ["N2"], "neg": ["N5"]}`)
+	fmt.Printf("learn +N2 -N5 -> query %v (k=%v, SCPs %v), selects %v\n",
+		learned["query"], learned["k"], learned["scps"],
+		learned["selection"].(map[string]any)["nodes"])
+	q, _ := json.Marshal(map[string]any{"query": learned["query"]})
+	sel = post(srv.URL+"/select", string(q))
+	fmt.Printf("select learned query     -> epoch %v, nodes %v, cached %v\n",
+		sel["epoch"], sel["nodes"], sel["cached"])
+
 	resp, err := http.Get(srv.URL + "/stats")
 	if err != nil {
 		log.Fatal(err)

@@ -3,6 +3,8 @@ package core
 import (
 	"fmt"
 	"sort"
+	"sync"
+	"sync/atomic"
 
 	"pathquery/internal/alphabet"
 	"pathquery/internal/automata"
@@ -15,7 +17,9 @@ import (
 // binary and n-ary semantics. A binary example is a pair of nodes; the
 // only change from Algorithm 1 is that SCPs are drawn from the pair path
 // language paths2_G(ν, ν') — a smaller candidate space, since the
-// destination is fixed.
+// destination is fixed. Like the monadic learner, everything runs against
+// one pinned epoch snapshot, with the per-pair searches and per-negative
+// consistency checks sharded across workers.
 
 // Pair is an ordered node pair (the example of binary semantics).
 type Pair struct {
@@ -42,22 +46,43 @@ func (s PairSample) Validate() error {
 	return nil
 }
 
+// ValidateOn is Validate plus a bounds check of every pair endpoint
+// against the snapshot's node range.
+func (s PairSample) ValidateOn(snap *graph.Snapshot) error {
+	if err := s.Validate(); err != nil {
+		return err
+	}
+	for _, set := range [][]Pair{s.Pos, s.Neg} {
+		for _, p := range set {
+			if err := checkBounds(snap, []graph.NodeID{p.From, p.To}); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
 // LearnBinary runs Algorithm 2 and returns the learned binary query, or
 // ErrAbstain.
 func LearnBinary(g *graph.Graph, s PairSample, opt Options) (*query.Query, error) {
+	return LearnBinaryOn(g.Snapshot(), s, opt)
+}
+
+// LearnBinaryOn runs Algorithm 2 against a pinned epoch snapshot.
+func LearnBinaryOn(snap *graph.Snapshot, s PairSample, opt Options) (*query.Query, error) {
 	opt = opt.withDefaults()
-	if err := s.Validate(); err != nil {
+	if err := s.ValidateOn(snap); err != nil {
 		return nil, err
 	}
 	if len(s.Pos) == 0 {
 		return nil, ErrAbstain
 	}
 	if opt.K > 0 {
-		return learnBinaryFixedK(g, s, opt, opt.K)
+		return learnBinaryFixedK(snap, s, opt, opt.K)
 	}
 	var lastErr error = ErrAbstain
 	for k := opt.StartK; k <= opt.MaxK; k++ {
-		q, err := learnBinaryFixedK(g, s, opt, k)
+		q, err := learnBinaryFixedK(snap, s, opt, k)
 		if err == nil {
 			return q, nil
 		}
@@ -66,42 +91,96 @@ func LearnBinary(g *graph.Graph, s PairSample, opt Options) (*query.Query, error
 	return nil, lastErr
 }
 
-func learnBinaryFixedK(g *graph.Graph, s PairSample, opt Options, k int) (*query.Query, error) {
+func learnBinaryFixedK(snap *graph.Snapshot, s PairSample, opt Options, k int) (*query.Query, error) {
 	// Lines 1-2: smallest consistent pair-path per positive pair.
-	var paths []words.Word
-	for _, p := range s.Pos {
-		if w, ok := smallestPairPath(g, p, s.Neg, k); ok {
-			paths = append(paths, w)
-		}
-	}
+	paths := smallestPairPaths(snap, s.Pos, s.Neg, k, opt.workersFor(len(s.Pos)))
 	if len(paths) == 0 {
 		return nil, ErrAbstain
 	}
 
-	pta := automata.BuildPTA(g.Alphabet().Size(), paths, nil)
+	pta := automata.BuildPTA(snap.Alphabet().Size(), paths, nil)
 	var d *automata.DFA
 	if opt.DisableGeneralization {
 		d = pta.DFA()
 	} else {
 		m := automata.NewMerger(pta)
+		negWorkers := opt.workersFor(len(s.Neg))
 		m.Generalize(func(cand *automata.DFA) bool {
-			for _, n := range s.Neg {
-				if g.CoversPair(cand, n.From, n.To) {
-					return false
-				}
-			}
-			return true
+			return coversNoPair(snap, cand, s.Neg, negWorkers)
 		})
 		d = m.DFA()
 	}
 	for _, p := range s.Pos {
-		if !g.CoversPair(d, p.From, p.To) {
+		if !snap.CoversPair(d, p.From, p.To) {
 			return nil, ErrAbstain
 		}
 	}
 	// Binary queries keep their exact language: the prefix-free reduction
 	// is a monadic-semantics equivalence and does not apply to paths2.
-	return query.FromDFA(g.Alphabet(), d), nil
+	return query.FromDFA(snap.Alphabet(), d), nil
+}
+
+// smallestPairPaths selects the smallest consistent pair-path per positive
+// pair, in input order. The searches are independent (each builds its own
+// subset interner), so they shard directly across workers over the shared
+// pinned snapshot.
+func smallestPairPaths(snap *graph.Snapshot, pos, neg []Pair, k, workers int) []words.Word {
+	found := make([]words.Word, len(pos))
+	ok := make([]bool, len(pos))
+	if workers <= 1 || len(pos) < 2 {
+		for i, p := range pos {
+			found[i], ok[i] = smallestPairPath(snap, p, neg, k)
+		}
+	} else {
+		var wg sync.WaitGroup
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func(w int) {
+				defer wg.Done()
+				for i := w; i < len(pos); i += workers {
+					found[i], ok[i] = smallestPairPath(snap, pos[i], neg, k)
+				}
+			}(w)
+		}
+		wg.Wait()
+	}
+	paths := found[:0]
+	for i := range found {
+		if ok[i] {
+			paths = append(paths, found[i])
+		}
+	}
+	return paths
+}
+
+// coversNoPair reports whether d selects none of the negative pairs — the
+// binary merger's consistency predicate, sharded across workers with an
+// early exit when any pair is covered.
+func coversNoPair(snap *graph.Snapshot, d *automata.DFA, neg []Pair, workers int) bool {
+	if workers <= 1 || len(neg) < 2 {
+		for _, n := range neg {
+			if snap.CoversPair(d, n.From, n.To) {
+				return false
+			}
+		}
+		return true
+	}
+	var covered atomic.Bool
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := w; i < len(neg) && !covered.Load(); i += workers {
+				if snap.CoversPair(d, neg[i].From, neg[i].To) {
+					covered.Store(true)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	return !covered.Load()
 }
 
 // smallestPairPath returns the canonical-order minimal word of length ≤ k
@@ -112,8 +191,7 @@ func learnBinaryFixedK(g *graph.Graph, s PairSample, opt Options, k int) (*query
 // Subsets are interned to dense ids (graph.NodeSetIndex) with memoized
 // (set, symbol) transitions, so tuple states are small id vectors and each
 // distinct subset is stepped at most once per symbol.
-func smallestPairPath(g *graph.Graph, p Pair, neg []Pair, k int) (words.Word, bool) {
-	g.Freeze()
+func smallestPairPath(snap *graph.Snapshot, p Pair, neg []Pair, k int) (words.Word, bool) {
 	ix := graph.NewNodeSetIndex()
 	trans := make(map[uint64]int32)
 	stepID := func(id int32, sym alphabet.Symbol) int32 {
@@ -121,7 +199,7 @@ func smallestPairPath(g *graph.Graph, p Pair, neg []Pair, k int) (words.Word, bo
 		if t, ok := trans[key]; ok {
 			return t
 		}
-		t := ix.Intern(g.Step(ix.Set(id), sym))
+		t := ix.Intern(snap.Step(ix.Set(id), sym))
 		trans[key] = t
 		return t
 	}
@@ -173,7 +251,7 @@ func smallestPairPath(g *graph.Graph, p Pair, neg []Pair, k int) (words.Word, bo
 		if len(cur.word) >= k {
 			continue
 		}
-		for _, sym := range g.SymbolsOf(ix.Set(cur.mine)) {
+		for _, sym := range snap.SymbolsOf(ix.Set(cur.mine)) {
 			next := state{
 				mine: stepID(cur.mine, sym),
 				word: words.Append(cur.word, sym),
@@ -228,11 +306,32 @@ func (s TupleSample) Validate() error {
 	return nil
 }
 
+// ValidateOn is Validate plus a bounds check of every tuple component
+// against the snapshot's node range.
+func (s TupleSample) ValidateOn(snap *graph.Snapshot) error {
+	if err := s.Validate(); err != nil {
+		return err
+	}
+	for _, set := range [][][]graph.NodeID{s.Pos, s.Neg} {
+		for _, t := range set {
+			if err := checkBounds(snap, t); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
 // LearnNary runs Algorithm 3: project the tuple sample onto each adjacent
 // position pair, learn a binary query per position with Algorithm 2, and
 // combine. Abstains if any position abstains.
 func LearnNary(g *graph.Graph, s TupleSample, opt Options) (*query.Nary, error) {
-	if err := s.Validate(); err != nil {
+	return LearnNaryOn(g.Snapshot(), s, opt)
+}
+
+// LearnNaryOn runs Algorithm 3 against a pinned epoch snapshot.
+func LearnNaryOn(snap *graph.Snapshot, s TupleSample, opt Options) (*query.Nary, error) {
+	if err := s.ValidateOn(snap); err != nil {
 		return nil, err
 	}
 	n := s.Arity()
@@ -251,7 +350,7 @@ func LearnNary(g *graph.Graph, s TupleSample, opt Options) (*query.Nary, error) 
 			// abstain, since no single regular expression can satisfy both.
 			return nil, ErrAbstain
 		}
-		q, err := LearnBinary(g, ps, opt)
+		q, err := LearnBinaryOn(snap, ps, opt)
 		if err != nil {
 			return nil, err
 		}

@@ -15,11 +15,23 @@
 // consistent with the sample or ErrAbstain — the paper's null, meaning
 // "not enough examples were provided", which sidesteps the
 // PSPACE-completeness of consistency checking (Lemma 3.2).
+//
+// Every learner runs against one immutable epoch Snapshot (the *On
+// variants; the *graph.Graph forms are read-your-writes delegates that
+// publish the pending epoch first). Pinning a snapshot makes learning
+// safe to run concurrently with writers mutating and publishing newer
+// epochs — the serving engine's Learn service relies on this. The two hot
+// phases fan out across worker shards over the pinned snapshot: the
+// per-positive SCP searches (each worker holds its own lazily-determinized
+// coverage index) and the merger's per-negative consistency checks.
 package core
 
 import (
 	"errors"
 	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
 
 	"pathquery/internal/automata"
 	"pathquery/internal/graph"
@@ -49,6 +61,31 @@ func (s Sample) Validate() error {
 	for _, v := range s.Neg {
 		if seen[v] {
 			return fmt.Errorf("core: node %d labeled both positive and negative", v)
+		}
+	}
+	return nil
+}
+
+// ValidateOn is Validate plus a bounds check of every example against the
+// snapshot: an id outside [0, NumNodes) — a node from a different graph,
+// or one created after the epoch was published — is an error here instead
+// of a panic deep inside the CSR scans.
+func (s Sample) ValidateOn(snap *graph.Snapshot) error {
+	if err := s.Validate(); err != nil {
+		return err
+	}
+	if err := checkBounds(snap, s.Pos); err != nil {
+		return err
+	}
+	return checkBounds(snap, s.Neg)
+}
+
+// checkBounds rejects node ids outside the snapshot's node range.
+func checkBounds(snap *graph.Snapshot, set []graph.NodeID) error {
+	for _, v := range set {
+		if v < 0 || int(v) >= snap.NumNodes() {
+			return fmt.Errorf("core: node id %d out of range for epoch %d (%d nodes)",
+				v, snap.Epoch(), snap.NumNodes())
 		}
 	}
 	return nil
@@ -85,6 +122,11 @@ type Options struct {
 	// ("the positive effect of the generalization ... is generally of 1%
 	// in F1 score").
 	DisableGeneralization bool
+	// Workers bounds the learner's parallelism: the per-positive SCP
+	// searches and the merger's per-negative consistency checks fan out
+	// across this many goroutines over the pinned snapshot. 0 selects
+	// GOMAXPROCS; 1 forces the serial path.
+	Workers int
 }
 
 func (o Options) withDefaults() Options {
@@ -94,7 +136,23 @@ func (o Options) withDefaults() Options {
 	if o.MaxK == 0 {
 		o.MaxK = 8
 	}
+	if o.Workers <= 0 {
+		o.Workers = runtime.GOMAXPROCS(0)
+	}
 	return o
+}
+
+// workersFor caps the configured worker count by the number of independent
+// work items; 1 means "stay serial".
+func (o Options) workersFor(items int) int {
+	w := o.Workers
+	if w > items {
+		w = items
+	}
+	if w < 1 {
+		w = 1
+	}
+	return w
 }
 
 // Result reports what the learner did, alongside the learned query.
@@ -119,13 +177,30 @@ func Learn(g *graph.Graph, s Sample, opt Options) (*query.Query, error) {
 	return r.Query, nil
 }
 
-// LearnDetailed is Learn exposing diagnostics.
+// LearnOn runs Algorithm 1 against a pinned epoch snapshot and returns the
+// learned query, or ErrAbstain.
+func LearnOn(snap *graph.Snapshot, s Sample, opt Options) (*query.Query, error) {
+	r, err := LearnDetailedOn(snap, s, opt)
+	if err != nil {
+		return nil, err
+	}
+	return r.Query, nil
+}
+
+// LearnDetailed is Learn exposing diagnostics. It publishes the graph's
+// pending epoch and learns on it (read-your-writes); use LearnDetailedOn
+// to learn on an explicitly pinned snapshot while writers stay active.
 func LearnDetailed(g *graph.Graph, s Sample, opt Options) (*Result, error) {
-	// Freeze once up front: every consistency check below runs on the CSR
-	// read view, and freezing here keeps the first check's timing honest.
-	g.Freeze()
+	return LearnDetailedOn(g.Snapshot(), s, opt)
+}
+
+// LearnDetailedOn is LearnOn exposing diagnostics. Every read — SCP
+// selection, merge consistency checks, the final positives check — runs
+// against snap, so the learner observes exactly one epoch no matter what
+// the owning graph's writer does meanwhile.
+func LearnDetailedOn(snap *graph.Snapshot, s Sample, opt Options) (*Result, error) {
 	opt = opt.withDefaults()
-	if err := s.Validate(); err != nil {
+	if err := s.ValidateOn(snap); err != nil {
 		return nil, err
 	}
 	if len(s.Pos) == 0 {
@@ -135,14 +210,14 @@ func LearnDetailed(g *graph.Graph, s Sample, opt Options) (*Result, error) {
 		return nil, ErrAbstain
 	}
 	if opt.K > 0 {
-		return learnFixedK(g, s, opt, opt.K)
+		return learnFixedK(snap, s, opt, opt.K)
 	}
 	// Dynamic schedule (Section 5.1): start with k = StartK; if for a given
 	// k the learned query does not select all positive nodes, increment k
 	// and iterate.
 	var lastErr error = ErrAbstain
 	for k := opt.StartK; k <= opt.MaxK; k++ {
-		r, err := learnFixedK(g, s, opt, k)
+		r, err := learnFixedK(snap, s, opt, k)
 		if err == nil {
 			return r, nil
 		}
@@ -151,24 +226,17 @@ func LearnDetailed(g *graph.Graph, s Sample, opt Options) (*Result, error) {
 	return nil, lastErr
 }
 
-func learnFixedK(g *graph.Graph, s Sample, opt Options, k int) (*Result, error) {
-	cov := scp.NewCoverage(g, s.Neg)
-
+func learnFixedK(snap *graph.Snapshot, s Sample, opt Options, k int) (*Result, error) {
 	// Lines 1-2: select the SCP of length ≤ k for every positive that has
 	// one.
-	var paths []words.Word
-	for _, nu := range s.Pos {
-		if p, ok := cov.Smallest(nu, k); ok {
-			paths = append(paths, p)
-		}
-	}
+	paths := smallestPaths(snap, s.Pos, s.Neg, k, opt.workersFor(len(s.Pos)))
 	if len(paths) == 0 {
 		return nil, ErrAbstain
 	}
 	res := &Result{SCPs: paths, K: k}
 
 	// Line 3: prefix tree acceptor of the SCPs.
-	pta := automata.BuildPTA(g.Alphabet().Size(), paths, nil)
+	pta := automata.BuildPTA(snap.Alphabet().Size(), paths, nil)
 
 	// Lines 4-5: generalize by state merging while consistent — no
 	// negative node may gain a path in the candidate language.
@@ -178,8 +246,9 @@ func learnFixedK(g *graph.Graph, s Sample, opt Options, k int) (*Result, error) 
 	} else {
 		m := automata.NewMerger(pta)
 		before := pta.NumStates()
+		negWorkers := opt.workersFor((len(s.Neg) + coversShardSize - 1) / coversShardSize)
 		m.Generalize(func(cand *automata.DFA) bool {
-			return !g.CoversAny(cand, s.Neg)
+			return coversNone(snap, cand, s.Neg, negWorkers)
 		})
 		d = m.DFA()
 		res.Merges = before - len(m.Representatives())
@@ -188,14 +257,93 @@ func learnFixedK(g *graph.Graph, s Sample, opt Options, k int) (*Result, error) 
 	// Lines 6-7: the query must select every positive node — including
 	// those whose SCP was longer than k.
 	for _, nu := range s.Pos {
-		if !g.Covers(d, nu) {
+		if !snap.Covers(d, nu) {
 			return nil, ErrAbstain
 		}
 	}
 	// Return the prefix-free canonical representative of the learned
 	// query's equivalence class (Section 2); node selection is unchanged.
-	res.Query = query.FromDFA(g.Alphabet(), d.PrefixFree())
+	res.Query = query.FromDFA(snap.Alphabet(), d.PrefixFree())
 	return res, nil
+}
+
+// smallestPaths selects the SCP of length ≤ k for every positive that has
+// one, in input order. With workers > 1 the positives are sharded across
+// goroutines, each holding its own coverage index over the shared pinned
+// snapshot (the index memoizes lazily and is not safe to share); the
+// snapshot's pooled scratch makes the concurrent subset steps cheap.
+func smallestPaths(snap *graph.Snapshot, pos, neg []graph.NodeID, k, workers int) []words.Word {
+	found := make([]words.Word, len(pos))
+	ok := make([]bool, len(pos))
+	if workers <= 1 || len(pos) < 2 {
+		cov := scp.NewCoverageOn(snap, neg)
+		for i, nu := range pos {
+			found[i], ok[i] = cov.Smallest(nu, k)
+		}
+	} else {
+		var wg sync.WaitGroup
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func(w int) {
+				defer wg.Done()
+				cov := scp.NewCoverageOn(snap, neg)
+				for i := w; i < len(pos); i += workers {
+					found[i], ok[i] = cov.Smallest(pos[i], k)
+				}
+			}(w)
+		}
+		wg.Wait()
+	}
+	paths := found[:0]
+	for i := range found {
+		if ok[i] {
+			paths = append(paths, found[i])
+		}
+	}
+	return paths
+}
+
+// coversShardSize is the per-worker chunk of the negative set in the
+// parallel consistency check: below it, goroutine startup dominates the
+// product search it would offload.
+const coversShardSize = 16
+
+// coversNone reports whether no node of set has a path in L(d) — the
+// merger's consistency predicate. Large negative sets are sharded across
+// workers, each running the early-exit forward product search on its
+// chunk against the shared snapshot; a found cover stops the other shards
+// at their next chunk boundary.
+func coversNone(snap *graph.Snapshot, d *automata.DFA, set []graph.NodeID, workers int) bool {
+	if workers <= 1 || len(set) <= coversShardSize {
+		return !snap.CoversAny(d, set)
+	}
+	shards := (len(set) + coversShardSize - 1) / coversShardSize
+	if workers > shards {
+		workers = shards
+	}
+	var next atomic.Int64
+	var covered atomic.Bool
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for !covered.Load() {
+				i := int(next.Add(1)) - 1
+				if i >= shards {
+					return
+				}
+				lo := i * coversShardSize
+				hi := min(lo+coversShardSize, len(set))
+				if snap.CoversAny(d, set[lo:hi]) {
+					covered.Store(true)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	return !covered.Load()
 }
 
 // Consistent decides whether a sample is consistent (Lemma 3.1): every
@@ -204,8 +352,13 @@ func learnFixedK(g *graph.Graph, s Sample, opt Options, k int) (*Result, error) 
 // construction it runs can be exponential in |S−|'s reachable region. Use
 // on small graphs, or bound the search with ConsistentWithin.
 func Consistent(g *graph.Graph, s Sample) bool {
+	return ConsistentOn(g.Snapshot(), s)
+}
+
+// ConsistentOn is Consistent against a pinned epoch snapshot.
+func ConsistentOn(snap *graph.Snapshot, s Sample) bool {
 	for _, nu := range s.Pos {
-		if g.PathsIncluded([]graph.NodeID{nu}, s.Neg) {
+		if snap.PathsIncluded([]graph.NodeID{nu}, s.Neg) {
 			return false
 		}
 	}
@@ -216,7 +369,12 @@ func Consistent(g *graph.Graph, s Sample) bool {
 // certifies consistency witnessed by paths of length ≤ k. It can report
 // false for samples that are consistent only via longer paths.
 func ConsistentWithin(g *graph.Graph, s Sample, k int) bool {
-	cov := scp.NewCoverage(g, s.Neg)
+	return ConsistentWithinOn(g.Snapshot(), s, k)
+}
+
+// ConsistentWithinOn is ConsistentWithin against a pinned epoch snapshot.
+func ConsistentWithinOn(snap *graph.Snapshot, s Sample, k int) bool {
+	cov := scp.NewCoverageOn(snap, s.Neg)
 	for _, nu := range s.Pos {
 		if !cov.IsKInformative(nu, k) {
 			return false

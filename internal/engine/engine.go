@@ -17,6 +17,12 @@
 //   - Batched evaluation: SelectBatch runs many plans against one pinned
 //     snapshot through the worker-shard product engine, amortizing the
 //     pooled bitset scratch across queries.
+//
+// The engine also hosts the paper's learner as a service: Learn pins the
+// currently served epoch, runs Algorithm 1 on it (SCP searches and merge
+// consistency checks sharded across workers over that one snapshot, so
+// learning never races mutation), and installs the learned query into the
+// plan and result caches — the query serves immediately after.
 package engine
 
 import (
@@ -25,7 +31,10 @@ import (
 	"sync"
 	"sync/atomic"
 
+	"pathquery/internal/core"
 	"pathquery/internal/graph"
+	"pathquery/internal/query"
+	"pathquery/internal/words"
 )
 
 // Options tunes an Engine.
@@ -46,6 +55,7 @@ type Engine struct {
 	queries   atomic.Uint64
 	batches   atomic.Uint64
 	mutations atomic.Uint64
+	learns    atomic.Uint64
 }
 
 // New wraps g in a serving engine and publishes its first epoch. The
@@ -225,6 +235,91 @@ func (e *Engine) Update(fn func(g *graph.Graph)) MutationResult {
 	return MutationResult{Epoch: snap.Epoch(), Nodes: snap.NumNodes(), Edges: snap.NumEdges()}
 }
 
+// LearnResult is the outcome of one Engine.Learn call: the learned query,
+// its plan-cache installation, and its selection on the epoch the learner
+// pinned.
+type LearnResult struct {
+	// Epoch is the snapshot the learner ran against.
+	Epoch uint64
+	// Query is the learned path query.
+	Query *query.Query
+	// Source is the query's rendered expression; issuing it to Select hits
+	// the plan entry installed by this call.
+	Source string
+	// Key is the canonical plan-cache key the query was installed under.
+	Key string
+	// K is the SCP length bound that succeeded; SCPs are the smallest
+	// consistent paths the query was generalized from, in input order.
+	K    int
+	SCPs []words.Word
+	// Selection is the learned query's selection on the pinned epoch,
+	// computed through (and therefore warming) the result cache: a Select
+	// of Source at the same epoch is a cache hit.
+	Selection Result
+}
+
+// Learn runs the paper's Algorithm 1 against the currently served epoch
+// and installs the learned query as a first-class serving plan: the
+// snapshot is pinned with one atomic load (mutations racing the learner
+// build future epochs and never touch it), the learner's SCP searches and
+// consistency checks fan out over that snapshot, and the result goes into
+// the plan cache under its canonical language key plus the result cache at
+// the pinned epoch — learn→serve in one call. Returns core.ErrAbstain
+// (wrapped) when the examples are insufficient.
+func (e *Engine) Learn(s core.Sample, opt core.Options) (LearnResult, error) {
+	return e.learnOn(e.g.Current(), s, opt)
+}
+
+// LearnNamed is Learn with examples given as node names, resolved against
+// the pinned epoch.
+func (e *Engine) LearnNamed(pos, neg []string, opt core.Options) (LearnResult, error) {
+	snap := e.g.Current()
+	sample := core.Sample{}
+	var err error
+	if sample.Pos, err = e.resolve(snap, pos); err != nil {
+		return LearnResult{}, err
+	}
+	if sample.Neg, err = e.resolve(snap, neg); err != nil {
+		return LearnResult{}, err
+	}
+	return e.learnOn(snap, sample, opt)
+}
+
+// resolve maps node names to ids visible in snap, under one read-lock so
+// the whole request sees one build-side name table.
+func (e *Engine) resolve(snap *graph.Snapshot, names []string) ([]graph.NodeID, error) {
+	out := make([]graph.NodeID, 0, len(names))
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	for _, name := range names {
+		id, ok := e.g.NodeByName(name)
+		if !ok || int(id) >= snap.NumNodes() {
+			return nil, fmt.Errorf("engine: no node %q in epoch %d", name, snap.Epoch())
+		}
+		out = append(out, id)
+	}
+	return out, nil
+}
+
+// learnOn learns on the pinned snapshot and installs the result.
+func (e *Engine) learnOn(snap *graph.Snapshot, s core.Sample, opt core.Options) (LearnResult, error) {
+	res, err := core.LearnDetailedOn(snap, s, opt)
+	if err != nil {
+		return LearnResult{}, err
+	}
+	e.learns.Add(1)
+	p := e.plans.install(res.Query)
+	return LearnResult{
+		Epoch:     snap.Epoch(),
+		Query:     p.q,
+		Source:    p.q.String(),
+		Key:       p.key,
+		K:         res.K,
+		SCPs:      res.SCPs,
+		Selection: e.selectOn(snap, p),
+	}, nil
+}
+
 // Stats is a point-in-time counter snapshot of the engine.
 type Stats struct {
 	Epoch uint64 `json:"epoch"`
@@ -234,6 +329,7 @@ type Stats struct {
 	Queries   uint64 `json:"queries"`
 	Batches   uint64 `json:"batches"`
 	Mutations uint64 `json:"mutations"`
+	Learns    uint64 `json:"learns"`
 
 	PlanHits   uint64 `json:"plan_hits"`
 	PlanMisses uint64 `json:"plan_misses"`
@@ -255,6 +351,7 @@ func (e *Engine) Stats() Stats {
 		Queries:   e.queries.Load(),
 		Batches:   e.batches.Load(),
 		Mutations: e.mutations.Load(),
+		Learns:    e.learns.Load(),
 	}
 	e.plans.fill(&s)
 	e.results.fill(&s)

@@ -2,8 +2,12 @@ package engine
 
 import (
 	"encoding/json"
+	"errors"
 	"fmt"
 	"net/http"
+
+	"pathquery/internal/core"
+	"pathquery/internal/words"
 )
 
 // NewHandler exposes e as a JSON-over-HTTP API — the wire surface of
@@ -13,12 +17,19 @@ import (
 //	POST /selectPairs {"query": "...", "from": "N1"}   -> selection
 //	POST /batch       {"queries": ["...", ...]}        -> {"epoch", "results": [...]}
 //	POST /mutate      {"edges": [{"from","label","to"}]} -> {"epoch", "nodes", "edges"}
+//	POST /learn       {"pos": [names...], "neg": [...]}  -> learned query + selection
 //	GET  /stats                                         -> engine counters
 //	GET  /healthz                                       -> ok
 //
 // A selection is {"epoch", "count", "cached", "nodes": [names...]};
-// "limit" (optional, select/selectPairs/batch) truncates nodes, never
-// count.
+// "limit" (optional, select/selectPairs/batch/learn) truncates nodes,
+// never count.
+//
+// /learn runs Algorithm 1 on the served epoch and installs the learned
+// query as a serving plan; the response's "query" string immediately
+// serves from the caches via /select. Insufficient examples (the paper's
+// abstain) answer 422; "k" fixes the SCP bound (0 = dynamic schedule up to
+// "maxk").
 func NewHandler(e *Engine) http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /select", func(w http.ResponseWriter, r *http.Request) {
@@ -88,6 +99,41 @@ func NewHandler(e *Engine) http.Handler {
 			Nodes int    `json:"nodes"`
 			Edges int    `json:"edges"`
 		}{m.Epoch, m.Nodes, m.Edges})
+	})
+	mux.HandleFunc("POST /learn", func(w http.ResponseWriter, r *http.Request) {
+		var req struct {
+			Pos   []string `json:"pos"`
+			Neg   []string `json:"neg"`
+			K     int      `json:"k"`
+			MaxK  int      `json:"maxk"`
+			Limit int      `json:"limit"`
+		}
+		if !decode(w, r, &req) {
+			return
+		}
+		lr, err := e.LearnNamed(req.Pos, req.Neg, core.Options{K: req.K, MaxK: req.MaxK})
+		if errors.Is(err, core.ErrAbstain) {
+			httpError(w, http.StatusUnprocessableEntity,
+				fmt.Errorf("abstain: not enough examples to learn a consistent query"))
+			return
+		}
+		if err != nil {
+			httpError(w, http.StatusBadRequest, err)
+			return
+		}
+		alpha := e.Graph().Alphabet()
+		scps := make([]string, len(lr.SCPs))
+		for i, p := range lr.SCPs {
+			scps[i] = words.String(p, alpha)
+		}
+		writeJSON(w, struct {
+			Epoch     uint64            `json:"epoch"`
+			Query     string            `json:"query"`
+			Key       string            `json:"key"`
+			K         int               `json:"k"`
+			SCPs      []string          `json:"scps"`
+			Selection selectionResponse `json:"selection"`
+		}{lr.Epoch, lr.Source, lr.Key, lr.K, scps, newSelectionResponse(lr.Selection, req.Limit)})
 	})
 	mux.HandleFunc("GET /stats", func(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, e.Stats())

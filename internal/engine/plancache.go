@@ -112,6 +112,32 @@ func (c *planCache) compile(src string, e *planEntry) {
 	completed = true
 }
 
+// install interns an already-compiled query — the learner's output — into
+// the cache: deduplicated by canonical language key against every plan the
+// parser ever produced, and registered under the query's rendered source
+// string so clients re-issuing the printed expression hit bySrc without
+// re-parsing. Returns the canonical plan (an equivalent plan that already
+// existed wins, so the result cache keeps one key per language).
+func (c *planCache) install(q *query.Query) *plan {
+	key := q.CacheKey()
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	p := c.byKey[key]
+	if p == nil {
+		p = &plan{q: q, key: key}
+		c.byKey[key] = p
+	}
+	// Register the canonical plan's own rendering (which may differ from
+	// q's when an equivalent plan already existed): it is the string
+	// LearnResult.Source reports, so re-issuing it must hit bySrc.
+	if src := p.q.String(); c.bySrc[src] == nil {
+		e := &planEntry{done: make(chan struct{}), p: p}
+		close(e.done)
+		c.bySrc[src] = e
+	}
+	return p
+}
+
 // errCompilePanicked is served to single-flight waiters whose compiling
 // goroutine panicked; the panic itself propagates on that goroutine.
 var errCompilePanicked = errPlan("query compilation failed; retry")

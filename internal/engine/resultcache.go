@@ -48,6 +48,9 @@ type resultCache struct {
 	hits   atomic.Uint64
 	misses atomic.Uint64
 	shared atomic.Uint64
+	// uncached counts requests computed without cache residency because
+	// the cache was full of in-flight entries (the hard bound held).
+	uncached atomic.Uint64
 }
 
 func newResultCache(cap int) *resultCache {
@@ -83,10 +86,20 @@ func (c *resultCache) do(key resultKey, compute func() []graph.NodeID) (nodes []
 		}
 		return e.nodes, true
 	}
-	e := &resultEntry{done: make(chan struct{})}
 	if len(c.entries) >= c.cap {
 		c.evictLocked()
 	}
+	if len(c.entries) >= c.cap {
+		// Eviction freed nothing: every resident entry is still in flight.
+		// Refusing to insert keeps the cache hard-bounded at cap — this
+		// request computes uncached (no single-flight sharing for its key)
+		// instead of growing the map without limit under compute storms.
+		c.mu.Unlock()
+		c.misses.Add(1)
+		c.uncached.Add(1)
+		return compute(), false
+	}
+	e := &resultEntry{done: make(chan struct{})}
 	c.entries[key] = e
 	c.mu.Unlock()
 	c.misses.Add(1)

@@ -1,0 +1,59 @@
+package engine
+
+import (
+	"sync"
+	"testing"
+
+	"pathquery/internal/graph"
+)
+
+// TestResultCacheBoundedUnderInFlightStorm is the regression test for the
+// unbounded-growth bug: when every resident entry was in flight,
+// evictLocked freed nothing and do inserted anyway, so a storm of distinct
+// slow queries grew the map past cap without limit. The fix computes such
+// requests uncached, keeping residency hard-bounded at cap.
+func TestResultCacheBoundedUnderInFlightStorm(t *testing.T) {
+	const cap, storm = 4, 24
+	c := newResultCache(cap)
+	release := make(chan struct{})
+	started := make(chan struct{}, storm)
+	results := make([][]graph.NodeID, storm)
+	var wg sync.WaitGroup
+	for i := 0; i < storm; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			key := resultKey{epoch: 1, from: graph.NodeID(i), plan: "p"}
+			results[i], _ = c.do(key, func() []graph.NodeID {
+				started <- struct{}{}
+				<-release
+				return []graph.NodeID{graph.NodeID(i)}
+			})
+		}(i)
+	}
+	// Every compute is running: all storm keys are distinct, so resident
+	// in-flight entries plus refused (uncached) computes total storm.
+	for i := 0; i < storm; i++ {
+		<-started
+	}
+	c.mu.Lock()
+	resident := len(c.entries)
+	c.mu.Unlock()
+	if resident > cap {
+		t.Fatalf("cache grew to %d in-flight entries, cap %d", resident, cap)
+	}
+	close(release)
+	wg.Wait()
+	for i, nodes := range results {
+		if len(nodes) != 1 || int(nodes[0]) != i {
+			t.Fatalf("request %d got %v", i, nodes)
+		}
+	}
+	// Bound holds after completion too.
+	c.mu.Lock()
+	resident = len(c.entries)
+	c.mu.Unlock()
+	if resident > cap {
+		t.Fatalf("%d completed entries resident, cap %d", resident, cap)
+	}
+}

@@ -565,7 +565,13 @@ func (s *Snapshot) SelectBinaryFrom(d *automata.DFA, u NodeID) []NodeID {
 // informativeness (Lemma 4.2); callers use it on small graphs or fall back
 // to the k-bounded variant below.
 func (g *Graph) PathsIncluded(left, right []NodeID) bool {
-	_, included := g.reader().firstEscaping(left, right, -1)
+	return g.reader().PathsIncluded(left, right)
+}
+
+// PathsIncluded decides paths_G(left) ⊆ paths_G(right) exactly on this
+// epoch snapshot; see the Graph form for complexity caveats.
+func (s *Snapshot) PathsIncluded(left, right []NodeID) bool {
+	_, included := s.firstEscaping(left, right, -1)
 	return included
 }
 

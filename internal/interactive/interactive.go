@@ -43,7 +43,13 @@ type QueryOracle struct {
 
 // NewQueryOracle precomputes the goal's selection on g.
 func NewQueryOracle(g *graph.Graph, goal *query.Query) *QueryOracle {
-	return &QueryOracle{goal: goal, selected: goal.Select(g)}
+	return NewQueryOracleOn(g.Snapshot(), goal)
+}
+
+// NewQueryOracleOn precomputes the goal's selection on a pinned epoch
+// snapshot.
+func NewQueryOracleOn(snap *graph.Snapshot, goal *query.Query) *QueryOracle {
+	return &QueryOracle{goal: goal, selected: goal.EvaluateOn(snap).Vector()}
 }
 
 // Label reports whether the goal selects nu.
@@ -56,9 +62,10 @@ func (o *QueryOracle) Goal() *query.Query { return o.goal }
 // truth).
 func (o *QueryOracle) Selection() []bool { return o.selected }
 
-// Context is the read-only view a strategy receives.
+// Context is the read-only view a strategy receives. All graph reads go
+// through Snap, the epoch snapshot the session is pinned to.
 type Context struct {
-	G      *graph.Graph
+	Snap   *graph.Snapshot
 	Sample core.Sample
 	// Coverage indexes paths_G(S−); shared by candidate tests at the
 	// current k. Not safe for concurrent use — strategies that scan in
@@ -68,10 +75,10 @@ type Context struct {
 	Rng      *rand.Rand
 }
 
-// NewCoverage builds a fresh coverage index over the current negatives,
-// for use by concurrent scans.
+// NewCoverage builds a fresh coverage index over the current negatives on
+// the pinned snapshot, for use by concurrent scans.
 func (c *Context) NewCoverage() *scp.Coverage {
-	return scp.NewCoverage(c.G, c.Sample.Neg)
+	return scp.NewCoverageOn(c.Snap, c.Sample.Neg)
 }
 
 // Unlabeled returns the ids of nodes without a label, in increasing order.
@@ -83,8 +90,8 @@ func (c *Context) Unlabeled() []graph.NodeID {
 	for _, v := range c.Sample.Neg {
 		labeled[v] = true
 	}
-	out := make([]graph.NodeID, 0, c.G.NumNodes()-len(labeled))
-	for v := 0; v < c.G.NumNodes(); v++ {
+	out := make([]graph.NodeID, 0, c.Snap.NumNodes()-len(labeled))
+	for v := 0; v < c.Snap.NumNodes(); v++ {
 		if !labeled[graph.NodeID(v)] {
 			out = append(out, graph.NodeID(v))
 		}
@@ -286,12 +293,17 @@ type HaltCondition func(learned *query.Query) bool
 // ExactMatch is the strongest halt condition of the experiments: the
 // learned query selects exactly the same nodes as the goal — F1 = 1.
 func ExactMatch(g *graph.Graph, goal *query.Query) HaltCondition {
-	want := goal.Select(g)
+	return ExactMatchOn(g.Snapshot(), goal)
+}
+
+// ExactMatchOn is ExactMatch evaluated on a pinned epoch snapshot.
+func ExactMatchOn(snap *graph.Snapshot, goal *query.Query) HaltCondition {
+	want := goal.EvaluateOn(snap).Vector()
 	return func(learned *query.Query) bool {
 		if learned == nil {
 			return false
 		}
-		got := learned.Select(g)
+		got := learned.EvaluateOn(snap).Vector()
 		for v := range want {
 			if want[v] != got[v] {
 				return false
@@ -301,9 +313,12 @@ func ExactMatch(g *graph.Graph, goal *query.Query) HaltCondition {
 	}
 }
 
-// Session runs the interactive loop of Figure 9.
+// Session runs the interactive loop of Figure 9. A session is pinned to
+// one epoch snapshot: proposals, labels, and every re-learning round
+// observe the same immutable graph, so sessions run safely while a writer
+// publishes newer epochs underneath.
 type Session struct {
-	g      *graph.Graph
+	snap   *graph.Snapshot
 	opts   Options
 	sample core.Sample
 	k      int
@@ -311,17 +326,27 @@ type Session struct {
 	cov    *scp.Coverage
 }
 
-// NewSession starts a session over g with an empty sample.
+// NewSession starts a session with an empty sample over g's
+// read-your-writes snapshot (pending mutations are published first).
 func NewSession(g *graph.Graph, opts Options) *Session {
+	return NewSessionOn(g.Snapshot(), opts)
+}
+
+// NewSessionOn starts a session with an empty sample, pinned to the given
+// epoch snapshot.
+func NewSessionOn(snap *graph.Snapshot, opts Options) *Session {
 	opts = opts.withDefaults()
 	return &Session{
-		g:    g,
+		snap: snap,
 		opts: opts,
 		k:    opts.StartK,
 		rng:  rand.New(rand.NewSource(opts.Seed)),
-		cov:  scp.NewCoverage(g, nil),
+		cov:  scp.NewCoverageOn(snap, nil),
 	}
 }
+
+// Snapshot returns the epoch snapshot the session is pinned to.
+func (s *Session) Snapshot() *graph.Snapshot { return s.snap }
 
 // Sample returns the labels collected so far.
 func (s *Session) Sample() core.Sample { return s.sample }
@@ -334,7 +359,7 @@ func (s *Session) K() int { return s.k }
 // means no informative node remains even at MaxK.
 func (s *Session) Propose() (graph.NodeID, bool) {
 	for {
-		ctx := &Context{G: s.g, Sample: s.sample, Coverage: s.cov, K: s.k, Rng: s.rng}
+		ctx := &Context{Snap: s.snap, Sample: s.sample, Coverage: s.cov, K: s.k, Rng: s.rng}
 		if nu, ok := s.opts.Strategy.Next(ctx); ok {
 			return nu, true
 		}
@@ -353,7 +378,7 @@ func (s *Session) Neighborhood(nu graph.NodeID) []graph.NodeID {
 	if r == 0 {
 		r = s.k
 	}
-	return s.g.Neighborhood(nu, r)
+	return s.snap.Neighborhood(nu, r)
 }
 
 // Label records the user's answer and propagates it (the coverage index is
@@ -366,7 +391,7 @@ func (s *Session) Label(nu graph.NodeID, positive bool) error {
 		s.sample.Pos = append(s.sample.Pos, nu)
 	} else {
 		s.sample.Neg = append(s.sample.Neg, nu)
-		s.cov = scp.NewCoverage(s.g, s.sample.Neg)
+		s.cov = scp.NewCoverageOn(s.snap, s.sample.Neg)
 	}
 	return nil
 }
@@ -378,7 +403,7 @@ func (s *Session) Learn() (*query.Query, error) {
 	opt.K = 0
 	opt.StartK = s.opts.StartK
 	opt.MaxK = s.opts.MaxK
-	r, err := core.LearnDetailed(s.g, s.sample, opt)
+	r, err := core.LearnDetailedOn(s.snap, s.sample, opt)
 	if err == core.ErrAbstain {
 		return nil, nil
 	}
@@ -397,7 +422,7 @@ func (s *Session) Learn() (*query.Query, error) {
 func (s *Session) Run(oracle Oracle, halt HaltCondition) (*Result, error) {
 	budget := s.opts.MaxInteractions
 	if budget == 0 {
-		budget = s.g.NumNodes()
+		budget = s.snap.NumNodes()
 	}
 	res := &Result{}
 	var learned *query.Query

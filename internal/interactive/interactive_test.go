@@ -92,7 +92,7 @@ func TestKSPrefersSmallestCount(t *testing.T) {
 	sess := interactive.NewSession(g, interactive.Options{Strategy: ks, Seed: 1})
 	_ = sess
 	ctx := &interactive.Context{
-		G:        g,
+		Snap:     g.Snapshot(),
 		Coverage: nil,
 		K:        2,
 	}

@@ -45,20 +45,23 @@ func (c Config) withDefaults() Config {
 	return c
 }
 
-// RandomWalk samples nodes by a random walk with flying back: walk the
+// RandomWalk samples nodes by a random walk with flying back, on g's
+// read-your-writes snapshot.
+func RandomWalk(g *graph.Graph, cfg Config) []graph.NodeID {
+	return RandomWalkOn(g.Snapshot(), cfg)
+}
+
+// RandomWalkOn samples nodes by a random walk with flying back: walk the
 // graph (both edge directions, so weakly-connected regions are covered),
 // restarting at the origin with probability FlyBack, and restarting at a
 // fresh origin when stuck. Returns the sampled node set in increasing id
-// order.
-func RandomWalk(g *graph.Graph, cfg Config) []graph.NodeID {
+// order. The walk runs entirely on the pinned epoch snapshot.
+func RandomWalkOn(s *graph.Snapshot, cfg Config) []graph.NodeID {
 	cfg = cfg.withDefaults()
-	n := g.NumNodes()
+	n := s.NumNodes()
 	if cfg.TargetNodes >= n {
-		return g.Nodes()
+		return allNodes(n)
 	}
-	// One freeze up front instead of on the first neighbor lookup: walks
-	// touch adjacency thousands of times.
-	g.Freeze()
 	rng := rand.New(rand.NewSource(cfg.Seed))
 	visited := make(map[graph.NodeID]bool, cfg.TargetNodes)
 	origin := graph.NodeID(rng.Intn(n))
@@ -70,7 +73,7 @@ func RandomWalk(g *graph.Graph, cfg Config) []graph.NodeID {
 			cur = origin
 			continue
 		}
-		nbrs := neighbors(g, cur)
+		nbrs := neighbors(s, cur)
 		if len(nbrs) == 0 {
 			origin = graph.NodeID(rng.Intn(n))
 			cur = origin
@@ -93,25 +96,36 @@ func RandomWalk(g *graph.Graph, cfg Config) []graph.NodeID {
 	return sortedKeys(visited)
 }
 
-// ForestFire samples nodes by forest-fire burning: pick a random seed,
-// burn a geometrically-distributed number of its unvisited neighbors,
-// recurse from them; reseed when the fire dies out.
+// ForestFire samples nodes by forest-fire burning, on g's
+// read-your-writes snapshot.
 func ForestFire(g *graph.Graph, cfg Config) []graph.NodeID {
+	return ForestFireOn(g.Snapshot(), cfg)
+}
+
+// ForestFireOn samples nodes by forest-fire burning: pick a random seed,
+// burn a geometrically-distributed number of its unvisited neighbors,
+// recurse from them; reseed when the fire dies out. The burn runs entirely
+// on the pinned epoch snapshot.
+func ForestFireOn(s *graph.Snapshot, cfg Config) []graph.NodeID {
 	cfg = cfg.withDefaults()
-	n := g.NumNodes()
+	n := s.NumNodes()
 	if cfg.TargetNodes >= n {
-		return g.Nodes()
+		return allNodes(n)
 	}
-	g.Freeze()
 	rng := rand.New(rand.NewSource(cfg.Seed))
 	visited := make(map[graph.NodeID]bool, cfg.TargetNodes)
 	var queue []graph.NodeID
 	for len(visited) < cfg.TargetNodes {
 		if len(queue) == 0 {
+			// Reseed on an unvisited node only: re-burning from a visited
+			// seed would draw another geometric burn from it, skewing the
+			// fire's burn schedule toward already-burned regions. An
+			// unvisited node always exists here (len(visited) < target < n).
 			seed := graph.NodeID(rng.Intn(n))
-			if !visited[seed] {
-				visited[seed] = true
+			if visited[seed] {
+				continue
 			}
+			visited[seed] = true
 			queue = append(queue, seed)
 		}
 		cur := queue[0]
@@ -121,7 +135,7 @@ func ForestFire(g *graph.Graph, cfg Config) []graph.NodeID {
 		for rng.Float64() < cfg.BurnForward {
 			burn++
 		}
-		nbrs := neighbors(g, cur)
+		nbrs := neighbors(s, cur)
 		rng.Shuffle(len(nbrs), func(i, j int) { nbrs[i], nbrs[j] = nbrs[j], nbrs[i] })
 		for _, nb := range nbrs {
 			if burn == 0 || len(visited) >= cfg.TargetNodes {
@@ -138,20 +152,29 @@ func ForestFire(g *graph.Graph, cfg Config) []graph.NodeID {
 }
 
 // neighbors returns the distinct out- and in-neighbors of v.
-func neighbors(g *graph.Graph, v graph.NodeID) []graph.NodeID {
+func neighbors(s *graph.Snapshot, v graph.NodeID) []graph.NodeID {
 	seen := make(map[graph.NodeID]bool)
 	var out []graph.NodeID
-	for _, e := range g.OutEdges(v) {
+	for _, e := range s.OutEdges(v) {
 		if !seen[e.To] {
 			seen[e.To] = true
 			out = append(out, e.To)
 		}
 	}
-	for _, e := range g.InEdges(v) {
+	for _, e := range s.InEdges(v) {
 		if !seen[e.To] {
 			seen[e.To] = true
 			out = append(out, e.To)
 		}
+	}
+	return out
+}
+
+// allNodes returns 0..n-1 (the whole-snapshot sample).
+func allNodes(n int) []graph.NodeID {
+	out := make([]graph.NodeID, n)
+	for i := range out {
+		out[i] = graph.NodeID(i)
 	}
 	return out
 }
@@ -239,21 +262,29 @@ func scpCount(cov *scp.Coverage, nu graph.NodeID, k int) int {
 }
 
 // Session builds an interactive session whose proposals are restricted to
-// a sample drawn by the given sampler ("rw" or "ff").
+// a sample drawn by the given sampler ("rw" or "ff"). The sampler and the
+// session share one pinned snapshot of g.
 func Session(g *graph.Graph, sampler string, cfg Config, opts interactive.Options) *interactive.Session {
+	return SessionOn(g.Snapshot(), sampler, cfg, opts)
+}
+
+// SessionOn is Session over an explicitly pinned epoch snapshot: the
+// sample is drawn from it and the session's proposals and re-learning
+// rounds observe it exclusively.
+func SessionOn(snap *graph.Snapshot, sampler string, cfg Config, opts interactive.Options) *interactive.Session {
 	var sample []graph.NodeID
 	switch sampler {
 	case "ff":
-		sample = ForestFire(g, cfg)
+		sample = ForestFireOn(snap, cfg)
 	default:
-		sample = RandomWalk(g, cfg)
+		sample = RandomWalkOn(snap, cfg)
 	}
 	base := opts.Strategy
 	if base == nil {
 		base = interactive.KS{}
 	}
 	opts.Strategy = Restrict{Base: base, Sample: sample}
-	return interactive.NewSession(g, opts)
+	return interactive.NewSessionOn(snap, opts)
 }
 
 // CoverageOfSample reports what fraction of the goal-selected nodes the

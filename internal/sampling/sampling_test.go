@@ -69,6 +69,42 @@ func TestSamplingDeterministic(t *testing.T) {
 	}
 }
 
+// TestForestFireDeterministic is the regression test for the re-seeding
+// bug: a random seed landing on an already-visited node used to be
+// re-enqueued and re-burned, skewing the geometric burn schedule. The fix
+// skips visited seeds, so a fixed seed must reproduce the exact sample and
+// exact target size, through the snapshot path and the Graph delegate
+// alike.
+func TestForestFireDeterministic(t *testing.T) {
+	g := testGraph()
+	// Small burn probability makes the fire die often, exercising the
+	// reseed path heavily.
+	cfg := sampling.Config{TargetNodes: 300, Seed: 41, BurnForward: 0.2}
+	a := sampling.ForestFireOn(g.Snapshot(), cfg)
+	b := sampling.ForestFire(g, cfg)
+	if len(a) != cfg.TargetNodes {
+		t.Fatalf("sample size %d, want exactly %d", len(a), cfg.TargetNodes)
+	}
+	if len(a) != len(b) {
+		t.Fatalf("sizes differ: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("same seed produced different forest-fire samples")
+		}
+	}
+	seen := make(map[graph.NodeID]bool)
+	for i, v := range a {
+		if seen[v] {
+			t.Fatal("duplicate node in sample")
+		}
+		seen[v] = true
+		if i > 0 && a[i-1] >= v {
+			t.Fatal("sample not sorted")
+		}
+	}
+}
+
 func TestRestrictProposesFromSample(t *testing.T) {
 	g := testGraph()
 	sample := sampling.RandomWalk(g, sampling.Config{TargetNodes: 100, Seed: 7})

@@ -19,6 +19,15 @@
 // sorted-set interning over the CSR substrate) and transitions are flat
 // per-state symbol slabs, so the learner's thousands of consistency checks
 // run without per-step string encoding or per-state maps.
+//
+// A Coverage is pinned to one immutable epoch Snapshot: every search it
+// runs observes exactly the graph published at that epoch, so coverage
+// indexes may be built and queried while a writer keeps mutating and
+// publishing newer epochs. The *graph.Graph entry points are thin
+// read-your-writes delegates that publish the pending epoch first. One
+// Coverage is not safe for concurrent use (transitions are memoized
+// lazily); concurrent searches build one Coverage per worker over the same
+// pinned snapshot, as the parallel learner and the kS strategy do.
 package scp
 
 import (
@@ -35,7 +44,7 @@ import (
 // distinguished absorbing state meaning "no longer covered by any
 // negative".
 type Coverage struct {
-	g       *graph.Graph
+	s       *graph.Snapshot
 	ix      *graph.NodeSetIndex
 	nsym    int
 	start   int32
@@ -47,14 +56,24 @@ type Coverage struct {
 	trans [][]int32
 }
 
-// NewCoverage builds the coverage index for the negative node set neg.
+// NewCoverage builds the coverage index for the negative node set neg on
+// the graph's read-your-writes snapshot (pending mutations are published
+// first). Writer-side only; concurrent readers use NewCoverageOn.
 func NewCoverage(g *graph.Graph, neg []graph.NodeID) *Coverage {
-	g.Freeze()
-	c := &Coverage{g: g, ix: graph.NewNodeSetIndex(), nsym: g.Alphabet().Size()}
+	return NewCoverageOn(g.Snapshot(), neg)
+}
+
+// NewCoverageOn builds the coverage index for the negative node set neg,
+// pinned to the given epoch snapshot.
+func NewCoverageOn(s *graph.Snapshot, neg []graph.NodeID) *Coverage {
+	c := &Coverage{s: s, ix: graph.NewNodeSetIndex(), nsym: s.Alphabet().Size()}
 	c.emptyID = c.ix.Intern(nil)
 	c.start = c.ix.Intern(sortedUnique(neg))
 	return c
 }
+
+// Snapshot returns the epoch snapshot the coverage is pinned to.
+func (c *Coverage) Snapshot() *graph.Snapshot { return c.s }
 
 // Start returns the initial coverage state (the full negative set).
 func (c *Coverage) Start() int32 { return c.start }
@@ -88,7 +107,7 @@ func (c *Coverage) row(id int32) []int32 {
 	for i := range row {
 		row[i] = c.emptyID
 	}
-	c.g.StepAll(c.ix.Set(id), func(sym alphabet.Symbol, succ []graph.NodeID) {
+	c.s.StepAll(c.ix.Set(id), func(sym alphabet.Symbol, succ []graph.NodeID) {
 		row[sym] = c.ix.Intern(succ)
 	})
 	c.trans[id] = row
@@ -123,7 +142,7 @@ func (c *Coverage) Smallest(nu graph.NodeID, k int) (words.Word, bool) {
 		}
 		// Out-edges are sorted by symbol: expansion preserves canonical
 		// order across the BFS level.
-		for _, e := range c.g.OutEdges(cur.v) {
+		for _, e := range c.s.OutEdges(cur.v) {
 			cov := c.Step(cur.cov, e.Sym)
 			if c.Escaped(cov) {
 				return words.Append(cur.word, e.Sym), true
@@ -171,8 +190,8 @@ func (c *Coverage) CountNonCovered(nu graph.NodeID, k int) int {
 	for depth := 0; depth < k; depth++ {
 		nextLevel := map[key]int{}
 		for kk, n := range level {
-			for _, sym := range c.g.SymbolsOf(c.ix.Set(kk.mine)) {
-				mine := c.g.Step(c.ix.Set(kk.mine), sym)
+			for _, sym := range c.s.SymbolsOf(c.ix.Set(kk.mine)) {
+				mine := c.s.Step(c.ix.Set(kk.mine), sym)
 				if len(mine) == 0 {
 					continue
 				}

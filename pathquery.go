@@ -102,6 +102,9 @@ type (
 	EngineStats = engine.Stats
 	// EdgeSpec names one edge for Engine.Mutate.
 	EdgeSpec = engine.EdgeSpec
+	// EngineLearnResult is the outcome of Engine.Learn: the learned query
+	// installed as a serving plan, plus its selection on the pinned epoch.
+	EngineLearnResult = engine.LearnResult
 	// Selection is the outcome of one monadic evaluation pass.
 	Selection = query.Selection
 )
@@ -117,11 +120,13 @@ func NewGraph(alpha *Alphabet) *Graph { return graph.New(alpha) }
 // its first epoch. From then on, mutate through the engine and read from
 // any number of goroutines: selections pin immutable epoch snapshots,
 // repeated queries skip parse/determinize/minimize via the plan cache,
-// and identical concurrent requests share one product pass.
+// and identical concurrent requests share one product pass. Engine.Learn
+// runs Algorithm 1 against the served epoch — safely concurrent with
+// mutations — and installs the learned query as a serving plan.
 func NewEngine(g *Graph, opt EngineOptions) *Engine { return engine.New(g, opt) }
 
 // NewEngineHandler exposes e as a JSON-over-HTTP API — the handler behind
-// cmd/pqserve (select, selectPairs, batch, mutate, stats).
+// cmd/pqserve (select, selectPairs, batch, mutate, learn, stats).
 func NewEngineHandler(e *Engine) http.Handler { return engine.NewHandler(e) }
 
 // NewAlphabet returns an empty label table.
@@ -138,10 +143,23 @@ func Learn(g *Graph, s Sample, opt Options) (*Query, error) {
 	return core.Learn(g, s, opt)
 }
 
+// LearnOn runs Algorithm 1 against a pinned epoch snapshot: the learner
+// observes exactly that epoch, so it is safe to run while a writer keeps
+// mutating and publishing newer epochs (see also Engine.Learn, which adds
+// plan-cache installation).
+func LearnOn(s *Snapshot, sample Sample, opt Options) (*Query, error) {
+	return core.LearnOn(s, sample, opt)
+}
+
 // LearnDetailed is Learn with diagnostics (selected SCPs, final k, merge
 // count).
 func LearnDetailed(g *Graph, s Sample, opt Options) (*Result, error) {
 	return core.LearnDetailed(g, s, opt)
+}
+
+// LearnDetailedOn is LearnOn with diagnostics.
+func LearnDetailedOn(s *Snapshot, sample Sample, opt Options) (*Result, error) {
+	return core.LearnDetailedOn(s, sample, opt)
 }
 
 // LearnBinary runs Algorithm 2 on pair examples.
