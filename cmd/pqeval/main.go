@@ -59,25 +59,30 @@ func main() {
 			log.Fatal(err)
 		}
 	}
-	fmt.Printf("graph: %v\nquery: %v (size %d)\n", g, q, q.Size())
+	// Compile the evaluation plan once and pin one epoch snapshot; both
+	// semantics below evaluate the compiled form against the same CSR.
+	pl := q.Plan()
+	snap := g.Snapshot()
+	fmt.Printf("graph: %v\nquery: %v (size %d)\nplan: %d states, %s layout, compiled in %v\n",
+		g, q, q.Size(), pl.NumStates, pl.Layout, pl.CompileTime)
 
 	if *binaryFrom != "" {
 		from, ok := g.NodeByName(*binaryFrom)
 		if !ok {
 			log.Fatalf("no node %q", *binaryFrom)
 		}
-		for _, v := range q.SelectPairsFrom(g, from) {
-			fmt.Printf("(%s, %s)\n", *binaryFrom, g.NodeName(v))
+		for _, v := range q.SelectPairsFromOn(snap, from) {
+			fmt.Printf("(%s, %s)\n", *binaryFrom, snap.NodeName(v))
 		}
 		return
 	}
 
-	sel := q.Evaluate(g)
+	sel := q.EvaluateOn(snap)
 	if !*quiet {
 		for _, v := range sel.Nodes() {
-			fmt.Println(g.NodeName(v))
+			fmt.Println(snap.NodeName(v))
 		}
 	}
 	fmt.Printf("selected %d of %d nodes (selectivity %.4f%%)\n",
-		sel.Count(), g.NumNodes(), 100*sel.Selectivity())
+		sel.Count(), snap.NumNodes(), 100*sel.Selectivity())
 }

@@ -9,6 +9,7 @@ import (
 	"pathquery/internal/alphabet"
 	"pathquery/internal/automata"
 	"pathquery/internal/graph"
+	"pathquery/internal/plan"
 	"pathquery/internal/query"
 	"pathquery/internal/words"
 )
@@ -106,12 +107,15 @@ func learnBinaryFixedK(snap *graph.Snapshot, s PairSample, opt Options, k int) (
 		m := automata.NewMerger(pta)
 		negWorkers := opt.workersFor(len(s.Neg))
 		m.Generalize(func(cand *automata.DFA) bool {
-			return coversNoPair(snap, cand, s.Neg, negWorkers)
+			// One shape-preserving plan per candidate: every negative
+			// check of this candidate shares its compiled tables.
+			return coversNoPair(snap, plan.FromDFA(cand), s.Neg, negWorkers)
 		})
 		d = m.DFA()
 	}
+	dp := plan.FromDFA(d)
 	for _, p := range s.Pos {
-		if !snap.CoversPair(d, p.From, p.To) {
+		if !snap.CoversPairPlan(dp, p.From, p.To) {
 			return nil, ErrAbstain
 		}
 	}
@@ -153,13 +157,14 @@ func smallestPairPaths(snap *graph.Snapshot, pos, neg []Pair, k, workers int) []
 	return paths
 }
 
-// coversNoPair reports whether d selects none of the negative pairs — the
-// binary merger's consistency predicate, sharded across workers with an
-// early exit when any pair is covered.
-func coversNoPair(snap *graph.Snapshot, d *automata.DFA, neg []Pair, workers int) bool {
+// coversNoPair reports whether the compiled candidate selects none of the
+// negative pairs — the binary merger's consistency predicate, sharded
+// across workers with an early exit when any pair is covered. All shards
+// share one immutable plan.
+func coversNoPair(snap *graph.Snapshot, dp *plan.Plan, neg []Pair, workers int) bool {
 	if workers <= 1 || len(neg) < 2 {
 		for _, n := range neg {
-			if snap.CoversPair(d, n.From, n.To) {
+			if snap.CoversPairPlan(dp, n.From, n.To) {
 				return false
 			}
 		}
@@ -172,7 +177,7 @@ func coversNoPair(snap *graph.Snapshot, d *automata.DFA, neg []Pair, workers int
 		go func(w int) {
 			defer wg.Done()
 			for i := w; i < len(neg) && !covered.Load(); i += workers {
-				if snap.CoversPair(d, neg[i].From, neg[i].To) {
+				if snap.CoversPairPlan(dp, neg[i].From, neg[i].To) {
 					covered.Store(true)
 					return
 				}
@@ -186,13 +191,16 @@ func coversNoPair(snap *graph.Snapshot, d *automata.DFA, neg []Pair, workers int
 // smallestPairPath returns the canonical-order minimal word of length ≤ k
 // in paths2_G(p) \ paths2_G(neg). The whole search state — the node set
 // reachable from p.From and, per negative pair, the set reachable from its
-// origin — is a deterministic function of the word, so a BFS over those
-// subset tuples with sorted symbol expansion enumerates words canonically.
+// origin — is a deterministic function of the word, so the shared
+// canonical-order witness core (graph.WitnessBFS) over pairs
+// (mine subset id, negative-subset tuple id) enumerates words canonically.
 // Subsets are interned to dense ids (graph.NodeSetIndex) with memoized
-// (set, symbol) transitions, so tuple states are small id vectors and each
+// (set, symbol) transitions, and the per-negative id vectors are interned
+// in turn (tupleIndex), so the search state is two int32s and each
 // distinct subset is stepped at most once per symbol.
 func smallestPairPath(snap *graph.Snapshot, p Pair, neg []Pair, k int) (words.Word, bool) {
 	ix := graph.NewNodeSetIndex()
+	tup := newTupleIndex()
 	trans := make(map[uint64]int32)
 	stepID := func(id int32, sym alphabet.Symbol) int32 {
 		key := uint64(uint32(id))<<32 | uint64(sym)
@@ -203,76 +211,89 @@ func smallestPairPath(snap *graph.Snapshot, p Pair, neg []Pair, k int) (words.Wo
 		trans[key] = t
 		return t
 	}
-	type state struct {
-		mine int32
-		negs []int32
-		word words.Word
-	}
-	encode := func(st state) string {
-		b := make([]byte, 0, 4*(1+len(st.negs)))
-		app := func(id int32) {
-			b = append(b, byte(id), byte(id>>8), byte(id>>16), byte(id>>24))
-		}
-		app(st.mine)
-		for _, id := range st.negs {
-			app(id)
-		}
-		return string(b)
-	}
 	contains := func(id int32, v graph.NodeID) bool {
 		set := ix.Set(id)
 		i := sort.Search(len(set), func(i int) bool { return set[i] >= v })
 		return i < len(set) && set[i] == v
 	}
-	accepts := func(st state) bool {
-		if !contains(st.mine, p.To) {
+	accept := func(mine, negsID int32) bool {
+		if !contains(mine, p.To) {
 			return false
 		}
-		for i, n := range neg {
-			if contains(st.negs[i], n.To) {
+		for i, id := range tup.set(negsID) {
+			if contains(id, neg[i].To) {
 				return false
 			}
 		}
 		return true
 	}
 
-	init := state{mine: ix.Intern([]graph.NodeID{p.From}), word: words.Epsilon}
-	for _, n := range neg {
-		init.negs = append(init.negs, ix.Intern([]graph.NodeID{n.From}))
+	startMine := ix.Intern([]graph.NodeID{p.From})
+	negsInit := make([]int32, len(neg))
+	for i, n := range neg {
+		negsInit[i] = ix.Intern([]graph.NodeID{n.From})
 	}
-	if accepts(init) {
-		return words.Epsilon, true
+	startNegs := tup.intern(negsInit)
+	scratch := make([]int32, len(neg))
+	return graph.WitnessBFS(k, [][2]int32{{startMine, startNegs}},
+		accept,
+		func(mine, negsID int32, emit func(sym alphabet.Symbol, a2, b2 int32)) {
+			negs := tup.set(negsID)
+			for _, sym := range snap.SymbolsOf(ix.Set(mine)) {
+				m2 := stepID(mine, sym)
+				if len(ix.Set(m2)) == 0 {
+					continue // the positive pair's path dies here
+				}
+				for i, id := range negs {
+					scratch[i] = stepID(id, sym)
+				}
+				emit(sym, m2, tup.intern(scratch))
+			}
+		})
+}
+
+// tupleIndex interns int32 vectors (the per-negative subset-id tuples of
+// smallestPairPath) as dense ids, replacing the byte-string state encoding
+// of the pre-plan implementation. Same shape as graph.NodeSetIndex: FNV-1a
+// hash into buckets, element-wise compare on collision.
+type tupleIndex struct {
+	tuples  [][]int32
+	buckets map[uint64][]int32
+}
+
+func newTupleIndex() *tupleIndex {
+	return &tupleIndex{buckets: make(map[uint64][]int32)}
+}
+
+func (ix *tupleIndex) intern(t []int32) int32 {
+	h := uint64(14695981039346656037)
+	for _, v := range t {
+		h ^= uint64(uint32(v))
+		h *= 1099511628211
 	}
-	seen := map[string]bool{encode(init): true}
-	queue := []state{init}
-	for len(queue) > 0 {
-		cur := queue[0]
-		queue = queue[1:]
-		if len(cur.word) >= k {
-			continue
+	for _, id := range ix.buckets[h] {
+		if tuplesEqual(ix.tuples[id], t) {
+			return id
 		}
-		for _, sym := range snap.SymbolsOf(ix.Set(cur.mine)) {
-			next := state{
-				mine: stepID(cur.mine, sym),
-				word: words.Append(cur.word, sym),
-			}
-			if len(ix.Set(next.mine)) == 0 {
-				continue
-			}
-			for _, id := range cur.negs {
-				next.negs = append(next.negs, stepID(id, sym))
-			}
-			if accepts(next) {
-				return next.word, true
-			}
-			key := encode(next)
-			if !seen[key] {
-				seen[key] = true
-				queue = append(queue, next)
-			}
+	}
+	id := int32(len(ix.tuples))
+	ix.tuples = append(ix.tuples, append([]int32(nil), t...))
+	ix.buckets[h] = append(ix.buckets[h], id)
+	return id
+}
+
+func (ix *tupleIndex) set(id int32) []int32 { return ix.tuples[id] }
+
+func tuplesEqual(a, b []int32) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
 		}
 	}
-	return nil, false
+	return true
 }
 
 // TupleSample is a set of n-ary examples: node tuples labeled + or −.

@@ -35,6 +35,7 @@ import (
 
 	"pathquery/internal/automata"
 	"pathquery/internal/graph"
+	"pathquery/internal/plan"
 	"pathquery/internal/query"
 	"pathquery/internal/scp"
 	"pathquery/internal/words"
@@ -248,7 +249,11 @@ func learnFixedK(snap *graph.Snapshot, s Sample, opt Options, k int) (*Result, e
 		before := pta.NumStates()
 		negWorkers := opt.workersFor((len(s.Neg) + coversShardSize - 1) / coversShardSize)
 		m.Generalize(func(cand *automata.DFA) bool {
-			return coversNone(snap, cand, s.Neg, negWorkers)
+			// One shape-preserving plan per candidate: all negative-shard
+			// checks of this candidate share its compiled tables (and its
+			// first-symbol filter prunes most negatives without touching
+			// the product space).
+			return coversNone(snap, plan.FromDFA(cand), s.Neg, negWorkers)
 		})
 		d = m.DFA()
 		res.Merges = before - len(m.Representatives())
@@ -256,8 +261,9 @@ func learnFixedK(snap *graph.Snapshot, s Sample, opt Options, k int) (*Result, e
 
 	// Lines 6-7: the query must select every positive node — including
 	// those whose SCP was longer than k.
+	dp := plan.FromDFA(d)
 	for _, nu := range s.Pos {
-		if !snap.Covers(d, nu) {
+		if !snap.CoversPlan(dp, nu) {
 			return nil, ErrAbstain
 		}
 	}
@@ -308,14 +314,15 @@ func smallestPaths(snap *graph.Snapshot, pos, neg []graph.NodeID, k, workers int
 // product search it would offload.
 const coversShardSize = 16
 
-// coversNone reports whether no node of set has a path in L(d) — the
-// merger's consistency predicate. Large negative sets are sharded across
-// workers, each running the early-exit forward product search on its
-// chunk against the shared snapshot; a found cover stops the other shards
-// at their next chunk boundary.
-func coversNone(snap *graph.Snapshot, d *automata.DFA, set []graph.NodeID, workers int) bool {
+// coversNone reports whether no node of set has a path in L(dp) — the
+// merger's consistency predicate, evaluated through one shared compiled
+// plan. Large negative sets are sharded across workers, each running the
+// early-exit forward product search on its chunk against the shared
+// snapshot; a found cover stops the other shards at their next chunk
+// boundary.
+func coversNone(snap *graph.Snapshot, dp *plan.Plan, set []graph.NodeID, workers int) bool {
 	if workers <= 1 || len(set) <= coversShardSize {
-		return !snap.CoversAny(d, set)
+		return !snap.CoversAnyPlan(dp, set)
 	}
 	shards := (len(set) + coversShardSize - 1) / coversShardSize
 	if workers > shards {
@@ -335,7 +342,7 @@ func coversNone(snap *graph.Snapshot, d *automata.DFA, set []graph.NodeID, worke
 				}
 				lo := i * coversShardSize
 				hi := min(lo+coversShardSize, len(set))
-				if snap.CoversAny(d, set[lo:hi]) {
+				if snap.CoversAnyPlan(dp, set[lo:hi]) {
 					covered.Store(true)
 					return
 				}

@@ -332,3 +332,42 @@ func RandomSample(g *graph.Graph, goal *query.Query, fraction float64, rng *rand
 // Regex exposes the compiled expression of a named query for callers that
 // need the AST (e.g. printing with a different alphabet).
 func (nq NamedQuery) Regex() *regex.Node { return nq.Query.Regex() }
+
+// DirectionalSkew builds the adversarial shape for forward-only binary
+// evaluation under the query a*·b: a dense strongly-connected 'a' core
+// (coreNodes nodes, ~8 out-edges each) that a chain of chainLen nodes
+// feeds into, with the graph's only 'b' edge at the chain's end. Forward
+// evaluation from the chain head floods the whole core for one answer;
+// the backward co-accepting set is just the chain, so the
+// direction-optimizing evaluator wins by an |E|/|chain| factor. Shared by
+// the direction-optimizing benchmark and its correctness tests. Returns
+// the frozen graph, the chain head, and the accepting sink.
+func DirectionalSkew(coreNodes, chainLen int) (*graph.Graph, graph.NodeID, graph.NodeID) {
+	alpha := alphabet.NewSorted("a", "b")
+	a, _ := alpha.Lookup("a")
+	b, _ := alpha.Lookup("b")
+	g := graph.New(alpha)
+	core := make([]graph.NodeID, coreNodes)
+	for i := range core {
+		core[i] = g.AddNode(fmt.Sprintf("core%d", i))
+	}
+	rng := rand.New(rand.NewSource(11))
+	for i := range core {
+		g.AddEdge(core[i], a, core[(i+1)%coreNodes])
+		for k := 0; k < 7; k++ {
+			g.AddEdge(core[i], a, core[rng.Intn(coreNodes)])
+		}
+	}
+	head := g.AddNode("chain0")
+	prev := head
+	g.AddEdge(head, a, core[0])
+	for i := 1; i < chainLen; i++ {
+		n := g.AddNode(fmt.Sprintf("chain%d", i))
+		g.AddEdge(prev, a, n)
+		prev = n
+	}
+	sink := g.AddNode("sink")
+	g.AddEdge(prev, b, sink)
+	g.Freeze()
+	return g, head, sink
+}

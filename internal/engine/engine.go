@@ -121,7 +121,7 @@ func (e *Engine) Select(src string) (Result, error) {
 
 // selectOn answers one monadic selection against a pinned snapshot,
 // through the single-flight result cache.
-func (e *Engine) selectOn(snap *graph.Snapshot, p *plan) Result {
+func (e *Engine) selectOn(snap *graph.Snapshot, p *cachedPlan) Result {
 	key := resultKey{epoch: snap.Epoch(), kind: kindMonadic, plan: p.key}
 	nodes, cached := e.results.do(key, func() []graph.NodeID {
 		return p.q.EvaluateOn(snap).Nodes()
@@ -147,7 +147,7 @@ func (e *Engine) SelectPairsFrom(src, from string) (Result, error) {
 	e.queries.Add(1)
 	key := resultKey{epoch: snap.Epoch(), kind: kindPairs, from: u, plan: plan.key}
 	nodes, cached := e.results.do(key, func() []graph.NodeID {
-		return snap.SelectBinaryFrom(plan.q.DFA(), u)
+		return plan.q.SelectPairsFromOn(snap, u)
 	})
 	return Result{Epoch: snap.Epoch(), Nodes: nodes, Cached: cached, snap: snap}, nil
 }
@@ -158,7 +158,7 @@ func (e *Engine) SelectPairsFrom(src, from string) (Result, error) {
 // batch collapse into one pass via the single-flight result cache. The
 // whole batch fails on the first parse error.
 func (e *Engine) SelectBatch(srcs []string) ([]Result, error) {
-	plans := make([]*plan, len(srcs))
+	plans := make([]*cachedPlan, len(srcs))
 	for i, src := range srcs {
 		p, err := e.plans.get(src)
 		if err != nil {
@@ -184,7 +184,7 @@ func (e *Engine) SelectBatch(srcs []string) ([]Result, error) {
 	sem := make(chan struct{}, workers)
 	for i, p := range plans {
 		wg.Add(1)
-		go func(i int, p *plan) {
+		go func(i int, p *cachedPlan) {
 			defer wg.Done()
 			sem <- struct{}{}
 			defer func() { <-sem }()
@@ -334,12 +334,22 @@ type Stats struct {
 	PlanHits   uint64 `json:"plan_hits"`
 	PlanMisses uint64 `json:"plan_misses"`
 	Plans      int    `json:"plans"`
+	// PlanStates is the total canonical-DFA state count across cached
+	// plans and PlanCompileNs the total one-time compilation cost — the
+	// aggregate view of GET /plans.
+	PlanStates    int   `json:"plan_states"`
+	PlanCompileNs int64 `json:"plan_compile_ns"`
 
 	ResultHits    uint64 `json:"result_hits"`
 	ResultMisses  uint64 `json:"result_misses"`
 	ResultShared  uint64 `json:"result_shared"` // single-flight waiters
 	ResultEntries int    `json:"result_entries"`
 }
+
+// Plans lists every cached compiled plan — source, canonical key, state
+// count, layout, compile time, and hit count — most-used first. This is
+// the GET /plans view.
+func (e *Engine) Plans() []PlanInfo { return e.plans.list() }
 
 // Stats returns current counters.
 func (e *Engine) Stats() Stats {

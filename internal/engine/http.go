@@ -19,6 +19,7 @@ import (
 //	POST /mutate      {"edges": [{"from","label","to"}]} -> {"epoch", "nodes", "edges"}
 //	POST /learn       {"pos": [names...], "neg": [...]}  -> learned query + selection
 //	GET  /stats                                         -> engine counters
+//	GET  /plans                                         -> cached compiled plans
 //	GET  /healthz                                       -> ok
 //
 // A selection is {"epoch", "count", "cached", "nodes": [names...]};
@@ -137,6 +138,11 @@ func NewHandler(e *Engine) http.Handler {
 	})
 	mux.HandleFunc("GET /stats", func(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, e.Stats())
+	})
+	mux.HandleFunc("GET /plans", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, struct {
+			Plans []PlanInfo `json:"plans"`
+		}{e.Plans()})
 	})
 	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
 		fmt.Fprintln(w, "ok")

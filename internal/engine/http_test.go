@@ -76,6 +76,33 @@ func TestHTTPHandler(t *testing.T) {
 	if st.Epoch != uint64(epoch0)+1 || st.Mutations != 1 || st.Queries == 0 {
 		t.Fatalf("/stats: %+v", st)
 	}
+	if st.Plans == 0 || st.PlanStates == 0 || st.PlanCompileNs <= 0 {
+		t.Fatalf("/stats plan aggregates: %+v", st)
+	}
+
+	resp, err = http.Get(srv.URL + "/plans")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var plans struct {
+		Plans []PlanInfo `json:"plans"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&plans); err != nil {
+		t.Fatal(err)
+	}
+	if len(plans.Plans) != st.Plans {
+		t.Fatalf("/plans listed %d plans, /stats says %d", len(plans.Plans), st.Plans)
+	}
+	// "tram·cinema" was served twice (select + selectPairs) and must lead
+	// the hit-ordered listing with its compile metadata filled in.
+	top := plans.Plans[0]
+	if top.Source != "tram·cinema" || top.Hits < 2 {
+		t.Fatalf("/plans top entry: %+v", top)
+	}
+	if top.States == 0 || top.Key == "" || top.CompileNs <= 0 || top.Layout != "masked" {
+		t.Fatalf("/plans metadata: %+v", top)
+	}
 }
 
 func TestRunLoadSmoke(t *testing.T) {

@@ -71,11 +71,13 @@ func (c StaticConfig) withDefaults() StaticConfig {
 // binary node classifier.
 func RunStatic(g *graph.Graph, goal datasets.NamedQuery, cfg StaticConfig) StaticSeries {
 	cfg = cfg.withDefaults()
-	// Freeze before timing starts: the CSR build is a one-time setup cost
-	// and must not be attributed to the first trial's LearnTime.
-	g.Freeze()
+	// Pin one epoch snapshot before timing starts: the CSR build is a
+	// one-time setup cost that must not be attributed to the first trial's
+	// LearnTime, and every learn/score pass below evaluates compiled plans
+	// against the same immutable epoch.
+	snap := g.Snapshot()
 	series := StaticSeries{Query: goal}
-	goalSel := goal.Query.Select(g)
+	goalSel := goal.Query.EvaluateOn(snap).Vector()
 	for fi, fraction := range cfg.Fractions {
 		var pt StaticPoint
 		pt.Fraction = fraction
@@ -84,14 +86,14 @@ func RunStatic(g *graph.Graph, goal datasets.NamedQuery, cfg StaticConfig) Stati
 			pos, neg := datasets.RandomSample(g, goal.Query, fraction, rng)
 			sample := core.Sample{Pos: pos, Neg: neg}
 			start := time.Now()
-			res, err := core.LearnDetailed(g, sample, cfg.Learner)
+			res, err := core.LearnDetailedOn(snap, sample, cfg.Learner)
 			pt.LearnTime += time.Since(start)
 			var predicted []bool
 			if err != nil {
 				pt.Abstained++
-				predicted = make([]bool, g.NumNodes())
+				predicted = make([]bool, snap.NumNodes())
 			} else {
-				predicted = res.Query.Select(g)
+				predicted = res.Query.EvaluateOn(snap).Vector()
 				pt.K += float64(res.K)
 			}
 			score := metrics.Score(goalSel, predicted)
@@ -138,7 +140,8 @@ func RunStaticAll(g *graph.Graph, goals []datasets.NamedQuery, cfg StaticConfig)
 // the graph admits one, so the fallback reports the whole graph).
 func LabelsNeededStatic(g *graph.Graph, goal datasets.NamedQuery, cfg StaticConfig) float64 {
 	cfg = cfg.withDefaults()
-	goalSel := goal.Query.Select(g)
+	snap := g.Snapshot()
+	goalSel := goal.Query.EvaluateOn(snap).Vector()
 	fractions := append([]float64{}, cfg.Fractions...)
 	fractions = append(fractions, 0.5, 0.66, 0.87, 1.0)
 	sort.Float64s(fractions)
@@ -147,12 +150,12 @@ func LabelsNeededStatic(g *graph.Graph, goal datasets.NamedQuery, cfg StaticConf
 		for trial := 0; trial < cfg.Trials; trial++ {
 			rng := rand.New(rand.NewSource(cfg.Seed + int64(7777*trial) + int64(fraction*1e6)))
 			pos, neg := datasets.RandomSample(g, goal.Query, fraction, rng)
-			res, err := core.LearnDetailed(g, core.Sample{Pos: pos, Neg: neg}, cfg.Learner)
+			res, err := core.LearnDetailedOn(snap, core.Sample{Pos: pos, Neg: neg}, cfg.Learner)
 			if err != nil {
 				allPerfect = false
 				break
 			}
-			if !metrics.Score(goalSel, res.Query.Select(g)).Exact() {
+			if !metrics.Score(goalSel, res.Query.EvaluateOn(snap).Vector()).Exact() {
 				allPerfect = false
 				break
 			}
@@ -249,10 +252,13 @@ type Table1Row struct {
 }
 
 // Table1 measures the bio-query selectivities on the AliBaba stand-in.
+// One epoch snapshot is pinned for the whole table, so every query's
+// compiled plan evaluates against the same immutable CSR.
 func Table1(g *graph.Graph, queries []datasets.NamedQuery) []Table1Row {
+	snap := g.Snapshot()
 	rows := make([]Table1Row, len(queries))
 	for i, nq := range queries {
-		sel := nq.Query.Evaluate(g)
+		sel := nq.Query.EvaluateOn(snap)
 		rows[i] = Table1Row{
 			Name:             nq.Name,
 			Expr:             nq.Expr,

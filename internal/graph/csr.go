@@ -114,6 +114,20 @@ type Snapshot struct {
 	names []string // immutable prefix of the name table at publish time
 	out   csr
 	in    csr
+	// inSymCount[sym] is the number of edges labeled sym (counted on the
+	// in-side CSR): the direction-optimizing evaluators estimate the cost
+	// of seeding a backward pass from it without touching the edges.
+	inSymCount []int32
+}
+
+// OutDegree returns the number of out-edges of v in this epoch.
+func (s *Snapshot) OutDegree(v NodeID) int {
+	return int(s.out.rowStart[v+1] - s.out.rowStart[v])
+}
+
+// InDegree returns the number of in-edges of v in this epoch.
+func (s *Snapshot) InDegree(v NodeID) int {
+	return int(s.in.rowStart[v+1] - s.in.rowStart[v])
 }
 
 // Epoch returns the snapshot's epoch number. Epochs start at 1 and
@@ -126,8 +140,17 @@ func (s *Snapshot) NumNodes() int { return s.nv }
 // NumEdges returns the number of edges in this epoch.
 func (s *Snapshot) NumEdges() int { return s.ne }
 
-// NodeName returns the name of id as of this epoch.
-func (s *Snapshot) NodeName(id NodeID) string { return s.names[id] }
+// NodeName returns the name of id as of this epoch, or "" when id is not
+// a node of this epoch — an id from another graph, or one created after
+// the epoch was published. Serving paths resolve ids against whatever
+// epoch a cached result was computed on, so an out-of-range id must be a
+// soft miss here, never a panic.
+func (s *Snapshot) NodeName(id NodeID) string {
+	if id < 0 || int(id) >= len(s.names) {
+		return ""
+	}
+	return s.names[id]
+}
 
 // Alphabet returns the (concurrency-safe) alphabet shared with the graph.
 func (s *Snapshot) Alphabet() *alphabet.Alphabet { return s.g.alpha }
@@ -184,6 +207,12 @@ func (g *Graph) publish() *Snapshot {
 		out:   buildCSR(g.out),
 		in:    buildCSR(g.in),
 	}
+	s.inSymCount = make([]int32, s.nsym)
+	for si := range s.in.segSym {
+		if sym := int(s.in.segSym[si]); sym < len(s.inSymCount) {
+			s.inSymCount[sym] += s.in.segOff[si+1] - s.in.segOff[si]
+		}
+	}
 	g.cur.Store(s)
 	return s
 }
@@ -224,6 +253,14 @@ type productScratch struct {
 	next    []uint64   // second frontier for level-synchronous BFS
 	touched []uint64   // set-bit indices, for sparse clearing
 	shards  [][]uint64 // per-worker frontier buffers, parallel SelectMonadic
+	// Second visited set + frontiers for the direction-optimizing
+	// bidirectional searches (forward side uses bits/stack/next, backward
+	// side bits2/stack2/next2). Same pool discipline: bits2 all zero while
+	// pooled, set bits recorded in touched2.
+	bits2    bitset.Bits
+	stack2   []uint64
+	next2    []uint64
+	touched2 []uint64
 	// Per-node pending-state masks for the |Q| ≤ 64 SelectMonadic fast
 	// path; all-zero between uses (each level consumes its own array).
 	maskCur  bitset.Bits
@@ -239,6 +276,14 @@ func (s *Snapshot) getProduct(bits int) *productScratch {
 	return sc
 }
 
+// getProduct2 is getProduct with the second (backward-side) visited set
+// grown too, for the bidirectional searches.
+func (s *Snapshot) getProduct2(bits int) *productScratch {
+	sc := s.getProduct(bits)
+	sc.bits2 = sc.bits2.Grow(bits)
+	return sc
+}
+
 // putProductSparse releases scratch whose set bits are all recorded in
 // touched.
 func (s *Snapshot) putProductSparse(sc *productScratch) {
@@ -246,6 +291,18 @@ func (s *Snapshot) putProductSparse(sc *productScratch) {
 		sc.bits.Clear(int(i))
 	}
 	s.putProductClean(sc)
+}
+
+// putProduct2Sparse releases bidirectional scratch: both visited sets are
+// cleared through their touched lists.
+func (s *Snapshot) putProduct2Sparse(sc *productScratch) {
+	for _, i := range sc.touched2 {
+		sc.bits2.Clear(int(i))
+	}
+	sc.touched2 = sc.touched2[:0]
+	sc.stack2 = sc.stack2[:0]
+	sc.next2 = sc.next2[:0]
+	s.putProductSparse(sc)
 }
 
 // putProductDense releases scratch after a search that may have marked a

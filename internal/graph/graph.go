@@ -118,8 +118,14 @@ func (g *Graph) AddEdgeByName(from, label, to string) {
 	g.AddEdge(g.AddNode(from), g.alpha.Intern(label), g.AddNode(to))
 }
 
-// NodeName returns the name of id.
-func (g *Graph) NodeName(id NodeID) string { return g.nodeNames[id] }
+// NodeName returns the name of id, or "" for an id outside the build
+// side's node range (same soft-miss contract as Snapshot.NodeName).
+func (g *Graph) NodeName(id NodeID) string {
+	if id < 0 || int(id) >= len(g.nodeNames) {
+		return ""
+	}
+	return g.nodeNames[id]
+}
 
 // NodeByName returns the id of the named node.
 func (g *Graph) NodeByName(name string) (NodeID, bool) {

@@ -1,0 +1,42 @@
+package graph_test
+
+import (
+	"testing"
+
+	"pathquery/internal/alphabet"
+	"pathquery/internal/graph"
+)
+
+// TestNodeNameOutOfRange pins the soft-miss contract of the name-table
+// accessors: ids outside the epoch's node range (negative, from a future
+// epoch, or from another graph) resolve to "" instead of panicking —
+// serving paths resolve cached results against whatever epoch they were
+// computed on.
+func TestNodeNameOutOfRange(t *testing.T) {
+	alpha := alphabet.NewSorted("a")
+	g := graph.New(alpha)
+	x := g.AddNode("x")
+	snap := g.Snapshot()
+
+	if got := snap.NodeName(x); got != "x" {
+		t.Fatalf("NodeName(%d) = %q, want \"x\"", x, got)
+	}
+	for _, id := range []graph.NodeID{-1, 1, 1 << 20} {
+		if got := snap.NodeName(id); got != "" {
+			t.Errorf("snapshot NodeName(%d) = %q, want \"\"", id, got)
+		}
+		if got := g.NodeName(id); got != "" {
+			t.Errorf("graph NodeName(%d) = %q, want \"\"", id, got)
+		}
+	}
+
+	// A node added after the publish is out of range for the old epoch but
+	// resolves on the next one.
+	y := g.AddNode("y")
+	if got := snap.NodeName(y); got != "" {
+		t.Errorf("stale-epoch NodeName(%d) = %q, want \"\"", y, got)
+	}
+	if got := g.Snapshot().NodeName(y); got != "y" {
+		t.Errorf("new-epoch NodeName(%d) = %q, want \"y\"", y, got)
+	}
+}

@@ -1,0 +1,202 @@
+package graph_test
+
+// Property tests for the compiled-plan evaluators: every *Plan method is
+// cross-checked against the AsNFA-based reference (the graph's path
+// language materialized as an explicit NFA, combined with the query DFA
+// through the automata package) on random graphs and random DFAs, for
+// both plan constructors — Compile (canonicalized) and FromDFA
+// (shape-preserving) — so the masked and packed layouts and the
+// direction-optimizing traversals are all exercised.
+
+import (
+	"math/rand"
+	"testing"
+
+	"pathquery/internal/alphabet"
+	"pathquery/internal/automata"
+	"pathquery/internal/datasets"
+	"pathquery/internal/graph"
+	"pathquery/internal/plan"
+)
+
+// plansOf builds both plan forms of d. Compile may change the state count
+// (minimization), FromDFA never does; their languages are identical, so
+// every evaluator must agree between them and with the NFA reference.
+func plansOf(d *automata.DFA) []*plan.Plan {
+	return []*plan.Plan{plan.FromDFA(d), plan.Compile(d)}
+}
+
+func TestSelectMonadicPlanMatchesNFAReference(t *testing.T) {
+	rng := rand.New(rand.NewSource(201))
+	alpha := alphabet.NewSorted("a", "b", "c")
+	for iter := 0; iter < 80; iter++ {
+		nodes := 2 + rng.Intn(10)
+		g := randomGraph(rng, alpha, nodes, rng.Intn(3*nodes))
+		d := randomDFA(rng, alpha.Size())
+		snap := g.Snapshot()
+		for pi, p := range plansOf(d) {
+			sel := snap.SelectMonadicPlan(p)
+			for v := 0; v < nodes; v++ {
+				want := refCovers(g, d, []graph.NodeID{graph.NodeID(v)})
+				if sel[v] != want {
+					t.Fatalf("iter %d plan %d: SelectMonadicPlan[%d] = %v, NFA reference = %v",
+						iter, pi, v, sel[v], want)
+				}
+			}
+		}
+	}
+}
+
+// TestSelectMonadicPlanPackedMatchesReference drives the packed layout
+// (|Q| > 64) against the same reference: random DFAs padded with inert
+// states so FromDFA keeps the large state count.
+func TestSelectMonadicPlanPackedMatchesReference(t *testing.T) {
+	rng := rand.New(rand.NewSource(202))
+	alpha := alphabet.NewSorted("a", "b")
+	for iter := 0; iter < 30; iter++ {
+		nodes := 2 + rng.Intn(8)
+		g := randomGraph(rng, alpha, nodes, rng.Intn(3*nodes))
+		d := randomDFA(rng, alpha.Size())
+		// Pad with unreachable states so the packed layout engages while
+		// the language is unchanged.
+		for d.NumStates() <= 64 {
+			d.AddState()
+		}
+		p := plan.FromDFA(d)
+		if p.Layout != plan.LayoutPacked {
+			t.Fatalf("iter %d: padded DFA still %v", iter, p.Layout)
+		}
+		snap := g.Snapshot()
+		sel := snap.SelectMonadicPlan(p)
+		for v := 0; v < nodes; v++ {
+			want := refCovers(g, d, []graph.NodeID{graph.NodeID(v)})
+			if sel[v] != want {
+				t.Fatalf("iter %d: packed SelectMonadicPlan[%d] = %v, want %v", iter, v, sel[v], want)
+			}
+		}
+	}
+}
+
+func TestCoversPlanMatchesNFAReference(t *testing.T) {
+	rng := rand.New(rand.NewSource(203))
+	alpha := alphabet.NewSorted("a", "b", "c")
+	for iter := 0; iter < 80; iter++ {
+		nodes := 2 + rng.Intn(10)
+		g := randomGraph(rng, alpha, nodes, rng.Intn(3*nodes))
+		d := randomDFA(rng, alpha.Size())
+		var set []graph.NodeID
+		for v := 0; v < nodes; v++ {
+			if rng.Intn(3) == 0 {
+				set = append(set, graph.NodeID(v))
+			}
+		}
+		snap := g.Snapshot()
+		want := refCovers(g, d, set)
+		for pi, p := range plansOf(d) {
+			if got := snap.CoversAnyPlan(p, set); got != want {
+				t.Fatalf("iter %d plan %d: CoversAnyPlan(%v) = %v, NFA reference = %v",
+					iter, pi, set, got, want)
+			}
+			for _, v := range set {
+				if got := snap.CoversPlan(p, v); got != refCovers(g, d, []graph.NodeID{v}) {
+					t.Fatalf("iter %d plan %d: CoversPlan(%d) disagrees", iter, pi, v)
+				}
+			}
+		}
+	}
+}
+
+func TestCoversPairPlanMatchesNFAReference(t *testing.T) {
+	rng := rand.New(rand.NewSource(204))
+	alpha := alphabet.NewSorted("a", "b", "c")
+	for iter := 0; iter < 80; iter++ {
+		nodes := 2 + rng.Intn(8)
+		g := randomGraph(rng, alpha, nodes, rng.Intn(3*nodes))
+		d := randomDFA(rng, alpha.Size())
+		u := graph.NodeID(rng.Intn(nodes))
+		v := graph.NodeID(rng.Intn(nodes))
+		snap := g.Snapshot()
+		want := refCoversPair(g, d, u, v)
+		for pi, p := range plansOf(d) {
+			if got := snap.CoversPairPlan(p, u, v); got != want {
+				t.Fatalf("iter %d plan %d: CoversPairPlan(%d,%d) = %v, NFA reference = %v",
+					iter, pi, u, v, got, want)
+			}
+		}
+	}
+}
+
+func TestSelectBinaryFromPlanMatchesNFAReference(t *testing.T) {
+	rng := rand.New(rand.NewSource(205))
+	alpha := alphabet.NewSorted("a", "b", "c")
+	for iter := 0; iter < 80; iter++ {
+		nodes := 2 + rng.Intn(8)
+		g := randomGraph(rng, alpha, nodes, rng.Intn(3*nodes))
+		d := randomDFA(rng, alpha.Size())
+		u := graph.NodeID(rng.Intn(nodes))
+		snap := g.Snapshot()
+		for pi, p := range plansOf(d) {
+			sel := snap.SelectBinaryFromPlan(p, u)
+			hit := make(map[graph.NodeID]bool, len(sel))
+			for i, x := range sel {
+				hit[x] = true
+				if i > 0 && sel[i-1] >= x {
+					t.Fatalf("iter %d plan %d: not strictly increasing: %v", iter, pi, sel)
+				}
+			}
+			for x := 0; x < nodes; x++ {
+				if hit[graph.NodeID(x)] != refCoversPair(g, d, u, graph.NodeID(x)) {
+					t.Fatalf("iter %d plan %d: SelectBinaryFromPlan disagrees with reference at %d",
+						iter, pi, x)
+				}
+			}
+		}
+	}
+}
+
+// TestSelectBinaryDirectionalAgainstForwardShape pins the direction
+// optimization's correctness on the adversarial shape the benchmark
+// measures (datasets.DirectionalSkew: dense 'a' core fed by a chain
+// ending in the only 'b' edge, query a*·b): results from a flooded core
+// (no pairs) and from the chain head (exactly the sink) must match the
+// NFA reference.
+func TestSelectBinaryDirectionalAgainstForwardShape(t *testing.T) {
+	g, head, sink := datasets.DirectionalSkew(60, 8)
+	coreNode, ok := g.NodeByName("core0")
+	if !ok {
+		t.Fatal("no core0 node")
+	}
+	alpha := g.Alphabet()
+	a, _ := alpha.Lookup("a")
+	b, _ := alpha.Lookup("b")
+	// a*·b as a DFA: q0 -a-> q0, q0 -b-> q1(final).
+	d := automata.NewDFA(2, alpha.Size())
+	d.Delta[0][a] = 0
+	d.Delta[0][b] = 1
+	d.Final[1] = true
+	p := plan.FromDFA(d)
+	snap := g.Snapshot()
+
+	if got := snap.SelectBinaryFromPlan(p, coreNode); len(got) != 0 {
+		t.Fatalf("core node selected %v, want none (core cannot reach the b-edge)", got)
+	}
+	got := snap.SelectBinaryFromPlan(p, head)
+	if len(got) != 1 || got[0] != sink {
+		t.Fatalf("chain head selected %v, want [%d]", got, sink)
+	}
+	for _, u := range []graph.NodeID{coreNode, head} {
+		sel := snap.SelectBinaryFromPlan(p, u)
+		hit := make(map[graph.NodeID]bool, len(sel))
+		for _, x := range sel {
+			hit[x] = true
+		}
+		for x := 0; x < snap.NumNodes(); x++ {
+			if hit[graph.NodeID(x)] != refCoversPair(g, d, u, graph.NodeID(x)) {
+				t.Fatalf("directional disagrees with NFA reference at (%d,%d)", u, x)
+			}
+		}
+		if snap.CoversPairPlan(p, u, sink) != refCoversPair(g, d, u, sink) {
+			t.Fatalf("CoversPairPlan(%d, sink) disagrees with reference", u)
+		}
+	}
+}

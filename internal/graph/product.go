@@ -7,24 +7,50 @@ import (
 	"sync"
 	"sync/atomic"
 
+	"pathquery/internal/alphabet"
 	"pathquery/internal/automata"
 	"pathquery/internal/bitset"
+	"pathquery/internal/plan"
 	"pathquery/internal/words"
 )
 
-// This file implements the product constructions between a graph and a
-// query DFA that power both query evaluation (Section 2: q(G) = {ν |
-// L(q) ∩ paths_G(ν) ≠ ∅}) and the learner's consistency checks (lines 4-6
-// of Algorithm 1). All of them run in O(|E| · |Q|) — the polynomial
-// emptiness-of-intersection the paper cites (Lange & Rossmanith).
+// This file is the evaluator core: the product constructions between a
+// graph and a compiled query plan (internal/plan) that power both query
+// evaluation (Section 2: q(G) = {ν | L(q) ∩ paths_G(ν) ≠ ∅}) and the
+// learner's consistency checks (lines 4-6 of Algorithm 1). All of them run
+// in O(|E| · |Q|) — the polynomial emptiness-of-intersection the paper
+// cites (Lange & Rossmanith).
+//
+// One traversal core serves every semantics. Forward expansion
+// (expandForwardPlan / relaxPlanForward) walks CSR out-segments through
+// the plan's flat Delta with accept-reachability (Live) pruning; backward
+// expansion (relaxPlanBackward) walks in-segments through the plan's
+// packed reverse DFA (RevOff/RevPred) with start-reachability (Reach)
+// pruning. On top of them:
+//
+//   - SelectMonadicPlan: backward propagation from every accepting pair,
+//     in the plan's masked (|Q| ≤ 64) or packed layout — the per-symbol
+//     tables come precompiled from the plan instead of being rebuilt per
+//     call.
+//   - CoversAnyPlan / CoversPlan: early-exit forward search, skipping
+//     whole start nodes through the plan's first-symbol filter.
+//   - CoversPairPlan: bidirectional reachability — per level the cheaper
+//     frontier (by CSR degree sums) is expanded, and the sides meet in a
+//     shared product space.
+//   - SelectBinaryFromPlan: direction-optimizing evaluation — forward
+//     levels run until a backward sweep from the accepting set becomes
+//     cheaper; once the backward co-accepting set is complete, the
+//     remaining forward work is pruned to it.
+//   - WitnessBFS (witness.go): the canonical-order word search shared by
+//     firstEscaping here, scp.Coverage.Smallest, and the binary learner's
+//     smallest pair-path.
 //
 // The product space is the dense index v·|Q|+q over (node, DFA state)
-// pairs; visited sets are pooled bitsets over it (see csr.go), successor
-// loops walk CSR segments so the DFA transition is looked up once per
-// (state, distinct symbol), and SelectMonadic's backward propagation runs
-// level-synchronously across worker shards when the space is large enough
-// to amortize the goroutines. Every search runs against one immutable
-// epoch Snapshot, so concurrent queries and mutations never interfere.
+// pairs; visited sets are pooled bitsets over it (see csr.go). Every
+// search runs against one immutable epoch Snapshot, so concurrent queries
+// and mutations never interfere. The *automata.DFA entry points remain as
+// compatibility wrappers that compile a shape-preserving plan on the fly
+// (plan.FromDFA); steady-state callers hold a compiled plan.
 
 // Parallelization gates for SelectMonadic, tunable by white-box tests:
 // shards engage only when the product space and the current frontier are
@@ -41,50 +67,33 @@ func (g *Graph) SelectMonadic(d *automata.DFA) []bool {
 	return g.reader().SelectMonadic(d)
 }
 
-// SelectMonadic returns the per-node selection vector of the query DFA d
-// under monadic semantics: selected[ν] iff L(d) ∩ paths_G(ν) ≠ ∅.
+// SelectMonadic is the compatibility form of SelectMonadicPlan for a raw
+// DFA: the plan is compiled per call (shape-preserving). Hot paths hold a
+// *plan.Plan instead.
+func (s *Snapshot) SelectMonadic(d *automata.DFA) []bool {
+	return s.SelectMonadicPlan(plan.FromDFA(d))
+}
+
+// SelectMonadicPlan returns the per-node selection vector of the compiled
+// query p under monadic semantics: selected[ν] iff L(p) ∩ paths_G(ν) ≠ ∅.
 //
 // It marks product pairs (node, state) from which an accepting state is
 // reachable, by backward propagation from every (node, final) pair, then
 // reads off pairs (ν, start). Propagation is a level-synchronous BFS whose
 // frontier is split across worker shards marking the shared visited bitset
 // with atomic try-set (exactly-once enqueue); small instances run the same
-// loop single-threaded without atomics.
-func (s *Snapshot) SelectMonadic(d *automata.DFA) []bool {
-	nv, nq := s.nv, d.NumStates()
+// loop single-threaded without atomics. The per-symbol reverse tables come
+// precompiled from the plan.
+func (s *Snapshot) SelectMonadicPlan(p *plan.Plan) []bool {
+	nv, nq := s.nv, p.NumStates
 	selected := make([]bool, nv)
-	if nv == 0 || nq == 0 {
+	if nv == 0 || nq == 0 || p.Empty() {
 		return selected
 	}
-	if nq <= 64 {
+	if p.Layout == plan.LayoutMasked {
 		// Learned and workload DFAs are small: pack each node's marked
 		// state set into one word and propagate whole masks at once.
-		return s.selectMonadicMasked(d, selected)
-	}
-	// Flat reverse DFA transitions, bucketed by sym·|Q|+q: one counting
-	// pass sizes the buckets, a second fills them.
-	nsym := d.NumSyms
-	revOff := make([]int32, nsym*nq+1)
-	for p := 0; p < nq; p++ {
-		for sym, q := range d.Delta[p] {
-			if q != automata.None {
-				revOff[sym*nq+int(q)+1]++
-			}
-		}
-	}
-	for i := 1; i < len(revOff); i++ {
-		revOff[i] += revOff[i-1]
-	}
-	revPred := make([]int32, revOff[len(revOff)-1])
-	fill := append([]int32(nil), revOff[:len(revOff)-1]...)
-	for p := 0; p < nq; p++ {
-		for sym, q := range d.Delta[p] {
-			if q != automata.None {
-				k := sym*nq + int(q)
-				revPred[fill[k]] = int32(p)
-				fill[k]++
-			}
-		}
+		return s.selectMonadicMasked(p, selected)
 	}
 
 	size := nv * nq
@@ -92,12 +101,9 @@ func (s *Snapshot) SelectMonadic(d *automata.DFA) []bool {
 	defer s.putProductDense(sc, size)
 	good := sc.bits
 	frontier, next := sc.stack, sc.next
-	for q := 0; q < nq; q++ {
-		if !d.Final[q] {
-			continue
-		}
+	for _, q := range p.Finals {
 		for v := 0; v < nv; v++ {
-			idx := v*nq + q
+			idx := v*nq + int(q)
 			good.Set(idx)
 			frontier = append(frontier, uint64(idx))
 		}
@@ -110,17 +116,17 @@ func (s *Snapshot) SelectMonadic(d *automata.DFA) []bool {
 	parallel := workers > 1 && size >= selectParallelMinSpace
 	for len(frontier) > 0 {
 		if !parallel || len(frontier) < selectParallelMinFrontier {
-			next = s.relaxMonadic(d, nq, revOff, revPred, good, frontier, next, false)
+			next = s.relaxMonadic(p, nq, good, frontier, next, false)
 		} else {
 			next = relaxSharded(sc, frontier, next, workers, func(part, buf []uint64) []uint64 {
-				return s.relaxMonadic(d, nq, revOff, revPred, good, part, buf, true)
+				return s.relaxMonadic(p, nq, good, part, buf, true)
 			})
 		}
 		frontier, next = next, frontier[:0]
 	}
 	sc.stack, sc.next = frontier, next
 
-	start := int(d.Start)
+	start := int(p.Start)
 	for v := 0; v < nv; v++ {
 		selected[v] = good.Get(v*nq + start)
 	}
@@ -129,27 +135,27 @@ func (s *Snapshot) SelectMonadic(d *automata.DFA) []bool {
 
 // relaxMonadic expands one frontier of the backward product BFS: for each
 // pair (v, q), every in-edge (u, sym, v) combines with every DFA
-// transition p --sym--> q into the predecessor pair (u, p). Newly marked
-// pairs are appended to next. With atomic=true marking is safe for
-// concurrent shards sharing good.
-func (s *Snapshot) relaxMonadic(d *automata.DFA, nq int, revOff, revPred []int32, good bitset.Bits, frontier, next []uint64, atomic bool) []uint64 {
+// transition p --sym--> q (read from the plan's packed reverse table) into
+// the predecessor pair (u, p). Newly marked pairs are appended to next.
+// With atomic=true marking is safe for concurrent shards sharing good.
+func (s *Snapshot) relaxMonadic(p *plan.Plan, nq int, good bitset.Bits, frontier, next []uint64, atomic bool) []uint64 {
 	ci := &s.in
 	for _, idx := range frontier {
 		v := NodeID(idx / uint64(nq))
 		q := int(idx % uint64(nq))
 		for si := ci.segStart[v]; si < ci.segStart[v+1]; si++ {
 			sym := int(ci.segSym[si])
-			if sym >= d.NumSyms {
+			if sym >= p.NumSyms {
 				continue
 			}
 			k := sym*nq + q
-			preds := revPred[revOff[k]:revOff[k+1]]
+			preds := p.RevPred[p.RevOff[k]:p.RevOff[k+1]]
 			if len(preds) == 0 {
 				continue
 			}
 			tails := ci.edges[ci.segOff[si]:ci.segOff[si+1]]
-			for _, p := range preds {
-				base := int(p)
+			for _, pr := range preds {
+				base := int(pr)
 				for _, e := range tails {
 					pidx := int(e.To)*nq + base
 					if atomic {
@@ -166,32 +172,17 @@ func (s *Snapshot) relaxMonadic(d *automata.DFA, nq int, revOff, revPred []int32
 	return next
 }
 
-// selectMonadicMasked is SelectMonadic for DFAs with at most 64 states:
-// good[v] is the bitmask of states q with an accepting path from (v, q).
-// Propagation is level-synchronous with the frontier deduplicated by node
-// — newly marked states accumulate into a per-node pending mask, so each
-// active node's in-segments are scanned once per level no matter how many
-// product pairs became good there. predMask[sym·|Q|+q] is the mask of DFA
-// predecessors p with δ(p, sym) = q, so product predecessor sets are
-// word-parallel unions.
-func (s *Snapshot) selectMonadicMasked(d *automata.DFA, selected []bool) []bool {
-	nv, nq := s.nv, d.NumStates()
-	nsym := d.NumSyms
-	predMask := make([]uint64, nsym*nq)
-	for p := 0; p < nq; p++ {
-		for sym, q := range d.Delta[p] {
-			if q != automata.None {
-				predMask[sym*nq+int(q)] |= 1 << uint(p)
-			}
-		}
-	}
-	var finalMask uint64
-	for q, f := range d.Final {
-		if f {
-			finalMask |= 1 << uint(q)
-		}
-	}
-	if finalMask == 0 {
+// selectMonadicMasked is SelectMonadicPlan for plans in the masked layout
+// (at most 64 states): good[v] is the bitmask of states q with an
+// accepting path from (v, q). Propagation is level-synchronous with the
+// frontier deduplicated by node — newly marked states accumulate into a
+// per-node pending mask, so each active node's in-segments are scanned
+// once per level no matter how many product pairs became good there. The
+// plan's PredMask[sym·|Q|+q] is the mask of DFA predecessors p with
+// δ(p, sym) = q, so product predecessor sets are word-parallel unions.
+func (s *Snapshot) selectMonadicMasked(p *plan.Plan, selected []bool) []bool {
+	nv, nq := s.nv, p.NumStates
+	if p.FinalMask == 0 {
 		return selected
 	}
 
@@ -205,45 +196,42 @@ func (s *Snapshot) selectMonadicMasked(d *automata.DFA, selected []bool) []bool 
 	if workers > selectMaxWorkers {
 		workers = selectMaxWorkers
 	}
-	startBit := uint64(1) << uint(d.Start)
+	startBit := uint64(1) << uint(p.Start)
 	if workers > 1 && nv*nq >= selectParallelMinSpace {
-		s.selectMaskedParallel(d, nq, predMask, finalMask, good, sc, workers)
+		s.selectMaskedParallel(p, nq, good, sc, workers)
 		for v := 0; v < nv; v++ {
 			selected[v] = good[v]&startBit != 0
 		}
 		return selected
 	}
-	s.selectMaskedSerial(d, nq, predMask, finalMask, good, sc)
-	// The serial path keeps finalMask implicit (every (v, final) pair is
+	s.selectMaskedSerial(p, nq, good, sc)
+	// The serial path keeps FinalMask implicit (every (v, final) pair is
 	// good by definition and was relaxed by the level-1 sweep).
 	for v := 0; v < nv; v++ {
-		selected[v] = (good[v]|finalMask)&startBit != 0
+		selected[v] = (good[v]|p.FinalMask)&startBit != 0
 	}
 	return selected
 }
 
 // selectMaskedSerial runs the mask-based backward propagation
-// single-threaded. Level 1 relaxes the identical finalMask from every
-// node, so it collapses to one linear sweep over all in-segments with a
-// per-symbol predecessor mask — segments whose symbol has no DFA
+// single-threaded. Level 1 relaxes the identical FinalMask from every
+// node, so it collapses to one linear sweep over all in-segments with the
+// plan's precompiled FinalPredMask — segments whose symbol has no DFA
 // transition into a final state are skipped without touching their edges.
 // The sparse remainder drains through a worklist deduplicated by a
 // per-node pending mask.
-func (s *Snapshot) selectMaskedSerial(d *automata.DFA, nq int, predMask []uint64, finalMask uint64, good bitset.Bits, sc *productScratch) {
+func (s *Snapshot) selectMaskedSerial(p *plan.Plan, nq int, good bitset.Bits, sc *productScratch) {
 	ci := &s.in
-	nsym := d.NumSyms
-	pm1 := make([]uint64, s.nsym)
-	for sym := 0; sym < nsym && sym < len(pm1); sym++ {
-		var pm uint64
-		for mm := finalMask; mm != 0; mm &= mm - 1 {
-			pm |= predMask[sym*nq+bits.TrailingZeros64(mm)]
-		}
-		pm1[sym] = pm
-	}
+	nsym := p.NumSyms
+	predMask, finalMask := p.PredMask, p.FinalMask
 	pending := sc.maskCur
 	stack := sc.stack
 	for si := 0; si < len(ci.segSym); si++ {
-		pm := pm1[ci.segSym[si]]
+		sym := int(ci.segSym[si])
+		if sym >= nsym {
+			continue
+		}
+		pm := p.FinalPredMask[sym]
 		if pm == 0 {
 			continue
 		}
@@ -295,22 +283,22 @@ func (s *Snapshot) selectMaskedSerial(d *automata.DFA, nq int, predMask []uint64
 // marking the shared good array with atomic-or (exactly-once per state
 // bit). Small frontiers fall back to the single-threaded relax to avoid
 // goroutine overhead between dense levels.
-func (s *Snapshot) selectMaskedParallel(d *automata.DFA, nq int, predMask []uint64, finalMask uint64, good bitset.Bits, sc *productScratch, workers int) {
+func (s *Snapshot) selectMaskedParallel(p *plan.Plan, nq int, good bitset.Bits, sc *productScratch, workers int) {
 	nv := s.nv
 	curNew, nextNew := sc.maskCur, sc.maskNext
 	frontier, next := sc.stack, sc.next
 	for v := 0; v < nv; v++ {
-		good[v] = finalMask
-		curNew[v] = finalMask
+		good[v] = p.FinalMask
+		curNew[v] = p.FinalMask
 		frontier = append(frontier, uint64(v))
 	}
 	for len(frontier) > 0 {
 		if len(frontier) < selectParallelMinFrontier {
-			next = s.relaxMasked(d, nq, predMask, good, curNew, nextNew, frontier, next, false)
+			next = s.relaxMasked(p, nq, good, curNew, nextNew, frontier, next, false)
 		} else {
 			cn, nn := curNew, nextNew
 			next = relaxSharded(sc, frontier, next, workers, func(part, buf []uint64) []uint64 {
-				return s.relaxMasked(d, nq, predMask, good, cn, nn, part, buf, true)
+				return s.relaxMasked(p, nq, good, cn, nn, part, buf, true)
 			})
 		}
 		frontier, next = next, frontier[:0]
@@ -359,15 +347,16 @@ func relaxSharded(sc *productScratch, frontier, next []uint64, workers int, rela
 // with the state bits accumulating in nextNew. With atomicMark=true,
 // marking uses atomic-or so concurrent shards observe each transition
 // exactly once.
-func (s *Snapshot) relaxMasked(d *automata.DFA, nq int, predMask []uint64, good, curNew, nextNew bitset.Bits, frontier, next []uint64, atomicMark bool) []uint64 {
+func (s *Snapshot) relaxMasked(p *plan.Plan, nq int, good, curNew, nextNew bitset.Bits, frontier, next []uint64, atomicMark bool) []uint64 {
 	ci := &s.in
+	predMask := p.PredMask
 	for _, vi := range frontier {
 		v := NodeID(vi)
 		m := curNew[v]
 		curNew[v] = 0
 		for si := ci.segStart[v]; si < ci.segStart[v+1]; si++ {
 			sym := int(ci.segSym[si])
-			if sym >= d.NumSyms {
+			if sym >= p.NumSyms {
 				continue
 			}
 			base := sym * nq
@@ -404,10 +393,15 @@ func (g *Graph) Covers(d *automata.DFA, nu NodeID) bool {
 	return g.reader().CoversAny(d, []NodeID{nu})
 }
 
-// Covers reports whether L(d) ∩ paths_G(ν) ≠ ∅ for a single node, with an
-// early-exit forward search from (ν, d.Start).
+// Covers is the compatibility form of CoversPlan for a raw DFA.
 func (s *Snapshot) Covers(d *automata.DFA, nu NodeID) bool {
 	return s.CoversAny(d, []NodeID{nu})
+}
+
+// CoversPlan reports whether L(p) ∩ paths_G(ν) ≠ ∅ for a single node,
+// with an early-exit forward search from (ν, p.Start).
+func (s *Snapshot) CoversPlan(p *plan.Plan, nu NodeID) bool {
+	return s.CoversAnyPlan(p, []NodeID{nu})
 }
 
 // CoversAny reports whether L(d) ∩ paths_G(X) ≠ ∅: some node of X has a
@@ -416,19 +410,32 @@ func (g *Graph) CoversAny(d *automata.DFA, set []NodeID) bool {
 	return g.reader().CoversAny(d, set)
 }
 
-// CoversAny reports whether L(d) ∩ paths_G(X) ≠ ∅: some node of X has a
-// path in L(d). This is the learner's consistency primitive — with X = S−
-// it decides whether a candidate generalization selects a negative example.
+// CoversAny is the compatibility form of CoversAnyPlan for a raw DFA.
 func (s *Snapshot) CoversAny(d *automata.DFA, set []NodeID) bool {
-	nq := d.NumStates()
-	if nq == 0 || len(set) == 0 {
+	return s.CoversAnyPlan(plan.FromDFA(d), set)
+}
+
+// CoversAnyPlan reports whether L(p) ∩ paths_G(X) ≠ ∅: some node of X has
+// a path in L(p). This is the learner's consistency primitive — with
+// X = S− it decides whether a candidate generalization selects a negative
+// example. Start nodes without an out-edge labeled by a viable first
+// symbol are skipped before any product pair is materialized.
+func (s *Snapshot) CoversAnyPlan(p *plan.Plan, set []NodeID) bool {
+	if len(set) == 0 || p.Empty() {
 		return false
 	}
+	if p.AcceptsEpsilon() {
+		return true // ε ∈ paths_G(ν) for every ν
+	}
+	nq := p.NumStates
 	sc := s.getProduct(s.nv * nq)
 	defer s.putProductSparse(sc)
 	stack := sc.stack
 	for _, v := range set {
-		idx := int(v)*nq + int(d.Start)
+		if !s.hasFirstSymEdge(p, v) {
+			continue
+		}
+		idx := int(v)*nq + int(p.Start)
 		if sc.bits.TrySet(idx) {
 			sc.touched = append(sc.touched, uint64(idx))
 			stack = append(stack, uint64(idx))
@@ -441,33 +448,47 @@ func (s *Snapshot) CoversAny(d *automata.DFA, set []NodeID) bool {
 		stack = stack[:len(stack)-1]
 		v := NodeID(idx / uint64(nq))
 		q := int32(idx % uint64(nq))
-		if d.Final[q] {
+		if p.Final[q] {
 			found = true
 			break
 		}
-		stack = s.expandForward(d, co, v, q, nq, sc, stack)
+		stack = s.expandForwardPlan(p, co, v, q, nq, sc, stack)
 	}
 	sc.stack = stack
 	return found
 }
 
-// expandForward pushes the unvisited forward product successors of (v, q):
-// out-segment symbols look up the DFA transition once, then mark every
-// neighbor in the contiguous segment.
-func (s *Snapshot) expandForward(d *automata.DFA, co *csr, v NodeID, q int32, nq int, sc *productScratch, stack []uint64) []uint64 {
-	delta := d.Delta[q]
+// hasFirstSymEdge reports whether v has an out-edge whose symbol can start
+// an accepted word — the plan's first-symbol filter applied to the node's
+// CSR segment list (no edges are touched).
+func (s *Snapshot) hasFirstSymEdge(p *plan.Plan, v NodeID) bool {
+	co := &s.out
+	for _, sym := range co.segSym[co.segStart[v]:co.segStart[v+1]] {
+		if int(sym) < p.NumSyms && p.FirstSym[sym] {
+			return true
+		}
+	}
+	return false
+}
+
+// expandForwardPlan pushes the unvisited forward product successors of
+// (v, q): out-segment symbols look up the plan's flat transition table
+// once, then mark every neighbor in the contiguous segment. Transitions
+// into non-live states (no final reachable) are pruned.
+func (s *Snapshot) expandForwardPlan(p *plan.Plan, co *csr, v NodeID, q int32, nq int, sc *productScratch, stack []uint64) []uint64 {
+	base := int(q) * p.NumSyms
 	for si := co.segStart[v]; si < co.segStart[v+1]; si++ {
 		sym := int(co.segSym[si])
-		if sym >= d.NumSyms {
+		if sym >= p.NumSyms {
 			continue
 		}
-		t := delta[sym]
-		if t == automata.None {
+		t := p.Delta[base+sym]
+		if t == plan.None || !p.Live[t] {
 			continue
 		}
-		base := int(t)
+		tb := int(t)
 		for _, e := range co.edges[co.segOff[si]:co.segOff[si+1]] {
-			idx := int(e.To)*nq + base
+			idx := int(e.To)*nq + tb
 			if sc.bits.TrySet(idx) {
 				sc.touched = append(sc.touched, uint64(idx))
 				stack = append(stack, uint64(idx))
@@ -482,36 +503,174 @@ func (g *Graph) CoversPair(d *automata.DFA, u, v NodeID) bool {
 	return g.reader().CoversPair(d, u, v)
 }
 
-// CoversPair reports whether some path from u to v spells a word of L(d) —
-// the binary semantics of Appendix B: w ∈ paths2_G(u,v) ∩ L(d) ≠ ∅.
-// Note that the accepting condition requires landing exactly on v in a
-// final DFA state; ε is accepted only when u = v and the start is final.
+// CoversPair is the compatibility form of CoversPairPlan for a raw DFA.
 func (s *Snapshot) CoversPair(d *automata.DFA, u, v NodeID) bool {
-	nq := d.NumStates()
-	if nq == 0 {
+	return s.CoversPairPlan(plan.FromDFA(d), u, v)
+}
+
+// CoversPairPlan reports whether some path from u to v spells a word of
+// L(p) — the binary semantics of Appendix B: paths2_G(u,v) ∩ L(p) ≠ ∅.
+// The accepting condition requires landing exactly on v in a final DFA
+// state; ε is accepted only when u = v and the start is final.
+//
+// The search is bidirectional: a forward frontier grows from (u, Start)
+// and a backward frontier from every (v, final) pair; per level the side
+// whose frontier has the smaller CSR degree sum is expanded, and the pair
+// is covered iff the frontiers meet. Either side exhausting first settles
+// the answer — on skewed graphs (huge out-fanout from u, few paths into
+// v) this is the classical direction-optimizing win over forward-only.
+func (s *Snapshot) CoversPairPlan(p *plan.Plan, u, v NodeID) bool {
+	if p.Empty() {
 		return false
 	}
-	sc := s.getProduct(s.nv * nq)
-	defer s.putProductSparse(sc)
-	start := int(u)*nq + int(d.Start)
-	sc.bits.Set(start)
-	sc.touched = append(sc.touched, uint64(start))
-	stack := append(sc.stack, uint64(start))
-	found := false
-	co := &s.out
-	for len(stack) > 0 {
-		idx := stack[len(stack)-1]
-		stack = stack[:len(stack)-1]
-		x := NodeID(idx / uint64(nq))
-		q := int32(idx % uint64(nq))
-		if x == v && d.Final[q] {
-			found = true
-			break
-		}
-		stack = s.expandForward(d, co, x, q, nq, sc, stack)
+	if u == v && p.AcceptsEpsilon() {
+		return true
 	}
-	sc.stack = stack
-	return found
+	nq := p.NumStates
+	sc := s.getProduct2(s.nv * nq)
+	defer s.putProduct2Sparse(sc)
+
+	ffront, fnext := sc.stack[:0], sc.next[:0]
+	bfront, bnext := sc.stack2[:0], sc.next2[:0]
+	// Runs before putProduct2Sparse (LIFO): the grown frontier buffers go
+	// back into the scratch so the pool keeps their capacity.
+	defer func() {
+		sc.stack, sc.next, sc.stack2, sc.next2 = ffront, fnext, bfront, bnext
+	}()
+
+	fidx := int(u)*nq + int(p.Start)
+	sc.bits.Set(fidx)
+	sc.touched = append(sc.touched, uint64(fidx))
+	ffront = append(ffront, uint64(fidx))
+	fcost := s.OutDegree(u)
+
+	for _, f := range p.Finals {
+		if !p.Reach[f] {
+			continue
+		}
+		bidx := int(v)*nq + int(f)
+		if sc.bits.Get(bidx) {
+			return true
+		}
+		if sc.bits2.TrySet(bidx) {
+			sc.touched2 = append(sc.touched2, uint64(bidx))
+			bfront = append(bfront, uint64(bidx))
+		}
+	}
+	bcost := s.InDegree(v) * len(bfront)
+
+	for len(ffront) > 0 && len(bfront) > 0 {
+		if fcost <= bcost {
+			var found bool
+			fnext, fcost, found = s.relaxPlanForward(p, nq, sc, ffront, fnext, nil, false)
+			if found {
+				return true
+			}
+			ffront, fnext = fnext, ffront[:0]
+		} else {
+			var found bool
+			bnext, bcost, found = s.relaxPlanBackward(p, nq, sc, bfront, bnext, true)
+			if found {
+				return true
+			}
+			bfront, bnext = bnext, bfront[:0]
+		}
+	}
+	return false
+}
+
+// relaxPlanForward expands one level-synchronous forward frontier through
+// the plan's flat Delta with Live pruning. Newly marked pairs accumulate
+// into next along with the degree sum of their nodes (the cost of
+// expanding the next level). When mk is non-nil, nodes discovered in a
+// final state are collected into it (SelectBinaryFrom). When restrict is
+// true, only pairs in the completed backward set (or accepting pairs) are
+// entered — the pruned tail of the direction-optimizing evaluation. The
+// found result reports a forward/backward frontier meeting (CoversPair;
+// only when mk is nil).
+func (s *Snapshot) relaxPlanForward(p *plan.Plan, nq int, sc *productScratch, frontier, next []uint64, mk *bitset.Marker, restrict bool) ([]uint64, int, bool) {
+	co := &s.out
+	cost := 0
+	for _, idx := range frontier {
+		v := NodeID(idx / uint64(nq))
+		q := int32(idx % uint64(nq))
+		base := int(q) * p.NumSyms
+		for si := co.segStart[v]; si < co.segStart[v+1]; si++ {
+			sym := int(co.segSym[si])
+			if sym >= p.NumSyms {
+				continue
+			}
+			t := p.Delta[base+sym]
+			if t == plan.None || !p.Live[t] {
+				continue
+			}
+			tb := int(t)
+			final := p.Final[t]
+			for _, e := range co.edges[co.segOff[si]:co.segOff[si+1]] {
+				nidx := int(e.To)*nq + tb
+				if restrict && !final && !sc.bits2.Get(nidx) {
+					continue
+				}
+				if sc.bits.TrySet(nidx) {
+					sc.touched = append(sc.touched, uint64(nidx))
+					if mk != nil {
+						if final {
+							mk.TrySet(int(e.To))
+						}
+					} else if sc.bits2.Get(nidx) {
+						return next, 0, true
+					}
+					next = append(next, uint64(nidx))
+					cost += s.OutDegree(e.To)
+				}
+			}
+		}
+	}
+	return next, cost, false
+}
+
+// relaxPlanBackward expands one level-synchronous backward frontier
+// through the plan's packed reverse DFA with Reach pruning: for each pair
+// (v, q), every in-edge (u, sym, v) combines with every reverse transition
+// q --sym--> p into the predecessor pair (u, p). With meet=true a pair
+// already in the forward visited set settles the search (CoversPair).
+func (s *Snapshot) relaxPlanBackward(p *plan.Plan, nq int, sc *productScratch, frontier, next []uint64, meet bool) ([]uint64, int, bool) {
+	ci := &s.in
+	cost := 0
+	for _, idx := range frontier {
+		v := NodeID(idx / uint64(nq))
+		q := int(idx % uint64(nq))
+		for si := ci.segStart[v]; si < ci.segStart[v+1]; si++ {
+			sym := int(ci.segSym[si])
+			if sym >= p.NumSyms {
+				continue
+			}
+			k := sym*nq + q
+			preds := p.RevPred[p.RevOff[k]:p.RevOff[k+1]]
+			if len(preds) == 0 {
+				continue
+			}
+			tails := ci.edges[ci.segOff[si]:ci.segOff[si+1]]
+			for _, pr := range preds {
+				if !p.Reach[pr] {
+					continue
+				}
+				base := int(pr)
+				for _, e := range tails {
+					nidx := int(e.To)*nq + base
+					if sc.bits2.TrySet(nidx) {
+						sc.touched2 = append(sc.touched2, uint64(nidx))
+						if meet && sc.bits.Get(nidx) {
+							return next, 0, true
+						}
+						next = append(next, uint64(nidx))
+						cost += s.InDegree(e.To)
+					}
+				}
+			}
+		}
+	}
+	return next, cost, false
 }
 
 // SelectBinaryFrom returns all v such that (u, v) is selected by d under
@@ -520,40 +679,160 @@ func (g *Graph) SelectBinaryFrom(d *automata.DFA, u NodeID) []NodeID {
 	return g.reader().SelectBinaryFrom(d, u)
 }
 
-// SelectBinaryFrom returns all v such that (u, v) is selected by d under
-// binary semantics, in increasing id order.
+// SelectBinaryFrom is the compatibility form of SelectBinaryFromPlan for a
+// raw DFA.
 func (s *Snapshot) SelectBinaryFrom(d *automata.DFA, u NodeID) []NodeID {
-	nq := d.NumStates()
-	if nq == 0 {
+	return s.SelectBinaryFromPlan(plan.FromDFA(d), u)
+}
+
+// SelectBinaryFromPlan returns all v such that (u, v) is selected by p
+// under binary semantics, in increasing id order.
+//
+// Evaluation is direction-optimizing. Forward levels expand from
+// (u, Start), collecting nodes discovered in a final state. Whenever the
+// estimated cost of the next forward level exceeds the remaining cost of
+// the backward side — seeded from every accepting pair via the plan's
+// last-symbol filter and per-symbol edge counts, i.e. CSR degree prefix
+// sums — a backward level runs instead. Once the backward side completes,
+// its visited set is exactly the co-accepting region, and the remaining
+// forward work is pruned to it: every pair entered from then on lies on a
+// path to some answer.
+func (s *Snapshot) SelectBinaryFromPlan(p *plan.Plan, u NodeID) []NodeID {
+	return s.selectBinaryFrom(p, u, true)
+}
+
+// SelectBinaryFromForward is SelectBinaryFromPlan with the backward side
+// disabled — the forward-only evaluation every level-synchronous RPQ
+// engine runs. Exposed as the baseline the direction-optimizing benchmark
+// and tests compare against; production callers use SelectBinaryFromPlan.
+func (s *Snapshot) SelectBinaryFromForward(p *plan.Plan, u NodeID) []NodeID {
+	return s.selectBinaryFrom(p, u, false)
+}
+
+func (s *Snapshot) selectBinaryFrom(p *plan.Plan, u NodeID, directional bool) []NodeID {
+	if p.Empty() {
 		return nil
 	}
-	sc := s.getProduct(s.nv * nq)
-	defer s.putProductSparse(sc)
+	nq := p.NumStates
+	sc := s.getProduct2(s.nv * nq)
+	defer s.putProduct2Sparse(sc)
 	hits := s.getStep()
 	defer s.putStep(hits)
-	start := int(u)*nq + int(d.Start)
-	sc.bits.Set(start)
-	sc.touched = append(sc.touched, uint64(start))
-	stack := append(sc.stack, uint64(start))
 	mk := bitset.NewMarker(hits.nodes)
-	co := &s.out
-	for len(stack) > 0 {
-		idx := stack[len(stack)-1]
-		stack = stack[:len(stack)-1]
-		x := NodeID(idx / uint64(nq))
-		q := int32(idx % uint64(nq))
-		if d.Final[q] {
-			mk.TrySet(int(x))
-		}
-		stack = s.expandForward(d, co, x, q, nq, sc, stack)
+
+	fidx := int(u)*nq + int(p.Start)
+	sc.bits.Set(fidx)
+	sc.touched = append(sc.touched, uint64(fidx))
+	ffront := append(sc.stack[:0], uint64(fidx))
+	fnext := sc.next[:0]
+	if p.AcceptsEpsilon() {
+		mk.TrySet(int(u))
 	}
-	sc.stack = stack
+	fcost := s.OutDegree(u)
+
+	// Backward side, engaged lazily: phase 0 = not started (bcost is the
+	// estimated cost of the seeding sweep), 1 = running, 2 = complete.
+	bfront, bnext := sc.stack2[:0], sc.next2[:0]
+	// Runs before putProduct2Sparse (LIFO): the grown frontier buffers go
+	// back into the scratch so the pool keeps their capacity.
+	defer func() {
+		sc.stack, sc.next, sc.stack2, sc.next2 = ffront, fnext, bfront, bnext
+	}()
+	bPhase := 0
+	bcost := s.nv
+	for sym, ok := range p.LastSym {
+		if ok && sym < len(s.inSymCount) {
+			bcost += int(s.inSymCount[sym])
+		}
+	}
+
+	for len(ffront) > 0 {
+		if directional && bPhase != 2 && bcost < fcost {
+			if bPhase == 0 {
+				bfront, bcost = s.seedBackwardAll(p, nq, sc, bfront)
+				bPhase = 1
+			} else {
+				bnext, bcost, _ = s.relaxPlanBackward(p, nq, sc, bfront, bnext, false)
+				bfront, bnext = bnext, bfront[:0]
+			}
+			if len(bfront) == 0 {
+				bPhase = 2
+			}
+			continue
+		}
+		fnext, fcost, _ = s.relaxPlanForward(p, nq, sc, ffront, fnext, &mk, bPhase == 2)
+		ffront, fnext = fnext, ffront[:0]
+	}
+
 	if mk.Count() == 0 {
 		return nil
 	}
 	out := make([]NodeID, 0, mk.Count())
 	mk.Drain(func(i int) { out = append(out, NodeID(i)) })
 	return out
+}
+
+// seedBackwardAll runs the backward seeding sweep of SelectBinaryFromPlan:
+// the level-1 relax of every accepting pair (x, f), f final, folded into
+// one pass over all in-segments labeled by a last symbol. The per-symbol
+// union of the finals' reverse predecessors (the packed analogue of the
+// plan's FinalPredMask) is call-invariant, so it is built once up front
+// instead of re-deriving the buckets per segment. Accepting pairs
+// themselves are never materialized in the backward visited set — the
+// forward pruning treats final states as co-accepting by definition.
+func (s *Snapshot) seedBackwardAll(p *plan.Plan, nq int, sc *productScratch, front []uint64) ([]uint64, int) {
+	// finalPreds[sym]: deduplicated Reach-filtered predecessors of any
+	// reachable final state on sym; nil for non-last symbols.
+	finalPreds := make([][]int32, p.NumSyms)
+	seen := make([]bool, nq)
+	for sym := 0; sym < p.NumSyms; sym++ {
+		if !p.LastSym[sym] {
+			continue
+		}
+		var preds []int32
+		for _, f := range p.Finals {
+			if !p.Reach[f] {
+				continue
+			}
+			k := sym*nq + int(f)
+			for _, pr := range p.RevPred[p.RevOff[k]:p.RevOff[k+1]] {
+				if p.Reach[pr] && !seen[pr] {
+					seen[pr] = true
+					preds = append(preds, pr)
+				}
+			}
+		}
+		for _, pr := range preds {
+			seen[pr] = false
+		}
+		finalPreds[sym] = preds
+	}
+
+	ci := &s.in
+	cost := 0
+	for si := 0; si < len(ci.segSym); si++ {
+		sym := int(ci.segSym[si])
+		if sym >= p.NumSyms {
+			continue
+		}
+		preds := finalPreds[sym]
+		if len(preds) == 0 {
+			continue
+		}
+		tails := ci.edges[ci.segOff[si]:ci.segOff[si+1]]
+		for _, pr := range preds {
+			base := int(pr)
+			for _, e := range tails {
+				nidx := int(e.To)*nq + base
+				if sc.bits2.TrySet(nidx) {
+					sc.touched2 = append(sc.touched2, uint64(nidx))
+					front = append(front, uint64(nidx))
+					cost += s.InDegree(e.To)
+				}
+			}
+		}
+	}
+	return front, cost
 }
 
 // PathsIncluded decides paths_G(left) ⊆ paths_G(right) exactly, via a
@@ -583,12 +862,13 @@ func (g *Graph) FirstEscapingPath(left, right []NodeID, depth int) (words.Word, 
 	return w, !included
 }
 
-// firstEscaping runs the canonical-order BFS over pairs (left node, right
-// subset); returns the first word whose right subset is empty. depth < 0
-// means unbounded (termination is still guaranteed: the product state
-// space is finite). Right subsets are interned to dense ids via
-// NodeSetIndex with memoized (set, symbol) transitions, so each distinct
-// subset is stepped once per symbol instead of re-encoded per edge.
+// firstEscaping runs the shared canonical-order witness search (WitnessBFS)
+// over pairs (left node, right subset); the first word whose right subset
+// is empty escapes. depth < 0 means unbounded (termination is still
+// guaranteed: the product state space is finite). Right subsets are
+// interned to dense ids via NodeSetIndex with memoized (set, symbol)
+// transitions, so each distinct subset is stepped once per symbol instead
+// of re-encoded per edge.
 func (s *Snapshot) firstEscaping(left, right []NodeID, depth int) (words.Word, bool) {
 	rightStart := dedupNodes(right)
 	if len(rightStart) == 0 {
@@ -601,55 +881,30 @@ func (s *Snapshot) firstEscaping(left, right []NodeID, depth int) (words.Word, b
 	}
 	ix := NewNodeSetIndex()
 	startSet := ix.Intern(rightStart)
-	type state struct {
-		v    NodeID
-		set  int32
-		word words.Word
-	}
-	seenKey := func(v NodeID, set int32) uint64 {
-		return uint64(uint32(set))<<32 | uint64(uint32(v))
-	}
-	seen := make(map[uint64]bool)
 	trans := make(map[uint64]int32) // (set, sym) -> stepped set id
-	var queue []state
-	for _, v := range dedupNodes(left) {
-		if k := seenKey(v, startSet); !seen[k] {
-			seen[k] = true
-			queue = append(queue, state{v, startSet, words.Epsilon})
-		}
+	leftStart := dedupNodes(left)
+	starts := make([][2]int32, len(leftStart))
+	for i, v := range leftStart {
+		starts[i] = [2]int32{v, startSet}
 	}
 	co := &s.out
-	for len(queue) > 0 {
-		cur := queue[0]
-		queue = queue[1:]
-		if len(ix.Set(cur.set)) == 0 {
-			return cur.word, false
-		}
-		if depth >= 0 && len(cur.word) >= depth {
-			continue
-		}
-		for si := co.segStart[cur.v]; si < co.segStart[cur.v+1]; si++ {
-			sym := co.segSym[si]
-			tk := uint64(uint32(cur.set))<<32 | uint64(sym)
-			ns, ok := trans[tk]
-			if !ok {
-				ns = ix.Intern(s.Step(ix.Set(cur.set), sym))
-				trans[tk] = ns
-			}
-			var w words.Word
-			for _, e := range co.edges[co.segOff[si]:co.segOff[si+1]] {
-				k := seenKey(e.To, ns)
-				if !seen[k] {
-					seen[k] = true
-					if w == nil {
-						w = words.Append(cur.word, sym)
-					}
-					queue = append(queue, state{e.To, ns, w})
+	w, escaped := WitnessBFS(depth, starts,
+		func(_, set int32) bool { return len(ix.Set(set)) == 0 },
+		func(v, set int32, emit func(sym alphabet.Symbol, a2, b2 int32)) {
+			for si := co.segStart[v]; si < co.segStart[v+1]; si++ {
+				sym := co.segSym[si]
+				tk := uint64(uint32(set))<<32 | uint64(sym)
+				ns, ok := trans[tk]
+				if !ok {
+					ns = ix.Intern(s.Step(ix.Set(set), sym))
+					trans[tk] = ns
+				}
+				for _, e := range co.edges[co.segOff[si]:co.segOff[si+1]] {
+					emit(sym, e.To, ns)
 				}
 			}
-		}
-	}
-	return nil, true
+		})
+	return w, !escaped
 }
 
 // dedupNodes returns a sorted, deduplicated copy of set.

@@ -273,6 +273,9 @@ func symSet(syms []alphabet.Symbol) map[alphabet.Symbol]bool {
 func HasDistinctPathQuery(g *graph.Graph, s core.Sample) bool {
 	alpha := g.Alphabet()
 	numSyms := alpha.Size()
+	// Pin one epoch snapshot for the whole search: every Step below reads
+	// the same immutable CSR instead of re-checking the build side.
+	snap := g.Snapshot()
 	// Track, per candidate word w: the set of nodes reachable from each
 	// example's head; accept when every positive still matches and no
 	// negative does... a query a1·…·an selects ν iff the word matches from
@@ -320,7 +323,7 @@ func HasDistinctPathQuery(g *graph.Graph, s core.Sample) bool {
 			next := sets{}
 			ok := true
 			for _, set := range st.pos {
-				ns := g.Step(set, alphabet.Symbol(sym))
+				ns := snap.Step(set, alphabet.Symbol(sym))
 				if len(ns) == 0 {
 					ok = false
 					break
@@ -331,7 +334,7 @@ func HasDistinctPathQuery(g *graph.Graph, s core.Sample) bool {
 				continue
 			}
 			for _, set := range st.neg {
-				next.neg = append(next.neg, g.Step(set, alphabet.Symbol(sym)))
+				next.neg = append(next.neg, snap.Step(set, alphabet.Symbol(sym)))
 			}
 			used[sym] = true
 			if dfs(next) {

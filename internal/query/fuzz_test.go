@@ -1,0 +1,60 @@
+package query_test
+
+import (
+	"testing"
+
+	"pathquery/internal/alphabet"
+	"pathquery/internal/query"
+)
+
+// FuzzParseRenderRoundTrip asserts the serving engine's canonicalization
+// contract on arbitrary inputs: for every source that parses, the rendered
+// expression (Query.String, which the learner reports and the plan cache
+// registers under bySrc) must itself parse, denote the same language
+// (equal CacheKey — the plan-cache and result-cache key), and render to a
+// fixed point. A violation would split one query language across several
+// cached plans, or make a learned query's reported source unusable.
+//
+// `go test` runs the seed corpus; `go test -fuzz=FuzzParseRenderRoundTrip
+// ./internal/query` explores further.
+func FuzzParseRenderRoundTrip(f *testing.F) {
+	for _, seed := range []string{
+		"a",
+		"ε",
+		"()",
+		"a·b",
+		"a.b",
+		"a b",
+		"(tram+bus)*·cinema",
+		"(a+b)*·c·(d+ε)",
+		"a**",
+		"((a))",
+		"a+b+c",
+		"l00·l01*+l02",
+		"x·(y+z)*·x",
+	} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		alpha := alphabet.New()
+		q, err := query.Parse(alpha, src)
+		if err != nil {
+			t.Skip() // not a valid expression: nothing to round-trip
+		}
+		rendered := q.String()
+		q2, err := query.Parse(alpha, rendered)
+		if err != nil {
+			t.Fatalf("rendering of %q does not re-parse: %q: %v", src, rendered, err)
+		}
+		if q.CacheKey() != q2.CacheKey() {
+			t.Fatalf("round-trip changed the language: %q -> %q (keys %q vs %q)",
+				src, rendered, q.CacheKey(), q2.CacheKey())
+		}
+		if again := q2.String(); again != rendered {
+			t.Fatalf("rendering is not a fixed point: %q -> %q -> %q", src, rendered, again)
+		}
+		if !q.EquivalentTo(q2) {
+			t.Fatalf("round-trip of %q not language-equivalent", src)
+		}
+	})
+}

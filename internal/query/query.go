@@ -16,6 +16,7 @@ import (
 	"pathquery/internal/alphabet"
 	"pathquery/internal/automata"
 	"pathquery/internal/graph"
+	"pathquery/internal/plan"
 	"pathquery/internal/regex"
 	"pathquery/internal/words"
 )
@@ -32,6 +33,9 @@ type Query struct {
 
 	keyOnce sync.Once
 	key     string
+
+	planOnce sync.Once
+	plan     *plan.Plan
 }
 
 // Parse parses a regular expression over alpha into a query. New labels in
@@ -72,6 +76,18 @@ func (q *Query) Alphabet() *alphabet.Alphabet { return q.alpha }
 
 // DFA returns the canonical DFA. Callers must not modify it.
 func (q *Query) DFA() *automata.DFA { return q.dfa }
+
+// Plan returns the query's compiled evaluation plan: the canonical DFA's
+// transition tables, reverse DFA, accept-reachability sets, and symbol
+// filters in the layout chosen at compile time (see internal/plan). The
+// plan is built once and memoized; it is immutable and safe for unlimited
+// concurrent use. Every evaluation method of Query goes through it.
+func (q *Query) Plan() *plan.Plan {
+	// The canonical DFA is already minimized with dead states pruned, so
+	// the shape-preserving table build suffices.
+	q.planOnce.Do(func() { q.plan = plan.FromDFA(q.dfa) })
+	return q.plan
+}
 
 // Size returns the paper's size measure: the number of canonical-DFA states.
 func (q *Query) Size() int { return q.dfa.NumStates() }
@@ -119,7 +135,7 @@ func (q *Query) EquivalentOn(g *graph.Graph, o *Query) bool {
 // Select evaluates q on g under monadic semantics and returns the per-node
 // selection vector.
 func (q *Query) Select(g *graph.Graph) []bool {
-	return g.SelectMonadic(q.dfa)
+	return g.Snapshot().SelectMonadicPlan(q.Plan())
 }
 
 // Selection is the outcome of one monadic evaluation pass. It lets call
@@ -133,12 +149,13 @@ type Selection struct {
 
 // Evaluate runs one monadic evaluation pass of q on g.
 func (q *Query) Evaluate(g *graph.Graph) Selection {
-	return NewSelection(g.SelectMonadic(q.dfa))
+	return q.EvaluateOn(g.Snapshot())
 }
 
-// EvaluateOn runs one monadic evaluation pass of q on an epoch snapshot.
+// EvaluateOn runs one monadic evaluation pass of q on an epoch snapshot,
+// through the compiled plan.
 func (q *Query) EvaluateOn(s *graph.Snapshot) Selection {
-	return NewSelection(s.SelectMonadic(q.dfa))
+	return NewSelection(s.SelectMonadicPlan(q.Plan()))
 }
 
 // NewSelection wraps a selection vector, taking ownership of it.
@@ -188,7 +205,12 @@ func (q *Query) SelectNodes(g *graph.Graph) []graph.NodeID {
 
 // Selects reports whether q selects ν on g.
 func (q *Query) Selects(g *graph.Graph, nu graph.NodeID) bool {
-	return g.Covers(q.dfa, nu)
+	return q.SelectsOn(g.Snapshot(), nu)
+}
+
+// SelectsOn reports whether q selects ν on an epoch snapshot.
+func (q *Query) SelectsOn(s *graph.Snapshot, nu graph.NodeID) bool {
+	return s.CoversPlan(q.Plan(), nu)
 }
 
 // Selectivity returns |q(G)| / |V|, the measure reported in Table 1.
@@ -201,13 +223,25 @@ func (q *Query) Selectivity(g *graph.Graph) float64 {
 // SelectsPair reports whether (u, v) ∈ q(G) under binary semantics
 // (Appendix B): some path from u to v spells a word of L(q).
 func (q *Query) SelectsPair(g *graph.Graph, u, v graph.NodeID) bool {
-	return g.CoversPair(q.dfa, u, v)
+	return q.SelectsPairOn(g.Snapshot(), u, v)
+}
+
+// SelectsPairOn is SelectsPair on an epoch snapshot: a bidirectional
+// product search through the compiled plan.
+func (q *Query) SelectsPairOn(s *graph.Snapshot, u, v graph.NodeID) bool {
+	return s.CoversPairPlan(q.Plan(), u, v)
 }
 
 // SelectPairsFrom returns all v with (u, v) selected under binary
 // semantics.
 func (q *Query) SelectPairsFrom(g *graph.Graph, u graph.NodeID) []graph.NodeID {
-	return g.SelectBinaryFrom(q.dfa, u)
+	return q.SelectPairsFromOn(g.Snapshot(), u)
+}
+
+// SelectPairsFromOn is SelectPairsFrom on an epoch snapshot: the
+// direction-optimizing evaluation through the compiled plan.
+func (q *Query) SelectPairsFromOn(s *graph.Snapshot, u graph.NodeID) []graph.NodeID {
+	return s.SelectBinaryFromPlan(q.Plan(), u)
 }
 
 // String renders the query: its source expression when known, otherwise an

@@ -120,41 +120,24 @@ func (c *Coverage) NumStates() int { return c.ix.Len() }
 
 // Smallest returns the SCP of ν bounded by k: the canonical-order minimal
 // word of length ≤ k in paths_G(ν) \ paths_G(S−); ok=false if none exists.
+//
+// The search is the shared canonical-order witness core (graph.WitnessBFS)
+// over pairs (graph node, coverage state): out-edges are sorted by symbol,
+// so expansion preserves canonical order across each BFS level, and the
+// first state with escaped coverage yields the SCP.
 func (c *Coverage) Smallest(nu graph.NodeID, k int) (words.Word, bool) {
-	type state struct {
-		v    graph.NodeID
-		cov  int32
-		word words.Word
-	}
-	if c.Escaped(c.start) {
-		return words.Epsilon, true
-	}
-	key := func(v graph.NodeID, cov int32) uint64 {
-		return uint64(uint32(cov))<<32 | uint64(uint32(v))
-	}
-	seen := map[uint64]bool{key(nu, c.start): true}
-	queue := []state{{nu, c.start, words.Epsilon}}
-	for len(queue) > 0 {
-		cur := queue[0]
-		queue = queue[1:]
-		if len(cur.word) >= k {
-			continue
-		}
-		// Out-edges are sorted by symbol: expansion preserves canonical
-		// order across the BFS level.
-		for _, e := range c.s.OutEdges(cur.v) {
-			cov := c.Step(cur.cov, e.Sym)
-			if c.Escaped(cov) {
-				return words.Append(cur.word, e.Sym), true
+	return graph.WitnessBFS(k, [][2]int32{{nu, c.start}},
+		func(_, cov int32) bool { return c.Escaped(cov) },
+		func(v, cov int32, emit func(sym alphabet.Symbol, a2, b2 int32)) {
+			row := c.row(cov)
+			for _, e := range c.s.OutEdges(v) {
+				next := c.emptyID
+				if int(e.Sym) < len(row) {
+					next = row[e.Sym]
+				}
+				emit(e.Sym, e.To, next)
 			}
-			k2 := key(e.To, cov)
-			if !seen[k2] {
-				seen[k2] = true
-				queue = append(queue, state{e.To, cov, words.Append(cur.word, e.Sym)})
-			}
-		}
-	}
-	return nil, false
+		})
 }
 
 // IsKInformative reports whether ν has at least one path of length ≤ k not
