@@ -1,17 +1,24 @@
-// Command pqeval evaluates a path query on a graph database.
+// Command pqeval evaluates a path query on a graph database through the
+// unified evaluation surface (query.EvaluateReq).
 //
-//	pqeval -graph g.tsv -query '(tram+bus)*·cinema' [-binary from]
+//	pqeval -graph g.tsv -query '(tram+bus)*·cinema' [-semantics witness] [-from N1]
 //
-// It prints the selected nodes (monadic semantics by default; with
-// -binary, the nodes reachable from the given source under binary
-// semantics) and the query's selectivity.
+// -semantics picks the result shape: nodes (default, the paper's monadic
+// semantics), pairsFrom (binary semantics from -from), witness (monadic
+// selection with one reconstructed accepting path per node), count
+// (distinct accepting path lengths per node up to -maxlen), or shortest
+// (shortest witness per node, or per pair with -from). -timeout bounds
+// the evaluation through context cancellation. The legacy -binary flag is
+// shorthand for -semantics pairsFrom -from.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
 	"os"
+	"time"
 
 	"pathquery"
 	"pathquery/internal/graph"
@@ -24,12 +31,20 @@ func main() {
 	graphPath := flag.String("graph", "", "graph TSV file (required)")
 	querySrc := flag.String("query", "", "regular expression")
 	queryFile := flag.String("query-file", "", "saved query file (pqlearn -save)")
-	binaryFrom := flag.String("binary", "", "evaluate under binary semantics from this node")
-	quiet := flag.Bool("quiet", false, "print only the selectivity")
+	semantics := flag.String("semantics", "", "nodes|pairsFrom|witness|count|shortest (default nodes)")
+	from := flag.String("from", "", "anchor node for pairsFrom/shortest semantics")
+	limit := flag.Int("limit", 0, "bound the witness paths computed (0 = all)")
+	maxLen := flag.Int("maxlen", 0, "count semantics: max path length (0 = 2·|Q|+1)")
+	timeout := flag.Duration("timeout", 0, "evaluation deadline (0 = none)")
+	binaryFrom := flag.String("binary", "", "deprecated: -semantics pairsFrom -from NODE")
+	quiet := flag.Bool("quiet", false, "print only the summary line")
 	flag.Parse()
 	if *graphPath == "" || (*querySrc == "" && *queryFile == "") {
 		flag.Usage()
 		os.Exit(2)
+	}
+	if *binaryFrom != "" {
+		*semantics, *from = "pairsFrom", *binaryFrom
 	}
 
 	f, err := os.Open(*graphPath)
@@ -59,30 +74,63 @@ func main() {
 			log.Fatal(err)
 		}
 	}
-	// Compile the evaluation plan once and pin one epoch snapshot; both
-	// semantics below evaluate the compiled form against the same CSR.
+
+	sem, err := query.ParseSemantics(*semantics)
+	if err != nil {
+		log.Fatal(err)
+	}
+	req := query.Req{Semantics: sem, Limit: *limit, MaxLen: *maxLen}
+	// Compile the evaluation plan once and pin one epoch snapshot; the
+	// whole evaluation runs the compiled form against the same CSR.
 	pl := q.Plan()
 	snap := g.Snapshot()
+	if *from != "" {
+		u, ok := g.NodeByName(*from)
+		if !ok {
+			log.Fatalf("no node %q", *from)
+		}
+		req.From, req.HasFrom = u, true
+	}
 	fmt.Printf("graph: %v\nquery: %v (size %d)\nplan: %d states, %s layout, compiled in %v\n",
 		g, q, q.Size(), pl.NumStates, pl.Layout, pl.CompileTime)
 
-	if *binaryFrom != "" {
-		from, ok := g.NodeByName(*binaryFrom)
-		if !ok {
-			log.Fatalf("no node %q", *binaryFrom)
-		}
-		for _, v := range q.SelectPairsFromOn(snap, from) {
-			fmt.Printf("(%s, %s)\n", *binaryFrom, snap.NodeName(v))
-		}
-		return
+	ctx := context.Background()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
 	}
+	start := time.Now()
+	ans, err := q.EvaluateReq(ctx, snap, req)
+	if err != nil {
+		log.Fatal(err)
+	}
+	elapsed := time.Since(start)
 
-	sel := q.EvaluateOn(snap)
 	if !*quiet {
-		for _, v := range sel.Nodes() {
-			fmt.Println(snap.NodeName(v))
+		switch {
+		case len(ans.Paths) > 0:
+			for _, pw := range ans.Paths {
+				fmt.Printf("%s", snap.NodeName(pw.Nodes[0]))
+				for i, sym := range pw.Word {
+					fmt.Printf(" -%s-> %s", g.Alphabet().Name(sym), snap.NodeName(pw.Nodes[i+1]))
+				}
+				fmt.Println()
+			}
+		case len(ans.Counts) > 0:
+			for _, nc := range ans.Counts {
+				fmt.Printf("%s\t%d\n", snap.NodeName(nc.Node), nc.Count)
+			}
+		default:
+			for _, v := range ans.Nodes {
+				fmt.Println(snap.NodeName(v))
+			}
 		}
 	}
-	fmt.Printf("selected %d of %d nodes (selectivity %.4f%%)\n",
-		sel.Count(), snap.NumNodes(), 100*sel.Selectivity())
+	if sem == query.SemanticsNodes {
+		fmt.Printf("selected %d of %d nodes (selectivity %.4f%%) in %v\n",
+			ans.Count, snap.NumNodes(), 100*float64(ans.Count)/float64(max(snap.NumNodes(), 1)), elapsed)
+	} else {
+		fmt.Printf("%s: %d matches in %v\n", sem, ans.Count, elapsed)
+	}
 }

@@ -1,33 +1,43 @@
 // Command pqserve runs the concurrent query-serving engine
-// (internal/engine) as an HTTP server: monadic and binary selections,
-// batched evaluation, live mutation with epoch publication, and online
-// learning from node examples, over a graph loaded from TSV or generated
-// synthetically.
+// (internal/engine) as an HTTP server: unified evaluation under every
+// semantics, batched evaluation, live mutation with epoch publication,
+// and online learning from node examples, over a graph loaded from TSV
+// or generated synthetically.
 //
 //	pqserve -graph data.tsv -addr :8080
 //	pqserve -synthetic 10000 -seed 1
 //
-// Endpoints (JSON bodies; see internal/engine.NewHandler):
+// Endpoints (JSON bodies; see internal/engine.NewHandler for the full
+// wire format and the deprecated-endpoint migration table):
 //
-//	POST /select      {"query": "a·b*", "limit": 10}
-//	POST /selectPairs {"query": "...", "from": "N1"}
-//	POST /batch       {"queries": ["...", ...]}
-//	POST /mutate      {"edges": [{"from": "u", "label": "a", "to": "v"}]}
-//	POST /learn       {"pos": ["u", ...], "neg": ["v", ...], "k": 0}
+//	POST /v1/query {"query": "a·b*", "semantics": "nodes|pairsFrom|witness|count|shortest", ...}
+//	POST /v1/batch {"requests": [{"query": "...", ...}, ...]}
+//	POST /mutate   {"edges": [{"from": "u", "label": "a", "to": "v"}]}
+//	POST /learn    {"pos": ["u", ...], "neg": ["v", ...], "k": 0}
 //	GET  /stats
+//	GET  /plans
 //	GET  /healthz
 //
-// /learn runs the paper's Algorithm 1 on the served epoch — concurrent
-// mutations keep publishing newer epochs unharmed — and installs the
-// learned query as a serving plan, so the returned "query" string answers
-// /select from the warmed caches immediately.
+// plus the deprecated pre-v1 shims /select, /selectPairs and /batch.
+//
+// The server is a real http.Server: read/write timeouts bound slow
+// clients, every request's context reaches the evaluation engine with an
+// -eval-timeout deadline (a disconnecting client or an exceeded deadline
+// aborts the product traversal; the latter answers 504
+// deadline_exceeded), and SIGINT/SIGTERM drain in-flight requests before
+// exiting.
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"log"
 	"net/http"
 	"os"
+	"os/signal"
+	"syscall"
+	"time"
 
 	"pathquery/internal/datasets"
 	"pathquery/internal/engine"
@@ -35,12 +45,30 @@ import (
 )
 
 var (
-	addr      = flag.String("addr", ":8080", "listen address")
-	graphPath = flag.String("graph", "", "graph TSV file (see graph.ReadTSV format)")
-	synthetic = flag.Int("synthetic", 0, "serve a synthetic scale-free graph of this many nodes instead")
-	seed      = flag.Int64("seed", 1, "synthetic generator seed")
-	cacheCap  = flag.Int("result-cache", 4096, "result cache capacity (entries)")
+	addr         = flag.String("addr", ":8080", "listen address")
+	graphPath    = flag.String("graph", "", "graph TSV file (see graph.ReadTSV format)")
+	synthetic    = flag.Int("synthetic", 0, "serve a synthetic scale-free graph of this many nodes instead")
+	seed         = flag.Int64("seed", 1, "synthetic generator seed")
+	cacheCap     = flag.Int("result-cache", 4096, "result cache capacity (entries)")
+	readTimeout  = flag.Duration("read-timeout", 15*time.Second, "http.Server ReadTimeout")
+	writeTimeout = flag.Duration("write-timeout", 60*time.Second, "http.Server WriteTimeout")
+	evalTimeout  = flag.Duration("eval-timeout", 30*time.Second,
+		"per-request evaluation deadline (0 = none); exceeded evaluations abort and answer 504 deadline_exceeded")
+	shutdownTimeout = flag.Duration("shutdown-timeout", 10*time.Second,
+		"grace period for in-flight requests on SIGINT/SIGTERM")
 )
+
+// withDeadline bounds every request context: http.Server's WriteTimeout
+// only closes the connection, it never cancels r.Context(), so without
+// this wrapper a well-connected client issuing a pathological query would
+// hold a core until the traversal finished on its own.
+func withDeadline(h http.Handler, d time.Duration) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		ctx, cancel := context.WithTimeout(r.Context(), d)
+		defer cancel()
+		h.ServeHTTP(w, r.WithContext(ctx))
+	})
+}
 
 func main() {
 	log.SetFlags(0)
@@ -71,5 +99,35 @@ func main() {
 	st := e.Stats()
 	log.Printf("serving on %s: epoch %d, %d nodes, %d edges, %d labels",
 		*addr, st.Epoch, st.Nodes, st.Edges, g.Alphabet().Size())
-	log.Fatal(http.ListenAndServe(*addr, engine.NewHandler(e)))
+
+	handler := engine.NewHandler(e)
+	if *evalTimeout > 0 {
+		handler = withDeadline(handler, *evalTimeout)
+	}
+	srv := &http.Server{
+		Addr:              *addr,
+		Handler:           handler,
+		ReadTimeout:       *readTimeout,
+		ReadHeaderTimeout: 5 * time.Second,
+		WriteTimeout:      *writeTimeout,
+		IdleTimeout:       2 * time.Minute,
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	errc := make(chan error, 1)
+	go func() { errc <- srv.ListenAndServe() }()
+	select {
+	case err := <-errc:
+		log.Fatal(err)
+	case <-ctx.Done():
+		stop() // restore default signal handling: a second ^C kills hard
+		log.Printf("shutting down (waiting up to %v for in-flight requests)", *shutdownTimeout)
+		shCtx, cancel := context.WithTimeout(context.Background(), *shutdownTimeout)
+		defer cancel()
+		if err := srv.Shutdown(shCtx); err != nil && !errors.Is(err, context.DeadlineExceeded) {
+			log.Fatal(err)
+		}
+		log.Printf("bye")
+	}
 }

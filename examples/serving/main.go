@@ -1,9 +1,10 @@
 // Serving: drive the concurrent query-serving engine through the same
 // HTTP API cmd/pqserve exposes. The example stands the handler up on a
-// loopback listener, then walks the serving lifecycle: select (cold, then
-// cached), a batch sharing one epoch, a mutation publishing a new epoch
-// that invalidates the cached result, and the stats counters that record
-// all of it.
+// loopback listener, then walks the serving lifecycle on the unified
+// /v1/query protocol: one endpoint, five result shapes (nodes, pairsFrom,
+// witness, count, shortest), a batch sharing one epoch, a mutation
+// publishing a new epoch that invalidates the cached answer, learning,
+// and the structured error envelope.
 package main
 
 import (
@@ -35,42 +36,67 @@ func main() {
 	defer srv.Close()
 	fmt.Println("pqserve-compatible API listening on", srv.URL)
 
-	// Cold select: compiles the plan, runs one product pass, caches both.
-	sel := post(srv.URL+"/select", `{"query": "(tram+bus)*·cinema"}`)
-	fmt.Printf("select (tram+bus)*·cinema -> epoch %v, nodes %v, cached %v\n",
-		sel["epoch"], sel["nodes"], sel["cached"])
+	// Cold query: compiles the plan, runs one product pass, caches both.
+	ans := post(srv.URL+"/v1/query", `{"query": "(tram+bus)*·cinema"}`)
+	fmt.Printf("nodes    -> epoch %v, nodes %v, cached %v\n",
+		ans["epoch"], ans["nodes"], ans["cached"])
 
 	// Repeat — even as a syntactic variant — is served from the caches.
-	sel = post(srv.URL+"/select", `{"query": "(bus+tram)*.cinema"}`)
-	fmt.Printf("variant (bus+tram)*.cinema  -> epoch %v, nodes %v, cached %v\n",
-		sel["epoch"], sel["nodes"], sel["cached"])
+	ans = post(srv.URL+"/v1/query", `{"query": "(bus+tram)*.cinema"}`)
+	fmt.Printf("variant  -> epoch %v, nodes %v, cached %v\n",
+		ans["epoch"], ans["nodes"], ans["cached"])
 
-	// A batch evaluates every query against one pinned epoch.
-	batch := post(srv.URL+"/batch", `{"queries": ["tram·cinema", "bus·tram", "cinema"]}`)
+	// The same endpoint serves every result shape: witness returns one
+	// reconstructed accepting path per selected node...
+	ans = post(srv.URL+"/v1/query", `{"query": "(tram+bus)*·cinema", "semantics": "witness", "limit": 2}`)
+	fmt.Printf("witness  -> count %v, paths %v\n", ans["count"], ans["paths"])
+
+	// ...count the distinct accepting path lengths per node...
+	ans = post(srv.URL+"/v1/query", `{"query": "(tram+bus)*·cinema", "semantics": "count"}`)
+	fmt.Printf("count    -> %v\n", ans["counts"])
+
+	// ...and shortest the shortest pair witness from an anchor node.
+	ans = post(srv.URL+"/v1/query", `{"query": "(tram+bus)*·cinema", "semantics": "shortest", "from": "N2"}`)
+	fmt.Printf("shortest -> from N2: %v\n", ans["paths"])
+
+	// A batch evaluates every request against one pinned epoch.
+	batch := post(srv.URL+"/v1/batch",
+		`{"requests": [{"query": "tram·cinema"}, {"query": "bus·tram", "semantics": "witness"}, {"query": "cinema"}]}`)
 	fmt.Printf("batch of 3 -> shared epoch %v\n", batch["epoch"])
 
-	// A mutation publishes a new epoch; the stale cached result is gone.
+	// Errors answer the structured envelope {"error": {"code", "message"}}.
+	resp, err := http.Post(srv.URL+"/v1/query", "application/json",
+		bytes.NewReader([]byte(`{"query": "tram·cinema", "semantics": "fancy"}`)))
+	if err != nil {
+		log.Fatal(err)
+	}
+	var envelope map[string]any
+	json.NewDecoder(resp.Body).Decode(&envelope)
+	resp.Body.Close()
+	fmt.Printf("bad semantics -> %d %v\n", resp.StatusCode, envelope["error"])
+
+	// A mutation publishes a new epoch; the stale cached answer is gone.
 	mut := post(srv.URL+"/mutate", `{"edges": [{"from": "N3", "label": "cinema", "to": "C3"}]}`)
 	fmt.Printf("mutate N3 -cinema-> C3 -> epoch %v (%v nodes, %v edges)\n",
 		mut["epoch"], mut["nodes"], mut["edges"])
-	sel = post(srv.URL+"/select", `{"query": "(tram+bus)*·cinema"}`)
-	fmt.Printf("select after mutation    -> epoch %v, nodes %v, cached %v\n",
-		sel["epoch"], sel["nodes"], sel["cached"])
+	ans = post(srv.URL+"/v1/query", `{"query": "(tram+bus)*·cinema"}`)
+	fmt.Printf("after mutation -> epoch %v, nodes %v, cached %v\n",
+		ans["epoch"], ans["nodes"], ans["cached"])
 
 	// The learner is a service of the same engine: /learn pins the served
 	// epoch, runs Algorithm 1 on it, and installs the learned query as a
-	// serving plan — the returned expression answers /select from the
+	// serving plan — the returned expression answers /v1/query from the
 	// warmed caches immediately.
 	learned := post(srv.URL+"/learn", `{"pos": ["N2"], "neg": ["N5"]}`)
 	fmt.Printf("learn +N2 -N5 -> query %v (k=%v, SCPs %v), selects %v\n",
 		learned["query"], learned["k"], learned["scps"],
 		learned["selection"].(map[string]any)["nodes"])
 	q, _ := json.Marshal(map[string]any{"query": learned["query"]})
-	sel = post(srv.URL+"/select", string(q))
-	fmt.Printf("select learned query     -> epoch %v, nodes %v, cached %v\n",
-		sel["epoch"], sel["nodes"], sel["cached"])
+	ans = post(srv.URL+"/v1/query", string(q))
+	fmt.Printf("learned query -> epoch %v, nodes %v, cached %v\n",
+		ans["epoch"], ans["nodes"], ans["cached"])
 
-	resp, err := http.Get(srv.URL + "/stats")
+	resp, err = http.Get(srv.URL + "/stats")
 	if err != nil {
 		log.Fatal(err)
 	}

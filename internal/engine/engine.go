@@ -1,8 +1,15 @@
 // Package engine is the concurrent query-serving layer: it owns a graph
-// and answers monadic and binary selections from any number of goroutines
-// while a single logical writer keeps mutating the graph underneath.
+// and answers evaluation requests from any number of goroutines while a
+// single logical writer keeps mutating the graph underneath.
 //
-// Four mechanisms make that safe and fast (see DESIGN.md):
+// The evaluation surface is one request/answer pair: Evaluate(ctx,
+// Request) serves every result shape — monadic nodes, binary pairs,
+// witness paths, accepting-length counts, shortest witnesses — selected
+// by Request.Semantics, with the context canceling the underlying product
+// traversal. The pre-unified verbs (Select, SelectPairsFrom, SelectBatch)
+// survive as deprecated shims over it.
+//
+// Four mechanisms make serving safe and fast (see DESIGN.md):
 //
 //   - Epoch snapshots: every request pins one immutable CSR epoch
 //     (graph.Snapshot) with a single atomic pointer load; mutations build
@@ -11,12 +18,14 @@
 //     determinize → minimize happens once per distinct query), deduplicated
 //     across syntactic variants by the canonical language key
 //     (query.CacheKey).
-//   - A result cache keyed by (epoch, plan) with single-flight
-//     deduplication: concurrent identical requests share one product-engine
-//     pass, and a new epoch implicitly invalidates every older entry.
-//   - Batched evaluation: SelectBatch runs many plans against one pinned
-//     snapshot through the worker-shard product engine, amortizing the
-//     pooled bitset scratch across queries.
+//   - A result cache keyed by (epoch, semantics, args, plan) with
+//     single-flight deduplication: concurrent identical requests share one
+//     product-engine pass, and a new epoch implicitly invalidates every
+//     older entry. Canceled evaluations are never cached; their
+//     single-flight waiters retry under their own contexts.
+//   - Batched evaluation: EvaluateBatch runs many requests against one
+//     pinned snapshot through the worker-shard product engine, amortizing
+//     the pooled bitset scratch across queries.
 //
 // The engine also hosts the paper's learner as a service: Learn pins the
 // currently served epoch, runs Algorithm 1 on it (SCP searches and merge
@@ -26,8 +35,8 @@
 package engine
 
 import (
+	"context"
 	"fmt"
-	"runtime"
 	"sync"
 	"sync/atomic"
 
@@ -109,47 +118,50 @@ func (r Result) Names() []string {
 	return out
 }
 
-// Select evaluates src under monadic semantics on the current epoch.
+// result converts an Answer carrying a node selection into the legacy
+// Result shape the deprecated verbs return.
+func (a Answer) result() Result {
+	return Result{Epoch: a.Epoch, Nodes: a.Nodes, Cached: a.Cached, snap: a.snap}
+}
+
+// Select evaluates src under monadic semantics on the current epoch. It
+// is equivalent to Evaluate with the default (nodes) semantics, skipping
+// only the wire-level request decoding it has no arguments for.
+//
+// Deprecated: use Evaluate; Select cannot be canceled and returns only
+// the node shape.
 func (e *Engine) Select(src string) (Result, error) {
-	plan, err := e.plans.get(src)
+	p, err := e.plans.get(src)
 	if err != nil {
-		return Result{}, err
+		return Result{}, badRequest("parse_error", "%v", err)
 	}
 	e.queries.Add(1)
-	return e.selectOn(e.g.Current(), plan), nil
+	return e.selectNodesOn(e.g.Current(), p)
 }
 
 // selectOn answers one monadic selection against a pinned snapshot,
-// through the single-flight result cache.
+// through the single-flight result cache — the warm-the-caches path of
+// Engine.Learn.
 func (e *Engine) selectOn(snap *graph.Snapshot, p *cachedPlan) Result {
-	key := resultKey{epoch: snap.Epoch(), kind: kindMonadic, plan: p.key}
-	nodes, cached := e.results.do(key, func() []graph.NodeID {
-		return p.q.EvaluateOn(snap).Nodes()
-	})
-	return Result{Epoch: snap.Epoch(), Nodes: nodes, Cached: cached, snap: snap}
+	r, _ := e.selectNodesOn(snap, p)
+	return r
 }
 
 // SelectPairsFrom evaluates src under binary semantics from the named
 // node: all v with (from, v) selected, on the current epoch. A node
 // created after the served epoch was published is not visible yet.
+//
+// Deprecated: use Evaluate with pairsFrom semantics.
 func (e *Engine) SelectPairsFrom(src, from string) (Result, error) {
-	plan, err := e.plans.get(src)
+	ans, err := e.Evaluate(context.Background(), Request{
+		Query:     src,
+		Semantics: query.SemanticsPairsFrom.String(),
+		From:      from,
+	})
 	if err != nil {
 		return Result{}, err
 	}
-	snap := e.g.Current()
-	e.mu.RLock()
-	u, ok := e.g.NodeByName(from)
-	e.mu.RUnlock()
-	if !ok || int(u) >= snap.NumNodes() {
-		return Result{}, fmt.Errorf("engine: no node %q in epoch %d", from, snap.Epoch())
-	}
-	e.queries.Add(1)
-	key := resultKey{epoch: snap.Epoch(), kind: kindPairs, from: u, plan: plan.key}
-	nodes, cached := e.results.do(key, func() []graph.NodeID {
-		return plan.q.SelectPairsFromOn(snap, u)
-	})
-	return Result{Epoch: snap.Epoch(), Nodes: nodes, Cached: cached, snap: snap}, nil
+	return ans.result(), nil
 }
 
 // SelectBatch evaluates every query in srcs against one pinned snapshot,
@@ -157,41 +169,21 @@ func (e *Engine) SelectPairsFrom(src, from string) (Result, error) {
 // product engine (bounded by GOMAXPROCS); duplicate queries inside the
 // batch collapse into one pass via the single-flight result cache. The
 // whole batch fails on the first parse error.
+//
+// Deprecated: use EvaluateBatch, which also returns the shared epoch.
 func (e *Engine) SelectBatch(srcs []string) ([]Result, error) {
-	plans := make([]*cachedPlan, len(srcs))
+	reqs := make([]Request, len(srcs))
 	for i, src := range srcs {
-		p, err := e.plans.get(src)
-		if err != nil {
-			return nil, fmt.Errorf("engine: batch query %d: %w", i, err)
-		}
-		plans[i] = p
+		reqs[i] = Request{Query: src}
 	}
-	e.batches.Add(1)
-	e.queries.Add(uint64(len(srcs)))
-	snap := e.g.Current()
-	results := make([]Result, len(plans))
-	workers := runtime.GOMAXPROCS(0)
-	if workers > len(plans) {
-		workers = len(plans)
+	_, answers, err := e.EvaluateBatch(context.Background(), reqs)
+	if err != nil {
+		return nil, err
 	}
-	if workers <= 1 {
-		for i, p := range plans {
-			results[i] = e.selectOn(snap, p)
-		}
-		return results, nil
+	results := make([]Result, len(answers))
+	for i, ans := range answers {
+		results[i] = ans.result()
 	}
-	var wg sync.WaitGroup
-	sem := make(chan struct{}, workers)
-	for i, p := range plans {
-		wg.Add(1)
-		go func(i int, p *cachedPlan) {
-			defer wg.Done()
-			sem <- struct{}{}
-			defer func() { <-sem }()
-			results[i] = e.selectOn(snap, p)
-		}(i, p)
-	}
-	wg.Wait()
 	return results, nil
 }
 

@@ -1,6 +1,7 @@
 package engine
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 	"sync"
@@ -374,19 +375,19 @@ func TestEngineConcurrentMutateSelect(t *testing.T) {
 func TestResultCacheStaleRequestKeepsFreshEntries(t *testing.T) {
 	c := newResultCache(3)
 	for _, p := range []string{"a", "b", "c"} {
-		c.do(resultKey{epoch: 2, plan: p}, func() []graph.NodeID { return nil })
+		c.do(context.Background(), resultKey{epoch: 2, plan: p}, func() (query.Answer, error) { return query.Answer{}, nil })
 	}
 	computed := false
-	c.do(resultKey{epoch: 1, plan: "stale"}, func() []graph.NodeID {
+	c.do(context.Background(), resultKey{epoch: 1, plan: "stale"}, func() (query.Answer, error) {
 		computed = true
-		return nil
+		return query.Answer{}, nil
 	})
 	if !computed {
 		t.Fatal("stale-epoch request was not computed")
 	}
 	fresh := 0
 	for _, p := range []string{"a", "b", "c"} {
-		if _, cached := c.do(resultKey{epoch: 2, plan: p}, func() []graph.NodeID { return nil }); cached {
+		if _, cached, _ := c.do(context.Background(), resultKey{epoch: 2, plan: p}, func() (query.Answer, error) { return query.Answer{}, nil }); cached {
 			fresh++
 		}
 	}
@@ -409,11 +410,13 @@ func TestResultCachePanicRetries(t *testing.T) {
 				t.Fatal("compute panic did not propagate")
 			}
 		}()
-		c.do(key, func() []graph.NodeID { panic("product engine bug") })
+		c.do(context.Background(), key, func() (query.Answer, error) { panic("product engine bug") })
 	}()
-	nodes, cached := c.do(key, func() []graph.NodeID { return []graph.NodeID{7} })
-	if cached || len(nodes) != 1 || nodes[0] != 7 {
-		t.Errorf("after panic: nodes %v cached %v, want fresh [7]", nodes, cached)
+	ans, cached, err := c.do(context.Background(), key, func() (query.Answer, error) {
+		return query.Answer{Nodes: []graph.NodeID{7}, Count: 1}, nil
+	})
+	if err != nil || cached || len(ans.Nodes) != 1 || ans.Nodes[0] != 7 {
+		t.Errorf("after panic: answer %v cached %v err %v, want fresh [7]", ans.Nodes, cached, err)
 	}
 }
 

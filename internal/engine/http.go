@@ -1,61 +1,134 @@
 package engine
 
 import (
+	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
 	"net/http"
 
 	"pathquery/internal/core"
+	"pathquery/internal/query"
 	"pathquery/internal/words"
 )
 
 // NewHandler exposes e as a JSON-over-HTTP API — the wire surface of
-// cmd/pqserve:
+// cmd/pqserve. The evaluation surface is the versioned unified protocol:
 //
-//	POST /select      {"query": "a·b*", "limit": 10}   -> selection
-//	POST /selectPairs {"query": "...", "from": "N1"}   -> selection
-//	POST /batch       {"queries": ["...", ...]}        -> {"epoch", "results": [...]}
-//	POST /mutate      {"edges": [{"from","label","to"}]} -> {"epoch", "nodes", "edges"}
-//	POST /learn       {"pos": [names...], "neg": [...]}  -> learned query + selection
-//	GET  /stats                                         -> engine counters
-//	GET  /plans                                         -> cached compiled plans
-//	GET  /healthz                                       -> ok
+//	POST /v1/query {"query", "semantics", "from", "limit", "maxLen"}
+//	POST /v1/batch {"requests": [<request>, ...]}
 //
-// A selection is {"epoch", "count", "cached", "nodes": [names...]};
-// "limit" (optional, select/selectPairs/batch/learn) truncates nodes,
-// never count.
+// One endpoint serves every result shape; "semantics" picks it:
+//
+//	nodes     (default) monadic selection     -> "nodes": [names...]
+//	pairsFrom binary selection from "from"    -> "nodes": [names...]
+//	witness   monadic selection + one proof   -> "paths": [{"nodes", "word"}]
+//	count     distinct accepting lengths      -> "counts": [{"node", "count"}]
+//	          per node, up to "maxLen"
+//	shortest  shortest witness per node, or   -> "paths": [{"nodes", "word"}]
+//	          per pair when "from" is set
+//
+// Every answer carries {"epoch", "semantics", "count", "cached"}; "limit"
+// truncates the rows (for witness/shortest it also bounds the paths
+// computed), never "count". The request context cancels the evaluation:
+// a client disconnect or server deadline aborts the product traversal.
+// Errors answer with a structured envelope
+//
+//	{"error": {"code": "parse_error", "message": "..."}}
+//
+// whose stable codes include bad_body, parse_error, unknown_semantics,
+// unknown_node, missing_from, unexpected_from, max_len_too_large,
+// abstain, canceled and deadline_exceeded.
+//
+// The pre-v1 endpoints remain as thin shims over the same Evaluate path
+// and answer their historical success shapes; their error responses now
+// use the v1 envelope above (previously a flat {"error": "msg"} string),
+// and an unknown "from" node on /selectPairs answers 404 instead of 400:
+//
+//	deprecated             replacement
+//	---------------------  -------------------------------------------
+//	POST /select           POST /v1/query (semantics omitted or "nodes")
+//	POST /selectPairs      POST /v1/query {"semantics": "pairsFrom"}
+//	POST /batch            POST /v1/batch
+//
+// Mutation, learning and introspection are unversioned:
+//
+//	POST /mutate {"edges": [{"from","label","to"}]} -> {"epoch", "nodes", "edges"}
+//	POST /learn  {"pos": [names...], "neg": [...]}  -> learned query + selection
+//	GET  /stats                                     -> engine counters
+//	GET  /plans                                     -> cached compiled plans
+//	GET  /healthz                                   -> ok
 //
 // /learn runs Algorithm 1 on the served epoch and installs the learned
 // query as a serving plan; the response's "query" string immediately
-// serves from the caches via /select. Insufficient examples (the paper's
-// abstain) answer 422; "k" fixes the SCP bound (0 = dynamic schedule up to
-// "maxk").
+// serves from the caches via /v1/query. Insufficient examples (the
+// paper's abstain) answer 422 with code "abstain"; "k" fixes the SCP
+// bound (0 = dynamic schedule up to "maxk").
 func NewHandler(e *Engine) http.Handler {
 	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/query", func(w http.ResponseWriter, r *http.Request) {
+		var req Request
+		if !decode(w, r, &req) {
+			return
+		}
+		ans, err := e.Evaluate(r.Context(), req)
+		if err != nil {
+			writeError(w, err)
+			return
+		}
+		writeJSON(w, newAnswerResponse(ans, req.Limit))
+	})
+	mux.HandleFunc("POST /v1/batch", func(w http.ResponseWriter, r *http.Request) {
+		var req struct {
+			Requests []Request `json:"requests"`
+		}
+		if !decode(w, r, &req) {
+			return
+		}
+		epoch, answers, err := e.EvaluateBatch(r.Context(), req.Requests)
+		if err != nil {
+			writeError(w, err)
+			return
+		}
+		out := struct {
+			Epoch   uint64           `json:"epoch"`
+			Answers []answerResponse `json:"answers"`
+		}{Epoch: epoch, Answers: make([]answerResponse, len(answers))}
+		for i, ans := range answers {
+			out.Answers[i] = newAnswerResponse(ans, req.Requests[i].Limit)
+		}
+		writeJSON(w, out)
+	})
+
+	// Deprecated shims (see the migration table above): the old verbs,
+	// answered through Evaluate in their historical response shapes.
 	mux.HandleFunc("POST /select", func(w http.ResponseWriter, r *http.Request) {
 		var req selectRequest
 		if !decode(w, r, &req) {
 			return
 		}
-		res, err := e.Select(req.Query)
+		ans, err := e.Evaluate(r.Context(), Request{Query: req.Query})
 		if err != nil {
-			httpError(w, http.StatusBadRequest, err)
+			writeError(w, err)
 			return
 		}
-		writeJSON(w, newSelectionResponse(res, req.Limit))
+		writeJSON(w, newSelectionResponse(ans, req.Limit))
 	})
 	mux.HandleFunc("POST /selectPairs", func(w http.ResponseWriter, r *http.Request) {
 		var req selectRequest
 		if !decode(w, r, &req) {
 			return
 		}
-		res, err := e.SelectPairsFrom(req.Query, req.From)
+		ans, err := e.Evaluate(r.Context(), Request{
+			Query:     req.Query,
+			Semantics: query.SemanticsPairsFrom.String(),
+			From:      req.From,
+		})
 		if err != nil {
-			httpError(w, http.StatusBadRequest, err)
+			writeError(w, err)
 			return
 		}
-		writeJSON(w, newSelectionResponse(res, req.Limit))
+		writeJSON(w, newSelectionResponse(ans, req.Limit))
 	})
 	mux.HandleFunc("POST /batch", func(w http.ResponseWriter, r *http.Request) {
 		var req struct {
@@ -65,21 +138,27 @@ func NewHandler(e *Engine) http.Handler {
 		if !decode(w, r, &req) {
 			return
 		}
-		results, err := e.SelectBatch(req.Queries)
+		reqs := make([]Request, len(req.Queries))
+		for i, src := range req.Queries {
+			reqs[i] = Request{Query: src}
+		}
+		epoch, answers, err := e.EvaluateBatch(r.Context(), reqs)
 		if err != nil {
-			httpError(w, http.StatusBadRequest, err)
+			writeError(w, err)
 			return
 		}
+		// The epoch is set once from the snapshot the whole batch pinned —
+		// every answer shares it by construction.
 		out := struct {
 			Epoch   uint64              `json:"epoch"`
 			Results []selectionResponse `json:"results"`
-		}{Epoch: e.Epoch(), Results: make([]selectionResponse, len(results))}
-		for i, res := range results {
-			out.Epoch = res.Epoch
-			out.Results[i] = newSelectionResponse(res, req.Limit)
+		}{Epoch: epoch, Results: make([]selectionResponse, len(answers))}
+		for i, ans := range answers {
+			out.Results[i] = newSelectionResponse(ans, req.Limit)
 		}
 		writeJSON(w, out)
 	})
+
 	mux.HandleFunc("POST /mutate", func(w http.ResponseWriter, r *http.Request) {
 		var req struct {
 			Edges []EdgeSpec `json:"edges"`
@@ -89,8 +168,8 @@ func NewHandler(e *Engine) http.Handler {
 		}
 		for i, ed := range req.Edges {
 			if ed.From == "" || ed.Label == "" || ed.To == "" {
-				httpError(w, http.StatusBadRequest,
-					fmt.Errorf("edge %d: from, label and to are all required", i))
+				writeError(w, badRequest("bad_edge",
+					"edge %d: from, label and to are all required", i))
 				return
 			}
 		}
@@ -113,13 +192,8 @@ func NewHandler(e *Engine) http.Handler {
 			return
 		}
 		lr, err := e.LearnNamed(req.Pos, req.Neg, core.Options{K: req.K, MaxK: req.MaxK})
-		if errors.Is(err, core.ErrAbstain) {
-			httpError(w, http.StatusUnprocessableEntity,
-				fmt.Errorf("abstain: not enough examples to learn a consistent query"))
-			return
-		}
 		if err != nil {
-			httpError(w, http.StatusBadRequest, err)
+			writeError(w, err)
 			return
 		}
 		alpha := e.Graph().Alphabet()
@@ -134,7 +208,8 @@ func NewHandler(e *Engine) http.Handler {
 			K         int               `json:"k"`
 			SCPs      []string          `json:"scps"`
 			Selection selectionResponse `json:"selection"`
-		}{lr.Epoch, lr.Source, lr.Key, lr.K, scps, newSelectionResponse(lr.Selection, req.Limit)})
+		}{lr.Epoch, lr.Source, lr.Key, lr.K, scps,
+			newSelectionResponse(answerOfResult(lr.Selection), req.Limit)})
 	})
 	mux.HandleFunc("GET /stats", func(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, e.Stats())
@@ -156,6 +231,73 @@ type selectRequest struct {
 	Limit int    `json:"limit"`
 }
 
+// answerResponse is the /v1/query wire answer. Exactly one of Nodes,
+// Paths, Counts is present, matching the semantics.
+type answerResponse struct {
+	Epoch     uint64          `json:"epoch"`
+	Semantics string          `json:"semantics"`
+	Count     int             `json:"count"`
+	Cached    bool            `json:"cached"`
+	Nodes     []string        `json:"nodes,omitempty"`
+	Paths     []pathResponse  `json:"paths,omitempty"`
+	Counts    []countResponse `json:"counts,omitempty"`
+}
+
+// pathResponse is one witness path: the node names along it and the word
+// it spells.
+type pathResponse struct {
+	Nodes []string `json:"nodes"`
+	Word  string   `json:"word"`
+}
+
+// countResponse is one count-semantics row.
+type countResponse struct {
+	Node  string `json:"node"`
+	Count int    `json:"count"`
+}
+
+func newAnswerResponse(ans Answer, limit int) answerResponse {
+	out := answerResponse{
+		Epoch:     ans.Epoch,
+		Semantics: ans.Semantics.String(),
+		Count:     ans.Count,
+		Cached:    ans.Cached,
+	}
+	nodes := ans.Nodes
+	if limit > 0 && len(nodes) > limit {
+		nodes = nodes[:limit]
+	}
+	if len(nodes) > 0 {
+		out.Nodes = make([]string, len(nodes))
+		for i, v := range nodes {
+			out.Nodes[i] = ans.NodeName(v)
+		}
+	}
+	if len(ans.Paths) > 0 {
+		out.Paths = make([]pathResponse, len(ans.Paths))
+		for i, pw := range ans.Paths {
+			names := make([]string, len(pw.Nodes))
+			for j, v := range pw.Nodes {
+				names[j] = ans.NodeName(v)
+			}
+			out.Paths[i] = pathResponse{Nodes: names, Word: ans.WordString(pw.Word)}
+		}
+	}
+	counts := ans.Counts
+	if limit > 0 && len(counts) > limit {
+		counts = counts[:limit]
+	}
+	if len(counts) > 0 {
+		out.Counts = make([]countResponse, len(counts))
+		for i, nc := range counts {
+			out.Counts[i] = countResponse{Node: ans.NodeName(nc.Node), Count: nc.Count}
+		}
+	}
+	return out
+}
+
+// selectionResponse is the historical selection shape the deprecated
+// endpoints answer.
 type selectionResponse struct {
 	Epoch  uint64   `json:"epoch"`
 	Count  int      `json:"count"`
@@ -163,16 +305,25 @@ type selectionResponse struct {
 	Nodes  []string `json:"nodes"`
 }
 
-func newSelectionResponse(res Result, limit int) selectionResponse {
-	r := res
-	if limit > 0 && len(r.Nodes) > limit {
-		r.Nodes = r.Nodes[:limit]
+// answerOfResult lifts a legacy Result into an Answer for rendering.
+func answerOfResult(r Result) Answer {
+	return Answer{Epoch: r.Epoch, Count: len(r.Nodes), Cached: r.Cached, Nodes: r.Nodes, snap: r.snap}
+}
+
+func newSelectionResponse(ans Answer, limit int) selectionResponse {
+	nodes := ans.Nodes
+	if limit > 0 && len(nodes) > limit {
+		nodes = nodes[:limit]
+	}
+	names := make([]string, len(nodes))
+	for i, v := range nodes {
+		names[i] = ans.NodeName(v)
 	}
 	return selectionResponse{
-		Epoch:  res.Epoch,
-		Count:  res.Count(),
-		Cached: res.Cached,
-		Nodes:  r.Names(),
+		Epoch:  ans.Epoch,
+		Count:  ans.Count,
+		Cached: ans.Cached,
+		Nodes:  names,
 	}
 }
 
@@ -180,7 +331,7 @@ func decode(w http.ResponseWriter, r *http.Request, into any) bool {
 	dec := json.NewDecoder(r.Body)
 	dec.DisallowUnknownFields()
 	if err := dec.Decode(into); err != nil {
-		httpError(w, http.StatusBadRequest, fmt.Errorf("bad request body: %w", err))
+		writeError(w, badRequest("bad_body", "bad request body: %v", err))
 		return false
 	}
 	return true
@@ -193,10 +344,34 @@ func writeJSON(w http.ResponseWriter, v any) {
 	_ = enc.Encode(v)
 }
 
-func httpError(w http.ResponseWriter, code int, err error) {
+// writeError answers err as the structured envelope
+// {"error": {"code", "message"}}, mapping APIError codes, context
+// cancellation and the learner's abstain onto statuses.
+func writeError(w http.ResponseWriter, err error) {
+	code, status := "bad_request", http.StatusBadRequest
+	var ae *APIError
+	switch {
+	case errors.As(err, &ae):
+		code, status = ae.Code, ae.Status
+	case errors.Is(err, context.DeadlineExceeded):
+		code, status = "deadline_exceeded", http.StatusGatewayTimeout
+	case errors.Is(err, context.Canceled):
+		code, status = "canceled", 499 // client closed request
+	case errors.Is(err, core.ErrAbstain):
+		code, status = "abstain", http.StatusUnprocessableEntity
+		err = fmt.Errorf("abstain: not enough examples to learn a consistent query")
+	}
 	w.Header().Set("Content-Type", "application/json")
-	w.WriteHeader(code)
-	_ = json.NewEncoder(w).Encode(struct {
-		Error string `json:"error"`
-	}{err.Error()})
+	w.WriteHeader(status)
+	var env errorEnvelope
+	env.Error.Code, env.Error.Message = code, err.Error()
+	_ = json.NewEncoder(w).Encode(env)
+}
+
+// errorEnvelope is the structured wire error of the v1 protocol.
+type errorEnvelope struct {
+	Error struct {
+		Code    string `json:"code"`
+		Message string `json:"message"`
+	} `json:"error"`
 }

@@ -1,42 +1,42 @@
 package engine
 
 import (
+	"context"
 	"sync"
 	"sync/atomic"
 
 	"pathquery/internal/graph"
+	"pathquery/internal/query"
 )
 
-type resultKind uint8
-
-const (
-	kindMonadic resultKind = iota
-	kindPairs
-)
-
-// resultKey identifies one cached selection: the epoch it was evaluated
-// on, the semantics, the source node (binary semantics only), and the
-// plan's canonical language key. Because the epoch is part of the key,
-// publishing a new epoch invalidates every older entry implicitly; prune
-// reclaims their memory.
+// resultKey identifies one cached evaluation: the epoch it ran on, the
+// semantics, the semantics arguments (from for pairsFrom/shortest, the
+// witness-path limit, the count length bound — zero when the semantics
+// ignores them, so equivalent requests share an entry), and the plan's
+// canonical language key. Because the epoch is part of the key, publishing
+// a new epoch invalidates every older entry implicitly; prune reclaims
+// their memory.
 type resultKey struct {
-	epoch uint64
-	kind  resultKind
-	from  graph.NodeID
-	plan  string
+	epoch  uint64
+	sem    query.Semantics
+	from   graph.NodeID
+	limit  int32
+	maxLen int32
+	plan   string
 }
 
-// resultEntry is one cached (or in-flight) selection. done is closed when
+// resultEntry is one cached (or in-flight) evaluation. done is closed when
 // the computation finished; waiters observing an open channel are
-// single-flight sharers. failed marks an entry whose compute panicked —
-// sharers must not serve its nil result.
+// single-flight sharers. failed marks an entry whose compute panicked or
+// returned an error (a canceled context, typically) — sharers must not
+// serve its zero answer and retry instead.
 type resultEntry struct {
 	done   chan struct{}
-	nodes  []graph.NodeID
+	ans    query.Answer
 	failed bool
 }
 
-// resultCache is a bounded single-flight cache of selection results.
+// resultCache is a bounded single-flight cache of evaluation answers.
 type resultCache struct {
 	mu      sync.Mutex
 	cap     int
@@ -57,11 +57,42 @@ func newResultCache(cap int) *resultCache {
 	return &resultCache{cap: cap, entries: make(map[resultKey]*resultEntry)}
 }
 
-// do returns the result for key, computing it via compute exactly once
+// lookup is the closure-free fast path: it returns the completed answer
+// for key, or ok=false for a miss, an in-flight entry, or a failed flight
+// — all of which the caller routes through do (which shares, retries, or
+// computes as appropriate). Skipping the compute-closure construction and
+// the single-flight bookkeeping here keeps the steady-state cached hit at
+// a map probe plus one atomic counter.
+func (c *resultCache) lookup(key resultKey) (*query.Answer, bool) {
+	c.mu.Lock()
+	e, ok := c.entries[key]
+	c.mu.Unlock()
+	if !ok {
+		return nil, false
+	}
+	select {
+	case <-e.done:
+		if e.failed {
+			return nil, false
+		}
+		c.hits.Add(1)
+		return &e.ans, true
+	default:
+		return nil, false
+	}
+}
+
+// do returns the answer for key, computing it via compute exactly once
 // across all concurrent callers. cached reports whether the caller got a
-// stored or shared result instead of running compute itself. The returned
-// slice is owned by the cache.
-func (c *resultCache) do(key resultKey, compute func() []graph.NodeID) (nodes []graph.NodeID, cached bool) {
+// stored or shared answer instead of running compute itself. ctx bounds
+// the caller's wait on someone else's in-flight computation — a waiter
+// whose context expires stops waiting and returns ctx.Err() (the flight
+// itself keeps running under its own caller's context). A compute error
+// (cancellation) is returned to its own caller only and never cached:
+// waiters sharing the failed flight retry with their own compute. The
+// returned answer points into the cache entry (never copied on the hit
+// path) — callers must treat it and its slices as immutable.
+func (c *resultCache) do(ctx context.Context, key resultKey, compute func() (query.Answer, error)) (ans *query.Answer, cached bool, err error) {
 	c.mu.Lock()
 	if key.epoch > c.latest {
 		c.latest = key.epoch
@@ -71,20 +102,24 @@ func (c *resultCache) do(key resultKey, compute func() []graph.NodeID) (nodes []
 		select {
 		case <-e.done:
 			if e.failed {
-				// The computing goroutine panicked (and removed the
-				// entry); retry as a fresh flight rather than serving its
-				// nil result as an empty selection.
-				return c.do(key, compute)
+				// The computing goroutine panicked or was canceled (and
+				// removed the entry); retry as a fresh flight rather than
+				// serving its zero answer.
+				return c.do(ctx, key, compute)
 			}
 			c.hits.Add(1)
 		default:
 			c.shared.Add(1)
-			<-e.done
+			select {
+			case <-e.done:
+			case <-ctx.Done():
+				return nil, false, ctx.Err()
+			}
 			if e.failed {
-				return c.do(key, compute)
+				return c.do(ctx, key, compute)
 			}
 		}
-		return e.nodes, true
+		return &e.ans, true, nil
 	}
 	if len(c.entries) >= c.cap {
 		c.evictLocked()
@@ -97,7 +132,11 @@ func (c *resultCache) do(key resultKey, compute func() []graph.NodeID) (nodes []
 		c.mu.Unlock()
 		c.misses.Add(1)
 		c.uncached.Add(1)
-		return compute(), false
+		a, err := compute()
+		if err != nil {
+			return nil, false, err
+		}
+		return &a, false, nil
 	}
 	e := &resultEntry{done: make(chan struct{})}
 	c.entries[key] = e
@@ -108,18 +147,22 @@ func (c *resultCache) do(key resultKey, compute func() []graph.NodeID) (nodes []
 		if !e.failed {
 			return
 		}
-		// compute panicked: drop the entry so the key can be retried,
-		// release waiters (flagged failed), and let the panic propagate.
+		// compute panicked or errored: drop the entry so the key can be
+		// retried, release waiters (flagged failed), and let a panic
+		// propagate.
 		c.mu.Lock()
 		delete(c.entries, key)
 		c.mu.Unlock()
 		close(e.done)
 	}()
 	e.failed = true
-	e.nodes = compute()
+	e.ans, err = compute()
+	if err != nil {
+		return nil, false, err
+	}
 	e.failed = false
 	close(e.done)
-	return e.nodes, false
+	return &e.ans, false, nil
 }
 
 // evictLocked makes room: completed entries from epochs older than the

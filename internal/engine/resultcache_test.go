@@ -1,10 +1,13 @@
 package engine
 
 import (
+	"context"
 	"sync"
 	"testing"
+	"time"
 
 	"pathquery/internal/graph"
+	"pathquery/internal/query"
 )
 
 // TestResultCacheBoundedUnderInFlightStorm is the regression test for the
@@ -24,11 +27,12 @@ func TestResultCacheBoundedUnderInFlightStorm(t *testing.T) {
 		go func(i int) {
 			defer wg.Done()
 			key := resultKey{epoch: 1, from: graph.NodeID(i), plan: "p"}
-			results[i], _ = c.do(key, func() []graph.NodeID {
+			ans, _, _ := c.do(context.Background(), key, func() (query.Answer, error) {
 				started <- struct{}{}
 				<-release
-				return []graph.NodeID{graph.NodeID(i)}
+				return query.Answer{Nodes: []graph.NodeID{graph.NodeID(i)}}, nil
 			})
+			results[i] = ans.Nodes
 		}(i)
 	}
 	// Every compute is running: all storm keys are distinct, so resident
@@ -55,5 +59,47 @@ func TestResultCacheBoundedUnderInFlightStorm(t *testing.T) {
 	c.mu.Unlock()
 	if resident > cap {
 		t.Fatalf("%d completed entries resident, cap %d", resident, cap)
+	}
+}
+
+// TestResultCacheWaiterHonorsContext regresses the context-blind
+// single-flight wait: a waiter with an expiring deadline sharing someone
+// else's slow flight must return ctx.Err() promptly instead of inheriting
+// the flight's runtime.
+func TestResultCacheWaiterHonorsContext(t *testing.T) {
+	c := newResultCache(8)
+	key := resultKey{epoch: 1, plan: "slow"}
+	started := make(chan struct{})
+	release := make(chan struct{})
+	go func() {
+		c.do(context.Background(), key, func() (query.Answer, error) {
+			close(started)
+			<-release
+			return query.Answer{Count: 1}, nil
+		})
+	}()
+	<-started
+
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Millisecond)
+	defer cancel()
+	start := time.Now()
+	_, _, err := c.do(ctx, key, func() (query.Answer, error) {
+		t.Error("waiter must share the in-flight computation, not start one")
+		return query.Answer{}, nil
+	})
+	if err != context.DeadlineExceeded {
+		t.Fatalf("waiter err = %v, want context.DeadlineExceeded", err)
+	}
+	if elapsed := time.Since(start); elapsed > time.Second {
+		t.Fatalf("expired waiter blocked for %v", elapsed)
+	}
+
+	close(release)
+	// The original flight completes and serves later requests normally.
+	ans, cached, err := c.do(context.Background(), key, func() (query.Answer, error) {
+		return query.Answer{}, nil
+	})
+	if err != nil || !cached || ans.Count != 1 {
+		t.Fatalf("post-release hit: ans %+v cached %v err %v", ans, cached, err)
 	}
 }

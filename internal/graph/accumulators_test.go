@@ -1,0 +1,201 @@
+package graph_test
+
+// Property tests for the unified-API accumulators: witness paths must be
+// real paths of the graph whose words the query DFA accepts, must exist
+// exactly for the selected nodes (resp. selected pairs), and the
+// accepting-length counts must match a brute-force forward reference.
+
+import (
+	"context"
+	"math/rand"
+	"slices"
+	"testing"
+
+	"pathquery/internal/alphabet"
+	"pathquery/internal/automata"
+	"pathquery/internal/graph"
+	"pathquery/internal/plan"
+)
+
+// checkWitness asserts pw is a real path of snap starting at start whose
+// word d accepts.
+func checkWitness(t *testing.T, snap *graph.Snapshot, d *automata.DFA, pw graph.PathWitness, start graph.NodeID) {
+	t.Helper()
+	if len(pw.Nodes) != len(pw.Word)+1 {
+		t.Fatalf("witness shape: %d nodes, %d symbols", len(pw.Nodes), len(pw.Word))
+	}
+	if pw.Nodes[0] != start {
+		t.Fatalf("witness starts at %d, want %d", pw.Nodes[0], start)
+	}
+	for i, sym := range pw.Word {
+		succ := snap.Step([]graph.NodeID{pw.Nodes[i]}, sym)
+		if !slices.Contains(succ, pw.Nodes[i+1]) {
+			t.Fatalf("witness step %d: no edge %d -%d-> %d", i, pw.Nodes[i], sym, pw.Nodes[i+1])
+		}
+	}
+	if !d.Accepts(pw.Word) {
+		t.Fatalf("witness word %v not accepted", pw.Word)
+	}
+}
+
+func TestWitnessPathPlanMatchesSelection(t *testing.T) {
+	rng := rand.New(rand.NewSource(301))
+	alpha := alphabet.NewSorted("a", "b", "c")
+	ctx := context.Background()
+	for iter := 0; iter < 60; iter++ {
+		nodes := 2 + rng.Intn(10)
+		g := randomGraph(rng, alpha, nodes, rng.Intn(3*nodes))
+		d := randomDFA(rng, alpha.Size())
+		snap := g.Snapshot()
+		for pi, p := range plansOf(d) {
+			sel := snap.SelectMonadicPlan(p)
+			for v := 0; v < nodes; v++ {
+				pw, ok, err := snap.WitnessPathPlan(ctx, p, graph.NodeID(v))
+				if err != nil {
+					t.Fatal(err)
+				}
+				if ok != sel[v] {
+					t.Fatalf("iter %d plan %d node %d: witness ok=%v, selected=%v",
+						iter, pi, v, ok, sel[v])
+				}
+				if ok {
+					checkWitness(t, snap, d, pw, graph.NodeID(v))
+				}
+			}
+		}
+	}
+}
+
+func TestWitnessPairPathPlanMatchesSelection(t *testing.T) {
+	rng := rand.New(rand.NewSource(302))
+	alpha := alphabet.NewSorted("a", "b")
+	ctx := context.Background()
+	for iter := 0; iter < 60; iter++ {
+		nodes := 2 + rng.Intn(8)
+		g := randomGraph(rng, alpha, nodes, rng.Intn(3*nodes))
+		d := randomDFA(rng, alpha.Size())
+		snap := g.Snapshot()
+		p := plan.FromDFA(d)
+		u := graph.NodeID(rng.Intn(nodes))
+		targets := snap.SelectBinaryFromPlan(p, u)
+		for v := 0; v < nodes; v++ {
+			pw, ok, err := snap.WitnessPairPathPlan(ctx, p, u, graph.NodeID(v))
+			if err != nil {
+				t.Fatal(err)
+			}
+			want := slices.Contains(targets, graph.NodeID(v))
+			if ok != want {
+				t.Fatalf("iter %d pair (%d,%d): witness ok=%v, selected=%v", iter, u, v, ok, want)
+			}
+			if ok {
+				checkWitness(t, snap, d, pw, u)
+				if last := pw.Nodes[len(pw.Nodes)-1]; last != graph.NodeID(v) {
+					t.Fatalf("iter %d: pair witness ends at %d, want %d", iter, last, v)
+				}
+			}
+		}
+	}
+}
+
+// refCountLengths is the brute-force count reference: per node, forward
+// product frontiers of exact length ℓ, counting the levels that contain an
+// accepting pair.
+func refCountLengths(snap *graph.Snapshot, d *automata.DFA, v graph.NodeID, maxLen int) int32 {
+	type pair struct {
+		v graph.NodeID
+		q int32
+	}
+	cur := map[pair]bool{{v, d.Start}: true}
+	var count int32
+	for l := 0; l <= maxLen; l++ {
+		accepting := false
+		for pr := range cur {
+			if d.Final[pr.q] {
+				accepting = true
+				break
+			}
+		}
+		if accepting {
+			count++
+		}
+		next := map[pair]bool{}
+		for pr := range cur {
+			for sym := 0; sym < d.NumSyms; sym++ {
+				t := d.Delta[pr.q][sym]
+				if t == automata.None {
+					continue
+				}
+				for _, to := range snap.Step([]graph.NodeID{pr.v}, alphabet.Symbol(sym)) {
+					next[pair{to, t}] = true
+				}
+			}
+		}
+		cur = next
+	}
+	return count
+}
+
+func TestCountPlanMatchesReference(t *testing.T) {
+	rng := rand.New(rand.NewSource(303))
+	alpha := alphabet.NewSorted("a", "b")
+	ctx := context.Background()
+	for iter := 0; iter < 40; iter++ {
+		nodes := 2 + rng.Intn(7)
+		g := randomGraph(rng, alpha, nodes, rng.Intn(3*nodes))
+		d := randomDFA(rng, alpha.Size())
+		snap := g.Snapshot()
+		maxLen := rng.Intn(7)
+		for pi, p := range plansOf(d) {
+			counts, err := snap.CountPlanCtx(ctx, p, maxLen)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for v := 0; v < nodes; v++ {
+				want := refCountLengths(snap, d, graph.NodeID(v), maxLen)
+				if counts[v] != want {
+					t.Fatalf("iter %d plan %d node %d maxLen %d: count %d, reference %d",
+						iter, pi, v, maxLen, counts[v], want)
+				}
+			}
+		}
+	}
+}
+
+// TestEvaluatorsHonorCancellation: an already-expired context aborts every
+// ctx-aware evaluator before (or promptly during) the traversal, and the
+// pooled scratch stays clean for the next evaluation on the same snapshot.
+func TestEvaluatorsHonorCancellation(t *testing.T) {
+	rng := rand.New(rand.NewSource(304))
+	alpha := alphabet.NewSorted("a", "b")
+	g := randomGraph(rng, alpha, 60, 240)
+	d := randomDFA(rng, alpha.Size())
+	snap := g.Snapshot()
+	p := plan.FromDFA(d)
+
+	canceled, cancel := context.WithCancel(context.Background())
+	cancel()
+
+	if _, err := snap.SelectMonadicPlanCtx(canceled, p); err != context.Canceled {
+		t.Errorf("SelectMonadicPlanCtx: err = %v, want context.Canceled", err)
+	}
+	if _, err := snap.SelectBinaryFromPlanCtx(canceled, p, 0); err != context.Canceled {
+		t.Errorf("SelectBinaryFromPlanCtx: err = %v, want context.Canceled", err)
+	}
+	if _, err := snap.CountPlanCtx(canceled, p, 100); err != context.Canceled {
+		t.Errorf("CountPlanCtx: err = %v, want context.Canceled", err)
+	}
+
+	// The same snapshot still evaluates correctly afterwards: aborted runs
+	// must have returned their scratch to the pool clean.
+	ctx := context.Background()
+	sel, err := snap.SelectMonadicPlanCtx(ctx, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref := snap.SelectMonadicPlan(p)
+	for v := range sel {
+		if sel[v] != ref[v] {
+			t.Fatalf("post-cancel selection diverged at node %d", v)
+		}
+	}
+}

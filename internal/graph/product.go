@@ -1,6 +1,7 @@
 package graph
 
 import (
+	"context"
 	"math/bits"
 	"runtime"
 	"slices"
@@ -61,6 +62,13 @@ var (
 	selectMaxWorkers          = 8
 )
 
+// ctxCheckInterval bounds how many worklist pops run between context
+// cancellation checks in the searches that are not level-synchronous
+// (level-synchronous searches check once per frontier level). Checking
+// ctx.Err() is one atomic load, so the interval only has to keep the
+// check out of the innermost edge loops.
+const ctxCheckInterval = 4096
+
 // SelectMonadic returns the per-node selection vector of the query DFA d
 // under monadic semantics: selected[ν] iff L(d) ∩ paths_G(ν) ≠ ∅.
 func (g *Graph) SelectMonadic(d *automata.DFA) []bool {
@@ -85,15 +93,26 @@ func (s *Snapshot) SelectMonadic(d *automata.DFA) []bool {
 // loop single-threaded without atomics. The per-symbol reverse tables come
 // precompiled from the plan.
 func (s *Snapshot) SelectMonadicPlan(p *plan.Plan) []bool {
+	selected, _ := s.SelectMonadicPlanCtx(context.Background(), p)
+	return selected
+}
+
+// SelectMonadicPlanCtx is SelectMonadicPlan honoring ctx: cancellation is
+// checked once per propagation level, and a canceled or deadline-exceeded
+// evaluation returns ctx.Err() with a nil selection.
+func (s *Snapshot) SelectMonadicPlanCtx(ctx context.Context, p *plan.Plan) ([]bool, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	nv, nq := s.nv, p.NumStates
 	selected := make([]bool, nv)
 	if nv == 0 || nq == 0 || p.Empty() {
-		return selected
+		return selected, nil
 	}
 	if p.Layout == plan.LayoutMasked {
 		// Learned and workload DFAs are small: pack each node's marked
 		// state set into one word and propagate whole masks at once.
-		return s.selectMonadicMasked(p, selected)
+		return s.selectMonadicMasked(ctx, p, selected)
 	}
 
 	size := nv * nq
@@ -115,6 +134,10 @@ func (s *Snapshot) SelectMonadicPlan(p *plan.Plan) []bool {
 	}
 	parallel := workers > 1 && size >= selectParallelMinSpace
 	for len(frontier) > 0 {
+		if err := ctx.Err(); err != nil {
+			sc.stack, sc.next = frontier, next
+			return nil, err
+		}
 		if !parallel || len(frontier) < selectParallelMinFrontier {
 			next = s.relaxMonadic(p, nq, good, frontier, next, false)
 		} else {
@@ -130,7 +153,7 @@ func (s *Snapshot) SelectMonadicPlan(p *plan.Plan) []bool {
 	for v := 0; v < nv; v++ {
 		selected[v] = good.Get(v*nq + start)
 	}
-	return selected
+	return selected, nil
 }
 
 // relaxMonadic expands one frontier of the backward product BFS: for each
@@ -180,10 +203,10 @@ func (s *Snapshot) relaxMonadic(p *plan.Plan, nq int, good bitset.Bits, frontier
 // once per level no matter how many product pairs became good there. The
 // plan's PredMask[sym·|Q|+q] is the mask of DFA predecessors p with
 // δ(p, sym) = q, so product predecessor sets are word-parallel unions.
-func (s *Snapshot) selectMonadicMasked(p *plan.Plan, selected []bool) []bool {
+func (s *Snapshot) selectMonadicMasked(ctx context.Context, p *plan.Plan, selected []bool) ([]bool, error) {
 	nv, nq := s.nv, p.NumStates
 	if p.FinalMask == 0 {
-		return selected
+		return selected, nil
 	}
 
 	sc := s.getProduct(nv * 64)
@@ -198,19 +221,23 @@ func (s *Snapshot) selectMonadicMasked(p *plan.Plan, selected []bool) []bool {
 	}
 	startBit := uint64(1) << uint(p.Start)
 	if workers > 1 && nv*nq >= selectParallelMinSpace {
-		s.selectMaskedParallel(p, nq, good, sc, workers)
+		if err := s.selectMaskedParallel(ctx, p, nq, good, sc, workers); err != nil {
+			return nil, err
+		}
 		for v := 0; v < nv; v++ {
 			selected[v] = good[v]&startBit != 0
 		}
-		return selected
+		return selected, nil
 	}
-	s.selectMaskedSerial(p, nq, good, sc)
+	if err := s.selectMaskedSerial(ctx, p, nq, good, sc); err != nil {
+		return nil, err
+	}
 	// The serial path keeps FinalMask implicit (every (v, final) pair is
 	// good by definition and was relaxed by the level-1 sweep).
 	for v := 0; v < nv; v++ {
 		selected[v] = (good[v]|p.FinalMask)&startBit != 0
 	}
-	return selected
+	return selected, nil
 }
 
 // selectMaskedSerial runs the mask-based backward propagation
@@ -220,7 +247,7 @@ func (s *Snapshot) selectMonadicMasked(p *plan.Plan, selected []bool) []bool {
 // transition into a final state are skipped without touching their edges.
 // The sparse remainder drains through a worklist deduplicated by a
 // per-node pending mask.
-func (s *Snapshot) selectMaskedSerial(p *plan.Plan, nq int, good bitset.Bits, sc *productScratch) {
+func (s *Snapshot) selectMaskedSerial(ctx context.Context, p *plan.Plan, nq int, good bitset.Bits, sc *productScratch) error {
 	ci := &s.in
 	nsym := p.NumSyms
 	predMask, finalMask := p.PredMask, p.FinalMask
@@ -245,7 +272,19 @@ func (s *Snapshot) selectMaskedSerial(p *plan.Plan, nq int, good bitset.Bits, sc
 			}
 		}
 	}
+	pops := 0
 	for len(stack) > 0 {
+		if pops++; pops%ctxCheckInterval == 0 {
+			if err := ctx.Err(); err != nil {
+				// Zero the pending masks of the unprocessed worklist so
+				// the scratch goes back to the pool clean.
+				for _, vi := range stack {
+					pending[vi] = 0
+				}
+				sc.stack = stack[:0]
+				return err
+			}
+		}
 		vi := stack[len(stack)-1]
 		stack = stack[:len(stack)-1]
 		v := NodeID(vi)
@@ -276,6 +315,7 @@ func (s *Snapshot) selectMaskedSerial(p *plan.Plan, nq int, good bitset.Bits, sc
 		}
 	}
 	sc.stack = stack
+	return nil
 }
 
 // selectMaskedParallel runs the mask-based backward propagation as a
@@ -283,7 +323,7 @@ func (s *Snapshot) selectMaskedSerial(p *plan.Plan, nq int, good bitset.Bits, sc
 // marking the shared good array with atomic-or (exactly-once per state
 // bit). Small frontiers fall back to the single-threaded relax to avoid
 // goroutine overhead between dense levels.
-func (s *Snapshot) selectMaskedParallel(p *plan.Plan, nq int, good bitset.Bits, sc *productScratch, workers int) {
+func (s *Snapshot) selectMaskedParallel(ctx context.Context, p *plan.Plan, nq int, good bitset.Bits, sc *productScratch, workers int) error {
 	nv := s.nv
 	curNew, nextNew := sc.maskCur, sc.maskNext
 	frontier, next := sc.stack, sc.next
@@ -293,6 +333,15 @@ func (s *Snapshot) selectMaskedParallel(p *plan.Plan, nq int, good bitset.Bits, 
 		frontier = append(frontier, uint64(v))
 	}
 	for len(frontier) > 0 {
+		if err := ctx.Err(); err != nil {
+			// At a level boundary every pending mask lives in curNew under
+			// a frontier entry; zero them so the scratch pools clean.
+			for _, vi := range frontier {
+				curNew[vi] = 0
+			}
+			sc.stack, sc.next = frontier[:0], next[:0]
+			return err
+		}
 		if len(frontier) < selectParallelMinFrontier {
 			next = s.relaxMasked(p, nq, good, curNew, nextNew, frontier, next, false)
 		} else {
@@ -305,6 +354,7 @@ func (s *Snapshot) selectMaskedParallel(p *plan.Plan, nq int, good bitset.Bits, 
 		curNew, nextNew = nextNew, curNew
 	}
 	sc.stack, sc.next = frontier, next
+	return nil
 }
 
 // relaxSharded expands one level-synchronous frontier across worker
@@ -698,7 +748,15 @@ func (s *Snapshot) SelectBinaryFrom(d *automata.DFA, u NodeID) []NodeID {
 // forward work is pruned to it: every pair entered from then on lies on a
 // path to some answer.
 func (s *Snapshot) SelectBinaryFromPlan(p *plan.Plan, u NodeID) []NodeID {
-	return s.selectBinaryFrom(p, u, true)
+	nodes, _ := s.selectBinaryFrom(context.Background(), p, u, true)
+	return nodes
+}
+
+// SelectBinaryFromPlanCtx is SelectBinaryFromPlan honoring ctx:
+// cancellation is checked once per expansion level, and a canceled or
+// deadline-exceeded evaluation returns ctx.Err() with a nil node list.
+func (s *Snapshot) SelectBinaryFromPlanCtx(ctx context.Context, p *plan.Plan, u NodeID) ([]NodeID, error) {
+	return s.selectBinaryFrom(ctx, p, u, true)
 }
 
 // SelectBinaryFromForward is SelectBinaryFromPlan with the backward side
@@ -706,12 +764,16 @@ func (s *Snapshot) SelectBinaryFromPlan(p *plan.Plan, u NodeID) []NodeID {
 // engine runs. Exposed as the baseline the direction-optimizing benchmark
 // and tests compare against; production callers use SelectBinaryFromPlan.
 func (s *Snapshot) SelectBinaryFromForward(p *plan.Plan, u NodeID) []NodeID {
-	return s.selectBinaryFrom(p, u, false)
+	nodes, _ := s.selectBinaryFrom(context.Background(), p, u, false)
+	return nodes
 }
 
-func (s *Snapshot) selectBinaryFrom(p *plan.Plan, u NodeID, directional bool) []NodeID {
+func (s *Snapshot) selectBinaryFrom(ctx context.Context, p *plan.Plan, u NodeID, directional bool) ([]NodeID, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	if p.Empty() {
-		return nil
+		return nil, nil
 	}
 	nq := p.NumStates
 	sc := s.getProduct2(s.nv * nq)
@@ -747,6 +809,10 @@ func (s *Snapshot) selectBinaryFrom(p *plan.Plan, u NodeID, directional bool) []
 	}
 
 	for len(ffront) > 0 {
+		if err := ctx.Err(); err != nil {
+			mk.Drain(func(int) {}) // leave the step scratch clean
+			return nil, err
+		}
 		if directional && bPhase != 2 && bcost < fcost {
 			if bPhase == 0 {
 				bfront, bcost = s.seedBackwardAll(p, nq, sc, bfront)
@@ -765,11 +831,11 @@ func (s *Snapshot) selectBinaryFrom(p *plan.Plan, u NodeID, directional bool) []
 	}
 
 	if mk.Count() == 0 {
-		return nil
+		return nil, nil
 	}
 	out := make([]NodeID, 0, mk.Count())
 	mk.Drain(func(i int) { out = append(out, NodeID(i)) })
-	return out
+	return out, nil
 }
 
 // seedBackwardAll runs the backward seeding sweep of SelectBinaryFromPlan:

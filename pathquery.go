@@ -32,6 +32,23 @@
 //	sess := pathquery.NewSession(g, pathquery.SessionOptions{})
 //	res, err := sess.Run(oracle, halt)
 //
+// # Serving
+//
+// The serving engine evaluates through one unified surface:
+// Engine.Evaluate(ctx, Request) answers every result shape — monadic
+// nodes, binary pairs, witness paths, accepting-length counts, shortest
+// witnesses — from one request/answer pair, with the context canceling
+// the product traversal:
+//
+//	e := pathquery.NewEngine(g, pathquery.EngineOptions{})
+//	ans, err := e.Evaluate(ctx, pathquery.Request{
+//	    Query: "(tram+bus)*·cinema", Semantics: "witness",
+//	})
+//
+// The same surface is the wire protocol: NewEngineHandler serves it as
+// POST /v1/query (see internal/engine.NewHandler for the format and the
+// deprecated-endpoint migration table).
+//
 // The subpackages under internal implement the substrates: automata
 // (NFA/DFA/RPNI machinery), graph (storage and product constructions),
 // scp (smallest-consistent-path search), charsample (the Theorem 3.5
@@ -107,6 +124,31 @@ type (
 	EngineLearnResult = engine.LearnResult
 	// Selection is the outcome of one monadic evaluation pass.
 	Selection = query.Selection
+	// Request is one evaluation request on the unified API: the query, the
+	// semantics ("nodes", "pairsFrom", "witness", "count", "shortest") and
+	// its arguments — the argument of Engine.Evaluate and the body of
+	// POST /v1/query.
+	Request = engine.Request
+	// Answer is the unified evaluation result, pinned to its epoch.
+	Answer = engine.Answer
+	// APIError is a request error with a stable machine-readable code —
+	// the "error.code" of the /v1/query wire protocol.
+	APIError = engine.APIError
+	// Semantics selects the result shape of one evaluation.
+	Semantics = query.Semantics
+	// PathWitness is one reconstructed accepting path: the nodes along it
+	// and the word it spells.
+	PathWitness = graph.PathWitness
+)
+
+// The evaluation semantics of the unified API (see Request.Semantics for
+// the wire names).
+const (
+	SemanticsNodes     = query.SemanticsNodes
+	SemanticsPairsFrom = query.SemanticsPairsFrom
+	SemanticsWitness   = query.SemanticsWitness
+	SemanticsCount     = query.SemanticsCount
+	SemanticsShortest  = query.SemanticsShortest
 )
 
 // ErrAbstain is returned when no consistent query can be constructed from
@@ -126,7 +168,9 @@ func NewGraph(alpha *Alphabet) *Graph { return graph.New(alpha) }
 func NewEngine(g *Graph, opt EngineOptions) *Engine { return engine.New(g, opt) }
 
 // NewEngineHandler exposes e as a JSON-over-HTTP API — the handler behind
-// cmd/pqserve (select, selectPairs, batch, mutate, learn, stats).
+// cmd/pqserve: the versioned unified protocol (POST /v1/query and
+// /v1/batch serving every semantics with a structured error envelope),
+// mutate, learn, stats, plans, plus the deprecated pre-v1 shims.
 func NewEngineHandler(e *Engine) http.Handler { return engine.NewHandler(e) }
 
 // NewAlphabet returns an empty label table.
