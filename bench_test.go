@@ -8,6 +8,7 @@ package pathquery_test
 
 import (
 	"context"
+	"fmt"
 	"math/rand"
 	"sort"
 	"sync"
@@ -28,6 +29,7 @@ import (
 	"pathquery/internal/regex"
 	"pathquery/internal/rpni"
 	"pathquery/internal/scp"
+	"pathquery/internal/store"
 )
 
 // Shared fixtures, built once.
@@ -626,5 +628,62 @@ func BenchmarkRPNIIdentification(b *testing.B) {
 		if err != nil || !got.Equal(target) {
 			b.Fatal("identification failed")
 		}
+	}
+}
+
+// BenchmarkStoreRecovery measures crash recovery (the pqbench -restart
+// scenario): opening a graph store whose state must be rebuilt from its
+// checkpoint and WAL tail. ns/op is the whole Open; the custom metrics
+// break it down as checkpoint-load µs and replay µs per 1000 WAL
+// records, from the store's own recovery timings.
+func BenchmarkStoreRecovery(b *testing.B) {
+	cases := []struct {
+		name            string
+		mutations       int
+		checkpointEvery int
+	}{
+		{"wal1k", 1000, -1},       // pure WAL replay
+		{"wal4k", 4000, -1},       // replay scaling
+		{"ckpt+tail", 4000, 3000}, // checkpoint load + 1k-record tail
+	}
+	for _, tc := range cases {
+		b.Run(tc.name, func(b *testing.B) {
+			dir := b.TempDir()
+			st, err := store.Open(dir, store.Options{CheckpointEvery: tc.checkpointEvery})
+			if err != nil {
+				b.Fatal(err)
+			}
+			e := engine.New(st.Graph(), engine.Options{Log: st})
+			for i := 0; i < tc.mutations; i++ {
+				_, err := e.Mutate([]engine.EdgeSpec{{
+					From:  fmt.Sprintf("n%d", i%512),
+					Label: fmt.Sprintf("l%d", i%8),
+					To:    fmt.Sprintf("n%d", (i+1)%512),
+				}})
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+			if err := st.Close(); err != nil {
+				b.Fatal(err)
+			}
+			var last store.Stats
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				st, err := store.Open(dir, store.Options{})
+				if err != nil {
+					b.Fatal(err)
+				}
+				last = st.Stats()
+				st.Close()
+			}
+			b.StopTimer()
+			if last.RecoveryReplayed > 0 {
+				perK := float64(last.RecoveryReplay.Microseconds()) /
+					float64(last.RecoveryReplayed) * 1000
+				b.ReportMetric(perK, "replay-us/krec")
+			}
+			b.ReportMetric(float64(last.RecoveryCheckpointLoad.Microseconds()), "ckpt-load-us")
+		})
 	}
 }

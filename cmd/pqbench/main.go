@@ -9,6 +9,7 @@
 //	pqbench -ablation -theorem
 //	pqbench -all -quick          # everything, scaled down
 //	pqbench -snapshot            # go-bench snapshot into BENCH_<date>.json
+//	pqbench -restart             # crash-recovery timings into BENCH_<date>.json
 //
 // -quick shrinks trial counts, fraction grids, synthetic sizes, and
 // interaction budgets so the full suite finishes in minutes; without it
@@ -59,11 +60,14 @@ var (
 	synSize   = flag.Int("syn-size", 0, "run synthetic experiments on this single size only")
 
 	snapshot      = flag.Bool("snapshot", false, "run go-benchmarks and write BENCH_<date>.json")
-	snapshotBench = flag.String("snapshot-bench", "BenchmarkSelectMonadic$|BenchmarkSCPSearch$|BenchmarkLearnerPaperExample$|BenchmarkEngineServe|BenchmarkLearn$|BenchmarkEngineLearn$|BenchmarkPlanCompile|BenchmarkSelectBinaryDirectional|BenchmarkEvaluateWitness$|BenchmarkEvaluateCount$",
+	snapshotBench = flag.String("snapshot-bench", "BenchmarkSelectMonadic$|BenchmarkSCPSearch$|BenchmarkLearnerPaperExample$|BenchmarkEngineServe|BenchmarkLearn$|BenchmarkEngineLearn$|BenchmarkPlanCompile|BenchmarkSelectBinaryDirectional|BenchmarkEvaluateWitness$|BenchmarkEvaluateCount$|BenchmarkStoreRecovery",
 		"benchmark pattern for -snapshot")
 	snapshotOut   = flag.String("snapshot-out", "", "snapshot file name (default BENCH_<date>.json)")
 	snapshotNote  = flag.String("snapshot-note", "", "free-form note stored in the snapshot")
 	snapshotCount = flag.Int("snapshot-count", 1, "benchmark repetitions for -snapshot")
+
+	restart = flag.Bool("restart", false,
+		"crash-recovery scenario: run BenchmarkStoreRecovery (checkpoint load + WAL replay µs per 1k records) and write the snapshot")
 
 	serve            = flag.Bool("serve", false, "closed-loop serving benchmark against the in-process engine")
 	serveSyn         = flag.Int("serve-syn", 10000, "synthetic graph size for -serve")
@@ -77,6 +81,18 @@ func main() {
 	log.SetFlags(0)
 	log.SetPrefix("pqbench: ")
 	flag.Parse()
+	if *restart {
+		// The restart scenario is a focused snapshot: just the recovery
+		// benchmarks, recorded in the same BENCH_<date>.json format.
+		*snapshotBench = "BenchmarkStoreRecovery"
+		if *snapshotNote == "" {
+			*snapshotNote = "pqbench -restart: crash-recovery (checkpoint load + WAL replay)"
+		}
+		if err := runSnapshot(); err != nil {
+			log.Fatal(err)
+		}
+		return
+	}
 	if *snapshot {
 		if err := runSnapshot(); err != nil {
 			log.Fatal(err)

@@ -2,6 +2,11 @@
 // unified evaluation surface (query.EvaluateReq).
 //
 //	pqeval -graph g.tsv -query '(tram+bus)*·cinema' [-semantics witness] [-from N1]
+//	pqeval -store /var/lib/pathquery/g1 -query 'a·b*'
+//
+// -store opens a durable graph directory written by pqserve -data
+// (checkpoint + WAL, recovered exactly as the server would), so the
+// serving state is queryable offline.
 //
 // -semantics picks the result shape: nodes (default, the paper's monadic
 // semantics), pairsFrom (binary semantics from -from), witness (monadic
@@ -23,12 +28,14 @@ import (
 	"pathquery"
 	"pathquery/internal/graph"
 	"pathquery/internal/query"
+	"pathquery/internal/store"
 )
 
 func main() {
 	log.SetFlags(0)
 	log.SetPrefix("pqeval: ")
-	graphPath := flag.String("graph", "", "graph TSV file (required)")
+	graphPath := flag.String("graph", "", "graph TSV file")
+	storePath := flag.String("store", "", "durable graph directory (pqserve -data tenant) instead of -graph")
 	querySrc := flag.String("query", "", "regular expression")
 	queryFile := flag.String("query-file", "", "saved query file (pqlearn -save)")
 	semantics := flag.String("semantics", "", "nodes|pairsFrom|witness|count|shortest (default nodes)")
@@ -39,7 +46,7 @@ func main() {
 	binaryFrom := flag.String("binary", "", "deprecated: -semantics pairsFrom -from NODE")
 	quiet := flag.Bool("quiet", false, "print only the summary line")
 	flag.Parse()
-	if *graphPath == "" || (*querySrc == "" && *queryFile == "") {
+	if (*graphPath == "") == (*storePath == "") || (*querySrc == "" && *queryFile == "") {
 		flag.Usage()
 		os.Exit(2)
 	}
@@ -47,14 +54,26 @@ func main() {
 		*semantics, *from = "pairsFrom", *binaryFrom
 	}
 
-	f, err := os.Open(*graphPath)
-	if err != nil {
-		log.Fatal(err)
-	}
-	defer f.Close()
-	g, err := graph.ReadTSV(f, nil)
-	if err != nil {
-		log.Fatal(err)
+	var g *graph.Graph
+	if *storePath != "" {
+		st, err := store.Open(*storePath, store.Options{Logf: log.Printf})
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer st.Close()
+		g = st.Graph()
+		stats := st.Stats()
+		fmt.Printf("store: epoch %d (checkpoint %d, %d WAL records replayed in %v)\n",
+			stats.Epoch, stats.CheckpointEpoch, stats.RecoveryReplayed, stats.RecoveryReplay)
+	} else {
+		f, err := os.Open(*graphPath)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer f.Close()
+		if g, err = graph.ReadTSV(f, nil); err != nil {
+			log.Fatal(err)
+		}
 	}
 	var q *pathquery.Query
 	if *queryFile != "" {
@@ -69,10 +88,11 @@ func main() {
 		}
 		q = loaded.Rebase(g.Alphabet())
 	} else {
-		q, err = pathquery.ParseQuery(g.Alphabet(), *querySrc)
+		parsed, err := pathquery.ParseQuery(g.Alphabet(), *querySrc)
 		if err != nil {
 			log.Fatal(err)
 		}
+		q = parsed
 	}
 
 	sem, err := query.ParseSemantics(*semantics)

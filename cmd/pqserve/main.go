@@ -1,37 +1,50 @@
 // Command pqserve runs the concurrent query-serving engine
-// (internal/engine) as an HTTP server: unified evaluation under every
-// semantics, batched evaluation, live mutation with epoch publication,
-// and online learning from node examples, over a graph loaded from TSV
-// or generated synthetically.
+// (internal/engine) as an HTTP server, in one of two modes.
+//
+// Multi-tenant durable mode (-data): a registry of named graphs, each
+// one backed by a write-ahead log and checkpoints under <data>/<name>/
+// (internal/store) and recovered on startup to its exact last published
+// epoch:
+//
+//	pqserve -data /var/lib/pathquery -addr :8080
+//
+//	POST /v1/graphs/{name}/query   {"query": "a·b*", "semantics": ...}
+//	POST /v1/graphs/{name}/batch   {"requests": [...]}
+//	POST /v1/graphs/{name}/mutate  {"edges": [...]}  (creates the graph)
+//	POST /v1/graphs/{name}/learn   {"pos": [...], "neg": [...]}
+//	GET  /v1/graphs/{name}/stats   engine counters + durability stats
+//	GET  /v1/graphs/{name}/plans
+//	GET  /v1/graphs                registry listing
+//	GET  /healthz                  liveness
+//	GET  /readyz                   503 until all tenant recoveries finish
+//
+// Per-tenant admission control isolates tenants: -max-inflight and
+// -queue-depth bound concurrent requests (overflow answers 503
+// "overloaded" + Retry-After), -mutate-rate/-mutate-burst bound the
+// mutation rate (429 "rate_limited" + Retry-After). See internal/server.
+//
+// Single-graph volatile mode (legacy): one engine over a graph loaded
+// from TSV or generated synthetically, no durability:
 //
 //	pqserve -graph data.tsv -addr :8080
 //	pqserve -synthetic 10000 -seed 1
 //
-// Endpoints (JSON bodies; see internal/engine.NewHandler for the full
-// wire format and the deprecated-endpoint migration table):
+// with the engine's endpoints at the root (POST /v1/query, /v1/batch,
+// /mutate, /learn, GET /stats, /plans, /healthz — see
+// internal/engine.NewHandler) plus /readyz, which is immediately ready.
 //
-//	POST /v1/query {"query": "a·b*", "semantics": "nodes|pairsFrom|witness|count|shortest", ...}
-//	POST /v1/batch {"requests": [{"query": "...", ...}, ...]}
-//	POST /mutate   {"edges": [{"from": "u", "label": "a", "to": "v"}]}
-//	POST /learn    {"pos": ["u", ...], "neg": ["v", ...], "k": 0}
-//	GET  /stats
-//	GET  /plans
-//	GET  /healthz
-//
-// plus the deprecated pre-v1 shims /select, /selectPairs and /batch.
-//
-// The server is a real http.Server: read/write timeouts bound slow
-// clients, every request's context reaches the evaluation engine with an
-// -eval-timeout deadline (a disconnecting client or an exceeded deadline
-// aborts the product traversal; the latter answers 504
-// deadline_exceeded), and SIGINT/SIGTERM drain in-flight requests before
-// exiting.
+// In both modes the server is a real http.Server: read/write timeouts
+// bound slow clients, every request's context carries an -eval-timeout
+// deadline (a disconnecting client or an exceeded deadline aborts the
+// product traversal; the latter answers 504 deadline_exceeded), and
+// SIGINT/SIGTERM drain in-flight requests before exiting.
 package main
 
 import (
 	"context"
 	"errors"
 	"flag"
+	"fmt"
 	"log"
 	"net/http"
 	"os"
@@ -42,14 +55,25 @@ import (
 	"pathquery/internal/datasets"
 	"pathquery/internal/engine"
 	"pathquery/internal/graph"
+	"pathquery/internal/server"
 )
 
 var (
-	addr         = flag.String("addr", ":8080", "listen address")
-	graphPath    = flag.String("graph", "", "graph TSV file (see graph.ReadTSV format)")
-	synthetic    = flag.Int("synthetic", 0, "serve a synthetic scale-free graph of this many nodes instead")
-	seed         = flag.Int64("seed", 1, "synthetic generator seed")
-	cacheCap     = flag.Int("result-cache", 4096, "result cache capacity (entries)")
+	addr      = flag.String("addr", ":8080", "listen address")
+	dataDir   = flag.String("data", "", "multi-tenant durable mode: WAL + checkpoint root directory")
+	graphPath = flag.String("graph", "", "single-graph mode: graph TSV file (see graph.ReadTSV format)")
+	synthetic = flag.Int("synthetic", 0, "single-graph mode: serve a synthetic scale-free graph of this many nodes")
+	seed      = flag.Int64("seed", 1, "synthetic generator seed")
+	cacheCap  = flag.Int("result-cache", 4096, "result cache capacity (entries, per graph)")
+
+	checkpointEvery = flag.Int("checkpoint-every", 256,
+		"cut a checkpoint every n WAL records (-data mode; negative disables)")
+	maxInFlight = flag.Int("max-inflight", 64, "per-tenant in-flight request cap (-data mode)")
+	queueDepth  = flag.Int("queue-depth", 128,
+		"per-tenant admission queue beyond the in-flight cap (-data mode; negative sheds immediately)")
+	mutateRate  = flag.Float64("mutate-rate", 0, "per-tenant mutations per second (-data mode; 0 = unlimited)")
+	mutateBurst = flag.Int("mutate-burst", 16, "per-tenant mutation burst (-data mode)")
+
 	readTimeout  = flag.Duration("read-timeout", 15*time.Second, "http.Server ReadTimeout")
 	writeTimeout = flag.Duration("write-timeout", 60*time.Second, "http.Server WriteTimeout")
 	evalTimeout  = flag.Duration("eval-timeout", 30*time.Second,
@@ -75,32 +99,65 @@ func main() {
 	log.SetPrefix("pqserve: ")
 	flag.Parse()
 
-	var g *graph.Graph
+	var handler http.Handler
+	var closeFn func() error
 	switch {
+	case *dataDir != "" && (*graphPath != "" || *synthetic > 0):
+		log.Fatal("-data is mutually exclusive with -graph/-synthetic")
+	case *dataDir != "":
+		srv, err := server.New(server.Options{
+			DataDir:         *dataDir,
+			CheckpointEvery: *checkpointEvery,
+			ResultCacheCap:  *cacheCap,
+			MaxInFlight:     *maxInFlight,
+			QueueDepth:      *queueDepth,
+			MutateRate:      *mutateRate,
+			MutateBurst:     *mutateBurst,
+			Logf:            log.Printf,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		// Serve immediately; /readyz turns ready once every existing
+		// tenant has replayed its WAL (requests racing recovery trigger
+		// their own tenant's recovery lazily and just wait for it).
+		go srv.RecoverAll()
+		handler = srv.Handler()
+		closeFn = srv.Close
+		log.Printf("serving multi-tenant registry on %s from %s", *addr, *dataDir)
 	case *graphPath != "" && *synthetic > 0:
 		log.Fatal("-graph and -synthetic are mutually exclusive")
-	case *graphPath != "":
-		f, err := os.Open(*graphPath)
-		if err != nil {
-			log.Fatal(err)
+	case *graphPath != "" || *synthetic > 0:
+		var g *graph.Graph
+		if *graphPath != "" {
+			f, err := os.Open(*graphPath)
+			if err != nil {
+				log.Fatal(err)
+			}
+			g, err = graph.ReadTSV(f, nil)
+			f.Close()
+			if err != nil {
+				log.Fatal(err)
+			}
+		} else {
+			g = datasets.Synthetic(*synthetic, *seed)
 		}
-		g, err = graph.ReadTSV(f, nil)
-		f.Close()
-		if err != nil {
-			log.Fatal(err)
-		}
-	case *synthetic > 0:
-		g = datasets.Synthetic(*synthetic, *seed)
+		e := engine.New(g, engine.Options{ResultCacheCap: *cacheCap})
+		st := e.Stats()
+		log.Printf("serving on %s: epoch %d, %d nodes, %d edges, %d labels",
+			*addr, st.Epoch, st.Nodes, st.Edges, g.Alphabet().Size())
+		mux := http.NewServeMux()
+		mux.Handle("/", engine.NewHandler(e))
+		// A volatile single-graph server is ready the moment it listens.
+		mux.HandleFunc("GET /readyz", func(w http.ResponseWriter, r *http.Request) {
+			fmt.Fprintln(w, "ok")
+		})
+		handler = mux
+		closeFn = func() error { return nil }
 	default:
-		log.Fatal("need -graph FILE or -synthetic N")
+		log.Fatal("need -data DIR, -graph FILE or -synthetic N")
 	}
 
-	e := engine.New(g, engine.Options{ResultCacheCap: *cacheCap})
-	st := e.Stats()
-	log.Printf("serving on %s: epoch %d, %d nodes, %d edges, %d labels",
-		*addr, st.Epoch, st.Nodes, st.Edges, g.Alphabet().Size())
-
-	handler := engine.NewHandler(e)
 	if *evalTimeout > 0 {
 		handler = withDeadline(handler, *evalTimeout)
 	}
@@ -127,6 +184,9 @@ func main() {
 		defer cancel()
 		if err := srv.Shutdown(shCtx); err != nil && !errors.Is(err, context.DeadlineExceeded) {
 			log.Fatal(err)
+		}
+		if err := closeFn(); err != nil {
+			log.Printf("closing stores: %v", err)
 		}
 		log.Printf("bye")
 	}

@@ -37,6 +37,7 @@ package engine
 import (
 	"context"
 	"fmt"
+	"net/http"
 	"sync"
 	"sync/atomic"
 
@@ -51,12 +52,30 @@ type Options struct {
 	// ResultCacheCap bounds the number of cached result entries
 	// (default 4096). Stale-epoch entries are evicted first.
 	ResultCacheCap int
+	// Log, if set, makes the engine durable: every Mutate appends its
+	// edges to the log — under the write lock, before they are applied —
+	// and a log failure aborts the mutation with the graph untouched.
+	// internal/store.GraphStore is the WAL-backed implementation.
+	Log MutationLog
+}
+
+// MutationLog is the engine's write-ahead hook (implemented by
+// internal/store.GraphStore). Append receives the mutation before it is
+// applied, together with the epoch its publication will carry; it must
+// make the record durable (or fail, aborting the mutation). Committed
+// runs after the epoch is published, outside the write lock — the
+// store's checkpoint trigger; implementations handle their own errors
+// (a failed checkpoint is a warning, the WAL already holds the data).
+type MutationLog interface {
+	Append(epoch uint64, edges []EdgeSpec) error
+	Committed(snap *graph.Snapshot)
 }
 
 // Engine serves path queries over a mutable graph. All methods are safe
 // for concurrent use; mutations are serialized internally.
 type Engine struct {
 	g       *graph.Graph
+	log     MutationLog  // write-ahead hook; nil = volatile engine
 	mu      sync.RWMutex // write: mutate+publish; read: build-side name lookups
 	plans   *planCache
 	results *resultCache
@@ -76,6 +95,7 @@ func New(g *graph.Graph, opt Options) *Engine {
 	}
 	e := &Engine{
 		g:       g,
+		log:     opt.Log,
 		plans:   newPlanCache(g.Alphabet()),
 		results: newResultCache(opt.ResultCacheCap),
 	}
@@ -205,19 +225,50 @@ type MutationResult struct {
 // Mutate adds the given edges (creating nodes and interning labels as
 // needed) and publishes a new epoch serving them. Mutations from any
 // number of goroutines are serialized; in-flight readers keep their
-// pinned epochs.
-func (e *Engine) Mutate(edges []EdgeSpec) MutationResult {
-	return e.Update(func(g *graph.Graph) {
-		for _, ed := range edges {
-			g.AddEdgeByName(ed.From, ed.Label, ed.To)
+// pinned epochs. On a durable engine (Options.Log) the edges are
+// appended to the write-ahead log and fsynced before they are applied:
+// a log failure aborts the mutation — graph untouched, epoch unchanged
+// — with a 503 durability_error. An empty edge list is a no-op.
+func (e *Engine) Mutate(edges []EdgeSpec) (MutationResult, error) {
+	if len(edges) == 0 {
+		snap := e.g.Current()
+		return MutationResult{Epoch: snap.Epoch(), Nodes: snap.NumNodes(), Edges: snap.NumEdges()}, nil
+	}
+	e.mu.Lock()
+	if e.log != nil {
+		// Every AddEdge dirties the build side, so a nonempty mutation
+		// publishes exactly the next epoch — the number logged here.
+		if err := e.log.Append(e.g.Epoch()+1, edges); err != nil {
+			e.mu.Unlock()
+			return MutationResult{}, &APIError{
+				Code:    "durability_error",
+				Status:  http.StatusServiceUnavailable,
+				Message: fmt.Sprintf("mutation not applied: %v", err),
+			}
 		}
-	})
+	}
+	for _, ed := range edges {
+		e.g.AddEdgeByName(ed.From, ed.Label, ed.To)
+	}
+	snap := e.g.Snapshot()
+	e.mu.Unlock()
+	e.mutations.Add(1)
+	e.results.prune(snap.Epoch())
+	if e.log != nil {
+		e.log.Committed(snap)
+	}
+	return MutationResult{Epoch: snap.Epoch(), Nodes: snap.NumNodes(), Edges: snap.NumEdges()}, nil
 }
 
 // Update runs fn against the build side under the write lock and
 // publishes a new epoch. fn must only mutate (AddNode/AddEdge/...), not
-// read through Graph-level read methods.
+// read through Graph-level read methods. Update cannot write ahead (fn
+// is opaque), so it refuses to run on a durable engine — recovery would
+// silently diverge; use Mutate there.
 func (e *Engine) Update(fn func(g *graph.Graph)) MutationResult {
+	if e.log != nil {
+		panic("engine: Update bypasses the mutation log; use Mutate on a durable engine")
+	}
 	e.mu.Lock()
 	fn(e.g)
 	snap := e.g.Snapshot()

@@ -85,7 +85,7 @@ func TestEngineMutateAdvancesEpoch(t *testing.T) {
 	if got := names(t, before); len(got) != 1 || got[0] != "N2" {
 		t.Fatalf("bus·cinema selected %v, want [N2]", got)
 	}
-	m := e.Mutate([]EdgeSpec{{From: "N5", Label: "cinema", To: "C2"}})
+	m, _ := e.Mutate([]EdgeSpec{{From: "N5", Label: "cinema", To: "C2"}})
 	if m.Epoch != before.Epoch+1 {
 		t.Fatalf("mutation published epoch %d, want %d", m.Epoch, before.Epoch+1)
 	}
@@ -225,7 +225,7 @@ func TestEnginePropertyCachedVsUncached(t *testing.T) {
 					batch[i] = randomEdge(rng)
 				}
 				edges = append(edges, batch...)
-				m := e.Mutate(batch)
+				m, _ := e.Mutate(batch)
 				if m.Epoch != e.Epoch() {
 					t.Fatalf("trial %d step %d: mutation epoch %d != served %d",
 						trial, step, m.Epoch, e.Epoch())
@@ -291,7 +291,7 @@ func checkAgainstMirror(t *testing.T, trial, step int, src string, edges []EdgeS
 // move forward, and the final state agrees with an uncached mirror.
 func TestEngineConcurrentMutateSelect(t *testing.T) {
 	e := New(graph.New(nil), Options{})
-	seed := e.Mutate([]EdgeSpec{{From: "v0", Label: "a", To: "v1"}, {From: "v1", Label: "b", To: "v2"}})
+	seed, _ := e.Mutate([]EdgeSpec{{From: "v0", Label: "a", To: "v1"}, {From: "v1", Label: "b", To: "v2"}})
 	if seed.Epoch == 0 {
 		t.Fatal("no epoch published")
 	}
@@ -314,7 +314,7 @@ func TestEngineConcurrentMutateSelect(t *testing.T) {
 			edgesMu.Lock()
 			edges = append(edges, ed)
 			edgesMu.Unlock()
-			m := e.Mutate([]EdgeSpec{ed})
+			m, _ := e.Mutate([]EdgeSpec{ed})
 			if m.Epoch <= last {
 				t.Errorf("epoch went backwards: %d after %d", m.Epoch, last)
 				return

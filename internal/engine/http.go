@@ -173,7 +173,11 @@ func NewHandler(e *Engine) http.Handler {
 				return
 			}
 		}
-		m := e.Mutate(req.Edges)
+		m, err := e.Mutate(req.Edges)
+		if err != nil {
+			writeError(w, err)
+			return
+		}
 		writeJSON(w, struct {
 			Epoch uint64 `json:"epoch"`
 			Nodes int    `json:"nodes"`

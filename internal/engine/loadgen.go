@@ -122,7 +122,9 @@ func RunLoad(e *Engine, cfg LoadConfig) (LoadReport, error) {
 				}
 				t0 := time.Now()
 				if cfg.MutateEvery > 0 && n%cfg.MutateEvery == 0 {
-					e.Mutate(nextMutation())
+					if _, err := e.Mutate(nextMutation()); err != nil {
+						panic(err) // a volatile load-driver engine cannot fail durably
+					}
 					st.mutations++
 				} else if cfg.BatchSize > 1 {
 					batch := make([]string, cfg.BatchSize)

@@ -1,0 +1,190 @@
+package graph
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+
+	"pathquery/internal/alphabet"
+)
+
+// Binary graph serialization — the checkpoint payload of internal/store.
+//
+// The format freezes one epoch snapshot: the alphabet prefix, the node
+// name table in id order, and the edges in out-CSR order. Everything is
+// little-endian; strings are u32-length-prefixed UTF-8. Reloading a
+// checkpoint therefore reproduces the exact node ids and symbol ids of
+// the serialized epoch, which is what makes recovered query answers
+// byte-identical to the pre-crash engine's.
+//
+//	magic    "PQGRAPH1"
+//	u32 nsym    then nsym strings  (labels, symbol order)
+//	u32 nv      then nv strings    (node names, id order)
+//	u64 ne      then ne edges      (u32 from, u32 sym, u32 to)
+//
+// The decoder is hardened against malformed and hostile input: every
+// count and length is sanity-capped before allocation, node and symbol
+// ids are bounds-checked while decoding, and all failures are
+// descriptive errors — never a panic. Integrity (bit flips) is the
+// caller's job; internal/store wraps the payload in a CRC32.
+
+var binaryMagic = [8]byte{'P', 'Q', 'G', 'R', 'A', 'P', 'H', '1'}
+
+// maxBinaryString caps one label or node name (1 MiB): a corrupt length
+// prefix must not drive a giant allocation.
+const maxBinaryString = 1 << 20
+
+// WriteBinary serializes the snapshot in the binary checkpoint format.
+func (s *Snapshot) WriteBinary(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	if _, err := bw.Write(binaryMagic[:]); err != nil {
+		return err
+	}
+	// The alphabet may have grown past this epoch (interning is global and
+	// append-only); serialize exactly the prefix the epoch was published
+	// with, so symbol ids in the edge list are in range.
+	writeU32(bw, uint32(s.nsym))
+	for sym := 0; sym < s.nsym; sym++ {
+		writeStr(bw, s.g.alpha.Name(alphabet.Symbol(sym)))
+	}
+	writeU32(bw, uint32(s.nv))
+	for _, name := range s.names {
+		writeStr(bw, name)
+	}
+	writeU64(bw, uint64(s.ne))
+	for v := 0; v < s.nv; v++ {
+		for _, e := range s.out.row(NodeID(v)) {
+			writeU32(bw, uint32(v))
+			writeU32(bw, uint32(e.Sym))
+			writeU32(bw, uint32(e.To))
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadBinary decodes a graph serialized by WriteBinary. The returned
+// graph owns a fresh alphabet with labels interned in serialized symbol
+// order, so symbol ids and node ids match the serialized epoch exactly.
+// Malformed input — truncation, out-of-range node or symbol ids,
+// duplicate names, absurd counts — returns a descriptive error.
+func ReadBinary(r io.Reader) (*Graph, error) {
+	br := bufio.NewReader(r)
+	var magic [8]byte
+	if _, err := io.ReadFull(br, magic[:]); err != nil {
+		return nil, fmt.Errorf("graph: binary: reading magic: %w", err)
+	}
+	if magic != binaryMagic {
+		return nil, fmt.Errorf("graph: binary: bad magic %q", magic[:])
+	}
+	nsym, err := readU32(br, "symbol count")
+	if err != nil {
+		return nil, err
+	}
+	if nsym > alphabet.MaxSymbols {
+		return nil, fmt.Errorf("graph: binary: symbol count %d exceeds max %d", nsym, alphabet.MaxSymbols)
+	}
+	alpha := alphabet.New()
+	for i := uint32(0); i < nsym; i++ {
+		label, err := readStr(br, "label")
+		if err != nil {
+			return nil, err
+		}
+		if got := alpha.Intern(label); got != alphabet.Symbol(i) {
+			return nil, fmt.Errorf("graph: binary: duplicate label %q (symbols %d and %d)", label, got, i)
+		}
+	}
+	g := New(alpha)
+	nv, err := readU32(br, "node count")
+	if err != nil {
+		return nil, err
+	}
+	for i := uint32(0); i < nv; i++ {
+		name, err := readStr(br, "node name")
+		if err != nil {
+			return nil, err
+		}
+		if got := g.AddNode(name); got != NodeID(i) {
+			return nil, fmt.Errorf("graph: binary: duplicate node name %q (ids %d and %d)", name, got, i)
+		}
+	}
+	ne, err := readU64(br, "edge count")
+	if err != nil {
+		return nil, err
+	}
+	for i := uint64(0); i < ne; i++ {
+		from, err := readU32(br, "edge tail")
+		if err != nil {
+			return nil, err
+		}
+		sym, err := readU32(br, "edge symbol")
+		if err != nil {
+			return nil, err
+		}
+		to, err := readU32(br, "edge head")
+		if err != nil {
+			return nil, err
+		}
+		if from >= nv || to >= nv {
+			return nil, fmt.Errorf("graph: binary: edge %d: node id out of range (%d, %d) with %d nodes", i, from, to, nv)
+		}
+		if sym >= nsym {
+			return nil, fmt.Errorf("graph: binary: edge %d: symbol id %d out of range with %d symbols", i, sym, nsym)
+		}
+		g.AddEdge(NodeID(from), alphabet.Symbol(sym), NodeID(to))
+	}
+	// Trailing garbage means the stream does not end where the header said
+	// it would — refuse it rather than silently ignore it.
+	if _, err := br.ReadByte(); err != io.EOF {
+		return nil, fmt.Errorf("graph: binary: trailing data after %d edges", ne)
+	}
+	return g, nil
+}
+
+func writeU32(w *bufio.Writer, v uint32) {
+	var b [4]byte
+	binary.LittleEndian.PutUint32(b[:], v)
+	w.Write(b[:])
+}
+
+func writeU64(w *bufio.Writer, v uint64) {
+	var b [8]byte
+	binary.LittleEndian.PutUint64(b[:], v)
+	w.Write(b[:])
+}
+
+func writeStr(w *bufio.Writer, s string) {
+	writeU32(w, uint32(len(s)))
+	w.WriteString(s)
+}
+
+func readU32(r *bufio.Reader, what string) (uint32, error) {
+	var b [4]byte
+	if _, err := io.ReadFull(r, b[:]); err != nil {
+		return 0, fmt.Errorf("graph: binary: reading %s: %w", what, err)
+	}
+	return binary.LittleEndian.Uint32(b[:]), nil
+}
+
+func readU64(r *bufio.Reader, what string) (uint64, error) {
+	var b [8]byte
+	if _, err := io.ReadFull(r, b[:]); err != nil {
+		return 0, fmt.Errorf("graph: binary: reading %s: %w", what, err)
+	}
+	return binary.LittleEndian.Uint64(b[:]), nil
+}
+
+func readStr(r *bufio.Reader, what string) (string, error) {
+	n, err := readU32(r, what+" length")
+	if err != nil {
+		return "", err
+	}
+	if n > maxBinaryString {
+		return "", fmt.Errorf("graph: binary: %s length %d exceeds max %d", what, n, maxBinaryString)
+	}
+	buf := make([]byte, n)
+	if _, err := io.ReadFull(r, buf); err != nil {
+		return "", fmt.Errorf("graph: binary: reading %s: %w", what, err)
+	}
+	return string(buf), nil
+}

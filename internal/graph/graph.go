@@ -85,6 +85,20 @@ func (g *Graph) NumEdges() int { return g.numEdges }
 // the first publication).
 func (g *Graph) Epoch() uint64 { return g.epoch.Load() }
 
+// SetEpochBase re-anchors the epoch counter so the next publication is
+// numbered base+1. Recovery-time only: internal/store rebuilds a graph
+// from a checkpoint plus WAL replay and re-anchors it so the recovered
+// publication carries the same epoch number the pre-crash engine last
+// served. It must be called before the first publication; calling it on
+// a graph that has already published would violate the contract that
+// epochs only ever increase.
+func (g *Graph) SetEpochBase(base uint64) {
+	if g.cur.Load() != nil {
+		panic("graph: SetEpochBase after an epoch was published")
+	}
+	g.epoch.Store(base)
+}
+
 // AddNode adds a node named name and returns its id; adding an existing
 // name returns the existing id. The node joins the published read view at
 // the next Snapshot().

@@ -58,10 +58,22 @@ func ReadTSV(r io.Reader, alpha *alphabet.Alphabet) (*Graph, error) {
 			if len(fields) != 2 {
 				return nil, fmt.Errorf("graph: line %d: want v<TAB>name", lineNo)
 			}
+			if fields[1] == "" {
+				return nil, fmt.Errorf("graph: line %d: empty node name", lineNo)
+			}
 			g.AddNode(fields[1])
 		case "e":
 			if len(fields) != 4 {
 				return nil, fmt.Errorf("graph: line %d: want e<TAB>from<TAB>label<TAB>to", lineNo)
+			}
+			if fields[1] == "" || fields[2] == "" || fields[3] == "" {
+				return nil, fmt.Errorf("graph: line %d: empty field in edge record", lineNo)
+			}
+			// Intern would panic past the symbol cap; a malformed or hostile
+			// file must surface as an error instead.
+			if _, ok := g.alpha.Lookup(fields[2]); !ok && g.alpha.Size() >= alphabet.MaxSymbols {
+				return nil, fmt.Errorf("graph: line %d: label %q exceeds the %d-symbol alphabet cap",
+					lineNo, fields[2], alphabet.MaxSymbols)
 			}
 			g.AddEdgeByName(fields[1], fields[2], fields[3])
 		default:

@@ -1,0 +1,176 @@
+package graph
+
+import (
+	"bytes"
+	"encoding/binary"
+	"strings"
+	"testing"
+)
+
+func testGraph(t *testing.T) *Graph {
+	t.Helper()
+	g := New(nil)
+	g.AddEdgeByName("N1", "tram", "N2")
+	g.AddEdgeByName("N2", "bus", "N3")
+	g.AddEdgeByName("N3", "tram", "N1")
+	g.AddEdgeByName("N1", "cinema", "C1")
+	g.AddNode("isolated")
+	return g
+}
+
+func TestBinaryRoundTrip(t *testing.T) {
+	g := testGraph(t)
+	snap := g.Snapshot()
+	var buf bytes.Buffer
+	if err := snap.WriteBinary(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadBinary(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.NumNodes() != g.NumNodes() || got.NumEdges() != g.NumEdges() {
+		t.Fatalf("round trip: got %d nodes %d edges, want %d/%d",
+			got.NumNodes(), got.NumEdges(), g.NumNodes(), g.NumEdges())
+	}
+	// Node ids, symbol ids and adjacency must match exactly.
+	for v := 0; v < g.NumNodes(); v++ {
+		if got.NodeName(NodeID(v)) != g.NodeName(NodeID(v)) {
+			t.Fatalf("node %d: name %q != %q", v, got.NodeName(NodeID(v)), g.NodeName(NodeID(v)))
+		}
+	}
+	gs, hs := g.Snapshot(), got.Snapshot()
+	for v := 0; v < g.NumNodes(); v++ {
+		a, b := gs.OutEdges(NodeID(v)), hs.OutEdges(NodeID(v))
+		if len(a) != len(b) {
+			t.Fatalf("node %d: %d out-edges != %d", v, len(b), len(a))
+		}
+		for i := range a {
+			if a[i] != b[i] {
+				t.Fatalf("node %d edge %d: %v != %v", v, i, b[i], a[i])
+			}
+		}
+	}
+	if gs.Alphabet().Size() < hs.Alphabet().Size() {
+		t.Fatalf("alphabet grew on round trip: %d -> %d", gs.Alphabet().Size(), hs.Alphabet().Size())
+	}
+}
+
+// encodeBinary returns the serialized test graph for corruption tests.
+func encodeBinary(t *testing.T) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := testGraph(t).Snapshot().WriteBinary(&buf); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// TestReadBinaryCorrupt feeds the decoder malformed inputs: every case
+// must return a descriptive error, never panic, never succeed.
+func TestReadBinaryCorrupt(t *testing.T) {
+	valid := encodeBinary(t)
+	u32 := func(v uint32) []byte {
+		var b [4]byte
+		binary.LittleEndian.PutUint32(b[:], v)
+		return b[:]
+	}
+	mutate := func(off int, b []byte) []byte {
+		out := append([]byte(nil), valid...)
+		copy(out[off:], b)
+		return out
+	}
+	cases := []struct {
+		name string
+		data []byte
+		want string // substring of the error
+	}{
+		{"empty", nil, "magic"},
+		{"short magic", valid[:4], "magic"},
+		{"bad magic", mutate(0, []byte("XXXXXXXX")), "bad magic"},
+		{"truncated after magic", valid[:8], "symbol count"},
+		{"symbol count over cap", mutate(8, u32(1<<20)), "exceeds max"},
+		{"huge string length", mutate(12, u32(1<<30)), "exceeds max"},
+		{"truncated mid names", valid[:len(valid)/2], "reading"},
+		{"truncated mid edges", valid[:len(valid)-3], "reading"},
+		{"trailing garbage", append(append([]byte(nil), valid...), 0xAB), "trailing data"},
+	}
+	// Out-of-range ids: patch the last edge's head node id to 99. The edge
+	// section is the last 12·ne bytes; field layout is (from, sym, to).
+	lastTo := mutate(len(valid)-4, u32(99))
+	cases = append(cases, struct {
+		name string
+		data []byte
+		want string
+	}{"edge node id out of range", lastTo, "out of range"})
+	lastSym := mutate(len(valid)-8, u32(7777))
+	cases = append(cases, struct {
+		name string
+		data []byte
+		want string
+	}{"edge symbol id out of range", lastSym, "out of range"})
+
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			g, err := ReadBinary(bytes.NewReader(tc.data))
+			if err == nil {
+				t.Fatalf("decoded corrupt input into %v", g)
+			}
+			if !strings.Contains(err.Error(), tc.want) {
+				t.Fatalf("error %q does not mention %q", err, tc.want)
+			}
+		})
+	}
+}
+
+// TestReadBinaryTruncatedEverywhere truncates the serialized form at
+// every offset: every prefix must fail cleanly (no panic, no success).
+func TestReadBinaryTruncatedEverywhere(t *testing.T) {
+	valid := encodeBinary(t)
+	for off := 0; off < len(valid); off++ {
+		if _, err := ReadBinary(bytes.NewReader(valid[:off])); err == nil {
+			t.Fatalf("prefix of %d/%d bytes decoded without error", off, len(valid))
+		}
+	}
+}
+
+// TestReadTSVCorrupt drives the text loader through malformed inputs.
+func TestReadTSVCorrupt(t *testing.T) {
+	cases := []struct {
+		name  string
+		input string
+		want  string
+	}{
+		{"unknown record", "x\tfoo", "unknown record"},
+		{"short v", "v", "want v"},
+		{"long v", "v\ta\tb", "want v"},
+		{"empty node name", "v\t", "empty node name"},
+		{"short e", "e\ta\tb", "want e"},
+		{"empty edge field", "e\ta\t\tb", "empty field"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			g, err := ReadTSV(strings.NewReader(tc.input), nil)
+			if err == nil {
+				t.Fatalf("parsed corrupt input into %v", g)
+			}
+			if !strings.Contains(err.Error(), tc.want) {
+				t.Fatalf("error %q does not mention %q", err, tc.want)
+			}
+		})
+	}
+}
+
+func TestSetEpochBase(t *testing.T) {
+	g := testGraph(t)
+	g.SetEpochBase(41)
+	if e := g.Snapshot().Epoch(); e != 42 {
+		t.Fatalf("first publication after SetEpochBase(41) = epoch %d, want 42", e)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("SetEpochBase after publication did not panic")
+		}
+	}()
+	g.SetEpochBase(7)
+}

@@ -1,0 +1,94 @@
+package server
+
+import (
+	"context"
+	"errors"
+	"math"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Admission control is per tenant, so one tenant's load cannot starve
+// another's: a semaphore caps the requests a tenant may have in flight,
+// a bounded wait queue absorbs short bursts beyond the cap (overflow is
+// shed immediately with 503 + Retry-After, never queued unboundedly),
+// and a token bucket bounds the tenant's mutation rate (WAL appends are
+// the one operation whose cost the server cannot shed onto a snapshot).
+
+// errOverloaded sheds a request whose tenant has both every in-flight
+// slot and every queue slot taken.
+var errOverloaded = errors.New("server: tenant overloaded")
+
+// gate is the per-tenant in-flight semaphore with a bounded wait queue.
+type gate struct {
+	slots  chan struct{}
+	depth  int64 // queue capacity; < 0 sheds on a full semaphore at once
+	queued atomic.Int64
+}
+
+func newGate(maxInFlight, queueDepth int) *gate {
+	return &gate{slots: make(chan struct{}, maxInFlight), depth: int64(queueDepth)}
+}
+
+// acquire takes an in-flight slot, waiting in the bounded queue if the
+// semaphore is full. It fails fast with errOverloaded when the queue is
+// full too, and with ctx.Err() if the client gives up while queued.
+func (g *gate) acquire(ctx context.Context) error {
+	select {
+	case g.slots <- struct{}{}:
+		return nil
+	default:
+	}
+	if g.queued.Add(1) > g.depth {
+		g.queued.Add(-1)
+		return errOverloaded
+	}
+	defer g.queued.Add(-1)
+	select {
+	case g.slots <- struct{}{}:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+func (g *gate) release() { <-g.slots }
+
+// bucket is a token-bucket rate limiter (tokens per second, burst cap).
+// A zero rate means unlimited.
+type bucket struct {
+	mu     sync.Mutex
+	rate   float64
+	burst  float64
+	tokens float64
+	last   time.Time
+}
+
+func newBucket(rate float64, burst int) *bucket {
+	if burst < 1 {
+		burst = 1
+	}
+	return &bucket{rate: rate, burst: float64(burst), tokens: float64(burst)}
+}
+
+// take consumes one token if available; otherwise it reports how long
+// the caller should wait before retrying (the Retry-After hint).
+func (b *bucket) take() (ok bool, retryAfter time.Duration) {
+	if b.rate <= 0 {
+		return true, 0
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	now := time.Now()
+	if !b.last.IsZero() {
+		b.tokens = math.Min(b.burst, b.tokens+now.Sub(b.last).Seconds()*b.rate)
+	}
+	b.last = now
+	if b.tokens >= 1 {
+		b.tokens--
+		return true, 0
+	}
+	need := (1 - b.tokens) / b.rate
+	return false, time.Duration(need * float64(time.Second))
+}

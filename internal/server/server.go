@@ -1,0 +1,422 @@
+// Package server is the multi-tenant serving layer over the engine: a
+// registry of named graphs, each one a durable engine (internal/store
+// WAL + checkpoints under <data>/<name>/), exposed as
+//
+//	POST /v1/graphs/{name}/query   — engine /v1/query for that graph
+//	POST /v1/graphs/{name}/batch   — engine /v1/batch
+//	POST /v1/graphs/{name}/mutate  — durable mutation (creates the graph)
+//	POST /v1/graphs/{name}/learn   — online learning
+//	GET  /v1/graphs/{name}/stats   — engine counters + store durability stats
+//	GET  /v1/graphs/{name}/plans   — cached compiled plans
+//	GET  /v1/graphs                — registry listing
+//	GET  /healthz                  — liveness (always ok while serving)
+//	GET  /readyz                   — readiness (503 until recovery finishes)
+//
+// Tenants are created lazily: a mutate to an unknown name opens a fresh
+// store directory; any other verb on an unknown name answers 404. On
+// startup RecoverAll replays every existing tenant directory (checkpoint
+// load + WAL tail) before /readyz reports ready; a request for a specific
+// tenant that arrives earlier triggers that tenant's recovery on the
+// spot and waits only for it.
+//
+// Per-tenant admission control isolates tenants from each other (see
+// gate.go): an in-flight cap with a bounded wait queue (overflow answers
+// 503 "overloaded" with Retry-After), and a mutation token bucket
+// (exhaustion answers 429 "rate_limited" with Retry-After). Errors use
+// the engine's structured envelope {"error": {"code", "message"}}.
+package server
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"os"
+	"path/filepath"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"pathquery/internal/engine"
+	"pathquery/internal/store"
+)
+
+// Options tunes a Server.
+type Options struct {
+	// DataDir is the root directory; each tenant lives in DataDir/<name>.
+	DataDir string
+	// CheckpointEvery is handed to each tenant's store (store.Options).
+	CheckpointEvery int
+	// ResultCacheCap is handed to each tenant's engine.
+	ResultCacheCap int
+	// MaxInFlight caps each tenant's concurrently served requests
+	// (default 64).
+	MaxInFlight int
+	// QueueDepth bounds each tenant's admission wait queue beyond
+	// MaxInFlight (default 128; negative sheds immediately on a full
+	// semaphore).
+	QueueDepth int
+	// MutateRate bounds each tenant's mutations per second via a token
+	// bucket of MutateBurst (0 = unlimited).
+	MutateRate  float64
+	MutateBurst int
+	// Logf receives recovery warnings and per-tenant lifecycle messages;
+	// nil discards them.
+	Logf func(format string, args ...any)
+}
+
+func (o *Options) withDefaults() Options {
+	out := *o
+	if out.MaxInFlight <= 0 {
+		out.MaxInFlight = 64
+	}
+	if out.QueueDepth == 0 {
+		out.QueueDepth = 128
+	}
+	if out.Logf == nil {
+		out.Logf = func(string, ...any) {}
+	}
+	return out
+}
+
+// Server is the multi-tenant registry and its HTTP surface.
+type Server struct {
+	opt  Options
+	logf func(format string, args ...any)
+
+	mu      sync.Mutex
+	tenants map[string]*tenant
+	closed  bool
+
+	ready atomic.Bool
+}
+
+// tenant is one named graph: its durable store, its engine, and its
+// admission state. Recovery runs inside once, so concurrent first
+// requests (or RecoverAll racing a lazy request) open the store exactly
+// once.
+type tenant struct {
+	name string
+	srv  *Server
+
+	once    sync.Once
+	err     error
+	store   *store.GraphStore
+	eng     *engine.Engine
+	handler http.Handler
+
+	gate   *gate
+	mutate *bucket
+}
+
+// New creates a server rooted at opt.DataDir (created if absent). The
+// server is not ready until RecoverAll finishes — run it in the
+// background and serve immediately; /readyz gates traffic that cares.
+func New(opt Options) (*Server, error) {
+	opt = opt.withDefaults()
+	if opt.DataDir == "" {
+		return nil, errors.New("server: Options.DataDir is required")
+	}
+	if err := os.MkdirAll(opt.DataDir, 0o755); err != nil {
+		return nil, fmt.Errorf("server: %w", err)
+	}
+	return &Server{opt: opt, logf: opt.Logf, tenants: make(map[string]*tenant)}, nil
+}
+
+// RecoverAll recovers every tenant directory under DataDir, then marks
+// the server ready. Tenants whose recovery fails stay registered with
+// their error (requests to them answer 503) — one corrupt tenant must
+// not keep every other graph down.
+func (s *Server) RecoverAll() {
+	entries, err := os.ReadDir(s.opt.DataDir)
+	if err != nil {
+		s.logf("server: reading %s: %v", s.opt.DataDir, err)
+	}
+	for _, ent := range entries {
+		if !ent.IsDir() || !validName(ent.Name()) {
+			continue
+		}
+		t := s.tenantFor(ent.Name())
+		if t == nil {
+			continue // closed underneath us
+		}
+		if err := t.recover(); err != nil {
+			s.logf("server: tenant %s: recovery failed: %v", ent.Name(), err)
+		} else {
+			s.logf("server: tenant %s: recovered epoch %d", ent.Name(), t.store.Epoch())
+		}
+	}
+	s.ready.Store(true)
+}
+
+// Ready reports whether startup recovery has finished.
+func (s *Server) Ready() bool { return s.ready.Load() }
+
+// Close closes every tenant's store. In-flight mutations already inside
+// the engine finish against ErrClosed (a 503 to their clients).
+func (s *Server) Close() error {
+	s.mu.Lock()
+	s.closed = true
+	tenants := make([]*tenant, 0, len(s.tenants))
+	for _, t := range s.tenants {
+		tenants = append(tenants, t)
+	}
+	s.mu.Unlock()
+	var first error
+	for _, t := range tenants {
+		t.once.Do(func() { t.err = errors.New("server: closed before recovery") })
+		if t.store != nil {
+			if err := t.store.Close(); err != nil && first == nil {
+				first = err
+			}
+		}
+	}
+	return first
+}
+
+// tenantFor returns the registered tenant, creating the registry entry
+// if needed (recovery happens later, inside tenant.recover). Returns nil
+// on a closed server.
+func (s *Server) tenantFor(name string) *tenant {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return nil
+	}
+	t, ok := s.tenants[name]
+	if !ok {
+		t = &tenant{
+			name:   name,
+			srv:    s,
+			gate:   newGate(s.opt.MaxInFlight, s.opt.QueueDepth),
+			mutate: newBucket(s.opt.MutateRate, s.opt.MutateBurst),
+		}
+		s.tenants[name] = t
+	}
+	return t
+}
+
+// exists reports whether the tenant is registered or has a directory on
+// disk — the test for "may a non-mutate verb touch it".
+func (s *Server) exists(name string) bool {
+	s.mu.Lock()
+	_, ok := s.tenants[name]
+	s.mu.Unlock()
+	if ok {
+		return true
+	}
+	info, err := os.Stat(filepath.Join(s.opt.DataDir, name))
+	return err == nil && info.IsDir()
+}
+
+// recover opens the tenant's store and builds its engine, exactly once.
+func (t *tenant) recover() error {
+	t.once.Do(func() {
+		dir := filepath.Join(t.srv.opt.DataDir, t.name)
+		st, err := store.Open(dir, store.Options{
+			CheckpointEvery: t.srv.opt.CheckpointEvery,
+			Logf:            t.srv.logf,
+		})
+		if err != nil {
+			t.err = err
+			return
+		}
+		t.store = st
+		t.eng = engine.New(st.Graph(), engine.Options{
+			ResultCacheCap: t.srv.opt.ResultCacheCap,
+			Log:            st,
+		})
+		t.handler = engine.NewHandler(t.eng)
+	})
+	return t.err
+}
+
+// validName accepts tenant names that are safe as directory names: no
+// separators, no dot-files, a sane length.
+func validName(name string) bool {
+	if name == "" || len(name) > 128 || name[0] == '.' {
+		return false
+	}
+	for i := 0; i < len(name); i++ {
+		c := name[i]
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c >= '0' && c <= '9',
+			c == '-', c == '_', c == '.':
+		default:
+			return false
+		}
+	}
+	return true
+}
+
+// enginePath maps a tenant operation to the engine handler's route.
+var enginePath = map[string]string{
+	"query":  "/v1/query",
+	"batch":  "/v1/batch",
+	"mutate": "/mutate",
+	"learn":  "/learn",
+	"plans":  "/plans",
+}
+
+// Handler returns the server's HTTP surface.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+		fmt.Fprintln(w, "ok")
+	})
+	mux.HandleFunc("GET /readyz", func(w http.ResponseWriter, r *http.Request) {
+		if !s.ready.Load() {
+			writeErr(w, http.StatusServiceUnavailable, "not_ready",
+				"tenant recovery in progress", 1*time.Second)
+			return
+		}
+		fmt.Fprintln(w, "ok")
+	})
+	mux.HandleFunc("GET /v1/graphs", s.handleList)
+	mux.HandleFunc("/v1/graphs/{name}/{op}", s.dispatch)
+	return mux
+}
+
+// handleList answers the registry listing: every recovered tenant with
+// its served epoch and size.
+func (s *Server) handleList(w http.ResponseWriter, r *http.Request) {
+	s.mu.Lock()
+	names := make([]string, 0, len(s.tenants))
+	for name := range s.tenants {
+		names = append(names, name)
+	}
+	s.mu.Unlock()
+	sort.Strings(names)
+	type row struct {
+		Name  string `json:"name"`
+		Epoch uint64 `json:"epoch"`
+		Nodes int    `json:"nodes"`
+		Edges int    `json:"edges"`
+	}
+	rows := make([]row, 0, len(names))
+	for _, name := range names {
+		t := s.tenantFor(name)
+		if t == nil || t.recover() != nil {
+			continue
+		}
+		st := t.eng.Stats()
+		rows = append(rows, row{Name: name, Epoch: st.Epoch, Nodes: st.Nodes, Edges: st.Edges})
+	}
+	writeJSON(w, struct {
+		Graphs []row `json:"graphs"`
+	}{rows})
+}
+
+// dispatch routes /v1/graphs/{name}/{op} to the tenant's engine through
+// its admission gate.
+func (s *Server) dispatch(w http.ResponseWriter, r *http.Request) {
+	name, op := r.PathValue("name"), r.PathValue("op")
+	if !validName(name) {
+		writeErr(w, http.StatusBadRequest, "bad_graph_name",
+			fmt.Sprintf("invalid graph name %q", name), 0)
+		return
+	}
+	if op == "stats" {
+		s.handleStats(w, r, name)
+		return
+	}
+	path, ok := enginePath[op]
+	if !ok {
+		writeErr(w, http.StatusNotFound, "not_found",
+			fmt.Sprintf("no such operation %q", op), 0)
+		return
+	}
+	// Only a mutation creates a tenant; everything else must find one.
+	if op != "mutate" && !s.exists(name) {
+		writeErr(w, http.StatusNotFound, "unknown_graph",
+			fmt.Sprintf("no graph %q (a mutate creates it)", name), 0)
+		return
+	}
+	t := s.tenantFor(name)
+	if t == nil {
+		writeErr(w, http.StatusServiceUnavailable, "shutting_down", "server is closing", 0)
+		return
+	}
+
+	// Admission before recovery: a stampede on a cold tenant queues at
+	// its gate rather than stacking up inside store recovery.
+	if err := t.gate.acquire(r.Context()); err != nil {
+		if errors.Is(err, errOverloaded) {
+			writeErr(w, http.StatusServiceUnavailable, "overloaded",
+				fmt.Sprintf("graph %q has no in-flight or queue capacity left", name),
+				1*time.Second)
+			return
+		}
+		writeErr(w, 499, "canceled", "client gave up while queued", 0)
+		return
+	}
+	defer t.gate.release()
+
+	if op == "mutate" {
+		if ok, wait := t.mutate.take(); !ok {
+			writeErr(w, http.StatusTooManyRequests, "rate_limited",
+				fmt.Sprintf("graph %q mutation rate limit exceeded", name), wait)
+			return
+		}
+	}
+	if err := t.recover(); err != nil {
+		writeErr(w, http.StatusServiceUnavailable, "recovery_failed",
+			fmt.Sprintf("graph %q failed recovery: %v", name, err), 0)
+		return
+	}
+	r2 := r.Clone(r.Context())
+	r2.URL.Path = path
+	t.handler.ServeHTTP(w, r2)
+}
+
+// handleStats answers the tenant's engine counters plus its store's
+// durability stats (epoch, checkpoint epoch, WAL size, recovery cost).
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request, name string) {
+	if !s.exists(name) {
+		writeErr(w, http.StatusNotFound, "unknown_graph",
+			fmt.Sprintf("no graph %q", name), 0)
+		return
+	}
+	t := s.tenantFor(name)
+	if t == nil {
+		writeErr(w, http.StatusServiceUnavailable, "shutting_down", "server is closing", 0)
+		return
+	}
+	if err := t.recover(); err != nil {
+		writeErr(w, http.StatusServiceUnavailable, "recovery_failed",
+			fmt.Sprintf("graph %q failed recovery: %v", name, err), 0)
+		return
+	}
+	writeJSON(w, struct {
+		engine.Stats
+		Store store.Stats `json:"store"`
+	}{t.eng.Stats(), t.store.Stats()})
+}
+
+func writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetEscapeHTML(false)
+	_ = enc.Encode(v)
+}
+
+// writeErr answers the engine's structured error envelope, with a
+// Retry-After hint (rounded up to whole seconds) when the client should
+// back off and try again.
+func writeErr(w http.ResponseWriter, status int, code, message string, retryAfter time.Duration) {
+	if retryAfter > 0 {
+		secs := int64((retryAfter + time.Second - 1) / time.Second)
+		w.Header().Set("Retry-After", fmt.Sprintf("%d", secs))
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	var env struct {
+		Error struct {
+			Code    string `json:"code"`
+			Message string `json:"message"`
+		} `json:"error"`
+	}
+	env.Error.Code, env.Error.Message = code, message
+	_ = json.NewEncoder(w).Encode(env)
+}

@@ -1,0 +1,113 @@
+package store
+
+import (
+	"bytes"
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+	"path/filepath"
+
+	"pathquery/internal/graph"
+)
+
+// Checkpoint layout. A checkpoint freezes one published epoch:
+//
+//	magic "PQCKPT1\n" | u64 epoch | graph binary (graph.WriteBinary) | u32 crc32
+//
+// where the trailing CRC covers every preceding byte. Checkpoints are
+// written to <name>.tmp, fsynced, renamed over <name>, and the
+// directory is fsynced — so the named checkpoint file is either absent
+// or complete and checksum-valid; a crash mid-write only ever leaves a
+// stale .tmp behind, which Open removes. After a checkpoint at epoch E
+// the WAL records with epoch ≤ E are redundant; recovery skips them,
+// which is what makes a crash between checkpoint install and WAL
+// truncation harmless.
+
+var checkpointMagic = []byte("PQCKPT1\n")
+
+const (
+	checkpointFile = "checkpoint"
+	walFile        = "wal"
+)
+
+// encodeCheckpoint serializes snap into the checkpoint image.
+func encodeCheckpoint(snap *graph.Snapshot) ([]byte, error) {
+	var buf bytes.Buffer
+	buf.Write(checkpointMagic)
+	var e [8]byte
+	binary.LittleEndian.PutUint64(e[:], snap.Epoch())
+	buf.Write(e[:])
+	if err := snap.WriteBinary(&buf); err != nil {
+		return nil, err
+	}
+	var crc [4]byte
+	binary.LittleEndian.PutUint32(crc[:], crc32.ChecksumIEEE(buf.Bytes()))
+	buf.Write(crc[:])
+	return buf.Bytes(), nil
+}
+
+// writeCheckpoint atomically installs the checkpoint image in dir.
+func writeCheckpoint(fs FS, dir string, image []byte) error {
+	tmp := filepath.Join(dir, checkpointFile+".tmp")
+	f, err := fs.OpenFile(tmp, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o644)
+	if err != nil {
+		return fmt.Errorf("store: checkpoint: %w", err)
+	}
+	if _, err := f.Write(image); err != nil {
+		f.Close()
+		return fmt.Errorf("store: checkpoint write: %w", err)
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return fmt.Errorf("store: checkpoint sync: %w", err)
+	}
+	if err := f.Close(); err != nil {
+		return fmt.Errorf("store: checkpoint close: %w", err)
+	}
+	if err := fs.Rename(tmp, filepath.Join(dir, checkpointFile)); err != nil {
+		return fmt.Errorf("store: checkpoint install: %w", err)
+	}
+	if err := fs.SyncDir(dir); err != nil {
+		return fmt.Errorf("store: checkpoint dir sync: %w", err)
+	}
+	return nil
+}
+
+// readCheckpoint loads and validates the checkpoint in dir. A missing
+// checkpoint returns (nil, 0, nil); an invalid one is an error — the
+// atomic install makes a torn named checkpoint impossible, so damage
+// here is real corruption, not a crash artifact.
+func readCheckpoint(fs FS, dir string) (*graph.Graph, uint64, error) {
+	path := filepath.Join(dir, checkpointFile)
+	f, err := fs.OpenFile(path, os.O_RDONLY, 0)
+	if err != nil {
+		if os.IsNotExist(err) {
+			return nil, 0, nil
+		}
+		return nil, 0, fmt.Errorf("store: open checkpoint: %w", err)
+	}
+	defer f.Close()
+	data, err := io.ReadAll(f)
+	if err != nil {
+		return nil, 0, fmt.Errorf("store: read checkpoint: %w", err)
+	}
+	minLen := len(checkpointMagic) + 8 + 4
+	if len(data) < minLen {
+		return nil, 0, fmt.Errorf("store: checkpoint: %d bytes, want at least %d", len(data), minLen)
+	}
+	if !bytes.Equal(data[:len(checkpointMagic)], checkpointMagic) {
+		return nil, 0, fmt.Errorf("store: checkpoint: bad magic %q", data[:len(checkpointMagic)])
+	}
+	body, crcBytes := data[:len(data)-4], data[len(data)-4:]
+	if got, want := crc32.ChecksumIEEE(body), binary.LittleEndian.Uint32(crcBytes); got != want {
+		return nil, 0, fmt.Errorf("store: checkpoint: checksum mismatch (got %08x, want %08x)", got, want)
+	}
+	epoch := binary.LittleEndian.Uint64(body[len(checkpointMagic):])
+	g, err := graph.ReadBinary(bytes.NewReader(body[len(checkpointMagic)+8:]))
+	if err != nil {
+		return nil, 0, fmt.Errorf("store: checkpoint: %w", err)
+	}
+	return g, epoch, nil
+}

@@ -1,0 +1,292 @@
+package store
+
+import (
+	"errors"
+	"io"
+	"os"
+	"sync"
+)
+
+// The store performs every filesystem operation through the FS
+// interface so the recovery protocol can be proven under fault
+// injection: FaultFS wraps the real filesystem and injects short
+// writes, fsync failures and crash-at-offset faults at exact points,
+// and the kill-and-restart tests then reopen the same directory with a
+// clean FS and assert the recovered state.
+
+// File is the subset of *os.File the WAL and checkpoint writer need.
+type File interface {
+	io.Reader
+	io.Writer
+	io.Seeker
+	io.Closer
+	Sync() error
+	Truncate(size int64) error
+}
+
+// FS abstracts the filesystem operations of the store.
+type FS interface {
+	OpenFile(name string, flag int, perm os.FileMode) (File, error)
+	Rename(oldpath, newpath string) error
+	Remove(name string) error
+	MkdirAll(path string, perm os.FileMode) error
+	ReadDir(name string) ([]os.DirEntry, error)
+	Stat(name string) (os.FileInfo, error)
+	// SyncDir fsyncs a directory so a preceding Rename is durable.
+	SyncDir(name string) error
+}
+
+// OS is the real filesystem.
+var OS FS = osFS{}
+
+type osFS struct{}
+
+func (osFS) OpenFile(name string, flag int, perm os.FileMode) (File, error) {
+	return os.OpenFile(name, flag, perm)
+}
+func (osFS) Rename(oldpath, newpath string) error         { return os.Rename(oldpath, newpath) }
+func (osFS) Remove(name string) error                     { return os.Remove(name) }
+func (osFS) MkdirAll(path string, perm os.FileMode) error { return os.MkdirAll(path, perm) }
+func (osFS) ReadDir(name string) ([]os.DirEntry, error)   { return os.ReadDir(name) }
+func (osFS) Stat(name string) (os.FileInfo, error)        { return os.Stat(name) }
+
+func (osFS) SyncDir(name string) error {
+	d, err := os.Open(name)
+	if err != nil {
+		return err
+	}
+	defer d.Close()
+	return d.Sync()
+}
+
+// ErrInjected is the error every injected fault returns; after a crash
+// fault fires, every subsequent operation on the FaultFS fails with it.
+var ErrInjected = errors.New("store: injected fault")
+
+// FaultFS wraps an FS with failpoint-style fault injection. Faults are
+// armed by the Crash*/Fail* methods; the zero configuration passes all
+// operations through. Once a crash fault fires the FaultFS is dead —
+// every later operation fails — which models a process kill: the bytes
+// already written to the underlying directory are exactly what a
+// restarted store will find.
+type FaultFS struct {
+	Inner FS
+
+	mu      sync.Mutex
+	crashed bool
+	// writeBudget is the number of bytes writes may still emit before the
+	// crash fires; -1 means unlimited. A write that crosses the budget
+	// emits the remaining prefix (a short, torn write) and crashes.
+	writeBudget int64
+	// failSyncAt fails the n-th Sync call (1-based) and crashes; 0 never.
+	syncs      int
+	failSyncAt int
+	// failTruncate / failRename fail the next call and crash.
+	failTruncate bool
+	failRename   bool
+}
+
+// NewFaultFS wraps inner (nil = the real filesystem) with no faults armed.
+func NewFaultFS(inner FS) *FaultFS {
+	if inner == nil {
+		inner = OS
+	}
+	return &FaultFS{Inner: inner, writeBudget: -1}
+}
+
+// CrashAfterBytes arms a crash once n more bytes have been written
+// across all files: the write that crosses the budget is short.
+func (f *FaultFS) CrashAfterBytes(n int64) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.writeBudget = n
+}
+
+// FailSync makes the n-th subsequent Sync (1-based) fail and crash.
+func (f *FaultFS) FailSync(n int) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.syncs, f.failSyncAt = 0, n
+}
+
+// FailTruncate makes the next Truncate fail and crash.
+func (f *FaultFS) FailTruncate() {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.failTruncate = true
+}
+
+// FailRename makes the next Rename fail and crash.
+func (f *FaultFS) FailRename() {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.failRename = true
+}
+
+// Crashed reports whether a crash fault has fired.
+func (f *FaultFS) Crashed() bool {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.crashed
+}
+
+func (f *FaultFS) check() error {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.crashed {
+		return ErrInjected
+	}
+	return nil
+}
+
+func (f *FaultFS) OpenFile(name string, flag int, perm os.FileMode) (File, error) {
+	if err := f.check(); err != nil {
+		return nil, err
+	}
+	inner, err := f.Inner.OpenFile(name, flag, perm)
+	if err != nil {
+		return nil, err
+	}
+	return &faultFile{fs: f, inner: inner}, nil
+}
+
+func (f *FaultFS) Rename(oldpath, newpath string) error {
+	if err := f.check(); err != nil {
+		return err
+	}
+	f.mu.Lock()
+	if f.failRename {
+		f.failRename, f.crashed = false, true
+		f.mu.Unlock()
+		return ErrInjected
+	}
+	f.mu.Unlock()
+	return f.Inner.Rename(oldpath, newpath)
+}
+
+func (f *FaultFS) Remove(name string) error {
+	if err := f.check(); err != nil {
+		return err
+	}
+	return f.Inner.Remove(name)
+}
+
+func (f *FaultFS) MkdirAll(path string, perm os.FileMode) error {
+	if err := f.check(); err != nil {
+		return err
+	}
+	return f.Inner.MkdirAll(path, perm)
+}
+
+func (f *FaultFS) ReadDir(name string) ([]os.DirEntry, error) {
+	if err := f.check(); err != nil {
+		return nil, err
+	}
+	return f.Inner.ReadDir(name)
+}
+
+func (f *FaultFS) Stat(name string) (os.FileInfo, error) {
+	if err := f.check(); err != nil {
+		return nil, err
+	}
+	return f.Inner.Stat(name)
+}
+
+func (f *FaultFS) SyncDir(name string) error {
+	if err := f.syncFault(); err != nil {
+		return err
+	}
+	return f.Inner.SyncDir(name)
+}
+
+// syncFault implements the shared Sync/SyncDir failpoint.
+func (f *FaultFS) syncFault() error {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.crashed {
+		return ErrInjected
+	}
+	if f.failSyncAt > 0 {
+		f.syncs++
+		if f.syncs >= f.failSyncAt {
+			f.failSyncAt = 0
+			f.crashed = true
+			return ErrInjected
+		}
+	}
+	return nil
+}
+
+type faultFile struct {
+	fs    *FaultFS
+	inner File
+}
+
+func (f *faultFile) Read(p []byte) (int, error) {
+	if err := f.fs.check(); err != nil {
+		return 0, err
+	}
+	return f.inner.Read(p)
+}
+
+func (f *faultFile) Write(p []byte) (int, error) {
+	f.fs.mu.Lock()
+	if f.fs.crashed {
+		f.fs.mu.Unlock()
+		return 0, ErrInjected
+	}
+	if f.fs.writeBudget >= 0 && int64(len(p)) > f.fs.writeBudget {
+		// The crossing write is torn: the allowed prefix reaches the disk,
+		// the rest never will, and the process is gone.
+		n := int(f.fs.writeBudget)
+		f.fs.writeBudget = 0
+		f.fs.crashed = true
+		f.fs.mu.Unlock()
+		if n > 0 {
+			if wn, err := f.inner.Write(p[:n]); err != nil {
+				return wn, err
+			}
+		}
+		return n, ErrInjected
+	}
+	if f.fs.writeBudget >= 0 {
+		f.fs.writeBudget -= int64(len(p))
+	}
+	f.fs.mu.Unlock()
+	return f.inner.Write(p)
+}
+
+func (f *faultFile) Seek(offset int64, whence int) (int64, error) {
+	if err := f.fs.check(); err != nil {
+		return 0, err
+	}
+	return f.inner.Seek(offset, whence)
+}
+
+func (f *faultFile) Close() error {
+	// Close succeeds even after a crash so tests can release the real
+	// file handle; the data is whatever made it to disk.
+	return f.inner.Close()
+}
+
+func (f *faultFile) Sync() error {
+	if err := f.fs.syncFault(); err != nil {
+		return err
+	}
+	return f.inner.Sync()
+}
+
+func (f *faultFile) Truncate(size int64) error {
+	f.fs.mu.Lock()
+	if f.fs.crashed {
+		f.fs.mu.Unlock()
+		return ErrInjected
+	}
+	if f.fs.failTruncate {
+		f.fs.failTruncate, f.fs.crashed = false, true
+		f.fs.mu.Unlock()
+		return ErrInjected
+	}
+	f.fs.mu.Unlock()
+	return f.inner.Truncate(size)
+}

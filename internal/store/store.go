@@ -1,0 +1,352 @@
+// Package store is the durability layer under the serving engine: a
+// per-graph write-ahead log plus checkpointed snapshots, recovered on
+// startup to the exact last published epoch.
+//
+// Protocol (see DESIGN.md "Durability & multi-tenancy"):
+//
+//   - Every mutation is appended to the WAL — length-prefixed,
+//     CRC32-checksummed, carrying the epoch it publishes — and fsynced
+//     before the engine applies it (engine.MutationLog wires this into
+//     Engine.Mutate, which logs under its write lock, before touching
+//     the build side).
+//   - Periodically (Options.CheckpointEvery records) the freshly
+//     published snapshot is cut as a checkpoint: serialized CSR + name
+//     table + alphabet at epoch E, written atomically (tmp + fsync +
+//     rename + dir fsync). Once installed, the WAL is truncated —
+//     unless newer records were appended meanwhile, in which case
+//     truncation simply waits for a quieter checkpoint.
+//   - Open loads the latest valid checkpoint and replays the WAL tail:
+//     records with epoch ≤ the checkpoint's are skipped (a crash
+//     between checkpoint install and WAL truncation leaves them
+//     behind, harmlessly), the rest re-apply in order, and the graph's
+//     epoch counter is re-anchored so the next publication carries the
+//     recovered epoch number. A torn final record is truncated with a
+//     warning — never a crash; a corrupt mid-log record refuses the
+//     open with ErrCorrupt.
+//
+// All filesystem access goes through the FS interface; FaultFS injects
+// short writes, fsync failures and crash-at-offset faults so the
+// recovery protocol is tested at every failure point.
+package store
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"sync"
+	"time"
+
+	"pathquery/internal/engine"
+	"pathquery/internal/graph"
+)
+
+// ErrClosed reports an operation on a closed store.
+var ErrClosed = errors.New("store: closed")
+
+// Options tunes a GraphStore.
+type Options struct {
+	// FS is the filesystem (nil = the real one); tests inject faults here.
+	FS FS
+	// CheckpointEvery cuts a checkpoint once this many WAL records have
+	// accumulated past the last one (default 256; negative disables
+	// automatic checkpoints).
+	CheckpointEvery int
+	// Logf receives recovery warnings (torn-tail truncation) and
+	// checkpoint failures; nil discards them.
+	Logf func(format string, args ...any)
+}
+
+func (o *Options) withDefaults() Options {
+	out := *o
+	if out.FS == nil {
+		out.FS = OS
+	}
+	if out.CheckpointEvery == 0 {
+		out.CheckpointEvery = 256
+	}
+	if out.Logf == nil {
+		out.Logf = func(string, ...any) {}
+	}
+	return out
+}
+
+// Stats is a point-in-time view of one graph store.
+type Stats struct {
+	// Epoch is the last durable epoch: the epoch an engine recovered from
+	// this store serves before new mutations.
+	Epoch uint64 `json:"epoch"`
+	// CheckpointEpoch is the epoch of the installed checkpoint (0: none).
+	CheckpointEpoch uint64 `json:"checkpoint_epoch"`
+	// WALRecords and WALBytes measure the current log tail.
+	WALRecords int   `json:"wal_records"`
+	WALBytes   int64 `json:"wal_bytes"`
+	// Recovery timings of the Open that produced this store.
+	RecoveryCheckpointLoad time.Duration `json:"recovery_checkpoint_load_ns"`
+	RecoveryReplay         time.Duration `json:"recovery_replay_ns"`
+	RecoveryReplayed       int           `json:"recovery_replayed_records"`
+}
+
+// GraphStore is the durable backing of one graph: its WAL, its
+// checkpoint, and the recovered graph. It implements engine.MutationLog,
+// so an engine constructed with Options{Log: store} writes ahead
+// automatically. A store must have a single opener; Append/Checkpoint
+// are safe for concurrent use once open.
+type GraphStore struct {
+	fs   FS
+	dir  string
+	opt  Options
+	logf func(format string, args ...any)
+
+	mu        sync.Mutex
+	wal       File
+	walSize   int64
+	walRecs   int
+	ckptEpoch uint64
+	lastEpoch uint64
+	closed    bool
+	buf       []byte
+
+	g        *graph.Graph
+	recovery struct {
+		ckptLoad time.Duration
+		replay   time.Duration
+		replayed int
+	}
+}
+
+// Open recovers the graph store in dir, creating it if absent: load the
+// checkpoint, replay the WAL tail, re-anchor the epoch counter. The
+// recovered graph (Graph) serves the exact last durable epoch once
+// published; hand it to engine.New with the store as Options.Log.
+func Open(dir string, opt Options) (*GraphStore, error) {
+	opt = opt.withDefaults()
+	fs := opt.FS
+	if err := fs.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("store: %w", err)
+	}
+	// A stale checkpoint.tmp is a crash artifact from an interrupted
+	// checkpoint write; the named checkpoint is still the valid one.
+	if err := fs.Remove(filepath.Join(dir, checkpointFile+".tmp")); err != nil && !os.IsNotExist(err) {
+		return nil, fmt.Errorf("store: removing stale checkpoint.tmp: %w", err)
+	}
+
+	s := &GraphStore{fs: fs, dir: dir, opt: opt, logf: opt.Logf}
+
+	t0 := time.Now()
+	g, ckptEpoch, err := readCheckpoint(fs, dir)
+	if err != nil {
+		return nil, err
+	}
+	if g == nil {
+		g = graph.New(nil)
+	}
+	s.g, s.ckptEpoch = g, ckptEpoch
+	s.recovery.ckptLoad = time.Since(t0)
+
+	wal, err := fs.OpenFile(filepath.Join(dir, walFile), os.O_RDWR|os.O_CREATE, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("store: open WAL: %w", err)
+	}
+	s.wal = wal
+	data, err := io.ReadAll(wal)
+	if err != nil {
+		wal.Close()
+		return nil, fmt.Errorf("store: read WAL: %w", err)
+	}
+
+	t1 := time.Now()
+	// The first served epoch of an empty store is 1 (the engine publishes
+	// the empty graph without logging it), so the WAL base below starts
+	// from at least 1.
+	base := ckptEpoch
+	if base == 0 {
+		base = 1
+	}
+	last := uint64(0) // last record epoch seen in the WAL
+	applied := 0
+	validLen, torn, err := replayWAL(data, func(rec Record) error {
+		switch {
+		case last == 0 && rec.Epoch > base+1:
+			return fmt.Errorf("%w: first record epoch %d leaves a gap after epoch %d",
+				ErrCorrupt, rec.Epoch, base)
+		case last != 0 && rec.Epoch != last+1:
+			return fmt.Errorf("%w: record epoch %d after %d (must ascend by 1)",
+				ErrCorrupt, rec.Epoch, last)
+		}
+		last = rec.Epoch
+		if rec.Epoch <= ckptEpoch {
+			return nil // already in the checkpoint: crash between checkpoint and truncate
+		}
+		for _, e := range rec.Edges {
+			g.AddEdgeByName(e.From, e.Label, e.To)
+		}
+		applied++
+		return nil
+	})
+	if err != nil {
+		wal.Close()
+		return nil, fmt.Errorf("store: replaying %s: %w", filepath.Join(dir, walFile), err)
+	}
+	if torn {
+		s.logf("store: %s: torn final record at offset %d (of %d bytes): truncating",
+			filepath.Join(dir, walFile), validLen, len(data))
+		if err := wal.Truncate(validLen); err != nil {
+			wal.Close()
+			return nil, fmt.Errorf("store: truncating torn WAL tail: %w", err)
+		}
+		if err := wal.Sync(); err != nil {
+			wal.Close()
+			return nil, fmt.Errorf("store: syncing truncated WAL: %w", err)
+		}
+	}
+	if _, err := wal.Seek(validLen, io.SeekStart); err != nil {
+		wal.Close()
+		return nil, fmt.Errorf("store: seeking WAL tail: %w", err)
+	}
+	s.walSize = validLen
+	s.walRecs = applied
+	s.recovery.replay = time.Since(t1)
+	s.recovery.replayed = applied
+
+	s.lastEpoch = max(ckptEpoch, last)
+	if s.lastEpoch == 0 {
+		s.lastEpoch = 1 // the empty store's first publication
+	} else {
+		// Re-anchor so the next publication (engine.New's Snapshot) carries
+		// the recovered epoch number.
+		g.SetEpochBase(s.lastEpoch - 1)
+	}
+	return s, nil
+}
+
+// Graph returns the recovered graph. The caller owns publication: hand
+// it to engine.New (which publishes the recovered epoch) before serving.
+func (s *GraphStore) Graph() *graph.Graph { return s.g }
+
+// Epoch returns the last durable epoch.
+func (s *GraphStore) Epoch() uint64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.lastEpoch
+}
+
+// Stats returns a point-in-time view of the store.
+func (s *GraphStore) Stats() Stats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return Stats{
+		Epoch:                  s.lastEpoch,
+		CheckpointEpoch:        s.ckptEpoch,
+		WALRecords:             s.walRecs,
+		WALBytes:               s.walSize,
+		RecoveryCheckpointLoad: s.recovery.ckptLoad,
+		RecoveryReplay:         s.recovery.replay,
+		RecoveryReplayed:       s.recovery.replayed,
+	}
+}
+
+// Append logs one mutation publishing epoch, fsyncing before it
+// returns — the write-ahead half of engine.MutationLog. The engine
+// calls it under its write lock, before applying the edges; an error
+// here aborts the mutation with the graph untouched.
+func (s *GraphStore) Append(epoch uint64, edges []engine.EdgeSpec) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return ErrClosed
+	}
+	if epoch != s.lastEpoch+1 {
+		return fmt.Errorf("store: append epoch %d does not follow %d", epoch, s.lastEpoch)
+	}
+	s.buf = appendRecord(s.buf[:0], Record{Epoch: epoch, Edges: edges})
+	if _, err := s.wal.Write(s.buf); err != nil {
+		s.unwrite()
+		return fmt.Errorf("store: WAL append: %w", err)
+	}
+	if err := s.wal.Sync(); err != nil {
+		s.unwrite()
+		return fmt.Errorf("store: WAL sync: %w", err)
+	}
+	s.walSize += int64(len(s.buf))
+	s.walRecs++
+	s.lastEpoch = epoch
+	return nil
+}
+
+// unwrite best-effort removes a record that failed to append cleanly,
+// so a later successful append is not stacked onto a torn frame. If the
+// filesystem is already gone (a crash) this fails too — then the
+// torn-tail rule cleans it up at the next Open.
+func (s *GraphStore) unwrite() {
+	if err := s.wal.Truncate(s.walSize); err != nil {
+		return
+	}
+	_, _ = s.wal.Seek(s.walSize, io.SeekStart)
+}
+
+// Committed is called by the engine after each publication (the second
+// half of engine.MutationLog): it cuts a checkpoint when enough WAL
+// records have accumulated. Checkpoint failures are logged, not fatal —
+// the WAL alone is sufficient for recovery.
+func (s *GraphStore) Committed(snap *graph.Snapshot) {
+	s.mu.Lock()
+	due := s.opt.CheckpointEvery > 0 &&
+		s.lastEpoch-s.ckptEpoch >= uint64(s.opt.CheckpointEvery)
+	s.mu.Unlock()
+	if !due {
+		return
+	}
+	if err := s.Checkpoint(snap); err != nil {
+		s.logf("store: %s: checkpoint at epoch %d failed: %v", s.dir, snap.Epoch(), err)
+	}
+}
+
+// Checkpoint cuts a checkpoint of snap and truncates the WAL if no
+// record newer than snap's epoch has been appended meanwhile (otherwise
+// the WAL keeps its tail; recovery skips the pre-checkpoint prefix).
+func (s *GraphStore) Checkpoint(snap *graph.Snapshot) error {
+	image, err := encodeCheckpoint(snap)
+	if err != nil {
+		return fmt.Errorf("store: encoding checkpoint: %w", err)
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return ErrClosed
+	}
+	if snap.Epoch() <= s.ckptEpoch {
+		return nil // an older or duplicate snapshot: nothing to gain
+	}
+	if err := writeCheckpoint(s.fs, s.dir, image); err != nil {
+		return err
+	}
+	s.ckptEpoch = snap.Epoch()
+	if s.lastEpoch <= s.ckptEpoch {
+		// Every WAL record is covered by the checkpoint: drop the log.
+		if err := s.wal.Truncate(0); err != nil {
+			return fmt.Errorf("store: truncating WAL after checkpoint: %w", err)
+		}
+		if err := s.wal.Sync(); err != nil {
+			return fmt.Errorf("store: syncing truncated WAL: %w", err)
+		}
+		if _, err := s.wal.Seek(0, io.SeekStart); err != nil {
+			return fmt.Errorf("store: seeking truncated WAL: %w", err)
+		}
+		s.walSize, s.walRecs = 0, 0
+	}
+	return nil
+}
+
+// Close closes the WAL. It does not checkpoint: every acked mutation is
+// already durable, and the next Open replays the tail.
+func (s *GraphStore) Close() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return nil
+	}
+	s.closed = true
+	return s.wal.Close()
+}

@@ -1,0 +1,167 @@
+package store
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+
+	"pathquery/internal/engine"
+)
+
+// WAL record format. Every mutation is one record, framed as
+//
+//	u32 payloadLen | u32 crc32(payload) | payload
+//
+// with the payload
+//
+//	u64 epoch | u32 nEdges | nEdges × (str from, str label, str to)
+//
+// where str is a u32-length-prefixed UTF-8 string and all integers are
+// little-endian (IEEE CRC32). The epoch is the epoch this mutation
+// publishes; records in a WAL are contiguous, ascending by exactly one.
+//
+// Torn-tail rule (the crash-tolerance contract): a record whose frame
+// extends past the end of the file, or whose checksum fails on the very
+// last frame, is a torn final write — replay stops before it and the
+// opener truncates it away with a warning. A checksum or structural
+// failure with intact data after it cannot be a torn write; it is real
+// corruption, reported as ErrCorrupt, and the store refuses to open
+// rather than guess. (A flipped byte inside the final frame is
+// indistinguishable from a torn write and is treated as torn — the
+// paid price for never refusing a legitimately torn tail.)
+
+// MaxRecordLen caps one record payload (16 MiB): a corrupt length
+// prefix must never drive a giant allocation or swallow the log.
+const MaxRecordLen = 16 << 20
+
+// ErrCorrupt reports a WAL record that fails its checksum or structure
+// with intact data following it — real mid-log corruption, not a torn
+// tail. Opens fail with it (wrapped) rather than replay past damage.
+var ErrCorrupt = errors.New("store: corrupt WAL record")
+
+// Record is one logged mutation.
+type Record struct {
+	// Epoch is the epoch this mutation published.
+	Epoch uint64
+	// Edges are the logical edge additions, exactly as the engine
+	// received them (replaying them through the same code path
+	// reproduces identical node and symbol ids).
+	Edges []engine.EdgeSpec
+}
+
+// appendRecord appends the framed record to buf.
+func appendRecord(buf []byte, rec Record) []byte {
+	frameAt := len(buf)
+	buf = append(buf, 0, 0, 0, 0, 0, 0, 0, 0) // frame header placeholder
+	payloadAt := len(buf)
+	buf = binary.LittleEndian.AppendUint64(buf, rec.Epoch)
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(len(rec.Edges)))
+	for _, e := range rec.Edges {
+		buf = appendWALString(buf, e.From)
+		buf = appendWALString(buf, e.Label)
+		buf = appendWALString(buf, e.To)
+	}
+	payload := buf[payloadAt:]
+	binary.LittleEndian.PutUint32(buf[frameAt:], uint32(len(payload)))
+	binary.LittleEndian.PutUint32(buf[frameAt+4:], crc32.ChecksumIEEE(payload))
+	return buf
+}
+
+func appendWALString(buf []byte, s string) []byte {
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(len(s)))
+	return append(buf, s...)
+}
+
+// decodePayload decodes a checksum-verified record payload. A structural
+// failure here means corruption (or a writer bug), never a torn write —
+// torn writes cannot carry a valid checksum.
+func decodePayload(p []byte) (Record, error) {
+	var rec Record
+	if len(p) < 12 {
+		return rec, fmt.Errorf("payload of %d bytes, want at least 12", len(p))
+	}
+	rec.Epoch = binary.LittleEndian.Uint64(p)
+	n := binary.LittleEndian.Uint32(p[8:])
+	p = p[12:]
+	// Each edge needs at least its three length prefixes.
+	if uint64(n)*12 > uint64(len(p)) {
+		return rec, fmt.Errorf("edge count %d exceeds payload", n)
+	}
+	rec.Edges = make([]engine.EdgeSpec, 0, n)
+	for i := uint32(0); i < n; i++ {
+		var e engine.EdgeSpec
+		var err error
+		if e.From, p, err = cutWALString(p); err != nil {
+			return rec, fmt.Errorf("edge %d from: %w", i, err)
+		}
+		if e.Label, p, err = cutWALString(p); err != nil {
+			return rec, fmt.Errorf("edge %d label: %w", i, err)
+		}
+		if e.To, p, err = cutWALString(p); err != nil {
+			return rec, fmt.Errorf("edge %d to: %w", i, err)
+		}
+		rec.Edges = append(rec.Edges, e)
+	}
+	if len(p) != 0 {
+		return rec, fmt.Errorf("%d trailing bytes after %d edges", len(p), n)
+	}
+	return rec, nil
+}
+
+func cutWALString(p []byte) (string, []byte, error) {
+	if len(p) < 4 {
+		return "", p, fmt.Errorf("truncated length prefix")
+	}
+	n := binary.LittleEndian.Uint32(p)
+	p = p[4:]
+	if uint64(n) > uint64(len(p)) {
+		return "", p, fmt.Errorf("length %d exceeds remaining %d bytes", n, len(p))
+	}
+	return string(p[:n]), p[n:], nil
+}
+
+// replayWAL scans a WAL image, invoking fn for every valid record in
+// order. It returns the byte length of the valid prefix and whether a
+// torn final record follows it (the caller truncates). Mid-log
+// corruption aborts with an ErrCorrupt-wrapped error naming the offset;
+// an error from fn aborts with that error. replayWAL never panics on
+// any input — the FuzzWALReplay contract.
+func replayWAL(data []byte, fn func(Record) error) (validLen int64, torn bool, err error) {
+	off := 0
+	for off < len(data) {
+		rest := len(data) - off
+		if rest < 8 {
+			return int64(off), true, nil // torn frame header
+		}
+		n := int(binary.LittleEndian.Uint32(data[off:]))
+		if n > rest-8 {
+			// The frame extends past EOF: a torn final write (possibly with
+			// a garbage length from a half-written header).
+			return int64(off), true, nil
+		}
+		if n > MaxRecordLen {
+			return int64(off), false, fmt.Errorf(
+				"%w: record at offset %d: length %d exceeds max %d", ErrCorrupt, off, n, MaxRecordLen)
+		}
+		wantCRC := binary.LittleEndian.Uint32(data[off+4:])
+		payload := data[off+8 : off+8+n]
+		if crc32.ChecksumIEEE(payload) != wantCRC {
+			if off+8+n == len(data) {
+				return int64(off), true, nil // torn (or flipped) final record
+			}
+			return int64(off), false, fmt.Errorf(
+				"%w: record at offset %d: checksum mismatch", ErrCorrupt, off)
+		}
+		rec, derr := decodePayload(payload)
+		if derr != nil {
+			return int64(off), false, fmt.Errorf(
+				"%w: record at offset %d: %v", ErrCorrupt, off, derr)
+		}
+		if err := fn(rec); err != nil {
+			return int64(off), false, err
+		}
+		off += 8 + n
+	}
+	return int64(off), false, nil
+}

@@ -1,0 +1,145 @@
+package store
+
+import (
+	"errors"
+	"testing"
+
+	"pathquery/internal/engine"
+)
+
+func testRecords(n int) []Record {
+	recs := make([]Record, n)
+	labels := []string{"a", "b", "c"}
+	for i := range recs {
+		recs[i] = Record{
+			Epoch: uint64(2 + i),
+			Edges: []engine.EdgeSpec{{
+				From:  nodeName(i),
+				Label: labels[i%len(labels)],
+				To:    nodeName(i + 1),
+			}},
+		}
+	}
+	return recs
+}
+
+func encodeRecords(recs []Record) (data []byte, bounds []int) {
+	bounds = []int{0}
+	for _, rec := range recs {
+		data = appendRecord(data, rec)
+		bounds = append(bounds, len(data))
+	}
+	return data, bounds
+}
+
+func TestWALRoundTrip(t *testing.T) {
+	recs := testRecords(5)
+	data, _ := encodeRecords(recs)
+	var got []Record
+	validLen, torn, err := replayWAL(data, func(r Record) error {
+		got = append(got, r)
+		return nil
+	})
+	if err != nil || torn {
+		t.Fatalf("replay: torn=%v err=%v", torn, err)
+	}
+	if validLen != int64(len(data)) {
+		t.Fatalf("validLen %d != %d", validLen, len(data))
+	}
+	if len(got) != len(recs) {
+		t.Fatalf("replayed %d records, want %d", len(got), len(recs))
+	}
+	for i := range recs {
+		if got[i].Epoch != recs[i].Epoch || len(got[i].Edges) != len(recs[i].Edges) {
+			t.Fatalf("record %d: got %+v want %+v", i, got[i], recs[i])
+		}
+		for j := range recs[i].Edges {
+			if got[i].Edges[j] != recs[i].Edges[j] {
+				t.Fatalf("record %d edge %d: got %+v want %+v", i, j, got[i].Edges[j], recs[i].Edges[j])
+			}
+		}
+	}
+}
+
+// TestWALTruncatedAtEveryOffset cuts the log at every byte offset: the
+// replay must recover exactly the records whose frames fit, flag the
+// torn remainder, and never error or panic.
+func TestWALTruncatedAtEveryOffset(t *testing.T) {
+	recs := testRecords(6)
+	data, bounds := encodeRecords(recs)
+	for off := 0; off <= len(data); off++ {
+		wantComplete := 0
+		for wantComplete+1 < len(bounds) && bounds[wantComplete+1] <= off {
+			wantComplete++
+		}
+		n := 0
+		validLen, torn, err := replayWAL(data[:off], func(Record) error { n++; return nil })
+		if err != nil {
+			t.Fatalf("offset %d: unexpected error %v", off, err)
+		}
+		if n != wantComplete {
+			t.Fatalf("offset %d: replayed %d records, want %d", off, n, wantComplete)
+		}
+		if validLen != int64(bounds[wantComplete]) {
+			t.Fatalf("offset %d: validLen %d, want %d", off, validLen, bounds[wantComplete])
+		}
+		if wantTorn := off != bounds[wantComplete]; torn != wantTorn {
+			t.Fatalf("offset %d: torn=%v, want %v", off, torn, wantTorn)
+		}
+	}
+}
+
+// TestWALBitFlips flips each byte of the log in turn. A flip strictly
+// inside the final frame must read as a torn tail (valid prefix, no
+// error); a flip in an earlier frame must be refused as ErrCorrupt —
+// except flips in a length prefix, which can legitimately reclassify
+// the tail boundary; those must still yield error-or-valid-prefix.
+func TestWALBitFlips(t *testing.T) {
+	recs := testRecords(4)
+	data, bounds := encodeRecords(recs)
+	lastFrame := bounds[len(bounds)-2]
+	for off := 0; off < len(data); off++ {
+		flipped := append([]byte(nil), data...)
+		flipped[off] ^= 0x40
+		n := 0
+		validLen, torn, err := replayWAL(flipped, func(Record) error { n++; return nil })
+		if validLen > int64(len(flipped)) || n > len(recs) {
+			t.Fatalf("offset %d: implausible replay validLen=%d n=%d", off, validLen, n)
+		}
+		inLenPrefix := false
+		for _, b := range bounds[:len(bounds)-1] {
+			if off >= b && off < b+4 {
+				inLenPrefix = true
+			}
+		}
+		switch {
+		case inLenPrefix:
+			// A corrupted length can masquerade as a longer torn frame or as
+			// mid-log damage; both are acceptable, silence is not.
+			if err == nil && !torn && n == len(recs) {
+				t.Fatalf("offset %d (length prefix): flip went unnoticed", off)
+			}
+		case off >= lastFrame:
+			if err != nil {
+				t.Fatalf("offset %d (final frame): want torn tail, got error %v", off, err)
+			}
+			if !torn || n != len(recs)-1 {
+				t.Fatalf("offset %d (final frame): torn=%v n=%d, want torn prefix of %d", off, torn, n, len(recs)-1)
+			}
+		default:
+			if !errors.Is(err, ErrCorrupt) {
+				t.Fatalf("offset %d (mid-log): want ErrCorrupt, got torn=%v err=%v", off, torn, err)
+			}
+		}
+	}
+}
+
+func TestWALRecordTooLong(t *testing.T) {
+	// A frame that claims an absurd payload inside a larger file is
+	// corruption; at the tail it is torn.
+	big := make([]byte, 64)
+	big[0], big[1], big[2] = 0xFF, 0xFF, 0xFF // length ~16M, frame extends past EOF
+	if _, torn, err := replayWAL(big, func(Record) error { return nil }); err != nil || !torn {
+		t.Fatalf("oversize frame at tail: torn=%v err=%v, want torn", torn, err)
+	}
+}
