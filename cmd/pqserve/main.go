@@ -73,6 +73,8 @@ var (
 		"per-tenant admission queue beyond the in-flight cap (-data mode; negative sheds immediately)")
 	mutateRate  = flag.Float64("mutate-rate", 0, "per-tenant mutations per second (-data mode; 0 = unlimited)")
 	mutateBurst = flag.Int("mutate-burst", 16, "per-tenant mutation burst (-data mode)")
+	maxTenants  = flag.Int("max-tenants", 1024,
+		"global cap on registered graphs (-data mode; negative = unlimited)")
 
 	readTimeout  = flag.Duration("read-timeout", 15*time.Second, "http.Server ReadTimeout")
 	writeTimeout = flag.Duration("write-timeout", 60*time.Second, "http.Server WriteTimeout")
@@ -113,6 +115,7 @@ func main() {
 			QueueDepth:      *queueDepth,
 			MutateRate:      *mutateRate,
 			MutateBurst:     *mutateBurst,
+			MaxTenants:      *maxTenants,
 			Logf:            log.Printf,
 		})
 		if err != nil {

@@ -331,10 +331,27 @@ func newSelectionResponse(ans Answer, limit int) selectionResponse {
 	}
 }
 
+// MaxBodyBytes bounds every request body the handler reads (8 MiB). A
+// mutation body this size encodes to a WAL record comfortably under
+// store.MaxRecordLen (the binary framing is tighter than the JSON it
+// came from), so the durability layer never sees an HTTP mutation it
+// would have to reject after the fact.
+const MaxBodyBytes = 8 << 20
+
 func decode(w http.ResponseWriter, r *http.Request, into any) bool {
+	r.Body = http.MaxBytesReader(w, r.Body, MaxBodyBytes)
 	dec := json.NewDecoder(r.Body)
 	dec.DisallowUnknownFields()
 	if err := dec.Decode(into); err != nil {
+		var mbe *http.MaxBytesError
+		if errors.As(err, &mbe) {
+			writeError(w, &APIError{
+				Code:    "body_too_large",
+				Status:  http.StatusRequestEntityTooLarge,
+				Message: fmt.Sprintf("request body exceeds %d bytes", mbe.Limit),
+			})
+			return false
+		}
 		writeError(w, badRequest("bad_body", "bad request body: %v", err))
 		return false
 	}

@@ -12,8 +12,11 @@
 //	GET  /healthz                  — liveness (always ok while serving)
 //	GET  /readyz                   — readiness (503 until recovery finishes)
 //
-// Tenants are created lazily: a mutate to an unknown name opens a fresh
-// store directory; any other verb on an unknown name answers 404. On
+// Tenants are created lazily: a syntactically valid, non-empty mutate
+// to an unknown name opens a fresh store directory (a malformed or
+// empty body is rejected before any durable state is minted, and a
+// global Options.MaxTenants cap bounds creation); any other verb on an
+// unknown name answers 404. On
 // startup RecoverAll replays every existing tenant directory (checkpoint
 // load + WAL tail) before /readyz reports ready; a request for a specific
 // tenant that arrives earlier triggers that tenant's recovery on the
@@ -27,9 +30,11 @@
 package server
 
 import (
+	"bytes"
 	"encoding/json"
 	"errors"
 	"fmt"
+	"io"
 	"net/http"
 	"os"
 	"path/filepath"
@@ -61,6 +66,11 @@ type Options struct {
 	// bucket of MutateBurst (0 = unlimited).
 	MutateRate  float64
 	MutateBurst int
+	// MaxTenants caps the number of registered graphs; a mutation that
+	// would create one past the cap answers 503 tenant_limit (default
+	// 1024; negative = unlimited). Tenants already on disk always recover
+	// regardless of the cap.
+	MaxTenants int
 	// Logf receives recovery warnings and per-tenant lifecycle messages;
 	// nil discards them.
 	Logf func(format string, args ...any)
@@ -73,6 +83,9 @@ func (o *Options) withDefaults() Options {
 	}
 	if out.QueueDepth == 0 {
 		out.QueueDepth = 128
+	}
+	if out.MaxTenants == 0 {
+		out.MaxTenants = 1024
 	}
 	if out.Logf == nil {
 		out.Logf = func(string, ...any) {}
@@ -328,10 +341,22 @@ func (s *Server) dispatch(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	// Only a mutation creates a tenant; everything else must find one.
-	if op != "mutate" && !s.exists(name) {
-		writeErr(w, http.StatusNotFound, "unknown_graph",
-			fmt.Sprintf("no graph %q (a mutate creates it)", name), 0)
-		return
+	if !s.exists(name) {
+		if op != "mutate" {
+			writeErr(w, http.StatusNotFound, "unknown_graph",
+				fmt.Sprintf("no graph %q (a mutate creates it)", name), 0)
+			return
+		}
+		// Creation gate: only a syntactically valid, non-empty mutation
+		// may mint durable state (a directory, a registry entry) — a
+		// malformed or empty body must not let an unauthenticated client
+		// create unbounded tenants. The validated body is replayed into
+		// the engine handler below.
+		body, ok := s.admitCreatingMutation(w, r, name)
+		if !ok {
+			return
+		}
+		r.Body = io.NopCloser(bytes.NewReader(body))
 	}
 	t := s.tenantFor(name)
 	if t == nil {
@@ -368,6 +393,60 @@ func (s *Server) dispatch(w http.ResponseWriter, r *http.Request) {
 	r2 := r.Clone(r.Context())
 	r2.URL.Path = path
 	t.handler.ServeHTTP(w, r2)
+}
+
+// admitCreatingMutation decodes and validates a mutation aimed at a
+// graph that does not exist yet, enforcing the global tenant cap. It
+// mirrors the engine handler's own decoding (same field rules, same
+// error codes) so a request rejected here would have been rejected
+// there too — just before any durable state exists instead of after.
+// It returns the consumed body for replay and whether to proceed.
+func (s *Server) admitCreatingMutation(w http.ResponseWriter, r *http.Request, name string) ([]byte, bool) {
+	if s.opt.MaxTenants > 0 {
+		s.mu.Lock()
+		n := len(s.tenants)
+		s.mu.Unlock()
+		if n >= s.opt.MaxTenants {
+			writeErr(w, http.StatusServiceUnavailable, "tenant_limit",
+				fmt.Sprintf("tenant limit %d reached; graph %q not created", s.opt.MaxTenants, name), 0)
+			return nil, false
+		}
+	}
+	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, engine.MaxBodyBytes))
+	if err != nil {
+		var mbe *http.MaxBytesError
+		if errors.As(err, &mbe) {
+			writeErr(w, http.StatusRequestEntityTooLarge, "body_too_large",
+				fmt.Sprintf("request body exceeds %d bytes", mbe.Limit), 0)
+		} else {
+			writeErr(w, http.StatusBadRequest, "bad_body",
+				fmt.Sprintf("reading request body: %v", err), 0)
+		}
+		return nil, false
+	}
+	var req struct {
+		Edges []engine.EdgeSpec `json:"edges"`
+	}
+	dec := json.NewDecoder(bytes.NewReader(body))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil {
+		writeErr(w, http.StatusBadRequest, "bad_body",
+			fmt.Sprintf("bad request body: %v", err), 0)
+		return nil, false
+	}
+	if len(req.Edges) == 0 {
+		writeErr(w, http.StatusBadRequest, "empty_mutation",
+			fmt.Sprintf("an empty mutation does not create graph %q", name), 0)
+		return nil, false
+	}
+	for i, ed := range req.Edges {
+		if ed.From == "" || ed.Label == "" || ed.To == "" {
+			writeErr(w, http.StatusBadRequest, "bad_edge",
+				fmt.Sprintf("edge %d: from, label and to are all required", i), 0)
+			return nil, false
+		}
+	}
+	return body, true
 }
 
 // handleStats answers the tenant's engine counters plus its store's

@@ -5,12 +5,16 @@ import (
 	"fmt"
 	"net/http"
 	"net/http/httptest"
+	"os"
+	"path/filepath"
 	"sort"
 	"strings"
 	"sync"
 	"sync/atomic"
 	"testing"
 	"time"
+
+	"pathquery/internal/engine"
 )
 
 func newServer(t *testing.T, opt Options) *Server {
@@ -210,6 +214,89 @@ func TestLazyRecoveryBeforeReady(t *testing.T) {
 	}
 	if !strings.Contains(rec.Body.String(), `"u"`) {
 		t.Fatalf("lazy query lost data: %s", rec.Body)
+	}
+}
+
+// TestInvalidMutateDoesNotCreateTenant: a mutate aimed at an unknown
+// graph must not mint a directory or registry entry unless its body is
+// a syntactically valid, non-empty mutation — otherwise any client can
+// mass-create durable tenants with garbage requests.
+func TestInvalidMutateDoesNotCreateTenant(t *testing.T) {
+	dir := t.TempDir()
+	s := newServer(t, Options{DataDir: dir})
+	h := s.Handler()
+	cases := []struct {
+		body   string
+		status int
+		code   string
+	}{
+		{"", http.StatusBadRequest, "bad_body"},
+		{"{", http.StatusBadRequest, "bad_body"},
+		{`{"nope":1}`, http.StatusBadRequest, "bad_body"},
+		{`{"edges":[]}`, http.StatusBadRequest, "empty_mutation"},
+		{`{"edges":[{"from":"u","to":"v"}]}`, http.StatusBadRequest, "bad_edge"},
+	}
+	for _, c := range cases {
+		rec := do(t, h, "POST", "/v1/graphs/ghost/mutate", c.body)
+		if rec.Code != c.status || errCode(t, rec) != c.code {
+			t.Fatalf("body %q: got %d %q, want %d %q (%s)",
+				c.body, rec.Code, errCode(t, rec), c.status, c.code, rec.Body)
+		}
+	}
+	if _, err := os.Stat(filepath.Join(dir, "ghost")); !os.IsNotExist(err) {
+		t.Fatal("invalid mutate created a tenant directory")
+	}
+	if s.exists("ghost") {
+		t.Fatal("invalid mutate registered a tenant")
+	}
+	// A well-formed mutate then creates the graph as before; once it
+	// exists, an empty mutation is back to being an engine-level no-op.
+	if rec := do(t, h, "POST", "/v1/graphs/ghost/mutate", mutateBody("u", "x", "v")); rec.Code != http.StatusOK {
+		t.Fatalf("valid creating mutate: %d %s", rec.Code, rec.Body)
+	}
+	if rec := do(t, h, "POST", "/v1/graphs/ghost/mutate", `{"edges":[]}`); rec.Code != http.StatusOK {
+		t.Fatalf("empty mutate on existing graph: %d %s", rec.Code, rec.Body)
+	}
+}
+
+func TestTenantLimit(t *testing.T) {
+	s := newServer(t, Options{MaxTenants: 2})
+	h := s.Handler()
+	for _, g := range []string{"g1", "g2"} {
+		if rec := do(t, h, "POST", "/v1/graphs/"+g+"/mutate", mutateBody("u", "x", "v")); rec.Code != http.StatusOK {
+			t.Fatalf("creating %s: %d %s", g, rec.Code, rec.Body)
+		}
+	}
+	rec := do(t, h, "POST", "/v1/graphs/g3/mutate", mutateBody("u", "x", "v"))
+	if rec.Code != http.StatusServiceUnavailable || errCode(t, rec) != "tenant_limit" {
+		t.Fatalf("mutate past tenant limit: %d %q %s", rec.Code, errCode(t, rec), rec.Body)
+	}
+	// Existing tenants are unaffected by the cap.
+	if rec := do(t, h, "POST", "/v1/graphs/g1/mutate", mutateBody("v", "x", "w")); rec.Code != http.StatusOK {
+		t.Fatalf("mutate on existing tenant under cap: %d %s", rec.Code, rec.Body)
+	}
+}
+
+// TestOversizedBodyRejected covers the request-size limit on both
+// paths: the creation gate (unknown graph) and the engine handler
+// (existing graph) each answer 413 without durable side effects.
+func TestOversizedBodyRejected(t *testing.T) {
+	dir := t.TempDir()
+	s := newServer(t, Options{DataDir: dir})
+	h := s.Handler()
+	big := fmt.Sprintf(`{"edges":[{"from":%q,"label":"x","to":"v"}]}`,
+		strings.Repeat("a", engine.MaxBodyBytes))
+	rec := do(t, h, "POST", "/v1/graphs/ghost/mutate", big)
+	if rec.Code != http.StatusRequestEntityTooLarge || errCode(t, rec) != "body_too_large" {
+		t.Fatalf("oversized creating mutate: %d %q", rec.Code, errCode(t, rec))
+	}
+	if _, err := os.Stat(filepath.Join(dir, "ghost")); !os.IsNotExist(err) {
+		t.Fatal("oversized mutate created a tenant directory")
+	}
+	do(t, h, "POST", "/v1/graphs/g1/mutate", mutateBody("u", "x", "v"))
+	rec = do(t, h, "POST", "/v1/graphs/g1/mutate", big)
+	if rec.Code != http.StatusRequestEntityTooLarge || errCode(t, rec) != "body_too_large" {
+		t.Fatalf("oversized mutate on existing graph: %d %q", rec.Code, errCode(t, rec))
 	}
 }
 

@@ -84,6 +84,12 @@ type FaultFS struct {
 	// failTruncate / failRename fail the next call and crash.
 	failTruncate bool
 	failRename   bool
+	// Transient faults: the filesystem survives them (disk full, EIO),
+	// unlike the crash faults above. failWriteShort is the byte count the
+	// next Write emits before failing (-1 disarmed); failTruncateOnce
+	// fails the next Truncate only.
+	failWriteShort   int
+	failTruncateOnce bool
 }
 
 // NewFaultFS wraps inner (nil = the real filesystem) with no faults armed.
@@ -91,7 +97,23 @@ func NewFaultFS(inner FS) *FaultFS {
 	if inner == nil {
 		inner = OS
 	}
-	return &FaultFS{Inner: inner, writeBudget: -1}
+	return &FaultFS{Inner: inner, writeBudget: -1, failWriteShort: -1}
+}
+
+// FailWriteShort makes the next Write emit only n bytes and fail,
+// without killing the filesystem — a transient torn write, as opposed
+// to the crash CrashAfterBytes models.
+func (f *FaultFS) FailWriteShort(n int) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.failWriteShort = n
+}
+
+// FailTruncateOnce fails the next Truncate without crashing.
+func (f *FaultFS) FailTruncateOnce() {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.failTruncateOnce = true
 }
 
 // CrashAfterBytes arms a crash once n more bytes have been written
@@ -235,6 +257,20 @@ func (f *faultFile) Write(p []byte) (int, error) {
 		f.fs.mu.Unlock()
 		return 0, ErrInjected
 	}
+	if f.fs.failWriteShort >= 0 {
+		n := f.fs.failWriteShort
+		if n > len(p) {
+			n = len(p)
+		}
+		f.fs.failWriteShort = -1
+		f.fs.mu.Unlock()
+		if n > 0 {
+			if wn, err := f.inner.Write(p[:n]); err != nil {
+				return wn, err
+			}
+		}
+		return n, ErrInjected
+	}
 	if f.fs.writeBudget >= 0 && int64(len(p)) > f.fs.writeBudget {
 		// The crossing write is torn: the allowed prefix reaches the disk,
 		// the rest never will, and the process is gone.
@@ -284,6 +320,11 @@ func (f *faultFile) Truncate(size int64) error {
 	}
 	if f.fs.failTruncate {
 		f.fs.failTruncate, f.fs.crashed = false, true
+		f.fs.mu.Unlock()
+		return ErrInjected
+	}
+	if f.fs.failTruncateOnce {
+		f.fs.failTruncateOnce = false
 		f.fs.mu.Unlock()
 		return ErrInjected
 	}

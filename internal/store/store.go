@@ -45,6 +45,13 @@ import (
 // ErrClosed reports an operation on a closed store.
 var ErrClosed = errors.New("store: closed")
 
+// ErrFailed reports an append to a store poisoned by an earlier torn
+// append whose rollback also failed: the WAL ends in a torn frame that
+// could not be truncated, so stacking further records behind it would
+// ack writes that the next recovery refuses as mid-log corruption.
+// Reopen the store — Open applies the torn-tail rule and continues.
+var ErrFailed = errors.New("store: WAL has an unrolled torn frame; reopen to recover")
+
 // Options tunes a GraphStore.
 type Options struct {
 	// FS is the filesystem (nil = the real one); tests inject faults here.
@@ -106,6 +113,7 @@ type GraphStore struct {
 	ckptEpoch uint64
 	lastEpoch uint64
 	closed    bool
+	failed    bool // a torn append could not be rolled back: see ErrFailed
 	buf       []byte
 
 	g        *graph.Graph
@@ -123,8 +131,24 @@ type GraphStore struct {
 func Open(dir string, opt Options) (*GraphStore, error) {
 	opt = opt.withDefaults()
 	fs := opt.FS
+	newDir := false
+	if _, err := fs.Stat(dir); err != nil {
+		if !os.IsNotExist(err) {
+			return nil, fmt.Errorf("store: stat %s: %w", dir, err)
+		}
+		newDir = true
+	}
 	if err := fs.MkdirAll(dir, 0o755); err != nil {
 		return nil, fmt.Errorf("store: %w", err)
+	}
+	if newDir {
+		// Make the new directory entry itself durable: without a parent
+		// fsync a power loss can drop the whole directory — and every
+		// fsynced, acked record inside it — leaving recovery to silently
+		// serve an empty graph.
+		if err := fs.SyncDir(filepath.Dir(dir)); err != nil {
+			return nil, fmt.Errorf("store: syncing parent of new dir %s: %w", dir, err)
+		}
 	}
 	// A stale checkpoint.tmp is a crash artifact from an interrupted
 	// checkpoint write; the named checkpoint is still the valid one.
@@ -145,9 +169,26 @@ func Open(dir string, opt Options) (*GraphStore, error) {
 	s.g, s.ckptEpoch = g, ckptEpoch
 	s.recovery.ckptLoad = time.Since(t0)
 
-	wal, err := fs.OpenFile(filepath.Join(dir, walFile), os.O_RDWR|os.O_CREATE, 0o644)
+	walPath := filepath.Join(dir, walFile)
+	newWAL := false
+	if _, err := fs.Stat(walPath); err != nil {
+		if !os.IsNotExist(err) {
+			return nil, fmt.Errorf("store: stat WAL: %w", err)
+		}
+		newWAL = true
+	}
+	wal, err := fs.OpenFile(walPath, os.O_RDWR|os.O_CREATE, 0o644)
 	if err != nil {
 		return nil, fmt.Errorf("store: open WAL: %w", err)
+	}
+	if newWAL {
+		// Same power-loss rule for the WAL's own directory entry: a wal
+		// file created but never linked durably can vanish with every
+		// record fsynced into it.
+		if err := fs.SyncDir(dir); err != nil {
+			wal.Close()
+			return nil, fmt.Errorf("store: syncing %s after WAL create: %w", dir, err)
+		}
 	}
 	s.wal = wal
 	data, err := io.ReadAll(wal)
@@ -257,10 +298,21 @@ func (s *GraphStore) Append(epoch uint64, edges []engine.EdgeSpec) error {
 	if s.closed {
 		return ErrClosed
 	}
+	if s.failed {
+		return ErrFailed
+	}
 	if epoch != s.lastEpoch+1 {
 		return fmt.Errorf("store: append epoch %d does not follow %d", epoch, s.lastEpoch)
 	}
 	s.buf = appendRecord(s.buf[:0], Record{Epoch: epoch, Edges: edges})
+	// Write-side twin of the replay-side MaxRecordLen check: a record
+	// replay would refuse must never be written, or an acked durable
+	// mutation turns into ErrCorrupt at the next Open. The real length is
+	// checked here (not the uint32 the frame header carries), so a
+	// payload large enough to wrap the cast is rejected too.
+	if payload := len(s.buf) - 8; payload > MaxRecordLen {
+		return fmt.Errorf("%w: encoded payload is %d bytes (max %d)", ErrTooLarge, payload, MaxRecordLen)
+	}
 	if _, err := s.wal.Write(s.buf); err != nil {
 		s.unwrite()
 		return fmt.Errorf("store: WAL append: %w", err)
@@ -275,15 +327,23 @@ func (s *GraphStore) Append(epoch uint64, edges []engine.EdgeSpec) error {
 	return nil
 }
 
-// unwrite best-effort removes a record that failed to append cleanly,
-// so a later successful append is not stacked onto a torn frame. If the
-// filesystem is already gone (a crash) this fails too — then the
-// torn-tail rule cleans it up at the next Open.
+// unwrite removes a record that failed to append cleanly, so a later
+// successful append is not stacked onto a torn frame. If the rollback
+// itself fails (the filesystem is gone, or a transient truncate error)
+// the store is poisoned — every later Append returns ErrFailed — because
+// acking records behind a torn frame would make them unrecoverable: the
+// next Open would see mid-log garbage followed by valid data and refuse
+// with ErrCorrupt. A reopen applies the torn-tail rule and continues.
 func (s *GraphStore) unwrite() {
 	if err := s.wal.Truncate(s.walSize); err != nil {
+		s.failed = true
+		s.logf("store: %s: rollback of torn append failed (%v); refusing further appends until reopen", s.dir, err)
 		return
 	}
-	_, _ = s.wal.Seek(s.walSize, io.SeekStart)
+	if _, err := s.wal.Seek(s.walSize, io.SeekStart); err != nil {
+		s.failed = true
+		s.logf("store: %s: reseek after torn append failed (%v); refusing further appends until reopen", s.dir, err)
+	}
 }
 
 // Committed is called by the engine after each publication (the second
@@ -315,6 +375,9 @@ func (s *GraphStore) Checkpoint(snap *graph.Snapshot) error {
 	defer s.mu.Unlock()
 	if s.closed {
 		return ErrClosed
+	}
+	if s.failed {
+		return ErrFailed // the WAL tail is torn; only a reopen may touch it
 	}
 	if snap.Epoch() <= s.ckptEpoch {
 		return nil // an older or duplicate snapshot: nothing to gain

@@ -7,6 +7,7 @@ import (
 	"path/filepath"
 	"reflect"
 	"strings"
+	"sync"
 	"testing"
 
 	"pathquery/internal/engine"
@@ -236,7 +237,9 @@ func TestKillAtEveryWriteOffset(t *testing.T) {
 // caller, and recovery must land on the acked prefix (plus at most the
 // one record whose bytes reached the disk without its fsync ack).
 func TestSyncFailureAbortsMutation(t *testing.T) {
-	for k := 1; k <= 6; k++ {
+	// k reaches 8 so the sweep still covers mutation-time syncs now that
+	// a fresh Open spends the first two sync points on directory fsyncs.
+	for k := 1; k <= 8; k++ {
 		ffs := NewFaultFS(nil)
 		ffs.FailSync(k)
 		dir := t.TempDir()
@@ -399,6 +402,103 @@ func TestStaleCheckpointTmpIgnored(t *testing.T) {
 	requireState(t, st2, 3)
 	if _, err := os.Stat(filepath.Join(dir, checkpointFile+".tmp")); !os.IsNotExist(err) {
 		t.Fatal("stale checkpoint.tmp not removed")
+	}
+}
+
+// TestOversizedAppendRejected is the write-side MaxRecordLen guard: a
+// mutation whose encoded payload exceeds the cap must fail before any
+// byte reaches the WAL — were it acked, the next Open would refuse the
+// fully-present record as corrupt and the store would be down for good.
+func TestOversizedAppendRejected(t *testing.T) {
+	dir := t.TempDir()
+	st := openStore(t, dir, Options{})
+	engine.New(st.Graph(), engine.Options{Log: st}) // publishes epoch 1
+	big := strings.Repeat("x", MaxRecordLen)
+	if err := st.Append(2, []engine.EdgeSpec{{From: big, Label: "a", To: "b"}}); !errors.Is(err, ErrTooLarge) {
+		t.Fatalf("oversized append: %v, want ErrTooLarge", err)
+	}
+	// The WAL is untouched: the same epoch still appends normally, and a
+	// reopen recovers exactly that state.
+	if err := st.Append(2, scriptMutation(0)); err != nil {
+		t.Fatal(err)
+	}
+	st.Close()
+	st2 := openStore(t, dir, Options{})
+	defer st2.Close()
+	requireState(t, st2, 1)
+}
+
+// TestFailedRollbackPoisonsStore injects a transient torn write whose
+// rollback truncate also fails (disk trouble, not a crash — the
+// filesystem stays alive): the store must refuse every later append
+// with ErrFailed rather than ack records stacked behind the torn frame,
+// which recovery would then reject as mid-log corruption. A reopen
+// applies the torn-tail rule and recovers the acked prefix.
+func TestFailedRollbackPoisonsStore(t *testing.T) {
+	ffs := NewFaultFS(nil)
+	dir := t.TempDir()
+	st := openStore(t, dir, Options{FS: ffs, CheckpointEvery: -1})
+	e := engine.New(st.Graph(), engine.Options{Log: st})
+	if _, err := e.Mutate(scriptMutation(0)); err != nil {
+		t.Fatal(err)
+	}
+	ffs.FailWriteShort(3)
+	ffs.FailTruncateOnce()
+	if _, err := e.Mutate(scriptMutation(1)); err == nil {
+		t.Fatal("torn append acked")
+	}
+	if _, err := e.Mutate(scriptMutation(1)); err == nil {
+		t.Fatal("append behind an unrolled torn frame acked")
+	}
+	if err := st.Append(3, scriptMutation(1)); !errors.Is(err, ErrFailed) {
+		t.Fatalf("append on poisoned store: %v, want ErrFailed", err)
+	}
+	st.Close()
+	st2 := openStore(t, dir, Options{})
+	defer st2.Close()
+	requireState(t, st2, 1)
+}
+
+// syncDirRecorder records which directories get fsynced.
+type syncDirRecorder struct {
+	FS
+	mu   sync.Mutex
+	dirs []string
+}
+
+func (r *syncDirRecorder) SyncDir(name string) error {
+	r.mu.Lock()
+	r.dirs = append(r.dirs, name)
+	r.mu.Unlock()
+	return r.FS.SyncDir(name)
+}
+
+// TestCreateSyncsDirectories asserts the power-loss half of durability:
+// creating a store must fsync the parent directory (the new dir entry)
+// and the directory itself (the new WAL file entry) — otherwise a power
+// cut can drop the whole tenant with every acked record in it.
+func TestCreateSyncsDirectories(t *testing.T) {
+	parent := t.TempDir()
+	dir := filepath.Join(parent, "tenant")
+	rec := &syncDirRecorder{FS: OS}
+	st := openStore(t, dir, Options{FS: rec})
+	st.Close()
+	synced := map[string]bool{}
+	for _, d := range rec.dirs {
+		synced[d] = true
+	}
+	if !synced[parent] {
+		t.Errorf("new store dir: parent %s never fsynced (got %v)", parent, rec.dirs)
+	}
+	if !synced[dir] {
+		t.Errorf("new WAL file: dir %s never fsynced (got %v)", dir, rec.dirs)
+	}
+	// Reopening an existing store creates nothing, so it syncs nothing.
+	rec.dirs = nil
+	st2 := openStore(t, dir, Options{FS: rec})
+	st2.Close()
+	if len(rec.dirs) != 0 {
+		t.Errorf("reopen fsynced %v, want none", rec.dirs)
 	}
 }
 

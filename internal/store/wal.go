@@ -40,6 +40,12 @@ const MaxRecordLen = 16 << 20
 // tail. Opens fail with it (wrapped) rather than replay past damage.
 var ErrCorrupt = errors.New("store: corrupt WAL record")
 
+// ErrTooLarge reports a mutation whose encoded payload exceeds
+// MaxRecordLen. Append rejects it before a single byte reaches the WAL:
+// a record that replay would refuse must never be written (let alone
+// acked), or an accepted durable write would make the next Open fail.
+var ErrTooLarge = errors.New("store: mutation record exceeds MaxRecordLen")
+
 // Record is one logged mutation.
 type Record struct {
 	// Epoch is the epoch this mutation published.
