@@ -409,7 +409,42 @@ func BenchmarkEngineServe(b *testing.B) {
 		b.ReportMetric(report.Throughput, "req/s")
 		b.ReportMetric(float64(report.P50.Nanoseconds()), "p50-ns")
 		b.ReportMetric(float64(report.P99.Nanoseconds()), "p99-ns")
+		// Per-class percentiles from the report's telemetry histograms:
+		// selects and mutations live orders of magnitude apart, so the
+		// merged percentiles above under-describe both.
+		b.ReportMetric(float64(report.SelectLatency.Quantile(0.50).Nanoseconds()), "select-p50-ns")
+		b.ReportMetric(float64(report.SelectLatency.Quantile(0.99).Nanoseconds()), "select-p99-ns")
+		b.ReportMetric(float64(report.MutateLatency.Quantile(0.50).Nanoseconds()), "mutate-p50-ns")
+		b.ReportMetric(float64(report.MutateLatency.Quantile(0.99).Nanoseconds()), "mutate-p99-ns")
 	})
+}
+
+// BenchmarkWALAppend measures the durable-mutation floor: each iteration
+// appends one small edge batch through Engine.Mutate backed by a real
+// on-disk WAL (write + fsync per mutation). The store's fsync histogram
+// supplies the tail metric recorded into BENCH_<date>.json.
+func BenchmarkWALAppend(b *testing.B) {
+	dir := b.TempDir()
+	st, err := store.Open(dir, store.Options{CheckpointEvery: -1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer st.Close()
+	e := engine.New(st.Graph(), engine.Options{Log: st})
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := e.Mutate([]engine.EdgeSpec{{
+			From:  fmt.Sprintf("n%d", i),
+			Label: "w",
+			To:    fmt.Sprintf("n%d", i+1),
+		}}); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	fsync := st.FsyncLatency()
+	b.ReportMetric(float64(fsync.Quantile(0.99).Nanoseconds()), "fsync-p99-ns")
+	b.ReportMetric(float64(fsync.Mean().Nanoseconds()), "fsync-mean-ns")
 }
 
 // BenchmarkEvaluateWitness measures the witness accumulator of the

@@ -60,7 +60,7 @@ var (
 	synSize   = flag.Int("syn-size", 0, "run synthetic experiments on this single size only")
 
 	snapshot      = flag.Bool("snapshot", false, "run go-benchmarks and write BENCH_<date>.json")
-	snapshotBench = flag.String("snapshot-bench", "BenchmarkSelectMonadic$|BenchmarkSCPSearch$|BenchmarkLearnerPaperExample$|BenchmarkEngineServe|BenchmarkLearn$|BenchmarkEngineLearn$|BenchmarkPlanCompile|BenchmarkSelectBinaryDirectional|BenchmarkEvaluateWitness$|BenchmarkEvaluateCount$|BenchmarkStoreRecovery",
+	snapshotBench = flag.String("snapshot-bench", "BenchmarkSelectMonadic$|BenchmarkSCPSearch$|BenchmarkLearnerPaperExample$|BenchmarkEngineServe|BenchmarkLearn$|BenchmarkEngineLearn$|BenchmarkPlanCompile|BenchmarkSelectBinaryDirectional|BenchmarkEvaluateWitness$|BenchmarkEvaluateCount$|BenchmarkStoreRecovery|BenchmarkWALAppend$",
 		"benchmark pattern for -snapshot")
 	snapshotOut   = flag.String("snapshot-out", "", "snapshot file name (default BENCH_<date>.json)")
 	snapshotNote  = flag.String("snapshot-note", "", "free-form note stored in the snapshot")

@@ -2,6 +2,7 @@ package main
 
 import (
 	"fmt"
+	"time"
 
 	"pathquery/internal/datasets"
 	"pathquery/internal/engine"
@@ -41,6 +42,12 @@ func runServeBench() error {
 		return err
 	}
 	fmt.Println(report)
+	if report.MutateLatency.Count() > 0 {
+		fmt.Printf("mutate p90 %v  max %v   (select max %v)\n",
+			report.MutateLatency.Quantile(0.90),
+			time.Duration(report.MutateLatency.Max),
+			time.Duration(report.SelectLatency.Max))
+	}
 
 	st := e.Stats()
 	fmt.Printf("epochs published %d   plans %d (hits %d, misses %d)\n",

@@ -43,12 +43,15 @@ package main
 import (
 	"context"
 	"errors"
+	"expvar"
 	"flag"
 	"fmt"
 	"log"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
+	"strconv"
 	"syscall"
 	"time"
 
@@ -56,6 +59,7 @@ import (
 	"pathquery/internal/engine"
 	"pathquery/internal/graph"
 	"pathquery/internal/server"
+	"pathquery/internal/telemetry"
 )
 
 var (
@@ -76,6 +80,11 @@ var (
 	maxTenants  = flag.Int("max-tenants", 1024,
 		"global cap on registered graphs (-data mode; negative = unlimited)")
 
+	slowQuery = flag.Duration("slow-query", 0,
+		"log every query at least this slow as one structured JSON line (0 = off)")
+	opsAddr = flag.String("ops-addr", "",
+		"optional ops listener serving /metrics, /debug/pprof/ and /debug/vars (e.g. localhost:6060)")
+
 	readTimeout  = flag.Duration("read-timeout", 15*time.Second, "http.Server ReadTimeout")
 	writeTimeout = flag.Duration("write-timeout", 60*time.Second, "http.Server WriteTimeout")
 	evalTimeout  = flag.Duration("eval-timeout", 30*time.Second,
@@ -83,6 +92,36 @@ var (
 	shutdownTimeout = flag.Duration("shutdown-timeout", 10*time.Second,
 		"grace period for in-flight requests on SIGINT/SIGTERM")
 )
+
+// instrument records per-request metrics for the single-graph mode —
+// the counterpart of the multi-tenant server's dispatch recording, with
+// the fixed tenant "default" and the op derived from the route table
+// (unknown paths collapse to "other" so label cardinality stays
+// bounded).
+func instrument(reg *telemetry.Registry, next http.Handler) http.Handler {
+	ops := map[string]string{
+		"/v1/query": "query", "/select": "query", "/selectPairs": "query",
+		"/v1/batch": "batch", "/batch": "batch",
+		"/mutate": "mutate", "/learn": "learn",
+		"/stats": "stats", "/plans": "plans",
+	}
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		op, ok := ops[r.URL.Path]
+		if !ok {
+			op = "other"
+		}
+		rec := telemetry.NewStatusRecorder(w)
+		start := time.Now()
+		next.ServeHTTP(rec, r)
+		ls := []telemetry.Label{{Key: "tenant", Value: "default"}, {Key: "op", Value: op}}
+		reg.Histogram("pathquery_request_seconds",
+			"End-to-end request latency at the server, admission included.",
+			ls...).Observe(time.Since(start))
+		reg.Counter("pathquery_requests_total",
+			"Requests served, by tenant, operation and HTTP status.",
+			append(ls, telemetry.Label{Key: "code", Value: strconv.Itoa(rec.Code)})...).Inc()
+	})
+}
 
 // withDeadline bounds every request context: http.Server's WriteTimeout
 // only closes the connection, it never cancels r.Context(), so without
@@ -103,6 +142,7 @@ func main() {
 
 	var handler http.Handler
 	var closeFn func() error
+	var reg *telemetry.Registry
 	switch {
 	case *dataDir != "" && (*graphPath != "" || *synthetic > 0):
 		log.Fatal("-data is mutually exclusive with -graph/-synthetic")
@@ -116,6 +156,7 @@ func main() {
 			MutateRate:      *mutateRate,
 			MutateBurst:     *mutateBurst,
 			MaxTenants:      *maxTenants,
+			SlowQuery:       *slowQuery,
 			Logf:            log.Printf,
 		})
 		if err != nil {
@@ -127,6 +168,7 @@ func main() {
 		go srv.RecoverAll()
 		handler = srv.Handler()
 		closeFn = srv.Close
+		reg = srv.Registry()
 		log.Printf("serving multi-tenant registry on %s from %s", *addr, *dataDir)
 	case *graphPath != "" && *synthetic > 0:
 		log.Fatal("-graph and -synthetic are mutually exclusive")
@@ -149,16 +191,42 @@ func main() {
 		st := e.Stats()
 		log.Printf("serving on %s: epoch %d, %d nodes, %d edges, %d labels",
 			*addr, st.Epoch, st.Nodes, st.Edges, g.Alphabet().Size())
+		reg = telemetry.NewRegistry()
+		e.RegisterMetrics(reg, telemetry.Label{Key: "tenant", Value: "default"})
 		mux := http.NewServeMux()
-		mux.Handle("/", engine.NewHandler(e))
+		mux.Handle("/", engine.NewHandlerWith(e, engine.HandlerOptions{
+			Tenant:    "default",
+			SlowQuery: *slowQuery,
+			SlowLogf:  log.Printf,
+		}))
+		mux.Handle("GET /metrics", reg.Handler())
 		// A volatile single-graph server is ready the moment it listens.
 		mux.HandleFunc("GET /readyz", func(w http.ResponseWriter, r *http.Request) {
 			fmt.Fprintln(w, "ok")
 		})
-		handler = mux
+		handler = telemetry.WithRequestID(instrument(reg, mux))
 		closeFn = func() error { return nil }
 	default:
 		log.Fatal("need -data DIR, -graph FILE or -synthetic N")
+	}
+
+	if *opsAddr != "" {
+		// The ops surface listens separately so profiling and scraping
+		// need not share the serving listener (or be exposed with it).
+		ops := http.NewServeMux()
+		ops.Handle("GET /metrics", reg.Handler())
+		ops.HandleFunc("/debug/pprof/", pprof.Index)
+		ops.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		ops.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		ops.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		ops.HandleFunc("/debug/pprof/trace", pprof.Trace)
+		ops.Handle("GET /debug/vars", expvar.Handler())
+		go func() {
+			log.Printf("ops listener on %s (/metrics, /debug/pprof/, /debug/vars)", *opsAddr)
+			if err := http.ListenAndServe(*opsAddr, ops); err != nil {
+				log.Printf("ops listener: %v", err)
+			}
+		}()
 	}
 
 	if *evalTimeout > 0 {

@@ -40,10 +40,12 @@ import (
 	"net/http"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"pathquery/internal/core"
 	"pathquery/internal/graph"
 	"pathquery/internal/query"
+	"pathquery/internal/telemetry"
 	"pathquery/internal/words"
 )
 
@@ -84,6 +86,15 @@ type Engine struct {
 	batches   atomic.Uint64
 	mutations atomic.Uint64
 	learns    atomic.Uint64
+
+	// evalHist[s] is the end-to-end Evaluate latency under semantics s
+	// (per batch member in EvaluateBatch); mutateHist is the Mutate
+	// latency including the WAL append and epoch publication. The
+	// deprecated Select path is deliberately not timed: it is the
+	// cached-hit nanosecond benchmark, and two time.Now calls would be
+	// a measurable fraction of it.
+	evalHist   [query.NumSemantics]telemetry.Histogram
+	mutateHist telemetry.Histogram
 }
 
 // New wraps g in a serving engine and publishes its first epoch. The
@@ -234,6 +245,8 @@ func (e *Engine) Mutate(edges []EdgeSpec) (MutationResult, error) {
 		snap := e.g.Current()
 		return MutationResult{Epoch: snap.Epoch(), Nodes: snap.NumNodes(), Edges: snap.NumEdges()}, nil
 	}
+	start := time.Now()
+	defer func() { e.mutateHist.Observe(time.Since(start)) }()
 	e.mu.Lock()
 	if e.log != nil {
 		// Every AddEdge dirties the build side, so a nonempty mutation
@@ -393,6 +406,52 @@ type Stats struct {
 // count, layout, compile time, and hit count — most-used first. This is
 // the GET /plans view.
 func (e *Engine) Plans() []PlanInfo { return e.plans.list() }
+
+// RegisterMetrics exposes the engine's counters, gauges, and latency
+// histograms on reg under the pathquery_* namespace; labels (typically
+// one tenant label) are stamped on every series. Registration is
+// idempotent for a given registry and label set — the counters bridge
+// the engine's existing atomics via CounterFunc, so no double counting
+// can result from calling it twice.
+func (e *Engine) RegisterMetrics(reg *telemetry.Registry, labels ...telemetry.Label) {
+	for s := 0; s < query.NumSemantics; s++ {
+		// A fresh slice per semantics: appending to `labels` directly
+		// could alias one backing array across iterations.
+		ls := make([]telemetry.Label, 0, len(labels)+1)
+		ls = append(ls, labels...)
+		ls = append(ls, telemetry.Label{Key: "semantics", Value: query.Semantics(s).String()})
+		reg.RegisterHistogram("pathquery_eval_seconds",
+			"End-to-end Evaluate latency by requested semantics.", &e.evalHist[s], ls...)
+	}
+	reg.RegisterHistogram("pathquery_mutate_seconds",
+		"Mutate latency, including the WAL append and epoch publication.", &e.mutateHist, labels...)
+	reg.CounterFunc("pathquery_engine_queries_total",
+		"Queries evaluated, batch members included.", e.queries.Load, labels...)
+	reg.CounterFunc("pathquery_engine_batches_total",
+		"Batch evaluations served.", e.batches.Load, labels...)
+	reg.CounterFunc("pathquery_engine_mutations_total",
+		"Mutations published.", e.mutations.Load, labels...)
+	reg.CounterFunc("pathquery_engine_learns_total",
+		"Learner runs installed.", e.learns.Load, labels...)
+	reg.CounterFunc("pathquery_plan_cache_hits_total",
+		"Plan-cache hits.", e.plans.hits.Load, labels...)
+	reg.CounterFunc("pathquery_plan_cache_misses_total",
+		"Plan-cache misses (one-time compilations).", e.plans.misses.Load, labels...)
+	reg.CounterFunc("pathquery_result_cache_hits_total",
+		"Result-cache hits.", e.results.hits.Load, labels...)
+	reg.CounterFunc("pathquery_result_cache_misses_total",
+		"Result-cache misses (fresh product passes).", e.results.misses.Load, labels...)
+	reg.CounterFunc("pathquery_result_cache_shared_total",
+		"Evaluations shared with an in-flight identical request (single-flight).", e.results.shared.Load, labels...)
+	reg.GaugeFunc("pathquery_result_cache_entries",
+		"Cached result entries.", func() float64 { return float64(e.results.size()) }, labels...)
+	reg.GaugeFunc("pathquery_epoch",
+		"Currently served epoch.", func() float64 { return float64(e.g.Current().Epoch()) }, labels...)
+	reg.GaugeFunc("pathquery_graph_nodes",
+		"Nodes in the served epoch.", func() float64 { return float64(e.g.Current().NumNodes()) }, labels...)
+	reg.GaugeFunc("pathquery_graph_edges",
+		"Edges in the served epoch.", func() float64 { return float64(e.g.Current().NumEdges()) }, labels...)
+}
 
 // Stats returns current counters.
 func (e *Engine) Stats() Stats {

@@ -7,9 +7,11 @@ import (
 	"runtime"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"pathquery/internal/graph"
 	"pathquery/internal/query"
+	"pathquery/internal/telemetry"
 	"pathquery/internal/words"
 )
 
@@ -120,11 +122,15 @@ func badRequest(code, format string, args ...any) *APIError {
 // evaluation entry point; Select, SelectPairsFrom and SelectBatch are
 // deprecated shims over it.
 func (e *Engine) Evaluate(ctx context.Context, req Request) (Answer, error) {
+	start := time.Now()
 	sem, err := query.ParseSemantics(req.Semantics)
 	if err != nil {
 		return Answer{}, badRequest("unknown_semantics", "%v", err)
 	}
+	tr := telemetry.TraceFrom(ctx)
+	endCompile := tr.StartSpan("compile")
 	plan, err := e.plans.get(req.Query)
+	endCompile()
 	if err != nil {
 		return Answer{}, badRequest("parse_error", "%v", err)
 	}
@@ -135,6 +141,11 @@ func (e *Engine) Evaluate(ctx context.Context, req Request) (Answer, error) {
 	}
 	e.queries.Add(1)
 	ans, err := e.evaluateOn(ctx, snap, plan, qreq)
+	// Evaluation latency is observed per requested semantics, evaluation
+	// errors (cancellations, deadlines) included — a timing-out class
+	// should show in its histogram, not vanish from it. Wire-level
+	// rejects above never reach the evaluator and are not observed.
+	e.evalHist[sem].Observe(time.Since(start))
 	if err != nil {
 		return Answer{}, err
 	}
@@ -220,9 +231,17 @@ func (e *Engine) evaluateRaw(ctx context.Context, snap *graph.Snapshot, p *cache
 	if !qreq.HasFrom {
 		key.from = -1
 	}
+	// TraceFrom on an untraced context is one nil map-free Value lookup
+	// and the nil-trace span ends are no-ops, so the cached-hit hot path
+	// (Select → selectNodesOn, context.Background()) pays no timing.
+	tr := telemetry.TraceFrom(ctx)
+	endLookup := tr.StartSpan("cache_lookup")
 	if ans, ok := e.results.lookup(key); ok {
+		endLookup()
 		return ans, true, nil
 	}
+	endLookup()
+	defer tr.StartSpan("traverse")()
 	return e.results.do(ctx, key, func() (query.Answer, error) {
 		return p.q.EvaluateReq(ctx, snap, qreq)
 	})
@@ -291,13 +310,18 @@ func (e *Engine) EvaluateBatch(ctx context.Context, reqs []Request) (uint64, []A
 
 	answers := make([]Answer, len(reqs))
 	errs := make([]error, len(reqs))
+	evalOne := func(i int) {
+		start := time.Now()
+		answers[i], errs[i] = e.evaluateOn(ctx, snap, plans[i], qreqs[i])
+		e.evalHist[sems[i]].Observe(time.Since(start))
+	}
 	workers := runtime.GOMAXPROCS(0)
 	if workers > len(reqs) {
 		workers = len(reqs)
 	}
 	if workers <= 1 {
 		for i := range reqs {
-			answers[i], errs[i] = e.evaluateOn(ctx, snap, plans[i], qreqs[i])
+			evalOne(i)
 		}
 	} else {
 		// A fixed worker pool pulling indexes off an atomic counter: the
@@ -315,7 +339,7 @@ func (e *Engine) EvaluateBatch(ctx context.Context, reqs []Request) (uint64, []A
 					if i >= len(reqs) {
 						return
 					}
-					answers[i], errs[i] = e.evaluateOn(ctx, snap, plans[i], qreqs[i])
+					evalOne(i)
 				}
 			}()
 		}

@@ -5,12 +5,28 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"log"
 	"net/http"
+	"time"
 
 	"pathquery/internal/core"
 	"pathquery/internal/query"
+	"pathquery/internal/telemetry"
 	"pathquery/internal/words"
 )
+
+// HandlerOptions tunes the diagnostics of a handler built by
+// NewHandlerWith.
+type HandlerOptions struct {
+	// Tenant names the graph this handler serves, for the slow-query
+	// log's tenant field. Empty for a single-tenant deployment.
+	Tenant string
+	// SlowQuery, when positive, logs every /v1/query whose total time
+	// reaches it as one structured JSON line via SlowLogf.
+	SlowQuery time.Duration
+	// SlowLogf receives slow-query lines (log.Printf when nil).
+	SlowLogf func(format string, args ...any)
+}
 
 // NewHandler exposes e as a JSON-over-HTTP API — the wire surface of
 // cmd/pqserve. The evaluation surface is the versioned unified protocol:
@@ -64,19 +80,49 @@ import (
 // serves from the caches via /v1/query. Insufficient examples (the
 // paper's abstain) answer 422 with code "abstain"; "k" fixes the SCP
 // bound (0 = dynamic schedule up to "maxk").
+//
+// Diagnostics: POST /v1/query?trace=1 adds a "trace" field to the
+// answer — {"total_ns", "spans": [{"name", "ns"}]} — breaking the
+// request into its stages (admission when fronted by the multi-tenant
+// server, compile, cache_lookup, traverse); the spans are sequential,
+// so their sum never exceeds total_ns. Error envelopes echo the
+// request id stamped by telemetry.WithRequestID (when installed) as
+// "error.request_id".
 func NewHandler(e *Engine) http.Handler {
+	return NewHandlerWith(e, HandlerOptions{})
+}
+
+// NewHandlerWith is NewHandler with diagnostics options: a tenant name
+// for log attribution and a slow-query threshold.
+func NewHandlerWith(e *Engine, opt HandlerOptions) http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/query", func(w http.ResponseWriter, r *http.Request) {
 		var req Request
 		if !decode(w, r, &req) {
 			return
 		}
-		ans, err := e.Evaluate(r.Context(), req)
+		ctx := r.Context()
+		wantTrace := r.URL.Query().Get("trace") == "1"
+		// The multi-tenant server creates the trace up in dispatch (its
+		// admission span precedes this handler); standalone, create one
+		// here when the client asked or the slow-query log may need it.
+		tr := telemetry.TraceFrom(ctx)
+		if tr == nil && (wantTrace || opt.SlowQuery > 0) {
+			tr = telemetry.NewTrace()
+			ctx = telemetry.WithTrace(ctx, tr)
+		}
+		ans, err := e.Evaluate(ctx, req)
 		if err != nil {
+			opt.logSlow(w, req, tr, Answer{}, err)
 			writeError(w, err)
 			return
 		}
-		writeJSON(w, newAnswerResponse(ans, req.Limit))
+		resp := tracedAnswerResponse{answerResponse: newAnswerResponse(ans, req.Limit)}
+		if wantTrace && tr != nil {
+			resp.Trace = newTraceResponse(tr)
+		}
+		writeJSON(w, resp)
+		opt.logSlow(w, req, tr, ans, nil)
 	})
 	mux.HandleFunc("POST /v1/batch", func(w http.ResponseWriter, r *http.Request) {
 		var req struct {
@@ -235,6 +281,91 @@ type selectRequest struct {
 	Limit int    `json:"limit"`
 }
 
+// tracedAnswerResponse is the /v1/query answer plus the optional
+// ?trace=1 stage breakdown.
+type tracedAnswerResponse struct {
+	answerResponse
+	Trace *traceResponse `json:"trace,omitempty"`
+}
+
+// traceResponse is the wire form of one request trace.
+type traceResponse struct {
+	TotalNs int64          `json:"total_ns"`
+	Spans   []spanResponse `json:"spans"`
+}
+
+// spanResponse is one traced stage.
+type spanResponse struct {
+	Name string `json:"name"`
+	Ns   int64  `json:"ns"`
+}
+
+func newTraceResponse(tr *telemetry.Trace) *traceResponse {
+	spans := tr.Spans()
+	out := &traceResponse{
+		// Total is read after the last span ended, so the spans — which
+		// are sequential stages — always sum to at most TotalNs.
+		TotalNs: int64(tr.Total()),
+		Spans:   make([]spanResponse, len(spans)),
+	}
+	for i, s := range spans {
+		out.Spans[i] = spanResponse{Name: s.Name, Ns: int64(s.Duration)}
+	}
+	return out
+}
+
+// slowQueryEntry is one structured slow-query log line.
+type slowQueryEntry struct {
+	RequestID string         `json:"request_id,omitempty"`
+	Tenant    string         `json:"tenant,omitempty"`
+	Query     string         `json:"query"`
+	Semantics string         `json:"semantics"`
+	Epoch     uint64         `json:"epoch"`
+	TotalNs   int64          `json:"total_ns"`
+	Spans     []spanResponse `json:"spans"`
+	Cached    bool           `json:"cached"`
+	Error     string         `json:"error,omitempty"`
+}
+
+// logSlow emits one JSON slow-query line when tracing is on and the
+// request's total time reached the threshold. Failed evaluations log
+// too (with the error message): a query slow enough to hit its
+// deadline is exactly the one to diagnose.
+func (o HandlerOptions) logSlow(w http.ResponseWriter, req Request, tr *telemetry.Trace, ans Answer, evalErr error) {
+	if o.SlowQuery <= 0 || tr == nil {
+		return
+	}
+	total := tr.Total()
+	if total < o.SlowQuery {
+		return
+	}
+	entry := slowQueryEntry{
+		RequestID: telemetry.RequestID(w),
+		Tenant:    o.Tenant,
+		Query:     req.Query,
+		Semantics: req.Semantics,
+		Epoch:     ans.Epoch,
+		TotalNs:   int64(total),
+		Spans:     newTraceResponse(tr).Spans,
+		Cached:    ans.Cached,
+	}
+	if entry.Semantics == "" {
+		entry.Semantics = query.SemanticsNodes.String()
+	}
+	if evalErr != nil {
+		entry.Error = evalErr.Error()
+	}
+	line, err := json.Marshal(entry)
+	if err != nil {
+		return
+	}
+	logf := o.SlowLogf
+	if logf == nil {
+		logf = log.Printf
+	}
+	logf("slow-query %s", line)
+}
+
 // answerResponse is the /v1/query wire answer. Exactly one of Nodes,
 // Paths, Counts is present, matching the semantics.
 type answerResponse struct {
@@ -382,17 +513,22 @@ func writeError(w http.ResponseWriter, err error) {
 		code, status = "abstain", http.StatusUnprocessableEntity
 		err = fmt.Errorf("abstain: not enough examples to learn a consistent query")
 	}
-	w.Header().Set("Content-Type", "application/json")
-	w.WriteHeader(status)
 	var env errorEnvelope
 	env.Error.Code, env.Error.Message = code, err.Error()
+	// The request id was stamped on the response header by
+	// telemetry.WithRequestID (when installed) before the handler ran,
+	// so even error envelopes correlate with the access logs.
+	env.Error.RequestID = telemetry.RequestID(w)
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
 	_ = json.NewEncoder(w).Encode(env)
 }
 
 // errorEnvelope is the structured wire error of the v1 protocol.
 type errorEnvelope struct {
 	Error struct {
-		Code    string `json:"code"`
-		Message string `json:"message"`
+		Code      string `json:"code"`
+		Message   string `json:"message"`
+		RequestID string `json:"request_id,omitempty"`
 	} `json:"error"`
 }

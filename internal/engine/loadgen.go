@@ -3,9 +3,10 @@ package engine
 import (
 	"fmt"
 	"math/rand"
-	"sort"
 	"sync"
 	"time"
+
+	"pathquery/internal/telemetry"
 )
 
 // Closed-loop load driver: a fixed number of client goroutines issue
@@ -47,17 +48,27 @@ type LoadReport struct {
 
 	// Throughput is completed requests per second.
 	Throughput float64
-	// Latency percentiles over all requests.
+	// Latency percentiles over all requests, estimated from the merged
+	// class histograms (within one √2 bucket of exact).
 	P50, P90, P99, Max time.Duration
+
+	// SelectLatency and MutateLatency are the per-class latency
+	// distributions the percentiles above merge — pqbench reports the
+	// classes separately, since a mutation (WAL fsync included) and a
+	// cached select live orders of magnitude apart.
+	SelectLatency, MutateLatency telemetry.HistogramSnapshot
 }
 
 // String renders the report as a one-stanza summary.
 func (r LoadReport) String() string {
 	return fmt.Sprintf(
 		"clients %d  requests %d (selects %d, mutations %d)  wall %v\n"+
-			"throughput %.0f req/s   latency p50 %v  p90 %v  p99 %v  max %v",
+			"throughput %.0f req/s   latency p50 %v  p90 %v  p99 %v  max %v\n"+
+			"select  p50 %v  p99 %v   mutate  p50 %v  p99 %v",
 		r.Clients, r.Requests, r.Selects, r.Mutations, r.Duration.Round(time.Millisecond),
-		r.Throughput, r.P50, r.P90, r.P99, r.Max)
+		r.Throughput, r.P50, r.P90, r.P99, r.Max,
+		r.SelectLatency.Quantile(0.50), r.SelectLatency.Quantile(0.99),
+		r.MutateLatency.Quantile(0.50), r.MutateLatency.Quantile(0.99))
 }
 
 // RunLoad drives e with a closed-loop workload and reports throughput and
@@ -92,11 +103,15 @@ func RunLoad(e *Engine, cfg LoadConfig) (LoadReport, error) {
 	}
 
 	type clientStats struct {
-		lat       []time.Duration
 		selects   uint64
 		mutations uint64
 	}
 	stats := make([]clientStats, cfg.Clients)
+	// Latencies go into two shared lock-free histograms (one per request
+	// class) instead of per-client slices: memory is a fixed few hundred
+	// bytes regardless of how many million requests a long run completes,
+	// where the old per-request slice grew without bound.
+	var selectLat, mutateLat telemetry.Histogram
 	var mutSeq sync.Mutex
 	mutI := 0
 	nextMutation := func() []EdgeSpec {
@@ -126,6 +141,7 @@ func RunLoad(e *Engine, cfg LoadConfig) (LoadReport, error) {
 						panic(err) // a volatile load-driver engine cannot fail durably
 					}
 					st.mutations++
+					mutateLat.Observe(time.Since(t0))
 				} else if cfg.BatchSize > 1 {
 					batch := make([]string, cfg.BatchSize)
 					for i := range batch {
@@ -135,13 +151,14 @@ func RunLoad(e *Engine, cfg LoadConfig) (LoadReport, error) {
 						panic(err) // queries were verified above
 					}
 					st.selects++
+					selectLat.Observe(time.Since(t0))
 				} else {
 					if _, err := e.Select(cfg.Queries[rng.Intn(len(cfg.Queries))]); err != nil {
 						panic(err)
 					}
 					st.selects++
+					selectLat.Observe(time.Since(t0))
 				}
-				st.lat = append(st.lat, time.Since(t0))
 			}
 		}(c)
 	}
@@ -149,26 +166,21 @@ func RunLoad(e *Engine, cfg LoadConfig) (LoadReport, error) {
 	wall := time.Since(start)
 
 	report := LoadReport{Clients: cfg.Clients, Duration: wall}
-	var all []time.Duration
 	for i := range stats {
 		report.Selects += stats[i].selects
 		report.Mutations += stats[i].mutations
-		all = append(all, stats[i].lat...)
 	}
-	report.Requests = uint64(len(all))
+	report.SelectLatency = selectLat.Snapshot()
+	report.MutateLatency = mutateLat.Snapshot()
+	all := report.SelectLatency
+	all.Merge(&report.MutateLatency)
+	report.Requests = all.Count()
 	if wall > 0 {
 		report.Throughput = float64(report.Requests) / wall.Seconds()
 	}
-	if len(all) > 0 {
-		sort.Slice(all, func(i, j int) bool { return all[i] < all[j] })
-		pct := func(p float64) time.Duration {
-			i := int(p * float64(len(all)-1))
-			return all[i]
-		}
-		report.P50 = pct(0.50)
-		report.P90 = pct(0.90)
-		report.P99 = pct(0.99)
-		report.Max = all[len(all)-1]
-	}
+	report.P50 = all.Quantile(0.50)
+	report.P90 = all.Quantile(0.90)
+	report.P99 = all.Quantile(0.99)
+	report.Max = time.Duration(all.Max)
 	return report, nil
 }

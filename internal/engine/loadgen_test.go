@@ -1,0 +1,68 @@
+package engine
+
+import (
+	"testing"
+	"time"
+
+	"pathquery/internal/telemetry"
+)
+
+// TestRunLoadHistogramPercentiles is the RunLoad percentile regression:
+// the report's percentiles must be exactly the quantiles of the merged
+// per-class histograms it carries (the old code sorted an unbounded
+// per-request slice; the histograms guarantee the estimate is within
+// one √2 bucket of that exact value), and the class snapshots must
+// account for every request.
+func TestRunLoadHistogramPercentiles(t *testing.T) {
+	e := New(buildFixture(), Options{})
+	report, err := RunLoad(e, LoadConfig{
+		Clients:     4,
+		Duration:    100 * time.Millisecond,
+		Queries:     []string{"tram·cinema", "bus·cinema"},
+		MutateEvery: 10,
+		Seed:        1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if report.Requests == 0 || report.Selects == 0 || report.Mutations == 0 {
+		t.Fatalf("degenerate run: %+v", report)
+	}
+	if got := report.SelectLatency.Count(); got != report.Selects {
+		t.Errorf("select histogram count %d, want %d", got, report.Selects)
+	}
+	if got := report.MutateLatency.Count(); got != report.Mutations {
+		t.Errorf("mutate histogram count %d, want %d", got, report.Mutations)
+	}
+	if report.Requests != report.Selects+report.Mutations {
+		t.Errorf("requests %d != selects %d + mutations %d",
+			report.Requests, report.Selects, report.Mutations)
+	}
+
+	merged := report.SelectLatency
+	merged.Merge(&report.MutateLatency)
+	for _, c := range []struct {
+		name string
+		got  time.Duration
+		want time.Duration
+	}{
+		{"p50", report.P50, merged.Quantile(0.50)},
+		{"p90", report.P90, merged.Quantile(0.90)},
+		{"p99", report.P99, merged.Quantile(0.99)},
+		{"max", report.Max, time.Duration(merged.Max)},
+	} {
+		if c.got != c.want {
+			t.Errorf("%s: report %v, merged histogram %v", c.name, c.got, c.want)
+		}
+	}
+	if report.P50 > report.P90 || report.P90 > report.P99 || report.P99 > report.Max {
+		t.Errorf("non-monotone percentiles: %v %v %v %v",
+			report.P50, report.P90, report.P99, report.Max)
+	}
+	// The within-one-bucket accuracy contract, spot-checked end to end:
+	// a percentile estimate can never land more than one bucket from an
+	// actual observation's bucket range.
+	if telemetry.BucketOf(report.Max) > telemetry.NumBuckets {
+		t.Errorf("max %v outside histogram range", report.Max)
+	}
+}

@@ -210,6 +210,14 @@ func (c *resultCache) prune(cur uint64) {
 	}
 }
 
+// size returns the current number of cached entries — the
+// result_cache_entries gauge.
+func (c *resultCache) size() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.entries)
+}
+
 func (c *resultCache) fill(s *Stats) {
 	s.ResultHits = c.hits.Load()
 	s.ResultMisses = c.misses.Load()

@@ -2,6 +2,11 @@
 // experimental study (Section 5.2): the learned query is viewed as a binary
 // classifier over the graph's nodes and scored against the goal query with
 // precision, recall and F1.
+//
+// Not to be confused with internal/telemetry, which provides the serving
+// system's operational metrics (counters, latency histograms, /metrics
+// exposition). This package measures learning quality; telemetry measures
+// the server.
 package metrics
 
 // Confusion tallies a binary classifier against the truth.

@@ -37,6 +37,10 @@ const (
 // semanticsNames are the wire names of the /v1/query protocol.
 var semanticsNames = [...]string{"nodes", "pairsFrom", "witness", "count", "shortest"}
 
+// NumSemantics is the number of defined Semantics values — the size of
+// per-semantics instrumentation arrays.
+const NumSemantics = len(semanticsNames)
+
 func (s Semantics) String() string {
 	if int(s) < len(semanticsNames) {
 		return semanticsNames[s]

@@ -55,6 +55,12 @@ func (g *gate) acquire(ctx context.Context) error {
 
 func (g *gate) release() { <-g.slots }
 
+// inFlight is the number of occupied in-flight slots right now.
+func (g *gate) inFlight() int { return len(g.slots) }
+
+// waiting is the number of requests queued at the gate right now.
+func (g *gate) waiting() int64 { return g.queued.Load() }
+
 // bucket is a token-bucket rate limiter (tokens per second, burst cap).
 // A zero rate means unlimited.
 type bucket struct {

@@ -8,7 +8,8 @@
 //	POST /v1/graphs/{name}/learn   — online learning
 //	GET  /v1/graphs/{name}/stats   — engine counters + store durability stats
 //	GET  /v1/graphs/{name}/plans   — cached compiled plans
-//	GET  /v1/graphs                — registry listing
+//	GET  /v1/graphs                — registry listing (fleet health)
+//	GET  /metrics                  — Prometheus text exposition
 //	GET  /healthz                  — liveness (always ok while serving)
 //	GET  /readyz                   — readiness (503 until recovery finishes)
 //
@@ -39,12 +40,14 @@ import (
 	"os"
 	"path/filepath"
 	"sort"
+	"strconv"
 	"sync"
 	"sync/atomic"
 	"time"
 
 	"pathquery/internal/engine"
 	"pathquery/internal/store"
+	"pathquery/internal/telemetry"
 )
 
 // Options tunes a Server.
@@ -71,6 +74,9 @@ type Options struct {
 	// 1024; negative = unlimited). Tenants already on disk always recover
 	// regardless of the cap.
 	MaxTenants int
+	// SlowQuery, when positive, logs every query whose total time
+	// reaches it as one structured JSON line through Logf.
+	SlowQuery time.Duration
 	// Logf receives recovery warnings and per-tenant lifecycle messages;
 	// nil discards them.
 	Logf func(format string, args ...any)
@@ -103,6 +109,11 @@ type Server struct {
 	closed  bool
 
 	ready atomic.Bool
+
+	// reg is the server's metric registry (GET /metrics); recoveryHist
+	// observes each tenant's recovery (store open + engine build).
+	reg          *telemetry.Registry
+	recoveryHist telemetry.Histogram
 }
 
 // tenant is one named graph: its durable store, its engine, and its
@@ -121,6 +132,12 @@ type tenant struct {
 
 	gate   *gate
 	mutate *bucket
+
+	// Admission telemetry, created with the registry entry: time queued
+	// at the gate, and rejections by reason.
+	queueWait   *telemetry.Histogram
+	overloaded  *telemetry.Counter
+	rateLimited *telemetry.Counter
 }
 
 // New creates a server rooted at opt.DataDir (created if absent). The
@@ -134,8 +151,16 @@ func New(opt Options) (*Server, error) {
 	if err := os.MkdirAll(opt.DataDir, 0o755); err != nil {
 		return nil, fmt.Errorf("server: %w", err)
 	}
-	return &Server{opt: opt, logf: opt.Logf, tenants: make(map[string]*tenant)}, nil
+	s := &Server{opt: opt, logf: opt.Logf, tenants: make(map[string]*tenant), reg: telemetry.NewRegistry()}
+	s.reg.RegisterHistogram("pathquery_recovery_seconds",
+		"Per-tenant recovery latency: store open (checkpoint load + WAL replay) plus engine build.",
+		&s.recoveryHist)
+	return s, nil
 }
+
+// Registry returns the server's metric registry — the backing of
+// GET /metrics, also mountable on a separate ops listener.
+func (s *Server) Registry() *telemetry.Registry { return s.reg }
 
 // RecoverAll recovers every tenant directory under DataDir, then marks
 // the server ready. Tenants whose recovery fails stay registered with
@@ -205,6 +230,17 @@ func (s *Server) tenantFor(name string) *tenant {
 			gate:   newGate(s.opt.MaxInFlight, s.opt.QueueDepth),
 			mutate: newBucket(s.opt.MutateRate, s.opt.MutateBurst),
 		}
+		// Registered here — not per request — so label cardinality is
+		// bounded by the tenants that actually exist.
+		tl := telemetry.Label{Key: "tenant", Value: name}
+		t.queueWait = s.reg.Histogram("pathquery_queue_wait_seconds",
+			"Time spent queued at the tenant's admission gate.", tl)
+		t.overloaded = s.reg.Counter("pathquery_admission_rejected_total",
+			"Requests rejected by admission control, by reason.",
+			tl, telemetry.Label{Key: "reason", Value: "overloaded"})
+		t.rateLimited = s.reg.Counter("pathquery_admission_rejected_total",
+			"Requests rejected by admission control, by reason.",
+			tl, telemetry.Label{Key: "reason", Value: "rate_limited"})
 		s.tenants[name] = t
 	}
 	return t
@@ -223,9 +259,12 @@ func (s *Server) exists(name string) bool {
 	return err == nil && info.IsDir()
 }
 
-// recover opens the tenant's store and builds its engine, exactly once.
+// recover opens the tenant's store and builds its engine, exactly once;
+// on success the tenant's engine and store metrics join the server's
+// registry under its tenant label.
 func (t *tenant) recover() error {
 	t.once.Do(func() {
+		start := time.Now()
 		dir := filepath.Join(t.srv.opt.DataDir, t.name)
 		st, err := store.Open(dir, store.Options{
 			CheckpointEvery: t.srv.opt.CheckpointEvery,
@@ -240,7 +279,15 @@ func (t *tenant) recover() error {
 			ResultCacheCap: t.srv.opt.ResultCacheCap,
 			Log:            st,
 		})
-		t.handler = engine.NewHandler(t.eng)
+		t.handler = engine.NewHandlerWith(t.eng, engine.HandlerOptions{
+			Tenant:    t.name,
+			SlowQuery: t.srv.opt.SlowQuery,
+			SlowLogf:  t.srv.logf,
+		})
+		tl := telemetry.Label{Key: "tenant", Value: t.name}
+		t.eng.RegisterMetrics(t.srv.reg, tl)
+		st.RegisterMetrics(t.srv.reg, tl)
+		t.srv.recoveryHist.Observe(time.Since(start))
 	})
 	return t.err
 }
@@ -287,8 +334,12 @@ func (s *Server) Handler() http.Handler {
 		fmt.Fprintln(w, "ok")
 	})
 	mux.HandleFunc("GET /v1/graphs", s.handleList)
+	mux.Handle("GET /metrics", s.reg.Handler())
 	mux.HandleFunc("/v1/graphs/{name}/{op}", s.dispatch)
-	return mux
+	// Every request — success or error — carries an X-Request-ID,
+	// accepted from the client or minted here, echoed on the response
+	// and in error envelopes.
+	return telemetry.WithRequestID(mux)
 }
 
 // handleList answers the registry listing: every recovered tenant with
@@ -306,15 +357,34 @@ func (s *Server) handleList(w http.ResponseWriter, r *http.Request) {
 		Epoch uint64 `json:"epoch"`
 		Nodes int    `json:"nodes"`
 		Edges int    `json:"edges"`
+		// Recovered is false for a tenant whose recovery failed; Error
+		// carries its message, so the listing doubles as a fleet-health
+		// view instead of silently hiding broken graphs.
+		Recovered bool   `json:"recovered"`
+		Error     string `json:"error,omitempty"`
+		// Admission rejection counters, by reason.
+		Overloaded  uint64 `json:"overloaded"`
+		RateLimited uint64 `json:"rate_limited"`
 	}
 	rows := make([]row, 0, len(names))
 	for _, name := range names {
 		t := s.tenantFor(name)
-		if t == nil || t.recover() != nil {
+		if t == nil {
 			continue
 		}
-		st := t.eng.Stats()
-		rows = append(rows, row{Name: name, Epoch: st.Epoch, Nodes: st.Nodes, Edges: st.Edges})
+		rw := row{
+			Name:        name,
+			Overloaded:  t.overloaded.Load(),
+			RateLimited: t.rateLimited.Load(),
+		}
+		if err := t.recover(); err != nil {
+			rw.Error = err.Error()
+		} else {
+			rw.Recovered = true
+			st := t.eng.Stats()
+			rw.Epoch, rw.Nodes, rw.Edges = st.Epoch, st.Nodes, st.Edges
+		}
+		rows = append(rows, rw)
 	}
 	writeJSON(w, struct {
 		Graphs []row `json:"graphs"`
@@ -322,14 +392,50 @@ func (s *Server) handleList(w http.ResponseWriter, r *http.Request) {
 }
 
 // dispatch routes /v1/graphs/{name}/{op} to the tenant's engine through
-// its admission gate.
+// its admission gate, recording per-tenant request metrics on the way
+// out.
 func (s *Server) dispatch(w http.ResponseWriter, r *http.Request) {
 	name, op := r.PathValue("name"), r.PathValue("op")
 	if !validName(name) {
+		// Not recorded: both label values would be attacker-chosen.
 		writeErr(w, http.StatusBadRequest, "bad_graph_name",
 			fmt.Sprintf("invalid graph name %q", name), 0)
 		return
 	}
+	rec := telemetry.NewStatusRecorder(w)
+	w = rec
+	opLabel := op
+	if _, ok := enginePath[op]; !ok && op != "stats" {
+		opLabel = "_unknown" // unbounded client-supplied op values collapse
+	}
+	start := time.Now()
+	defer func() {
+		// The tenant label is resolved after serving: a creating mutation
+		// has registered its tenant by now, while a 404 on a name that
+		// never existed collapses to "_unknown" rather than minting a
+		// label per probed name.
+		tenantLabel := name
+		if !s.exists(name) {
+			tenantLabel = "_unknown"
+		}
+		ls := []telemetry.Label{
+			{Key: "tenant", Value: tenantLabel},
+			{Key: "op", Value: opLabel},
+		}
+		s.reg.Histogram("pathquery_request_seconds",
+			"End-to-end request latency at the server, admission included.",
+			ls...).Observe(time.Since(start))
+		s.reg.Counter("pathquery_requests_total",
+			"Requests served, by tenant, operation and HTTP status.",
+			append(ls, telemetry.Label{Key: "code", Value: strconv.Itoa(rec.Code)})...).Inc()
+	}()
+
+	if op == "query" && (r.URL.Query().Get("trace") == "1" || s.opt.SlowQuery > 0) {
+		// The trace starts here — above admission — so the admission span
+		// and the engine's spans share one total and sum to at most it.
+		r = r.WithContext(telemetry.WithTrace(r.Context(), telemetry.NewTrace()))
+	}
+
 	if op == "stats" {
 		s.handleStats(w, r, name)
 		return
@@ -366,8 +472,14 @@ func (s *Server) dispatch(w http.ResponseWriter, r *http.Request) {
 
 	// Admission before recovery: a stampede on a cold tenant queues at
 	// its gate rather than stacking up inside store recovery.
-	if err := t.gate.acquire(r.Context()); err != nil {
+	waitStart := time.Now()
+	err := t.gate.acquire(r.Context())
+	wait := time.Since(waitStart)
+	t.queueWait.Observe(wait)
+	telemetry.TraceFrom(r.Context()).Observe("admission", wait)
+	if err != nil {
 		if errors.Is(err, errOverloaded) {
+			t.overloaded.Inc()
 			writeErr(w, http.StatusServiceUnavailable, "overloaded",
 				fmt.Sprintf("graph %q has no in-flight or queue capacity left", name),
 				1*time.Second)
@@ -380,6 +492,7 @@ func (s *Server) dispatch(w http.ResponseWriter, r *http.Request) {
 
 	if op == "mutate" {
 		if ok, wait := t.mutate.take(); !ok {
+			t.rateLimited.Inc()
 			writeErr(w, http.StatusTooManyRequests, "rate_limited",
 				fmt.Sprintf("graph %q mutation rate limit exceeded", name), wait)
 			return
@@ -469,8 +582,23 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request, name string
 	}
 	writeJSON(w, struct {
 		engine.Stats
-		Store store.Stats `json:"store"`
-	}{t.eng.Stats(), t.store.Stats()})
+		Store     store.Stats    `json:"store"`
+		Admission admissionStats `json:"admission"`
+	}{t.eng.Stats(), t.store.Stats(), admissionStats{
+		InFlight:    t.gate.inFlight(),
+		Queued:      t.gate.waiting(),
+		Overloaded:  t.overloaded.Load(),
+		RateLimited: t.rateLimited.Load(),
+	}})
+}
+
+// admissionStats is the admission-control block of GET stats: the
+// gate's instantaneous occupancy and the cumulative rejections.
+type admissionStats struct {
+	InFlight    int    `json:"in_flight"`
+	Queued      int64  `json:"queued"`
+	Overloaded  uint64 `json:"overloaded"`
+	RateLimited uint64 `json:"rate_limited"`
 }
 
 func writeJSON(w http.ResponseWriter, v any) {
@@ -488,14 +616,16 @@ func writeErr(w http.ResponseWriter, status int, code, message string, retryAfte
 		secs := int64((retryAfter + time.Second - 1) / time.Second)
 		w.Header().Set("Retry-After", fmt.Sprintf("%d", secs))
 	}
-	w.Header().Set("Content-Type", "application/json")
-	w.WriteHeader(status)
 	var env struct {
 		Error struct {
-			Code    string `json:"code"`
-			Message string `json:"message"`
+			Code      string `json:"code"`
+			Message   string `json:"message"`
+			RequestID string `json:"request_id,omitempty"`
 		} `json:"error"`
 	}
 	env.Error.Code, env.Error.Message = code, message
+	env.Error.RequestID = telemetry.RequestID(w)
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
 	_ = json.NewEncoder(w).Encode(env)
 }

@@ -1,0 +1,258 @@
+package server
+
+import (
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func newRequest(t *testing.T, method, path, body string) *http.Request {
+	t.Helper()
+	return httptest.NewRequest(method, path, strings.NewReader(body))
+}
+
+func serve(h http.Handler, req *http.Request) *httptest.ResponseRecorder {
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, req)
+	return rec
+}
+
+// chanLogger collects log lines written through Options.Logf.
+type chanLogger struct {
+	mu    sync.Mutex
+	lines []string
+}
+
+func (l *chanLogger) logf(format string, args ...any) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.lines = append(l.lines, fmt.Sprintf(format, args...))
+}
+
+// take returns the first recorded slow-query line.
+func (l *chanLogger) take(t *testing.T) string {
+	t.Helper()
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	for _, line := range l.lines {
+		if strings.Contains(line, "slow-query") {
+			return line
+		}
+	}
+	t.Fatalf("no slow-query line among %q", l.lines)
+	return ""
+}
+
+// traceEnvelope is the subset of the query answer envelope the trace
+// tests care about.
+type traceEnvelope struct {
+	Epoch uint64 `json:"epoch"`
+	Trace *struct {
+		TotalNs int64 `json:"total_ns"`
+		Spans   []struct {
+			Name string `json:"name"`
+			Ns   int64  `json:"ns"`
+		} `json:"spans"`
+	} `json:"trace"`
+}
+
+func TestQueryTraceSpans(t *testing.T) {
+	s := newServer(t, Options{})
+	h := s.Handler()
+	if rec := do(t, h, "POST", "/v1/graphs/g/mutate", mutateBody("a", "x", "b")); rec.Code != http.StatusOK {
+		t.Fatalf("mutate: %d %s", rec.Code, rec.Body.String())
+	}
+
+	rec := do(t, h, "POST", "/v1/graphs/g/query?trace=1", `{"query":"x"}`)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("query: %d %s", rec.Code, rec.Body.String())
+	}
+	var env traceEnvelope
+	decodeInto(t, rec, &env)
+	if env.Trace == nil {
+		t.Fatal("?trace=1 answer has no trace object")
+	}
+	if env.Trace.TotalNs <= 0 {
+		t.Fatalf("trace total %d, want > 0", env.Trace.TotalNs)
+	}
+	var sum int64
+	names := map[string]bool{}
+	for _, sp := range env.Trace.Spans {
+		if sp.Ns < 0 {
+			t.Fatalf("span %s has negative duration %d", sp.Name, sp.Ns)
+		}
+		sum += sp.Ns
+		names[sp.Name] = true
+	}
+	if sum > env.Trace.TotalNs {
+		t.Fatalf("span sum %d exceeds total %d", sum, env.Trace.TotalNs)
+	}
+	for _, want := range []string{"admission", "compile", "cache_lookup"} {
+		if !names[want] {
+			t.Fatalf("trace %v missing span %q", names, want)
+		}
+	}
+
+	// Without ?trace=1 (and no slow-query threshold) the envelope must
+	// not carry a trace.
+	rec = do(t, h, "POST", "/v1/graphs/g/query", `{"query":"x"}`)
+	var plain traceEnvelope
+	decodeInto(t, rec, &plain)
+	if plain.Trace != nil {
+		t.Fatal("untraced query answer carries a trace object")
+	}
+}
+
+func TestRequestIDRoundTrip(t *testing.T) {
+	s := newServer(t, Options{})
+	h := s.Handler()
+	if rec := do(t, h, "POST", "/v1/graphs/g/mutate", mutateBody("a", "x", "b")); rec.Code != http.StatusOK {
+		t.Fatalf("mutate: %d %s", rec.Code, rec.Body.String())
+	}
+
+	// Client-supplied id is echoed on success.
+	req := newRequest(t, "POST", "/v1/graphs/g/query", `{"query":"x"}`)
+	req.Header.Set("X-Request-ID", "client-id-42")
+	rec := serve(h, req)
+	if got := rec.Header().Get("X-Request-ID"); got != "client-id-42" {
+		t.Fatalf("X-Request-ID = %q, want client-id-42", got)
+	}
+
+	// Client-supplied id is echoed on errors, and lands inside the error
+	// envelope so logs correlate with responses.
+	req = newRequest(t, "POST", "/v1/graphs/nope/query", `{"query":"x"}`)
+	req.Header.Set("X-Request-ID", "client-id-43")
+	rec = serve(h, req)
+	if rec.Code != http.StatusNotFound {
+		t.Fatalf("query on missing graph: %d", rec.Code)
+	}
+	if got := rec.Header().Get("X-Request-ID"); got != "client-id-43" {
+		t.Fatalf("error X-Request-ID = %q, want client-id-43", got)
+	}
+	var env struct {
+		Error struct {
+			RequestID string `json:"request_id"`
+		} `json:"error"`
+	}
+	decodeInto(t, rec, &env)
+	if env.Error.RequestID != "client-id-43" {
+		t.Fatalf("error envelope request_id = %q, want client-id-43", env.Error.RequestID)
+	}
+
+	// Absent a client id the server mints one.
+	rec = do(t, h, "GET", "/v1/graphs", "")
+	if rec.Header().Get("X-Request-ID") == "" {
+		t.Fatal("server did not mint an X-Request-ID")
+	}
+}
+
+func TestMetricsExposition(t *testing.T) {
+	s := newServer(t, Options{})
+	h := s.Handler()
+	if rec := do(t, h, "POST", "/v1/graphs/g/mutate", mutateBody("a", "x", "b")); rec.Code != http.StatusOK {
+		t.Fatalf("mutate: %d %s", rec.Code, rec.Body.String())
+	}
+	if rec := do(t, h, "POST", "/v1/graphs/g/query", `{"query":"x"}`); rec.Code != http.StatusOK {
+		t.Fatalf("query: %d %s", rec.Code, rec.Body.String())
+	}
+	// A probe against a nonexistent graph must be counted under the
+	// collapsed tenant label, not under the probed name.
+	do(t, h, "POST", "/v1/graphs/noexist/query", `{"query":"x"}`)
+
+	rec := do(t, h, "GET", "/metrics", "")
+	if rec.Code != http.StatusOK {
+		t.Fatalf("/metrics: %d", rec.Code)
+	}
+	if ct := rec.Header().Get("Content-Type"); !strings.HasPrefix(ct, "text/plain") {
+		t.Fatalf("/metrics content type %q", ct)
+	}
+	body := rec.Body.String()
+	for _, want := range []string{
+		`pathquery_requests_total{code="200",op="query",tenant="g"} 1`,
+		`pathquery_requests_total{code="404",op="query",tenant="_unknown"} 1`,
+		`pathquery_eval_seconds_count{semantics="nodes",tenant="g"} 1`,
+		`pathquery_wal_fsync_seconds_count{tenant="g"} 1`,
+		`pathquery_result_cache_misses_total{tenant="g"} 1`,
+		`pathquery_epoch{tenant="g"} 2`,
+		`# TYPE pathquery_request_seconds histogram`,
+	} {
+		if !strings.Contains(body, want) {
+			t.Fatalf("/metrics missing %q in:\n%s", want, body)
+		}
+	}
+	// The probed graph name must not appear as a label value anywhere.
+	if strings.Contains(body, `"noexist"`) {
+		t.Fatal("/metrics leaked an unregistered graph name as a label")
+	}
+}
+
+func TestListCarriesAdmissionCounters(t *testing.T) {
+	s := newServer(t, Options{MutateRate: 0.0001, MutateBurst: 1})
+	h := s.Handler()
+	if rec := do(t, h, "POST", "/v1/graphs/g/mutate", mutateBody("a", "x", "b")); rec.Code != http.StatusOK {
+		t.Fatalf("mutate: %d %s", rec.Code, rec.Body.String())
+	}
+	// Burst exhausted and refill is ~1/10000s: the second mutation must
+	// be rate limited.
+	if rec := do(t, h, "POST", "/v1/graphs/g/mutate", mutateBody("b", "x", "c")); rec.Code != http.StatusTooManyRequests {
+		t.Fatalf("second mutate: %d, want 429", rec.Code)
+	}
+
+	rec := do(t, h, "GET", "/v1/graphs", "")
+	var listing struct {
+		Graphs []struct {
+			Name        string `json:"name"`
+			Epoch       uint64 `json:"epoch"`
+			Recovered   bool   `json:"recovered"`
+			Overloaded  uint64 `json:"overloaded"`
+			RateLimited uint64 `json:"rate_limited"`
+		} `json:"graphs"`
+	}
+	decodeInto(t, rec, &listing)
+	if len(listing.Graphs) != 1 {
+		t.Fatalf("listing has %d graphs, want 1", len(listing.Graphs))
+	}
+	g := listing.Graphs[0]
+	if g.Name != "g" || !g.Recovered || g.Epoch != 2 {
+		t.Fatalf("listing row %+v, want recovered g at epoch 2", g)
+	}
+	if g.RateLimited != 1 || g.Overloaded != 0 {
+		t.Fatalf("rejection counters %+v, want rate_limited=1 overloaded=0", g)
+	}
+
+	// The same counters surface in per-tenant /stats.
+	rec = do(t, h, "GET", "/v1/graphs/g/stats", "")
+	var stats struct {
+		Admission struct {
+			InFlight    int    `json:"in_flight"`
+			Queued      int64  `json:"queued"`
+			RateLimited uint64 `json:"rate_limited"`
+		} `json:"admission"`
+	}
+	decodeInto(t, rec, &stats)
+	if stats.Admission.RateLimited != 1 {
+		t.Fatalf("stats admission %+v, want rate_limited=1", stats.Admission)
+	}
+}
+
+func TestSlowQueryLog(t *testing.T) {
+	var mu chanLogger
+	s := newServer(t, Options{SlowQuery: time.Nanosecond, Logf: mu.logf})
+	h := s.Handler()
+	if rec := do(t, h, "POST", "/v1/graphs/g/mutate", mutateBody("a", "x", "b")); rec.Code != http.StatusOK {
+		t.Fatalf("mutate: %d %s", rec.Code, rec.Body.String())
+	}
+	if rec := do(t, h, "POST", "/v1/graphs/g/query", `{"query":"x"}`); rec.Code != http.StatusOK {
+		t.Fatalf("query: %d %s", rec.Code, rec.Body.String())
+	}
+	line := mu.take(t)
+	for _, want := range []string{`"tenant":"g"`, `"query":"x"`, `"semantics":"nodes"`, `"request_id":"`} {
+		if !strings.Contains(line, want) {
+			t.Fatalf("slow-query line missing %s: %s", want, line)
+		}
+	}
+}

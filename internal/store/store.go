@@ -36,10 +36,12 @@ import (
 	"os"
 	"path/filepath"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"pathquery/internal/engine"
 	"pathquery/internal/graph"
+	"pathquery/internal/telemetry"
 )
 
 // ErrClosed reports an operation on a closed store.
@@ -122,6 +124,16 @@ type GraphStore struct {
 		replay   time.Duration
 		replayed int
 	}
+
+	// Durability latency histograms (lock-free; observed with s.mu held
+	// on the append path, read without it by /metrics): the whole Append
+	// (encode + write + fsync), the fsync alone — the floor under every
+	// durable mutation — and the checkpoint cut. ckptBytes is the size
+	// of the last installed checkpoint image.
+	appendHist     telemetry.Histogram
+	fsyncHist      telemetry.Histogram
+	checkpointHist telemetry.Histogram
+	ckptBytes      atomic.Int64
 }
 
 // Open recovers the graph store in dir, creating it if absent: load the
@@ -304,6 +316,7 @@ func (s *GraphStore) Append(epoch uint64, edges []engine.EdgeSpec) error {
 	if epoch != s.lastEpoch+1 {
 		return fmt.Errorf("store: append epoch %d does not follow %d", epoch, s.lastEpoch)
 	}
+	start := time.Now()
 	s.buf = appendRecord(s.buf[:0], Record{Epoch: epoch, Edges: edges})
 	// Write-side twin of the replay-side MaxRecordLen check: a record
 	// replay would refuse must never be written, or an acked durable
@@ -317,14 +330,51 @@ func (s *GraphStore) Append(epoch uint64, edges []engine.EdgeSpec) error {
 		s.unwrite()
 		return fmt.Errorf("store: WAL append: %w", err)
 	}
+	syncStart := time.Now()
 	if err := s.wal.Sync(); err != nil {
 		s.unwrite()
 		return fmt.Errorf("store: WAL sync: %w", err)
 	}
+	done := time.Now()
+	s.fsyncHist.Observe(done.Sub(syncStart))
+	s.appendHist.Observe(done.Sub(start))
 	s.walSize += int64(len(s.buf))
 	s.walRecs++
 	s.lastEpoch = epoch
 	return nil
+}
+
+// FsyncLatency returns the WAL fsync latency distribution — the floor
+// under every durable mutation; pqbench reports its p99 in snapshots.
+func (s *GraphStore) FsyncLatency() telemetry.HistogramSnapshot {
+	return s.fsyncHist.Snapshot()
+}
+
+// RegisterMetrics exposes the store's durability histograms and gauges
+// on reg under the pathquery_* namespace; labels (typically one tenant
+// label) are stamped on every series.
+func (s *GraphStore) RegisterMetrics(reg *telemetry.Registry, labels ...telemetry.Label) {
+	reg.RegisterHistogram("pathquery_wal_append_seconds",
+		"WAL append latency: encode + write + fsync, per durable mutation.", &s.appendHist, labels...)
+	reg.RegisterHistogram("pathquery_wal_fsync_seconds",
+		"WAL fsync latency per durable mutation.", &s.fsyncHist, labels...)
+	reg.RegisterHistogram("pathquery_checkpoint_seconds",
+		"Checkpoint cut latency: encode + atomic install (+ WAL truncate).", &s.checkpointHist, labels...)
+	reg.GaugeFunc("pathquery_wal_records",
+		"WAL records past the installed checkpoint.",
+		func() float64 { return float64(s.Stats().WALRecords) }, labels...)
+	reg.GaugeFunc("pathquery_wal_bytes",
+		"WAL tail size in bytes.",
+		func() float64 { return float64(s.Stats().WALBytes) }, labels...)
+	reg.GaugeFunc("pathquery_checkpoint_epoch",
+		"Epoch of the installed checkpoint (0: none).",
+		func() float64 { return float64(s.Stats().CheckpointEpoch) }, labels...)
+	reg.GaugeFunc("pathquery_checkpoint_bytes",
+		"Size of the last checkpoint image written by this process.",
+		func() float64 { return float64(s.ckptBytes.Load()) }, labels...)
+	reg.GaugeFunc("pathquery_recovery_replay_seconds",
+		"WAL replay time of the Open that produced this store.",
+		func() float64 { return s.Stats().RecoveryReplay.Seconds() }, labels...)
 }
 
 // unwrite removes a record that failed to append cleanly, so a later
@@ -367,6 +417,7 @@ func (s *GraphStore) Committed(snap *graph.Snapshot) {
 // record newer than snap's epoch has been appended meanwhile (otherwise
 // the WAL keeps its tail; recovery skips the pre-checkpoint prefix).
 func (s *GraphStore) Checkpoint(snap *graph.Snapshot) error {
+	start := time.Now()
 	image, err := encodeCheckpoint(snap)
 	if err != nil {
 		return fmt.Errorf("store: encoding checkpoint: %w", err)
@@ -386,6 +437,8 @@ func (s *GraphStore) Checkpoint(snap *graph.Snapshot) error {
 		return err
 	}
 	s.ckptEpoch = snap.Epoch()
+	s.ckptBytes.Store(int64(len(image)))
+	defer func() { s.checkpointHist.Observe(time.Since(start)) }()
 	if s.lastEpoch <= s.ckptEpoch {
 		// Every WAL record is covered by the checkpoint: drop the log.
 		if err := s.wal.Truncate(0); err != nil {

@@ -1,0 +1,186 @@
+package telemetry
+
+import (
+	"math"
+	"sync/atomic"
+	"time"
+)
+
+// Latency histogram with fixed log-spaced buckets: NumBuckets upper
+// bounds growing by a factor of √2 per bucket, starting at bucketBase
+// nanoseconds, plus one overflow bucket. The √2 ratio means any
+// reported quantile is within one bucket — a factor of √2 — of the
+// exact value, across the whole range: bucket 0 catches the ~150ns
+// cached-hit path, the top finite bound (bucketBase·2^((NumBuckets-1)/2)
+// ≈ 3s) covers WAL fsyncs, checkpoints and slow traversals, and
+// anything beyond lands in the overflow bucket whose quantiles are
+// reported as the tracked maximum.
+
+// NumBuckets is the number of finite histogram buckets.
+const NumBuckets = 48
+
+// bucketBase is the upper bound of bucket 0, in nanoseconds.
+const bucketBase = 250
+
+// bucketBounds[i] is the inclusive upper bound, in nanoseconds, of
+// bucket i: round(bucketBase · √2^i).
+var bucketBounds = func() [NumBuckets]int64 {
+	var b [NumBuckets]int64
+	for i := range b {
+		b[i] = int64(math.Round(bucketBase * math.Pow(math.Sqrt2, float64(i))))
+	}
+	return b
+}()
+
+// BucketOf returns the index of the bucket an observation of d falls
+// into (NumBuckets for the overflow bucket) — the unit tests' "within
+// one bucket" assertions are written against it.
+func BucketOf(d time.Duration) int {
+	ns := int64(d)
+	if ns < 0 {
+		ns = 0
+	}
+	lo, hi := 0, NumBuckets
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if bucketBounds[mid] >= ns {
+			hi = mid
+		} else {
+			lo = mid + 1
+		}
+	}
+	return lo
+}
+
+// UpperBounds returns the finite bucket upper bounds.
+func UpperBounds() []time.Duration {
+	out := make([]time.Duration, NumBuckets)
+	for i, b := range bucketBounds {
+		out[i] = time.Duration(b)
+	}
+	return out
+}
+
+// Histogram is a lock-free latency histogram. The zero value is ready
+// to use; Observe and Snapshot are safe for concurrent use from any
+// number of goroutines.
+type Histogram struct {
+	buckets [NumBuckets + 1]atomic.Uint64
+	sum     atomic.Int64 // total observed nanoseconds
+	max     atomic.Int64
+}
+
+// Observe records one duration. Negative durations clamp to zero.
+func (h *Histogram) Observe(d time.Duration) {
+	ns := int64(d)
+	if ns < 0 {
+		ns = 0
+	}
+	h.buckets[BucketOf(d)].Add(1)
+	h.sum.Add(ns)
+	for {
+		cur := h.max.Load()
+		if ns <= cur || h.max.CompareAndSwap(cur, ns) {
+			return
+		}
+	}
+}
+
+// Snapshot returns a point-in-time copy. Buckets are read one atomic
+// load at a time, so a snapshot taken concurrently with Observe may be
+// off by in-flight observations — each bucket is exact, the total is
+// momentarily fuzzy — which is the documented (and race-clean) trade
+// for a lock-free hot path.
+func (h *Histogram) Snapshot() HistogramSnapshot {
+	var s HistogramSnapshot
+	for i := range h.buckets {
+		s.Buckets[i] = h.buckets[i].Load()
+	}
+	s.Sum = h.sum.Load()
+	s.Max = h.max.Load()
+	return s
+}
+
+// HistogramSnapshot is a mergeable point-in-time histogram view.
+type HistogramSnapshot struct {
+	// Buckets[i] counts observations in bucket i; the last entry is the
+	// overflow bucket.
+	Buckets [NumBuckets + 1]uint64
+	// Sum is the total observed nanoseconds.
+	Sum int64
+	// Max is the largest single observation in nanoseconds.
+	Max int64
+}
+
+// Count returns the total number of observations (the sum of the
+// buckets — the internally consistent total Quantile works from).
+func (s HistogramSnapshot) Count() uint64 {
+	var n uint64
+	for _, c := range s.Buckets {
+		n += c
+	}
+	return n
+}
+
+// Merge adds o's observations into s.
+func (s *HistogramSnapshot) Merge(o *HistogramSnapshot) {
+	for i := range s.Buckets {
+		s.Buckets[i] += o.Buckets[i]
+	}
+	s.Sum += o.Sum
+	if o.Max > s.Max {
+		s.Max = o.Max
+	}
+}
+
+// Quantile estimates the q-quantile (0 < q ≤ 1) by linear
+// interpolation inside the bucket holding its rank. The estimate is
+// within one √2 bucket of the exact value; quantiles falling in the
+// overflow bucket report the tracked maximum.
+func (s HistogramSnapshot) Quantile(q float64) time.Duration {
+	total := s.Count()
+	if total == 0 {
+		return 0
+	}
+	rank := uint64(math.Ceil(q * float64(total)))
+	if rank < 1 {
+		rank = 1
+	}
+	if rank > total {
+		rank = total
+	}
+	var cum uint64
+	for i, c := range s.Buckets {
+		cum += c
+		if cum < rank {
+			continue
+		}
+		var lower int64
+		if i > 0 {
+			lower = bucketBounds[i-1]
+		}
+		upper := s.Max
+		if i < NumBuckets {
+			upper = bucketBounds[i]
+		}
+		if upper < lower {
+			upper = lower
+		}
+		pos := float64(rank-(cum-c)) / float64(c)
+		est := float64(lower) + pos*float64(upper-lower)
+		if s.Max > 0 && est > float64(s.Max) {
+			est = float64(s.Max)
+		}
+		return time.Duration(est)
+	}
+	return time.Duration(s.Max)
+}
+
+// Mean returns the average observation.
+func (s HistogramSnapshot) Mean() time.Duration {
+	n := s.Count()
+	if n == 0 {
+		return 0
+	}
+	return time.Duration(s.Sum / int64(n))
+}

@@ -1,0 +1,279 @@
+package telemetry
+
+import (
+	"fmt"
+	"io"
+	"net/http"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+)
+
+// Registry is a set of named metric families rendered in the
+// Prometheus text exposition format. A family is one metric name with
+// one type and help string; its children are the label combinations
+// observed. Getter methods are get-or-create and idempotent: asking
+// for the same name and labels twice returns the same collector, so
+// callers on the request path may look metrics up per request without
+// registration ceremony. All methods are safe for concurrent use.
+type Registry struct {
+	mu       sync.Mutex
+	families map[string]*family
+}
+
+type metricType uint8
+
+const (
+	typeCounter metricType = iota
+	typeGauge
+	typeHistogram
+)
+
+func (t metricType) String() string {
+	switch t {
+	case typeCounter:
+		return "counter"
+	case typeGauge:
+		return "gauge"
+	default:
+		return "histogram"
+	}
+}
+
+type family struct {
+	name     string
+	help     string
+	typ      metricType
+	children map[string]*child // keyed by rendered label string
+}
+
+type child struct {
+	labels    string // rendered `key="value",...` (escaped, key-sorted), "" when unlabeled
+	counter   *Counter
+	counterFn func() uint64
+	gauge     *Gauge
+	gaugeFn   func() float64
+	hist      *Histogram
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{families: make(map[string]*family)}
+}
+
+// Counter returns the counter registered under name and labels,
+// creating it if needed. Reusing a name with a different metric type
+// panics — that is a programming error, not a runtime condition.
+func (r *Registry) Counter(name, help string, labels ...Label) *Counter {
+	c := r.child(name, help, typeCounter, labels)
+	if c.counter == nil {
+		c.counter = &Counter{}
+	}
+	return c.counter
+}
+
+// CounterFunc registers a counter whose value is read from fn at
+// exposition time — the bridge for counters that already live
+// elsewhere as atomics (cache hit counts, engine totals).
+func (r *Registry) CounterFunc(name, help string, fn func() uint64, labels ...Label) {
+	r.child(name, help, typeCounter, labels).counterFn = fn
+}
+
+// Gauge returns the gauge registered under name and labels, creating
+// it if needed.
+func (r *Registry) Gauge(name, help string, labels ...Label) *Gauge {
+	c := r.child(name, help, typeGauge, labels)
+	if c.gauge == nil {
+		c.gauge = &Gauge{}
+	}
+	return c.gauge
+}
+
+// GaugeFunc registers a gauge read from fn at exposition time.
+func (r *Registry) GaugeFunc(name, help string, fn func() float64, labels ...Label) {
+	r.child(name, help, typeGauge, labels).gaugeFn = fn
+}
+
+// Histogram returns the histogram registered under name and labels,
+// creating it if needed.
+func (r *Registry) Histogram(name, help string, labels ...Label) *Histogram {
+	c := r.child(name, help, typeHistogram, labels)
+	if c.hist == nil {
+		c.hist = &Histogram{}
+	}
+	return c.hist
+}
+
+// RegisterHistogram exposes an externally owned histogram (one
+// embedded in an engine or store, observed without going through the
+// registry) under name and labels.
+func (r *Registry) RegisterHistogram(name, help string, h *Histogram, labels ...Label) {
+	r.child(name, help, typeHistogram, labels).hist = h
+}
+
+func (r *Registry) child(name, help string, typ metricType, labels []Label) *child {
+	key := renderLabels(labels)
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	f, ok := r.families[name]
+	if !ok {
+		f = &family{name: name, help: help, typ: typ, children: make(map[string]*child)}
+		r.families[name] = f
+	} else if f.typ != typ {
+		panic(fmt.Sprintf("telemetry: metric %q registered as %s, requested as %s", name, f.typ, typ))
+	}
+	c, ok := f.children[key]
+	if !ok {
+		c = &child{labels: key}
+		f.children[key] = c
+	}
+	return c
+}
+
+// renderLabels renders labels as the exposition-format label body,
+// sorted by key, with values escaped.
+func renderLabels(labels []Label) string {
+	if len(labels) == 0 {
+		return ""
+	}
+	ls := make([]Label, len(labels))
+	copy(ls, labels)
+	sort.Slice(ls, func(i, j int) bool { return ls[i].Key < ls[j].Key })
+	var b strings.Builder
+	for i, l := range ls {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(l.Key)
+		b.WriteString(`="`)
+		b.WriteString(escapeLabelValue(l.Value))
+		b.WriteByte('"')
+	}
+	return b.String()
+}
+
+// escapeLabelValue applies the exposition-format escapes: backslash,
+// double quote, and newline.
+func escapeLabelValue(v string) string {
+	if !strings.ContainsAny(v, "\\\"\n") {
+		return v
+	}
+	var b strings.Builder
+	for _, c := range []byte(v) {
+		switch c {
+		case '\\':
+			b.WriteString(`\\`)
+		case '"':
+			b.WriteString(`\"`)
+		case '\n':
+			b.WriteString(`\n`)
+		default:
+			b.WriteByte(c)
+		}
+	}
+	return b.String()
+}
+
+// WritePrometheus renders every family in the text exposition format,
+// families sorted by name and children by label signature, so the
+// output is byte-stable for a stable set of metrics.
+func (r *Registry) WritePrometheus(w io.Writer) {
+	r.mu.Lock()
+	names := make([]string, 0, len(r.families))
+	for name := range r.families {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	fams := make([]*family, len(names))
+	for i, name := range names {
+		fams[i] = r.families[name]
+	}
+	r.mu.Unlock()
+
+	var b strings.Builder
+	for _, f := range fams {
+		b.Reset()
+		r.mu.Lock()
+		keys := make([]string, 0, len(f.children))
+		for k := range f.children {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		children := make([]*child, len(keys))
+		for i, k := range keys {
+			children[i] = f.children[k]
+		}
+		r.mu.Unlock()
+
+		fmt.Fprintf(&b, "# HELP %s %s\n", f.name, f.help)
+		fmt.Fprintf(&b, "# TYPE %s %s\n", f.name, f.typ)
+		for _, c := range children {
+			writeChild(&b, f, c)
+		}
+		io.WriteString(w, b.String())
+	}
+}
+
+func writeChild(b *strings.Builder, f *family, c *child) {
+	switch f.typ {
+	case typeCounter:
+		var v uint64
+		if c.counterFn != nil {
+			v = c.counterFn()
+		} else if c.counter != nil {
+			v = c.counter.Load()
+		}
+		fmt.Fprintf(b, "%s%s %d\n", f.name, braced(c.labels), v)
+	case typeGauge:
+		if c.gaugeFn != nil {
+			fmt.Fprintf(b, "%s%s %s\n", f.name, braced(c.labels),
+				strconv.FormatFloat(c.gaugeFn(), 'g', -1, 64))
+		} else {
+			var v int64
+			if c.gauge != nil {
+				v = c.gauge.Load()
+			}
+			fmt.Fprintf(b, "%s%s %d\n", f.name, braced(c.labels), v)
+		}
+	case typeHistogram:
+		var s HistogramSnapshot
+		if c.hist != nil {
+			s = c.hist.Snapshot()
+		}
+		var cum uint64
+		for i, count := range s.Buckets {
+			cum += count
+			le := "+Inf"
+			if i < NumBuckets {
+				le = strconv.FormatFloat(float64(bucketBounds[i])/1e9, 'g', -1, 64)
+			}
+			fmt.Fprintf(b, "%s_bucket%s %d\n", f.name, bracedWith(c.labels, `le="`+le+`"`), cum)
+		}
+		fmt.Fprintf(b, "%s_sum%s %s\n", f.name, braced(c.labels),
+			strconv.FormatFloat(float64(s.Sum)/1e9, 'g', -1, 64))
+		fmt.Fprintf(b, "%s_count%s %d\n", f.name, braced(c.labels), cum)
+	}
+}
+
+func braced(labels string) string {
+	if labels == "" {
+		return ""
+	}
+	return "{" + labels + "}"
+}
+
+func bracedWith(labels, extra string) string {
+	if labels == "" {
+		return "{" + extra + "}"
+	}
+	return "{" + labels + "," + extra + "}"
+}
+
+// Handler serves WritePrometheus — the GET /metrics endpoint.
+func (r *Registry) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		r.WritePrometheus(w)
+	})
+}

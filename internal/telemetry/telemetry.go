@@ -1,0 +1,76 @@
+// Package telemetry is the serving system's measurement substrate:
+// dependency-free, race-clean primitives — atomic counters and gauges,
+// log-bucketed latency histograms with lock-free Observe and mergeable
+// snapshots — plus a registry that renders the Prometheus text
+// exposition format (the GET /metrics wire), per-request trace spans
+// for the ?trace=1 breakdown, and X-Request-ID plumbing.
+//
+// Everything here measures *system* behavior (where a request's time
+// goes, how a tenant degrades); the similarly named internal/metrics
+// package is unrelated — it computes the paper's classifier-quality
+// scores (precision/recall/F1) for the learning experiments.
+package telemetry
+
+import (
+	"crypto/rand"
+	"encoding/hex"
+	"sync/atomic"
+)
+
+// Counter is a monotonically increasing atomic counter. The zero value
+// is ready to use; all methods are safe for concurrent use.
+type Counter struct {
+	v atomic.Uint64
+}
+
+// Inc adds one.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Add adds n.
+func (c *Counter) Add(n uint64) { c.v.Add(n) }
+
+// Load returns the current count.
+func (c *Counter) Load() uint64 { return c.v.Load() }
+
+// Gauge is an atomic instantaneous value. The zero value is ready to
+// use; all methods are safe for concurrent use.
+type Gauge struct {
+	v atomic.Int64
+}
+
+// Set stores v.
+func (g *Gauge) Set(v int64) { g.v.Store(v) }
+
+// Add adds n (which may be negative).
+func (g *Gauge) Add(n int64) { g.v.Add(n) }
+
+// Load returns the current value.
+func (g *Gauge) Load() int64 { return g.v.Load() }
+
+// Label is one metric label pair. Values are escaped at exposition
+// time; keys must be valid Prometheus label names.
+type Label struct {
+	Key, Value string
+}
+
+// NewRequestID mints a 16-hex-character request id for requests that
+// arrive without an X-Request-ID header.
+func NewRequestID() string {
+	var b [8]byte
+	if _, err := rand.Read(b[:]); err != nil {
+		// crypto/rand never fails on the platforms we serve from, but a
+		// request id is diagnostics, not security: fall back to a counter.
+		return "fallback-" + hex.EncodeToString(fallbackID(b[:]))
+	}
+	return hex.EncodeToString(b[:])
+}
+
+var fallbackCounter atomic.Uint64
+
+func fallbackID(b []byte) []byte {
+	n := fallbackCounter.Add(1)
+	for i := range b {
+		b[i] = byte(n >> (8 * i))
+	}
+	return b
+}

@@ -1,0 +1,258 @@
+package telemetry
+
+import (
+	"context"
+	"math"
+	"math/rand"
+	"net/http/httptest"
+	"sort"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestExpositionGolden pins the exposition format byte-for-byte for
+// counters and gauges: family ordering (sorted by name), child ordering
+// (sorted by label signature), label escaping, and value rendering.
+func TestExpositionGolden(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("pq_zeta_total", "Registered first, rendered last.").Add(3)
+	reg.Counter("pq_requests_total", "Requests served.",
+		Label{"tenant", "g1"}, Label{"code", "200"}).Add(7)
+	reg.Counter("pq_requests_total", "Requests served.",
+		Label{"tenant", "g1"}, Label{"code", "404"}).Inc()
+	reg.Counter("pq_requests_total", "Requests served.",
+		Label{"tenant", `we"ird\name` + "\n"}, Label{"code", "200"}).Add(2)
+	reg.Gauge("pq_epoch", "Served epoch.", Label{"tenant", "g1"}).Set(42)
+	reg.GaugeFunc("pq_ratio", "A computed gauge.", func() float64 { return 0.5 })
+
+	var b strings.Builder
+	reg.WritePrometheus(&b)
+	want := `# HELP pq_epoch Served epoch.
+# TYPE pq_epoch gauge
+pq_epoch{tenant="g1"} 42
+# HELP pq_ratio A computed gauge.
+# TYPE pq_ratio gauge
+pq_ratio 0.5
+# HELP pq_requests_total Requests served.
+# TYPE pq_requests_total counter
+pq_requests_total{code="200",tenant="g1"} 7
+pq_requests_total{code="200",tenant="we\"ird\\name\n"} 2
+pq_requests_total{code="404",tenant="g1"} 1
+# HELP pq_zeta_total Registered first, rendered last.
+# TYPE pq_zeta_total counter
+pq_zeta_total 3
+`
+	if got := b.String(); got != want {
+		t.Errorf("exposition mismatch:\n--- got ---\n%s--- want ---\n%s", got, want)
+	}
+
+	// A second render is byte-identical: ordering is stable, not map-order.
+	var b2 strings.Builder
+	reg.WritePrometheus(&b2)
+	if b.String() != b2.String() {
+		t.Error("two renders of the same registry differ")
+	}
+}
+
+// TestExpositionHistogram checks the histogram rendering structurally:
+// cumulative buckets ending in +Inf, a _sum and a _count line, and the
+// count matching the observations.
+func TestExpositionHistogram(t *testing.T) {
+	reg := NewRegistry()
+	h := reg.Histogram("pq_eval_seconds", "Evaluation latency.", Label{"semantics", "nodes"})
+	h.Observe(300 * time.Nanosecond)
+	h.Observe(2 * time.Microsecond)
+	h.Observe(5 * time.Second) // overflow bucket
+
+	var b strings.Builder
+	reg.WritePrometheus(&b)
+	out := b.String()
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	var buckets int
+	var lastCum string
+	for _, l := range lines {
+		if strings.HasPrefix(l, "pq_eval_seconds_bucket{") {
+			buckets++
+			lastCum = l
+		}
+	}
+	if buckets != NumBuckets+1 {
+		t.Errorf("got %d bucket lines, want %d", buckets, NumBuckets+1)
+	}
+	if !strings.Contains(lastCum, `le="+Inf"`) || !strings.HasSuffix(lastCum, " 3") {
+		t.Errorf("last bucket line %q: want le=\"+Inf\" with cumulative 3", lastCum)
+	}
+	if !strings.Contains(out, `pq_eval_seconds_count{semantics="nodes"} 3`) {
+		t.Errorf("missing _count line in:\n%s", out)
+	}
+	if !strings.Contains(out, `pq_eval_seconds_sum{semantics="nodes"}`) {
+		t.Errorf("missing _sum line in:\n%s", out)
+	}
+}
+
+func TestRegistryHandler(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("pq_up", "Up.").Inc()
+	rr := httptest.NewRecorder()
+	reg.Handler().ServeHTTP(rr, httptest.NewRequest("GET", "/metrics", nil))
+	if ct := rr.Header().Get("Content-Type"); !strings.HasPrefix(ct, "text/plain") {
+		t.Errorf("content type %q", ct)
+	}
+	if !strings.Contains(rr.Body.String(), "pq_up 1") {
+		t.Errorf("body %q", rr.Body.String())
+	}
+}
+
+// TestHistogramConcurrent hammers one histogram from many goroutines
+// while snapshots are taken concurrently — the -race assertion that
+// Observe and Snapshot need no locks — and checks no observation is
+// lost once the writers finish.
+func TestHistogramConcurrent(t *testing.T) {
+	var h Histogram
+	const (
+		writers = 8
+		perW    = 10000
+	)
+	stop := make(chan struct{})
+	var reader sync.WaitGroup
+	reader.Add(1)
+	go func() { // concurrent snapshot reader
+		defer reader.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+				if h.Snapshot().Count() > writers*perW {
+					t.Error("snapshot count exceeds total observations")
+					return
+				}
+			}
+		}
+	}()
+	var wg sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(w)))
+			for i := 0; i < perW; i++ {
+				h.Observe(time.Duration(rng.Int63n(int64(10 * time.Millisecond))))
+			}
+		}(w)
+	}
+	wg.Wait()
+	close(stop)
+	reader.Wait()
+	s := h.Snapshot()
+	if got := s.Count(); got != writers*perW {
+		t.Fatalf("lost observations: count %d, want %d", got, writers*perW)
+	}
+	if s.Quantile(0.5) <= 0 || s.Quantile(0.99) < s.Quantile(0.5) || time.Duration(s.Max) < s.Quantile(0.99) {
+		t.Fatalf("incoherent quantiles: p50 %v p99 %v max %v", s.Quantile(0.5), s.Quantile(0.99), time.Duration(s.Max))
+	}
+}
+
+// TestQuantileWithinOneBucket is the histogram half of the RunLoad
+// percentile regression: estimates must land within one √2 bucket of
+// the exact sorted-slice percentiles the old code computed.
+func TestQuantileWithinOneBucket(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	var h Histogram
+	var exact []time.Duration
+	for i := 0; i < 20000; i++ {
+		// Log-uniform over 100ns..100ms — the serving latency range.
+		d := time.Duration(100 * math.Pow(10, rng.Float64()*6))
+		h.Observe(d)
+		exact = append(exact, d)
+	}
+	sort.Slice(exact, func(i, j int) bool { return exact[i] < exact[j] })
+	s := h.Snapshot()
+	for _, q := range []float64{0.50, 0.90, 0.99} {
+		want := exact[int(q*float64(len(exact)-1))]
+		got := s.Quantile(q)
+		if db, eb := BucketOf(got), BucketOf(want); db < eb-1 || db > eb+1 {
+			t.Errorf("q=%.2f: estimate %v (bucket %d) vs exact %v (bucket %d): more than one bucket apart",
+				q, got, db, want, eb)
+		}
+	}
+	if got, want := time.Duration(s.Max), exact[len(exact)-1]; got != want {
+		t.Errorf("max %v, want %v", got, want)
+	}
+}
+
+func TestHistogramMerge(t *testing.T) {
+	var a, b Histogram
+	a.Observe(time.Microsecond)
+	a.Observe(time.Millisecond)
+	b.Observe(time.Second)
+	sa, sb := a.Snapshot(), b.Snapshot()
+	sa.Merge(&sb)
+	if sa.Count() != 3 {
+		t.Fatalf("merged count %d", sa.Count())
+	}
+	if sa.Max != int64(time.Second) {
+		t.Fatalf("merged max %v", time.Duration(sa.Max))
+	}
+	if sa.Sum != int64(time.Microsecond+time.Millisecond+time.Second) {
+		t.Fatalf("merged sum %v", time.Duration(sa.Sum))
+	}
+}
+
+func TestTrace(t *testing.T) {
+	var nilTrace *Trace
+	nilTrace.Observe("x", time.Second) // must not panic
+	nilTrace.StartSpan("y")()
+	if nilTrace.Total() != 0 || nilTrace.Spans() != nil {
+		t.Fatal("nil trace not inert")
+	}
+
+	tr := NewTrace()
+	tr.Observe("compile", 5*time.Millisecond)
+	end := tr.StartSpan("traverse")
+	time.Sleep(time.Millisecond)
+	end()
+	spans := tr.Spans()
+	if len(spans) != 2 || spans[0].Name != "compile" || spans[1].Name != "traverse" {
+		t.Fatalf("spans %+v", spans)
+	}
+	if spans[1].Duration <= 0 || tr.Total() < spans[1].Duration {
+		t.Fatalf("span %v total %v", spans[1].Duration, tr.Total())
+	}
+
+	ctx := WithTrace(context.Background(), tr)
+	if TraceFrom(ctx) != tr {
+		t.Fatal("trace not round-tripped through context")
+	}
+	if TraceFrom(context.Background()) != nil {
+		t.Fatal("trace from empty context")
+	}
+}
+
+func TestRequestID(t *testing.T) {
+	a, b := NewRequestID(), NewRequestID()
+	if a == b || len(a) != 16 {
+		t.Fatalf("request ids %q %q", a, b)
+	}
+}
+
+func TestBucketOf(t *testing.T) {
+	if BucketOf(0) != 0 || BucketOf(-time.Second) != 0 {
+		t.Fatal("non-positive durations must land in bucket 0")
+	}
+	if BucketOf(250*time.Nanosecond) != 0 || BucketOf(251*time.Nanosecond) != 1 {
+		t.Fatal("bucket 0 upper bound must be inclusive at 250ns")
+	}
+	if BucketOf(time.Hour) != NumBuckets {
+		t.Fatal("huge durations must land in the overflow bucket")
+	}
+	bounds := UpperBounds()
+	for i := 1; i < len(bounds); i++ {
+		ratio := float64(bounds[i]) / float64(bounds[i-1])
+		if ratio < 1.40 || ratio > 1.42 {
+			t.Fatalf("bucket ratio %d: %f, want ~√2", i, ratio)
+		}
+	}
+}

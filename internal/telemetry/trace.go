@@ -1,0 +1,136 @@
+package telemetry
+
+import (
+	"context"
+	"net/http"
+	"sync"
+	"time"
+)
+
+// Trace collects the per-stage span breakdown of one request — the
+// ?trace=1 answer and the slow-query log's stage timings. A trace is
+// created by the HTTP layer (the server's dispatch, or the engine
+// handler) and carried down through the request context; each layer
+// records the spans it owns. All methods are nil-receiver-safe, so
+// instrumented code paths need no "is tracing on" branches: recording
+// into an absent trace is a no-op.
+type Trace struct {
+	start time.Time
+
+	mu    sync.Mutex
+	spans []Span
+}
+
+// Span is one recorded stage.
+type Span struct {
+	// Name identifies the stage: "admission", "compile", "cache_lookup",
+	// "traverse", ...
+	Name string
+	// Duration is the stage's elapsed time.
+	Duration time.Duration
+}
+
+// NewTrace starts a trace; Total measures from here.
+func NewTrace() *Trace {
+	return &Trace{start: time.Now()}
+}
+
+// Observe records one completed span.
+func (t *Trace) Observe(name string, d time.Duration) {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	t.spans = append(t.spans, Span{Name: name, Duration: d})
+	t.mu.Unlock()
+}
+
+var noopEnd = func() {}
+
+// StartSpan starts a span and returns the function that ends it.
+func (t *Trace) StartSpan(name string) func() {
+	if t == nil {
+		return noopEnd
+	}
+	t0 := time.Now()
+	return func() { t.Observe(name, time.Since(t0)) }
+}
+
+// Spans returns a copy of the recorded spans, in recording order.
+func (t *Trace) Spans() []Span {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	out := make([]Span, len(t.spans))
+	copy(out, t.spans)
+	t.mu.Unlock()
+	return out
+}
+
+// Total is the elapsed time since the trace started. Spans are
+// sequential stages within that interval, so their sum never exceeds
+// a Total taken after the last span ends.
+func (t *Trace) Total() time.Duration {
+	if t == nil {
+		return 0
+	}
+	return time.Since(t.start)
+}
+
+type traceCtxKey struct{}
+
+// WithTrace attaches t to ctx for the layers below to record into.
+func WithTrace(ctx context.Context, t *Trace) context.Context {
+	return context.WithValue(ctx, traceCtxKey{}, t)
+}
+
+// TraceFrom returns the trace attached to ctx, or nil.
+func TraceFrom(ctx context.Context) *Trace {
+	t, _ := ctx.Value(traceCtxKey{}).(*Trace)
+	return t
+}
+
+// RequestIDHeader is the request-id wire header, accepted from the
+// client or minted by WithRequestID, and echoed on every response.
+const RequestIDHeader = "X-Request-ID"
+
+// WithRequestID accepts the client's X-Request-ID (or mints one) and
+// sets it on the response header before the wrapped handler runs, so
+// every success and error path — and every log line reading it back
+// via RequestID — carries the id.
+func WithRequestID(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		id := r.Header.Get(RequestIDHeader)
+		if id == "" || len(id) > 128 {
+			id = NewRequestID()
+		}
+		w.Header().Set(RequestIDHeader, id)
+		next.ServeHTTP(w, r)
+	})
+}
+
+// RequestID reads the request id WithRequestID stamped on the
+// response; "" when the middleware is not installed.
+func RequestID(w http.ResponseWriter) string {
+	return w.Header().Get(RequestIDHeader)
+}
+
+// StatusRecorder wraps a ResponseWriter to capture the status code for
+// the requests_total{code} counter. A handler that never calls
+// WriteHeader implicitly answered 200.
+type StatusRecorder struct {
+	http.ResponseWriter
+	Code int
+}
+
+// NewStatusRecorder wraps w, defaulting the code to 200.
+func NewStatusRecorder(w http.ResponseWriter) *StatusRecorder {
+	return &StatusRecorder{ResponseWriter: w, Code: http.StatusOK}
+}
+
+// WriteHeader records the code and forwards.
+func (r *StatusRecorder) WriteHeader(code int) {
+	r.Code = code
+	r.ResponseWriter.WriteHeader(code)
+}
