@@ -247,16 +247,25 @@ func (s *Server) tenantFor(name string) *tenant {
 }
 
 // exists reports whether the tenant is registered or has a directory on
-// disk — the test for "may a non-mutate verb touch it".
+// disk — the test for "may a non-mutate verb touch it". The in-memory
+// table is consulted first so the Stat syscall is only paid for names
+// this process has not served yet.
 func (s *Server) exists(name string) bool {
-	s.mu.Lock()
-	_, ok := s.tenants[name]
-	s.mu.Unlock()
-	if ok {
+	if s.registered(name) {
 		return true
 	}
 	info, err := os.Stat(filepath.Join(s.opt.DataDir, name))
 	return err == nil && info.IsDir()
+}
+
+// registered reports whether the tenant is in the in-memory table —
+// the syscall-free existence check for hot paths that can tolerate a
+// miss on tenants this process has never touched.
+func (s *Server) registered(name string) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	_, ok := s.tenants[name]
+	return ok
 }
 
 // recover opens the tenant's store and builds its engine, exactly once;
@@ -410,12 +419,15 @@ func (s *Server) dispatch(w http.ResponseWriter, r *http.Request) {
 	}
 	start := time.Now()
 	defer func() {
-		// The tenant label is resolved after serving: a creating mutation
-		// has registered its tenant by now, while a 404 on a name that
-		// never existed collapses to "_unknown" rather than minting a
-		// label per probed name.
+		// The tenant label is resolved after serving against the
+		// in-memory table only — never the disk: any request that
+		// actually reached a tenant registered it via tenantFor by now
+		// (a creating mutation included), so a map miss means a 404 or
+		// an unknown-op probe, which collapses to "_unknown" rather
+		// than minting a label (or paying a Stat syscall) per probed
+		// name.
 		tenantLabel := name
-		if !s.exists(name) {
+		if !s.registered(name) {
 			tenantLabel = "_unknown"
 		}
 		ls := []telemetry.Label{

@@ -17,6 +17,10 @@ import (
 // for the same name and labels twice returns the same collector, so
 // callers on the request path may look metrics up per request without
 // registration ceremony. All methods are safe for concurrent use.
+// Every registration of a family must use the same type and the same
+// help string; a mismatch on either panics, so a typo'd duplicate
+// registration fails loudly instead of silently keeping the first
+// help text.
 type Registry struct {
 	mu       sync.Mutex
 	families map[string]*family
@@ -64,9 +68,13 @@ func NewRegistry() *Registry {
 
 // Counter returns the counter registered under name and labels,
 // creating it if needed. Reusing a name with a different metric type
-// panics — that is a programming error, not a runtime condition.
+// or help string panics — that is a programming error, not a runtime
+// condition.
 func (r *Registry) Counter(name, help string, labels ...Label) *Counter {
-	c := r.child(name, help, typeCounter, labels)
+	key := renderLabels(labels)
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	c := r.childLocked(name, help, typeCounter, key)
 	if c.counter == nil {
 		c.counter = &Counter{}
 	}
@@ -77,13 +85,19 @@ func (r *Registry) Counter(name, help string, labels ...Label) *Counter {
 // exposition time — the bridge for counters that already live
 // elsewhere as atomics (cache hit counts, engine totals).
 func (r *Registry) CounterFunc(name, help string, fn func() uint64, labels ...Label) {
-	r.child(name, help, typeCounter, labels).counterFn = fn
+	key := renderLabels(labels)
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.childLocked(name, help, typeCounter, key).counterFn = fn
 }
 
 // Gauge returns the gauge registered under name and labels, creating
 // it if needed.
 func (r *Registry) Gauge(name, help string, labels ...Label) *Gauge {
-	c := r.child(name, help, typeGauge, labels)
+	key := renderLabels(labels)
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	c := r.childLocked(name, help, typeGauge, key)
 	if c.gauge == nil {
 		c.gauge = &Gauge{}
 	}
@@ -92,13 +106,19 @@ func (r *Registry) Gauge(name, help string, labels ...Label) *Gauge {
 
 // GaugeFunc registers a gauge read from fn at exposition time.
 func (r *Registry) GaugeFunc(name, help string, fn func() float64, labels ...Label) {
-	r.child(name, help, typeGauge, labels).gaugeFn = fn
+	key := renderLabels(labels)
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.childLocked(name, help, typeGauge, key).gaugeFn = fn
 }
 
 // Histogram returns the histogram registered under name and labels,
 // creating it if needed.
 func (r *Registry) Histogram(name, help string, labels ...Label) *Histogram {
-	c := r.child(name, help, typeHistogram, labels)
+	key := renderLabels(labels)
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	c := r.childLocked(name, help, typeHistogram, key)
 	if c.hist == nil {
 		c.hist = &Histogram{}
 	}
@@ -109,19 +129,28 @@ func (r *Registry) Histogram(name, help string, labels ...Label) *Histogram {
 // embedded in an engine or store, observed without going through the
 // registry) under name and labels.
 func (r *Registry) RegisterHistogram(name, help string, h *Histogram, labels ...Label) {
-	r.child(name, help, typeHistogram, labels).hist = h
-}
-
-func (r *Registry) child(name, help string, typ metricType, labels []Label) *child {
 	key := renderLabels(labels)
 	r.mu.Lock()
 	defer r.mu.Unlock()
+	r.childLocked(name, help, typeHistogram, key).hist = h
+}
+
+// childLocked is the get-or-create core shared by every getter. It —
+// and the caller's subsequent collector/fn assignment — runs under
+// r.mu, so two concurrent first lookups of the same series cannot
+// each mint a collector and lose one side's observations.
+func (r *Registry) childLocked(name, help string, typ metricType, key string) *child {
 	f, ok := r.families[name]
 	if !ok {
 		f = &family{name: name, help: help, typ: typ, children: make(map[string]*child)}
 		r.families[name] = f
-	} else if f.typ != typ {
-		panic(fmt.Sprintf("telemetry: metric %q registered as %s, requested as %s", name, f.typ, typ))
+	} else {
+		if f.typ != typ {
+			panic(fmt.Sprintf("telemetry: metric %q registered as %s, requested as %s", name, f.typ, typ))
+		}
+		if f.help != help {
+			panic(fmt.Sprintf("telemetry: metric %q registered with help %q, requested with %q", name, f.help, help))
+		}
 	}
 	c, ok := f.children[key]
 	if !ok {
@@ -175,47 +204,56 @@ func escapeLabelValue(v string) string {
 	return b.String()
 }
 
+// famSnapshot is a point-in-time copy of one family taken under the
+// registry lock: the children are value copies, so rendering reads no
+// field concurrently written by a registration.
+type famSnapshot struct {
+	name, help string
+	typ        metricType
+	children   []child
+}
+
 // WritePrometheus renders every family in the text exposition format,
 // families sorted by name and children by label signature, so the
-// output is byte-stable for a stable set of metrics.
+// output is byte-stable for a stable set of metrics. The family and
+// child structures are snapshotted under the lock in one pass, then
+// rendered outside it — the collector pointers and exposition-time
+// fn fields are only ever written under r.mu, while the collectors
+// themselves are atomics and safe to read lock-free. Keeping the fn
+// calls and histogram snapshots outside the critical section means a
+// slow callback cannot stall registrations on the request path.
 func (r *Registry) WritePrometheus(w io.Writer) {
 	r.mu.Lock()
-	names := make([]string, 0, len(r.families))
-	for name := range r.families {
-		names = append(names, name)
-	}
-	sort.Strings(names)
-	fams := make([]*family, len(names))
-	for i, name := range names {
-		fams[i] = r.families[name]
-	}
-	r.mu.Unlock()
-
-	var b strings.Builder
-	for _, f := range fams {
-		b.Reset()
-		r.mu.Lock()
+	fams := make([]famSnapshot, 0, len(r.families))
+	for name, f := range r.families {
+		fs := famSnapshot{name: name, help: f.help, typ: f.typ}
 		keys := make([]string, 0, len(f.children))
 		for k := range f.children {
 			keys = append(keys, k)
 		}
 		sort.Strings(keys)
-		children := make([]*child, len(keys))
+		fs.children = make([]child, len(keys))
 		for i, k := range keys {
-			children[i] = f.children[k]
+			fs.children[i] = *f.children[k]
 		}
-		r.mu.Unlock()
+		fams = append(fams, fs)
+	}
+	r.mu.Unlock()
+	sort.Slice(fams, func(i, j int) bool { return fams[i].name < fams[j].name })
 
+	var b strings.Builder
+	for _, f := range fams {
+		b.Reset()
 		fmt.Fprintf(&b, "# HELP %s %s\n", f.name, f.help)
 		fmt.Fprintf(&b, "# TYPE %s %s\n", f.name, f.typ)
-		for _, c := range children {
-			writeChild(&b, f, c)
+		for i := range f.children {
+			writeChild(&b, &f, &f.children[i])
 		}
 		io.WriteString(w, b.String())
 	}
 }
 
-func writeChild(b *strings.Builder, f *family, c *child) {
+func writeChild(b *strings.Builder, f *famSnapshot, c *child) {
 	switch f.typ {
 	case typeCounter:
 		var v uint64

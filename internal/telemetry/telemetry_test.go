@@ -105,6 +105,91 @@ func TestRegistryHandler(t *testing.T) {
 	}
 }
 
+// TestRegistryConcurrentGetOrCreate races many goroutines through the
+// first lookup of the same series while /metrics renders concurrently.
+// If get-or-create ever mints two collectors for one series, half the
+// increments vanish and the final count comes up short; the concurrent
+// WritePrometheus is the -race assertion that exposition does not read
+// child fields being assigned by registration.
+func TestRegistryConcurrentGetOrCreate(t *testing.T) {
+	reg := NewRegistry()
+	const (
+		workers = 8
+		perW    = 2000
+	)
+	stop := make(chan struct{})
+	var scraper sync.WaitGroup
+	scraper.Add(1)
+	go func() {
+		defer scraper.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+				var b strings.Builder
+				reg.WritePrometheus(&b)
+			}
+		}
+	}()
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < perW; i++ {
+				// Per-iteration lookups, as the server's dispatch does, and a
+				// fresh series per i%8 so creation keeps racing, not just the
+				// first iteration.
+				l := Label{"tenant", string(rune('a' + i%8))}
+				reg.Counter("pq_race_total", "Racy counter.", l).Inc()
+				reg.Histogram("pq_race_seconds", "Racy histogram.", l).Observe(time.Microsecond)
+				if i == 0 {
+					reg.GaugeFunc("pq_race_ratio", "Racy gauge fn.",
+						func() float64 { return 1 }, l, Label{"w", string(rune('0' + w))})
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	close(stop)
+	scraper.Wait()
+	var total uint64
+	for i := 0; i < 8; i++ {
+		l := Label{"tenant", string(rune('a' + i))}
+		total += reg.Counter("pq_race_total", "Racy counter.", l).Load()
+		total += reg.Histogram("pq_race_seconds", "Racy histogram.", l).Snapshot().Count()
+	}
+	if want := uint64(2 * workers * perW); total != want {
+		t.Fatalf("lost observations to a duplicated collector: total %d, want %d", total, want)
+	}
+}
+
+// TestRegistryMismatchPanics pins the loud-failure contract: reusing a
+// family name with a different type or a different help string panics
+// instead of silently keeping the first registration.
+func TestRegistryMismatchPanics(t *testing.T) {
+	mustPanic := func(name string, fn func()) {
+		t.Helper()
+		defer func() {
+			if recover() == nil {
+				t.Errorf("%s: expected panic", name)
+			}
+		}()
+		fn()
+	}
+	reg := NewRegistry()
+	reg.Counter("pq_thing_total", "The canonical help.")
+	mustPanic("type mismatch", func() {
+		reg.Gauge("pq_thing_total", "The canonical help.")
+	})
+	mustPanic("help mismatch", func() {
+		reg.Counter("pq_thing_total", "A typo'd help.")
+	})
+	// Matching re-registration stays idempotent.
+	reg.Counter("pq_thing_total", "The canonical help.").Inc()
+}
+
 // TestHistogramConcurrent hammers one histogram from many goroutines
 // while snapshots are taken concurrently — the -race assertion that
 // Observe and Snapshot need no locks — and checks no observation is
