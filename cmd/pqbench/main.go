@@ -60,7 +60,7 @@ var (
 	synSize   = flag.Int("syn-size", 0, "run synthetic experiments on this single size only")
 
 	snapshot      = flag.Bool("snapshot", false, "run go-benchmarks and write BENCH_<date>.json")
-	snapshotBench = flag.String("snapshot-bench", "BenchmarkSelectMonadic$|BenchmarkSCPSearch$|BenchmarkLearnerPaperExample$|BenchmarkEngineServe|BenchmarkLearn$|BenchmarkEngineLearn$|BenchmarkPlanCompile|BenchmarkSelectBinaryDirectional|BenchmarkEvaluateWitness$|BenchmarkEvaluateCount$|BenchmarkStoreRecovery|BenchmarkWALAppend$",
+	snapshotBench = flag.String("snapshot-bench", "BenchmarkSelectMonadic$|BenchmarkSCPSearch$|BenchmarkLearnerPaperExample$|BenchmarkEngineServe|BenchmarkEngineMaintain|BenchmarkLearn$|BenchmarkEngineLearn$|BenchmarkPlanCompile|BenchmarkSelectBinaryDirectional|BenchmarkEvaluateWitness$|BenchmarkEvaluateCount$|BenchmarkStoreRecovery|BenchmarkWALAppend$",
 		"benchmark pattern for -snapshot")
 	snapshotOut   = flag.String("snapshot-out", "", "snapshot file name (default BENCH_<date>.json)")
 	snapshotNote  = flag.String("snapshot-note", "", "free-form note stored in the snapshot")
@@ -74,7 +74,9 @@ var (
 	serveClients     = flag.Int("serve-clients", 16, "closed-loop clients for -serve")
 	serveDuration    = flag.Duration("serve-duration", 5*time.Second, "load duration for -serve")
 	serveMutateEvery = flag.Int("serve-mutate-every", 50, "every n-th request per client mutates and publishes an epoch (0: read-only)")
+	serveMutateRate  = flag.Float64("serve-mutate-rate", 0, "probability each request mutates (0..1) — the closed-loop mutation-rate axis; composes with -serve-mutate-every")
 	serveBatch       = flag.Int("serve-batch", 0, "issue SelectBatch requests of this size instead of single selects")
+	serveBaseline    = flag.Bool("serve-baseline", false, "disable incremental result maintenance (prune-everything on each publish) for comparison")
 )
 
 func main() {

@@ -22,10 +22,18 @@ func runServeBench() error {
 	for i, nq := range qs {
 		queries[i] = nq.Expr
 	}
-	e := engine.New(g, engine.Options{})
+	opt := engine.Options{}
+	if *serveBaseline {
+		opt.RegrowBudget = -1
+	}
+	e := engine.New(g, opt)
 
-	section(fmt.Sprintf("Serving benchmark — %d nodes, %d clients, %v, mutate every %d requests",
-		*serveSyn, *serveClients, *serveDuration, *serveMutateEvery))
+	mode := "incremental maintenance"
+	if *serveBaseline {
+		mode = "prune-everything baseline"
+	}
+	section(fmt.Sprintf("Serving benchmark — %d nodes, %d clients, %v, mutate every %d requests, rate %.2g (%s)",
+		*serveSyn, *serveClients, *serveDuration, *serveMutateEvery, *serveMutateRate, mode))
 	for _, q := range queries {
 		fmt.Printf("query: %s\n", q)
 	}
@@ -35,6 +43,7 @@ func runServeBench() error {
 		Duration:    *serveDuration,
 		Queries:     queries,
 		MutateEvery: *serveMutateEvery,
+		MutateRate:  *serveMutateRate,
 		BatchSize:   *serveBatch,
 		Seed:        *seed,
 	})
@@ -59,5 +68,7 @@ func runServeBench() error {
 			100*float64(st.ResultHits+st.ResultShared)/float64(total),
 			st.ResultHits+st.ResultShared)
 	}
+	fmt.Printf("maintenance outcomes: retained %d, regrown %d, dropped %d\n",
+		st.ResultRetained, st.ResultRegrown, st.ResultDropped)
 	return nil
 }

@@ -59,6 +59,11 @@ type Options struct {
 	// and a log failure aborts the mutation with the graph untouched.
 	// internal/store.GraphStore is the WAL-backed implementation.
 	Log MutationLog
+	// RegrowBudget bounds the edge relaxations one publication may spend
+	// incrementally regrowing cached results (maintain.go). Zero selects
+	// the default (1<<20); a negative value disables maintenance
+	// entirely, restoring the prune-every-entry behavior.
+	RegrowBudget int
 }
 
 // MutationLog is the engine's write-ahead hook (implemented by
@@ -95,6 +100,12 @@ type Engine struct {
 	// a measurable fraction of it.
 	evalHist   [query.NumSemantics]telemetry.Histogram
 	mutateHist telemetry.Histogram
+	// regrowHist is the per-entry incremental regrow latency; maintMu
+	// serializes publish-time cache maintenance (maintain.go) so two
+	// racing publications never interleave their classification passes.
+	regrowHist   telemetry.Histogram
+	maintMu      sync.Mutex
+	regrowBudget int
 }
 
 // New wraps g in a serving engine and publishes its first epoch. The
@@ -104,11 +115,15 @@ func New(g *graph.Graph, opt Options) *Engine {
 	if opt.ResultCacheCap <= 0 {
 		opt.ResultCacheCap = 4096
 	}
+	if opt.RegrowBudget == 0 {
+		opt.RegrowBudget = defaultRegrowBudget
+	}
 	e := &Engine{
-		g:       g,
-		log:     opt.Log,
-		plans:   newPlanCache(g.Alphabet()),
-		results: newResultCache(opt.ResultCacheCap),
+		g:            g,
+		log:          opt.Log,
+		plans:        newPlanCache(g.Alphabet()),
+		results:      newResultCache(opt.ResultCacheCap),
+		regrowBudget: opt.RegrowBudget,
 	}
 	g.Snapshot()
 	return e
@@ -247,30 +262,50 @@ func (e *Engine) Mutate(edges []EdgeSpec) (MutationResult, error) {
 	}
 	start := time.Now()
 	defer func() { e.mutateHist.Observe(time.Since(start)) }()
-	e.mu.Lock()
-	if e.log != nil {
-		// Every AddEdge dirties the build side, so a nonempty mutation
-		// publishes exactly the next epoch — the number logged here.
-		if err := e.log.Append(e.g.Epoch()+1, edges); err != nil {
-			e.mu.Unlock()
-			return MutationResult{}, &APIError{
-				Code:    "durability_error",
-				Status:  http.StatusServiceUnavailable,
-				Message: fmt.Sprintf("mutation not applied: %v", err),
+	snap, err := e.publish(func() error {
+		if e.log != nil {
+			// Every AddEdge dirties the build side, so a nonempty mutation
+			// publishes exactly the next epoch — the number logged here.
+			if err := e.log.Append(e.g.Epoch()+1, edges); err != nil {
+				return &APIError{
+					Code:    "durability_error",
+					Status:  http.StatusServiceUnavailable,
+					Message: fmt.Sprintf("mutation not applied: %v", err),
+				}
 			}
 		}
+		for _, ed := range edges {
+			e.g.AddEdgeByName(ed.From, ed.Label, ed.To)
+		}
+		return nil
+	})
+	if err != nil {
+		return MutationResult{}, err
 	}
-	for _, ed := range edges {
-		e.g.AddEdgeByName(ed.From, ed.Label, ed.To)
-	}
-	snap := e.g.Snapshot()
-	e.mu.Unlock()
-	e.mutations.Add(1)
-	e.results.prune(snap.Epoch())
 	if e.log != nil {
 		e.log.Committed(snap)
 	}
 	return MutationResult{Epoch: snap.Epoch(), Nodes: snap.NumNodes(), Edges: snap.NumEdges()}, nil
+}
+
+// publish is the single path every epoch publisher goes through: fn runs
+// under the write lock (the write-ahead append plus the build-side
+// mutations; an error aborts with the graph untouched), the new epoch is
+// published, and result-cache maintenance classifies every cached entry
+// against the epoch delta (maintain.go) — so no future publisher can
+// forget maintenance. Maintenance runs outside the write lock: readers
+// pin epochs via one atomic load and are never blocked behind it.
+func (e *Engine) publish(fn func() error) (*graph.Snapshot, error) {
+	e.mu.Lock()
+	if err := fn(); err != nil {
+		e.mu.Unlock()
+		return nil, err
+	}
+	snap := e.g.Snapshot()
+	e.mu.Unlock()
+	e.mutations.Add(1)
+	e.maintainResults(snap)
+	return snap, nil
 }
 
 // Update runs fn against the build side under the write lock and
@@ -282,12 +317,10 @@ func (e *Engine) Update(fn func(g *graph.Graph)) MutationResult {
 	if e.log != nil {
 		panic("engine: Update bypasses the mutation log; use Mutate on a durable engine")
 	}
-	e.mu.Lock()
-	fn(e.g)
-	snap := e.g.Snapshot()
-	e.mu.Unlock()
-	e.mutations.Add(1)
-	e.results.prune(snap.Epoch())
+	snap, _ := e.publish(func() error {
+		fn(e.g)
+		return nil
+	})
 	return MutationResult{Epoch: snap.Epoch(), Nodes: snap.NumNodes(), Edges: snap.NumEdges()}
 }
 
@@ -400,6 +433,15 @@ type Stats struct {
 	ResultMisses  uint64 `json:"result_misses"`
 	ResultShared  uint64 `json:"result_shared"` // single-flight waiters
 	ResultEntries int    `json:"result_entries"`
+
+	// Publish-time maintenance outcomes (maintain.go): cached results
+	// re-stamped to the new epoch untouched (the delta's symbols are
+	// disjoint from the plan's alphabet), incrementally regrown from the
+	// epoch delta, and dropped (unmaintainable semantics, budget
+	// exceeded, or a delta-chain gap).
+	ResultRetained uint64 `json:"result_retained"`
+	ResultRegrown  uint64 `json:"result_regrown"`
+	ResultDropped  uint64 `json:"result_dropped"`
 }
 
 // Plans lists every cached compiled plan — source, canonical key, state
@@ -443,6 +485,14 @@ func (e *Engine) RegisterMetrics(reg *telemetry.Registry, labels ...telemetry.La
 		"Result-cache misses (fresh product passes).", e.results.misses.Load, labels...)
 	reg.CounterFunc("pathquery_result_cache_shared_total",
 		"Evaluations shared with an in-flight identical request (single-flight).", e.results.shared.Load, labels...)
+	reg.CounterFunc("pathquery_result_cache_retained_total",
+		"Cached results re-stamped to a new epoch untouched (alphabet-disjoint delta).", e.results.retained.Load, labels...)
+	reg.CounterFunc("pathquery_result_cache_regrown_total",
+		"Cached results incrementally regrown from an epoch delta.", e.results.regrown.Load, labels...)
+	reg.CounterFunc("pathquery_result_cache_dropped_total",
+		"Cached results dropped at publish (unmaintainable semantics, budget, or chain gap).", e.results.dropped.Load, labels...)
+	reg.RegisterHistogram("pathquery_result_cache_regrow_seconds",
+		"Per-entry incremental regrow latency at publish.", &e.regrowHist, labels...)
 	reg.GaugeFunc("pathquery_result_cache_entries",
 		"Cached result entries.", func() float64 { return float64(e.results.size()) }, labels...)
 	reg.GaugeFunc("pathquery_epoch",

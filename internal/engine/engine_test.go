@@ -93,8 +93,14 @@ func TestEngineMutateAdvancesEpoch(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if after.Cached {
-		t.Error("post-mutation select served a stale cached result")
+	// The mutation touches the plan's alphabet ("cinema"), so the cached
+	// entry is incrementally regrown at publish: the post-mutation select
+	// is a cache hit at the new epoch and already includes the new edge.
+	if !after.Cached {
+		t.Error("post-mutation select missed the regrown cache entry")
+	}
+	if st := e.Stats(); st.ResultRegrown == 0 {
+		t.Errorf("ResultRegrown = 0 after an alphabet-overlapping mutation; stats %+v", st)
 	}
 	if got := names(t, after); len(got) != 2 || got[0] != "N2" || got[1] != "N5" {
 		t.Fatalf("bus·cinema after mutation selected %v, want [N2 N5]", got)
@@ -375,19 +381,19 @@ func TestEngineConcurrentMutateSelect(t *testing.T) {
 func TestResultCacheStaleRequestKeepsFreshEntries(t *testing.T) {
 	c := newResultCache(3)
 	for _, p := range []string{"a", "b", "c"} {
-		c.do(context.Background(), resultKey{epoch: 2, plan: p}, func() (query.Answer, error) { return query.Answer{}, nil })
+		c.do(context.Background(), resultKey{epoch: 2, plan: p}, nil, func() (query.Answer, []uint64, error) { return query.Answer{}, nil, nil })
 	}
 	computed := false
-	c.do(context.Background(), resultKey{epoch: 1, plan: "stale"}, func() (query.Answer, error) {
+	c.do(context.Background(), resultKey{epoch: 1, plan: "stale"}, nil, func() (query.Answer, []uint64, error) {
 		computed = true
-		return query.Answer{}, nil
+		return query.Answer{}, nil, nil
 	})
 	if !computed {
 		t.Fatal("stale-epoch request was not computed")
 	}
 	fresh := 0
 	for _, p := range []string{"a", "b", "c"} {
-		if _, cached, _ := c.do(context.Background(), resultKey{epoch: 2, plan: p}, func() (query.Answer, error) { return query.Answer{}, nil }); cached {
+		if _, cached, _ := c.do(context.Background(), resultKey{epoch: 2, plan: p}, nil, func() (query.Answer, []uint64, error) { return query.Answer{}, nil, nil }); cached {
 			fresh++
 		}
 	}
@@ -410,10 +416,10 @@ func TestResultCachePanicRetries(t *testing.T) {
 				t.Fatal("compute panic did not propagate")
 			}
 		}()
-		c.do(context.Background(), key, func() (query.Answer, error) { panic("product engine bug") })
+		c.do(context.Background(), key, nil, func() (query.Answer, []uint64, error) { panic("product engine bug") })
 	}()
-	ans, cached, err := c.do(context.Background(), key, func() (query.Answer, error) {
-		return query.Answer{Nodes: []graph.NodeID{7}, Count: 1}, nil
+	ans, cached, err := c.do(context.Background(), key, nil, func() (query.Answer, []uint64, error) {
+		return query.Answer{Nodes: []graph.NodeID{7}, Count: 1}, nil, nil
 	})
 	if err != nil || cached || len(ans.Nodes) != 1 || ans.Nodes[0] != 7 {
 		t.Errorf("after panic: answer %v cached %v err %v, want fresh [7]", ans.Nodes, cached, err)

@@ -242,8 +242,12 @@ func (e *Engine) evaluateRaw(ctx context.Context, snap *graph.Snapshot, p *cache
 	}
 	endLookup()
 	defer tr.StartSpan("traverse")()
-	return e.results.do(ctx, key, func() (query.Answer, error) {
-		return p.q.EvaluateReq(ctx, snap, qreq)
+	return e.results.do(ctx, key, p.q, func() (query.Answer, []uint64, error) {
+		// The state-capturing variant: for maintainable (semantics,
+		// layout) pairs it also returns the product fixpoint, which the
+		// cache keeps so a later publish can retain or regrow this entry
+		// instead of dropping it (maintain.go).
+		return p.q.EvaluateReqState(ctx, snap, qreq)
 	})
 }
 

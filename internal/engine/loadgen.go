@@ -28,6 +28,10 @@ type LoadConfig struct {
 	// MutateEvery makes every n-th request of each client a mutation
 	// (0: read-only load).
 	MutateEvery int
+	// MutateRate makes each request a mutation with this probability
+	// (0..1) — the mutation-rate axis of the closed-loop maintenance
+	// benchmark. Composes with MutateEvery; either may be zero.
+	MutateRate float64
 	// MutateEdges generates the edges of the i-th mutation; nil uses a
 	// default that links fresh load-generated nodes into the graph.
 	MutateEdges func(i int) []EdgeSpec
@@ -57,6 +61,16 @@ type LoadReport struct {
 	// classes separately, since a mutation (WAL fsync included) and a
 	// cached select live orders of magnitude apart.
 	SelectLatency, MutateLatency telemetry.HistogramSnapshot
+
+	// CachedLatency and UncachedLatency split SelectLatency by whether
+	// the answer came from the result cache (retained or regrown entries
+	// included) or a fresh product pass — the per-outcome view of the
+	// maintenance closed loop. Single-select requests only; batch
+	// requests mix outcomes per member and stay in SelectLatency.
+	CachedLatency, UncachedLatency telemetry.HistogramSnapshot
+	// Retained, Regrown, Dropped are the engine's result-cache
+	// maintenance outcome deltas over the run.
+	Retained, Regrown, Dropped uint64
 }
 
 // String renders the report as a one-stanza summary.
@@ -64,11 +78,16 @@ func (r LoadReport) String() string {
 	return fmt.Sprintf(
 		"clients %d  requests %d (selects %d, mutations %d)  wall %v\n"+
 			"throughput %.0f req/s   latency p50 %v  p90 %v  p99 %v  max %v\n"+
-			"select  p50 %v  p99 %v   mutate  p50 %v  p99 %v",
+			"select  p50 %v  p99 %v   mutate  p50 %v  p99 %v\n"+
+			"cached  p50 %v  p99 %v (%d)   uncached  p50 %v  p99 %v (%d)\n"+
+			"maintenance  retained %d  regrown %d  dropped %d",
 		r.Clients, r.Requests, r.Selects, r.Mutations, r.Duration.Round(time.Millisecond),
 		r.Throughput, r.P50, r.P90, r.P99, r.Max,
 		r.SelectLatency.Quantile(0.50), r.SelectLatency.Quantile(0.99),
-		r.MutateLatency.Quantile(0.50), r.MutateLatency.Quantile(0.99))
+		r.MutateLatency.Quantile(0.50), r.MutateLatency.Quantile(0.99),
+		r.CachedLatency.Quantile(0.50), r.CachedLatency.Quantile(0.99), r.CachedLatency.Count(),
+		r.UncachedLatency.Quantile(0.50), r.UncachedLatency.Quantile(0.99), r.UncachedLatency.Count(),
+		r.Retained, r.Regrown, r.Dropped)
 }
 
 // RunLoad drives e with a closed-loop workload and reports throughput and
@@ -112,6 +131,7 @@ func RunLoad(e *Engine, cfg LoadConfig) (LoadReport, error) {
 	// bytes regardless of how many million requests a long run completes,
 	// where the old per-request slice grew without bound.
 	var selectLat, mutateLat telemetry.Histogram
+	var cachedLat, uncachedLat telemetry.Histogram
 	var mutSeq sync.Mutex
 	mutI := 0
 	nextMutation := func() []EdgeSpec {
@@ -122,6 +142,7 @@ func RunLoad(e *Engine, cfg LoadConfig) (LoadReport, error) {
 		return cfg.MutateEdges(i)
 	}
 
+	before := e.Stats()
 	deadline := time.Now().Add(cfg.Duration)
 	start := time.Now()
 	var wg sync.WaitGroup
@@ -136,7 +157,11 @@ func RunLoad(e *Engine, cfg LoadConfig) (LoadReport, error) {
 					return
 				}
 				t0 := time.Now()
-				if cfg.MutateEvery > 0 && n%cfg.MutateEvery == 0 {
+				mutate := cfg.MutateEvery > 0 && n%cfg.MutateEvery == 0
+				if !mutate && cfg.MutateRate > 0 && rng.Float64() < cfg.MutateRate {
+					mutate = true
+				}
+				if mutate {
 					if _, err := e.Mutate(nextMutation()); err != nil {
 						panic(err) // a volatile load-driver engine cannot fail durably
 					}
@@ -153,11 +178,18 @@ func RunLoad(e *Engine, cfg LoadConfig) (LoadReport, error) {
 					st.selects++
 					selectLat.Observe(time.Since(t0))
 				} else {
-					if _, err := e.Select(cfg.Queries[rng.Intn(len(cfg.Queries))]); err != nil {
+					r, err := e.Select(cfg.Queries[rng.Intn(len(cfg.Queries))])
+					if err != nil {
 						panic(err)
 					}
 					st.selects++
-					selectLat.Observe(time.Since(t0))
+					d := time.Since(t0)
+					selectLat.Observe(d)
+					if r.Cached {
+						cachedLat.Observe(d)
+					} else {
+						uncachedLat.Observe(d)
+					}
 				}
 			}
 		}(c)
@@ -172,6 +204,12 @@ func RunLoad(e *Engine, cfg LoadConfig) (LoadReport, error) {
 	}
 	report.SelectLatency = selectLat.Snapshot()
 	report.MutateLatency = mutateLat.Snapshot()
+	report.CachedLatency = cachedLat.Snapshot()
+	report.UncachedLatency = uncachedLat.Snapshot()
+	after := e.Stats()
+	report.Retained = after.ResultRetained - before.ResultRetained
+	report.Regrown = after.ResultRegrown - before.ResultRegrown
+	report.Dropped = after.ResultDropped - before.ResultDropped
 	all := report.SelectLatency
 	all.Merge(&report.MutateLatency)
 	report.Requests = all.Count()

@@ -1,0 +1,251 @@
+package engine
+
+import (
+	"time"
+
+	"pathquery/internal/graph"
+	"pathquery/internal/query"
+	"pathquery/internal/telemetry"
+)
+
+// Publish-time result-cache maintenance: instead of pruning every cached
+// answer when a mutation publishes a new epoch, each completed entry is
+// classified against the epoch delta (graph.DeltaSince) into one of three
+// outcomes:
+//
+//   - retain — the delta's symbol mask does not intersect the plan's
+//     alphabet mask (one AND), so no added edge can lie on any accepting
+//     run: the entry is re-keyed to the new epoch untouched and the
+//     ~150ns cached-hit path survives the write. The ε caveat: a plan
+//     accepting ε selects every node under monadic semantics, so node
+//     growth alone grows the answer — such entries are not retained
+//     unless anchored (from ≥ 0, where new nodes cannot equal the
+//     anchor... they can only be selected through new edges, which the
+//     disjointness test already covers).
+//   - regrow — nodes or anchored pairsFrom semantics whose entry carries
+//     the product fixpoint masks: the worklist propagation is re-entered
+//     from the delta edges alone against the cached fixpoint, under a
+//     per-publish budget of edge relaxations shared by all regrown
+//     entries. The result is bit-for-bit the from-scratch fixpoint.
+//   - drop — everything else: witness/count/shortest (minimality and
+//     counts are not monotone under edge inserts), packed-layout plans,
+//     entries staler than the delta chain reaches, and regrows whose
+//     cost would exceed the remaining budget. This is exactly the old
+//     prune behavior.
+//
+// Maintenance runs synchronously on the mutating goroutine after the
+// epoch is published, serialized by Engine.maintMu; readers are never
+// blocked (entries are immutable — retain moves a pointer, regrow
+// inserts a fresh entry).
+
+// defaultRegrowBudget is the per-publish edge-relaxation budget when
+// Options.RegrowBudget is zero. A relaxation is a few nanoseconds, so
+// the worst-case maintenance cost per publish stays in the low
+// milliseconds.
+const defaultRegrowBudget = 1 << 20
+
+// closedDone is the pre-closed completion channel regrown entries are
+// born with: they are complete by construction and must never be
+// mistaken for in-flight.
+var closedDone = func() chan struct{} {
+	ch := make(chan struct{})
+	close(ch)
+	return ch
+}()
+
+// maintainResults classifies the result cache against the just-published
+// snapshot. A negative budget disables maintenance entirely — the
+// prune-everything baseline.
+func (e *Engine) maintainResults(snap *graph.Snapshot) {
+	if e.regrowBudget < 0 {
+		e.results.prune(snap.Epoch())
+		return
+	}
+	e.maintMu.Lock()
+	defer e.maintMu.Unlock()
+	e.results.maintain(snap, e.regrowBudget, &e.regrowHist)
+}
+
+// regrowCand is one entry pulled out of the locked classification pass
+// for regrowth outside the cache lock.
+type regrowCand struct {
+	key  resultKey
+	ent  *resultEntry
+	span graph.DeltaSpan
+}
+
+// maintain applies the retain/regrow/drop taxonomy to every completed
+// entry older than snap's epoch. Classification and retain re-keying run
+// under the cache lock; regrows (the only traversal work) run outside it
+// so concurrent lookups at the new epoch are never blocked behind a
+// traversal.
+func (c *resultCache) maintain(snap *graph.Snapshot, budget int, hist *telemetry.Histogram) {
+	cur := snap.Epoch()
+	var cands []regrowCand
+	c.mu.Lock()
+	if cur > c.latest {
+		c.latest = cur
+	}
+	for k, en := range c.entries {
+		if k.epoch >= cur {
+			continue
+		}
+		select {
+		case <-en.done:
+		default:
+			// In flight at an older epoch: it finishes for its own
+			// pinned-epoch waiters and is reclaimed by eviction later.
+			continue
+		}
+		if en.q == nil {
+			delete(c.entries, k)
+			c.dropped.Add(1)
+			continue
+		}
+		p := en.q.Plan()
+		span, ok := snap.DeltaSince(k.epoch)
+		if p.Empty() {
+			// The empty language selects nothing on any graph; the span
+			// (even an unreachable one) is irrelevant.
+			c.rekeyLocked(k, en, cur)
+			continue
+		}
+		if !ok {
+			delete(c.entries, k)
+			c.dropped.Add(1)
+			continue
+		}
+		disjoint := span.SymMask&p.AlphaMask == 0
+		epsGrow := span.NewNodes > 0 && k.from < 0 && p.AcceptsEpsilon()
+		if disjoint && !epsGrow {
+			c.rekeyLocked(k, en, cur)
+			continue
+		}
+		if en.masks != nil && (k.sem == query.SemanticsNodes || k.sem == query.SemanticsPairsFrom) {
+			delete(c.entries, k)
+			cands = append(cands, regrowCand{key: k, ent: en, span: span})
+			continue
+		}
+		delete(c.entries, k)
+		c.dropped.Add(1)
+	}
+	c.mu.Unlock()
+
+	remaining := budget
+	for i := range cands {
+		cand := &cands[i]
+		if remaining <= 0 {
+			c.dropped.Add(1)
+			continue
+		}
+		start := time.Now()
+		ne, cost, ok := regrowEntry(snap, cand, remaining)
+		remaining -= cost
+		if !ok {
+			c.dropped.Add(1)
+			continue
+		}
+		hist.Observe(time.Since(start))
+		nk := cand.key
+		nk.epoch = cur
+		c.mu.Lock()
+		if len(c.entries) >= c.cap {
+			c.evictLocked()
+		}
+		if _, exists := c.entries[nk]; !exists && len(c.entries) < c.cap {
+			// A fresh compute raced us to the new key (or the cache is
+			// full of in-flight entries): their answer is identical —
+			// keep whichever landed first.
+			c.entries[nk] = ne
+		}
+		c.mu.Unlock()
+		c.regrown.Add(1)
+	}
+}
+
+// rekeyLocked retains en at the new epoch: same entry pointer, new key.
+// If a fresh compute already produced the new-epoch entry (it raced the
+// maintenance pass), the computed one wins — the answers are identical.
+func (c *resultCache) rekeyLocked(k resultKey, en *resultEntry, cur uint64) {
+	nk := k
+	nk.epoch = cur
+	if _, exists := c.entries[nk]; !exists {
+		c.entries[nk] = en
+	}
+	delete(c.entries, k)
+	c.retained.Add(1)
+}
+
+// regrowEntry folds cand's delta span into its cached fixpoint and
+// builds the new-epoch entry. cost counts edge relaxations regardless of
+// success; ok is false when the budget was exceeded (the caller drops).
+func regrowEntry(snap *graph.Snapshot, cand *regrowCand, budget int) (*resultEntry, int, bool) {
+	p := cand.ent.q.Plan()
+	old := cand.ent.masks
+	nv := snap.NumNodes()
+	masks := make([]uint64, nv)
+	copy(masks, old)
+	var newly, extra []graph.NodeID
+	var cost int
+	var ok bool
+	switch cand.key.sem {
+	case query.SemanticsNodes:
+		// New nodes start at the trivial backward fixpoint: every (v,
+		// final) pair is good. Under ε every new node is immediately
+		// selected (ε ∈ paths_G(v)) without any traversal.
+		for v := len(old); v < nv; v++ {
+			masks[v] = p.FinalMask
+		}
+		if p.AcceptsEpsilon() {
+			for v := len(old); v < nv; v++ {
+				extra = append(extra, graph.NodeID(v))
+			}
+		}
+		newly, cost, ok = snap.RegrowMonadicMasked(p, masks, &cand.span, budget)
+	case query.SemanticsPairsFrom:
+		// New nodes start unreached (zero mask) in the forward fixpoint.
+		newly, cost, ok = snap.RegrowBinaryFromMasked(p, masks, &cand.span, budget)
+	default:
+		return nil, 0, false
+	}
+	if !ok {
+		return nil, cost, false
+	}
+	nodes := mergeNodes(cand.ent.ans.Nodes, newly, extra)
+	ans := query.Answer{Semantics: cand.ent.ans.Semantics, Count: len(nodes), Nodes: nodes}
+	return &resultEntry{done: closedDone, ans: ans, q: cand.ent.q, masks: masks}, cost, true
+}
+
+// mergeNodes merges up to three sorted id lists into one sorted
+// duplicate-free list. When nothing was added the cached slice is
+// returned as-is (it is immutable and shared).
+func mergeNodes(a, b, c []graph.NodeID) []graph.NodeID {
+	if len(b) == 0 && len(c) == 0 {
+		return a
+	}
+	out := make([]graph.NodeID, 0, len(a)+len(b)+len(c))
+	i, j, k := 0, 0, 0
+	for i < len(a) || j < len(b) || k < len(c) {
+		m := graph.NodeID(1<<31 - 1)
+		if i < len(a) && a[i] < m {
+			m = a[i]
+		}
+		if j < len(b) && b[j] < m {
+			m = b[j]
+		}
+		if k < len(c) && c[k] < m {
+			m = c[k]
+		}
+		out = append(out, m)
+		for i < len(a) && a[i] == m {
+			i++
+		}
+		for j < len(b) && b[j] == m {
+			j++
+		}
+		for k < len(c) && c[k] == m {
+			k++
+		}
+	}
+	return out
+}

@@ -34,6 +34,14 @@ type resultEntry struct {
 	done   chan struct{}
 	ans    query.Answer
 	failed bool
+	// q and masks make the entry maintainable across epochs (maintain.go):
+	// q reaches the plan's alphabet mask and ε/emptiness flags, and masks
+	// is the product fixpoint EvaluateReqState captured alongside the
+	// answer — nil when the (semantics, layout) pair is not regrowable,
+	// in which case a delta overlapping the plan's alphabet drops the
+	// entry.
+	q     *query.Query
+	masks []uint64
 }
 
 // resultCache is a bounded single-flight cache of evaluation answers.
@@ -51,6 +59,12 @@ type resultCache struct {
 	// uncached counts requests computed without cache residency because
 	// the cache was full of in-flight entries (the hard bound held).
 	uncached atomic.Uint64
+	// Publish-maintenance outcomes (maintain.go): entries re-stamped to
+	// the new epoch untouched, incrementally regrown from the epoch
+	// delta, and dropped.
+	retained atomic.Uint64
+	regrown  atomic.Uint64
+	dropped  atomic.Uint64
 }
 
 func newResultCache(cap int) *resultCache {
@@ -92,7 +106,11 @@ func (c *resultCache) lookup(key resultKey) (*query.Answer, bool) {
 // waiters sharing the failed flight retry with their own compute. The
 // returned answer points into the cache entry (never copied on the hit
 // path) — callers must treat it and its slices as immutable.
-func (c *resultCache) do(ctx context.Context, key resultKey, compute func() (query.Answer, error)) (ans *query.Answer, cached bool, err error) {
+//
+// q is the query the key's plan string identifies; compute additionally
+// returns the product fixpoint masks (or nil). Both are stored on the
+// entry so publish-time maintenance can retain or regrow it.
+func (c *resultCache) do(ctx context.Context, key resultKey, q *query.Query, compute func() (query.Answer, []uint64, error)) (ans *query.Answer, cached bool, err error) {
 	c.mu.Lock()
 	if key.epoch > c.latest {
 		c.latest = key.epoch
@@ -105,7 +123,7 @@ func (c *resultCache) do(ctx context.Context, key resultKey, compute func() (que
 				// The computing goroutine panicked or was canceled (and
 				// removed the entry); retry as a fresh flight rather than
 				// serving its zero answer.
-				return c.do(ctx, key, compute)
+				return c.do(ctx, key, q, compute)
 			}
 			c.hits.Add(1)
 		default:
@@ -116,7 +134,7 @@ func (c *resultCache) do(ctx context.Context, key resultKey, compute func() (que
 				return nil, false, ctx.Err()
 			}
 			if e.failed {
-				return c.do(ctx, key, compute)
+				return c.do(ctx, key, q, compute)
 			}
 		}
 		return &e.ans, true, nil
@@ -132,13 +150,13 @@ func (c *resultCache) do(ctx context.Context, key resultKey, compute func() (que
 		c.mu.Unlock()
 		c.misses.Add(1)
 		c.uncached.Add(1)
-		a, err := compute()
+		a, _, err := compute()
 		if err != nil {
 			return nil, false, err
 		}
 		return &a, false, nil
 	}
-	e := &resultEntry{done: make(chan struct{})}
+	e := &resultEntry{done: make(chan struct{}), q: q}
 	c.entries[key] = e
 	c.mu.Unlock()
 	c.misses.Add(1)
@@ -156,7 +174,7 @@ func (c *resultCache) do(ctx context.Context, key resultKey, compute func() (que
 		close(e.done)
 	}()
 	e.failed = true
-	e.ans, err = compute()
+	e.ans, e.masks, err = compute()
 	if err != nil {
 		return nil, false, err
 	}
@@ -222,6 +240,9 @@ func (c *resultCache) fill(s *Stats) {
 	s.ResultHits = c.hits.Load()
 	s.ResultMisses = c.misses.Load()
 	s.ResultShared = c.shared.Load()
+	s.ResultRetained = c.retained.Load()
+	s.ResultRegrown = c.regrown.Load()
+	s.ResultDropped = c.dropped.Load()
 	c.mu.Lock()
 	s.ResultEntries = len(c.entries)
 	c.mu.Unlock()

@@ -27,10 +27,10 @@ func TestResultCacheBoundedUnderInFlightStorm(t *testing.T) {
 		go func(i int) {
 			defer wg.Done()
 			key := resultKey{epoch: 1, from: graph.NodeID(i), plan: "p"}
-			ans, _, _ := c.do(context.Background(), key, func() (query.Answer, error) {
+			ans, _, _ := c.do(context.Background(), key, nil, func() (query.Answer, []uint64, error) {
 				started <- struct{}{}
 				<-release
-				return query.Answer{Nodes: []graph.NodeID{graph.NodeID(i)}}, nil
+				return query.Answer{Nodes: []graph.NodeID{graph.NodeID(i)}}, nil, nil
 			})
 			results[i] = ans.Nodes
 		}(i)
@@ -72,10 +72,10 @@ func TestResultCacheWaiterHonorsContext(t *testing.T) {
 	started := make(chan struct{})
 	release := make(chan struct{})
 	go func() {
-		c.do(context.Background(), key, func() (query.Answer, error) {
+		c.do(context.Background(), key, nil, func() (query.Answer, []uint64, error) {
 			close(started)
 			<-release
-			return query.Answer{Count: 1}, nil
+			return query.Answer{Count: 1}, nil, nil
 		})
 	}()
 	<-started
@@ -83,9 +83,9 @@ func TestResultCacheWaiterHonorsContext(t *testing.T) {
 	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Millisecond)
 	defer cancel()
 	start := time.Now()
-	_, _, err := c.do(ctx, key, func() (query.Answer, error) {
+	_, _, err := c.do(ctx, key, nil, func() (query.Answer, []uint64, error) {
 		t.Error("waiter must share the in-flight computation, not start one")
-		return query.Answer{}, nil
+		return query.Answer{}, nil, nil
 	})
 	if err != context.DeadlineExceeded {
 		t.Fatalf("waiter err = %v, want context.DeadlineExceeded", err)
@@ -96,8 +96,8 @@ func TestResultCacheWaiterHonorsContext(t *testing.T) {
 
 	close(release)
 	// The original flight completes and serves later requests normally.
-	ans, cached, err := c.do(context.Background(), key, func() (query.Answer, error) {
-		return query.Answer{}, nil
+	ans, cached, err := c.do(context.Background(), key, nil, func() (query.Answer, []uint64, error) {
+		return query.Answer{}, nil, nil
 	})
 	if err != nil || !cached || ans.Count != 1 {
 		t.Fatalf("post-release hit: ans %+v cached %v err %v", ans, cached, err)

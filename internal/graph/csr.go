@@ -114,6 +114,7 @@ type Snapshot struct {
 	names []string // immutable prefix of the name table at publish time
 	out   csr
 	in    csr
+	delta *Delta // what this publication added; nil at chain starts (delta.go)
 	// inSymCount[sym] is the number of edges labeled sym (counted on the
 	// in-side CSR): the direction-optimizing evaluators estimate the cost
 	// of seeding a backward pass from it without touching the edges.
@@ -196,6 +197,7 @@ func (g *Graph) publish() *Snapshot {
 	// this build (only possible through engine misuse) re-marks it so the
 	// next publication rebuilds.
 	g.dirty.Store(false)
+	prev := g.cur.Load()
 	nv := len(g.nodeNames)
 	s := &Snapshot{
 		g:     g,
@@ -213,6 +215,7 @@ func (g *Graph) publish() *Snapshot {
 			s.inSymCount[sym] += s.in.segOff[si+1] - s.in.segOff[si]
 		}
 	}
+	g.sealDelta(s, prev)
 	g.cur.Store(s)
 	return s
 }

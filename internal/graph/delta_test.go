@@ -1,0 +1,240 @@
+package graph_test
+
+// Tests for the epoch-delta layer (delta.go) and the incremental
+// regrow evaluators (incremental.go): delta accumulation across
+// publishes, span folding over epoch ranges, the chain fence and the
+// overflow valve, and — the property the engine's cache maintenance
+// rests on — that regrowing a cached fixpoint from a delta span is
+// bit-for-bit identical to recomputing it from scratch on the new
+// snapshot.
+
+import (
+	"context"
+	"math/rand"
+	"testing"
+
+	"pathquery/internal/alphabet"
+	"pathquery/internal/graph"
+	"pathquery/internal/plan"
+)
+
+func TestDeltaAccumulation(t *testing.T) {
+	g := graph.New(nil)
+	g.AddEdgeByName("A", "x", "B")
+	g.AddEdgeByName("B", "y", "C")
+	s1 := g.Snapshot()
+	if s1.Delta() != nil {
+		t.Fatal("first publication carries a delta; bulk build must be free")
+	}
+	if _, ok := s1.DeltaSince(s1.Epoch()); !ok {
+		t.Fatal("DeltaSince(current epoch) must be the empty span, ok")
+	}
+
+	g.AddEdgeByName("C", "x", "D")
+	g.AddEdgeByName("A", "z", "C")
+	s2 := g.Snapshot()
+	d := s2.Delta()
+	if d == nil {
+		t.Fatal("second publication lost its delta")
+	}
+	if len(d.Edges) != 2 {
+		t.Fatalf("delta has %d edges, want 2", len(d.Edges))
+	}
+	alpha := g.Alphabet()
+	wantMask := plan.SymBit(int(mustSym(t, alpha, "x"))) | plan.SymBit(int(mustSym(t, alpha, "z")))
+	if d.SymMask != wantMask {
+		t.Fatalf("delta SymMask = %b, want %b", d.SymMask, wantMask)
+	}
+	if d.PrevNumNodes != 3 || d.NumNodes != 4 {
+		t.Fatalf("delta node counts = (%d, %d), want (3, 4)", d.PrevNumNodes, d.NumNodes)
+	}
+
+	span, ok := s2.DeltaSince(s1.Epoch())
+	if !ok {
+		t.Fatal("DeltaSince(previous epoch) broke on an unbroken chain")
+	}
+	if span.NumEdges != 2 || span.SymMask != wantMask || span.NewNodes != 1 {
+		t.Fatalf("span = %+v, want 2 edges, mask %b, 1 new node", span, wantMask)
+	}
+	if _, ok := s2.DeltaSince(0); ok {
+		t.Fatal("DeltaSince(0) crossed the pre-history boundary")
+	}
+}
+
+func TestDeltaSpanFoldsEpochs(t *testing.T) {
+	g := graph.New(nil)
+	g.AddEdgeByName("A", "a", "B")
+	s1 := g.Snapshot()
+	labels := []string{"b", "c", "d"}
+	for _, l := range labels {
+		g.AddEdgeByName("A", l, "B")
+		g.Snapshot()
+	}
+	cur := g.Current()
+	span, ok := cur.DeltaSince(s1.Epoch())
+	if !ok {
+		t.Fatal("fold over three consecutive deltas broke")
+	}
+	if span.NumEdges != 3 || len(span.Batches) != 3 {
+		t.Fatalf("folded span has %d edges in %d batches, want 3 in 3", span.NumEdges, len(span.Batches))
+	}
+	var want uint64
+	for _, l := range labels {
+		want |= plan.SymBit(int(mustSym(t, g.Alphabet(), l)))
+	}
+	if span.SymMask != want {
+		t.Fatalf("folded SymMask = %b, want %b", span.SymMask, want)
+	}
+	// A node-only publication still chains (no hole in the epoch
+	// sequence), contributing zero edges and one new node.
+	g.AddNode("Z")
+	s5 := g.Snapshot()
+	span, ok = s5.DeltaSince(cur.Epoch())
+	if !ok || span.NumEdges != 0 || span.NewNodes != 1 {
+		t.Fatalf("node-only span = %+v ok=%v, want 0 edges, 1 new node", span, ok)
+	}
+}
+
+func TestDeltaChainFence(t *testing.T) {
+	g := graph.New(nil)
+	g.AddEdgeByName("A", "x", "B")
+	first := g.Snapshot()
+	var mid *graph.Snapshot
+	for i := 0; i < 80; i++ {
+		g.AddEdgeByName("A", "x", "B")
+		s := g.Snapshot()
+		if i == 70 {
+			mid = s
+		}
+	}
+	cur := g.Current()
+	if _, ok := cur.DeltaSince(first.Epoch()); ok {
+		t.Fatal("span across the chain fence resolved; memory would be unbounded")
+	}
+	if span, ok := cur.DeltaSince(mid.Epoch()); !ok || span.NumEdges != 9 {
+		t.Fatalf("recent span = %+v ok=%v, want 9 edges", span, ok)
+	}
+}
+
+// mustSym interns nothing: the label must already exist.
+func mustSym(t *testing.T, alpha *alphabet.Alphabet, label string) alphabet.Symbol {
+	t.Helper()
+	sym, ok := alpha.Lookup(label)
+	if !ok {
+		t.Fatalf("label %q not interned", label)
+	}
+	return sym
+}
+
+// TestRegrowMatchesFromScratch is the soundness property of incremental
+// maintenance: fold a random delta span into the cached fixpoint of an
+// older epoch and the masks — and the selected nodes — must equal a
+// from-scratch evaluation on the new snapshot, for both the monadic
+// (backward) and anchored-binary (forward) evaluators.
+func TestRegrowMatchesFromScratch(t *testing.T) {
+	rng := rand.New(rand.NewSource(404))
+	alpha := alphabet.NewSorted("a", "b", "c")
+	ctx := context.Background()
+	for iter := 0; iter < 120; iter++ {
+		nodes := 2 + rng.Intn(10)
+		g := randomGraph(rng, alpha, nodes, rng.Intn(3*nodes))
+		p := plan.FromDFA(randomDFA(rng, alpha.Size()))
+		if p.Layout != plan.LayoutMasked || p.Empty() {
+			continue
+		}
+		s1 := g.Snapshot()
+		oldNodes, oldMasks, err := s1.SelectMonadicMaskedState(ctx, p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		u := graph.NodeID(rng.Intn(nodes))
+		oldPairs, oldPairMasks, err := s1.SelectBinaryFromMaskedState(ctx, p, u)
+		if err != nil {
+			t.Fatal(err)
+		}
+
+		// Mutate: a few random edges, sometimes through brand-new nodes.
+		grown := nodes
+		for i := rng.Intn(3); i > 0; i-- {
+			g.AddNode(string(rune('α' + iter*4 + i)))
+			grown++
+		}
+		for i := 0; i < 1+rng.Intn(5); i++ {
+			f := graph.NodeID(rng.Intn(grown))
+			to := graph.NodeID(rng.Intn(grown))
+			g.AddEdge(f, alphabet.Symbol(rng.Intn(alpha.Size())), to)
+		}
+		s2 := g.Snapshot()
+		span, ok := s2.DeltaSince(s1.Epoch())
+		if !ok {
+			t.Fatalf("iter %d: single-step span broke", iter)
+		}
+
+		nv := s2.NumNodes()
+		masks := make([]uint64, nv)
+		copy(masks, oldMasks)
+		// New nodes start at the trivial backward fixpoint; under ε they
+		// are selected without traversal (the engine's "extra" nodes).
+		var extra []graph.NodeID
+		for v := len(oldMasks); v < nv; v++ {
+			masks[v] = p.FinalMask
+			if p.AcceptsEpsilon() {
+				extra = append(extra, graph.NodeID(v))
+			}
+		}
+		newly, _, ok := s2.RegrowMonadicMasked(p, masks, &span, 1<<30)
+		if !ok {
+			t.Fatalf("iter %d: monadic regrow exceeded an unbounded budget", iter)
+		}
+		wantNodes, wantMasks, err := s2.SelectMonadicMaskedState(ctx, p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for v := range wantMasks {
+			if masks[v] != wantMasks[v] {
+				t.Fatalf("iter %d: monadic mask[%d] = %b, from-scratch %b", iter, v, masks[v], wantMasks[v])
+			}
+		}
+		checkMerged(t, iter, "monadic", append(append([]graph.NodeID(nil), oldNodes...), extra...), newly, wantNodes)
+
+		pairMasks := make([]uint64, nv)
+		copy(pairMasks, oldPairMasks)
+		newly, _, ok = s2.RegrowBinaryFromMasked(p, pairMasks, &span, 1<<30)
+		if !ok {
+			t.Fatalf("iter %d: binary regrow exceeded an unbounded budget", iter)
+		}
+		wantPairs, wantPairMasks, err := s2.SelectBinaryFromMaskedState(ctx, p, u)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for v := range wantPairMasks {
+			if pairMasks[v] != wantPairMasks[v] {
+				t.Fatalf("iter %d: binary mask[%d] = %b, from-scratch %b", iter, v, pairMasks[v], wantPairMasks[v])
+			}
+		}
+		checkMerged(t, iter, "binary", oldPairs, newly, wantPairs)
+	}
+}
+
+// checkMerged verifies old ∪ newly == want as sorted sets.
+func checkMerged(t *testing.T, iter int, kind string, old, newly, want []graph.NodeID) {
+	t.Helper()
+	seen := make(map[graph.NodeID]bool, len(old)+len(newly))
+	for _, v := range old {
+		seen[v] = true
+	}
+	for _, v := range newly {
+		if seen[v] {
+			t.Fatalf("iter %d %s: regrow re-reported already-selected node %d", iter, kind, v)
+		}
+		seen[v] = true
+	}
+	if len(seen) != len(want) {
+		t.Fatalf("iter %d %s: merged %d nodes, from-scratch %d", iter, kind, len(seen), len(want))
+	}
+	for _, v := range want {
+		if !seen[v] {
+			t.Fatalf("iter %d %s: from-scratch selects %d, merged set misses it", iter, kind, v)
+		}
+	}
+}

@@ -54,6 +54,13 @@ type Graph struct {
 	in        [][]Edge
 	numEdges  int
 
+	// Build-side epoch-delta accumulator (delta.go): the edges added
+	// since the last publication and their hashed symbol mask, frozen
+	// into an immutable Delta at the next publish.
+	deltaEdges    []DeltaEdge
+	deltaSyms     uint64
+	deltaOverflow bool
+
 	dirty     atomic.Bool // build side differs from the published snapshot
 	publishMu sync.Mutex
 	cur       atomic.Pointer[Snapshot]
@@ -123,6 +130,7 @@ func (g *Graph) AddEdge(from NodeID, sym alphabet.Symbol, to NodeID) {
 	g.out[from] = append(g.out[from], Edge{sym, to})
 	g.in[to] = append(g.in[to], Edge{sym, from})
 	g.numEdges++
+	g.recordDeltaEdge(from, sym, to)
 	g.dirty.Store(true)
 }
 

@@ -116,6 +116,16 @@ type Plan struct {
 	PredMask      []uint64
 	FinalPredMask []uint64
 
+	// AlphaMask is the 64-bit hashed alphabet of the plan: SymBit(sym)
+	// OR-ed over every useful transition — one on a path from Start to a
+	// final state (Reach[p] && Live[δ(p,sym)]). The engine's incremental
+	// result maintenance tests "does this epoch delta touch this plan?"
+	// with one AND against the delta's symbol mask. The hash is
+	// conservative under collision (symbols 64 apart share a bit): a
+	// false intersection only forces an unnecessary regrow or drop,
+	// never a wrong retain.
+	AlphaMask uint64
+
 	// CompileTime is how long table construction (plus canonicalization,
 	// for Compile) took — surfaced by the engine's /plans endpoint.
 	CompileTime time.Duration
@@ -159,6 +169,12 @@ func (p *Plan) Empty() bool {
 func (p *Plan) AcceptsEpsilon() bool {
 	return p.NumStates > 0 && p.Final[p.Start]
 }
+
+// SymBit hashes a symbol index into a position of a 64-bit symbol mask.
+// Plans (AlphaMask) and epoch deltas (graph.Delta.SymMask) must hash with
+// the same function for the disjointness AND to be sound; this is the one
+// definition both use.
+func SymBit(sym int) uint64 { return 1 << (uint(sym) & 63) }
 
 func build(d *automata.DFA) *Plan {
 	nq, nsym := d.NumStates(), d.NumSyms
@@ -253,6 +269,20 @@ func build(d *automata.DFA) *Plan {
 			if t := p.Delta[int(q)*nsym+sym]; t != None && !p.Reach[t] {
 				p.Reach[t] = true
 				stack = append(stack, t)
+			}
+		}
+	}
+
+	// Hashed useful alphabet: transitions outside Reach×Live cannot lie
+	// on an accepting run, so their symbols do not make a graph delta
+	// relevant to this plan.
+	for q := 0; q < nq; q++ {
+		if !p.Reach[q] {
+			continue
+		}
+		for sym := 0; sym < nsym; sym++ {
+			if t := p.Delta[q*nsym+sym]; t != None && p.Live[t] {
+				p.AlphaMask |= SymBit(sym)
 			}
 		}
 	}

@@ -193,3 +193,49 @@ func TestEpsilonAndEmpty(t *testing.T) {
 		t.Fatal("negative compile time")
 	}
 }
+
+// TestAlphaMask verifies the plan's alphabet bitmask against direct
+// recomputation: SymBit(sym) is set iff some transition on sym leaves a
+// reachable state for a live target — exactly the transitions an
+// accepting run can take, so the engine's delta-disjointness test
+// (delta.SymMask & AlphaMask == 0) never falsely retains a cached
+// result. Symbols ≥ 64 hash into the 64-bit mask; collisions are safe
+// (conservative) by construction, which random DFAs exercise only below
+// the fold, so the hash itself is pinned separately.
+func TestAlphaMask(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for i := 0; i < 200; i++ {
+		nq := 1 + rng.Intn(8)
+		nsym := 1 + rng.Intn(5)
+		d := automata.RandomNonEmptyDFA(rng, nq, nsym, 0.2+0.6*rng.Float64())
+		p := FromDFA(d)
+		var want uint64
+		for q := 0; q < d.NumStates(); q++ {
+			if !p.Reach[q] {
+				continue
+			}
+			for sym := 0; sym < d.NumSyms; sym++ {
+				if tgt := d.Delta[q][sym]; tgt != automata.None && p.Live[tgt] {
+					want |= SymBit(sym)
+				}
+			}
+		}
+		if p.AlphaMask != want {
+			t.Fatalf("iter %d: AlphaMask = %b, recomputed %b", i, p.AlphaMask, want)
+		}
+	}
+	if SymBit(0) != 1 || SymBit(63) != 1<<63 || SymBit(64) != 1 || SymBit(65) != 2 {
+		t.Fatal("SymBit must fold symbol indices mod 64")
+	}
+	// A dead transition (target cannot reach a final state) must not
+	// contribute: a·b accepted, c goes to a sink.
+	d := automata.NewDFA(4, 3)
+	d.Final[2] = true
+	d.Delta[0][0] = 1
+	d.Delta[1][1] = 2
+	d.Delta[0][2] = 3 // sink
+	p := FromDFA(d)
+	if want := SymBit(0) | SymBit(1); p.AlphaMask != want {
+		t.Fatalf("chain AlphaMask = %b, want %b (dead sink transition excluded)", p.AlphaMask, want)
+	}
+}

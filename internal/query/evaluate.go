@@ -11,6 +11,7 @@ import (
 	"fmt"
 
 	"pathquery/internal/graph"
+	"pathquery/internal/plan"
 )
 
 // Semantics selects the result shape of one evaluation.
@@ -186,6 +187,40 @@ func (q *Query) EvaluateReq(ctx context.Context, s *graph.Snapshot, req Req) (An
 		return Answer{}, fmt.Errorf("query: unknown semantics %v", req.Semantics)
 	}
 	return ans, nil
+}
+
+// EvaluateReqState is EvaluateReq additionally returning the product
+// fixpoint the evaluation computed — the per-node state masks the
+// engine's result cache keeps so a later epoch can regrow the answer
+// from a graph delta instead of recomputing (graph.RegrowMonadicMasked /
+// RegrowBinaryFromMasked). Masks are returned only for the maintainable
+// combinations: nodes and anchored pairsFrom semantics under a non-empty
+// masked-layout plan. For every other combination masks is nil and the
+// answer is exactly EvaluateReq's — callers treat nil masks as "drop the
+// cached entry when a delta overlaps the plan's alphabet".
+func (q *Query) EvaluateReqState(ctx context.Context, s *graph.Snapshot, req Req) (Answer, []uint64, error) {
+	p := q.Plan()
+	if p.Layout == plan.LayoutMasked && !p.Empty() {
+		switch req.Semantics {
+		case SemanticsNodes:
+			nodes, masks, err := s.SelectMonadicMaskedState(ctx, p)
+			if err != nil {
+				return Answer{}, nil, err
+			}
+			return Answer{Semantics: req.Semantics, Count: len(nodes), Nodes: nodes}, masks, nil
+		case SemanticsPairsFrom:
+			if !req.HasFrom {
+				return Answer{}, nil, fmt.Errorf("query: pairsFrom semantics requires a from node")
+			}
+			nodes, masks, err := s.SelectBinaryFromMaskedState(ctx, p, req.From)
+			if err != nil {
+				return Answer{}, nil, err
+			}
+			return Answer{Semantics: req.Semantics, Count: len(nodes), Nodes: nodes}, masks, nil
+		}
+	}
+	ans, err := q.EvaluateReq(ctx, s, req)
+	return ans, nil, err
 }
 
 // witnessPaths reconstructs one witness per node of set (up to limit;

@@ -374,6 +374,11 @@ func (s *Server) handleList(w http.ResponseWriter, r *http.Request) {
 		// Admission rejection counters, by reason.
 		Overloaded  uint64 `json:"overloaded"`
 		RateLimited uint64 `json:"rate_limited"`
+		// Result-cache maintenance outcomes across publishes: entries
+		// retained untouched, incrementally regrown, and dropped.
+		ResultRetained uint64 `json:"result_retained"`
+		ResultRegrown  uint64 `json:"result_regrown"`
+		ResultDropped  uint64 `json:"result_dropped"`
 	}
 	rows := make([]row, 0, len(names))
 	for _, name := range names {
@@ -392,6 +397,8 @@ func (s *Server) handleList(w http.ResponseWriter, r *http.Request) {
 			rw.Recovered = true
 			st := t.eng.Stats()
 			rw.Epoch, rw.Nodes, rw.Edges = st.Epoch, st.Nodes, st.Edges
+			rw.ResultRetained, rw.ResultRegrown, rw.ResultDropped =
+				st.ResultRetained, st.ResultRegrown, st.ResultDropped
 		}
 		rows = append(rows, rw)
 	}

@@ -115,7 +115,9 @@ type (
 	Engine = engine.Engine
 	// EngineOptions tunes an Engine.
 	EngineOptions = engine.Options
-	// EngineStats is a point-in-time counter snapshot of an Engine.
+	// EngineStats is a point-in-time counter snapshot of an Engine,
+	// including the publish-time result-cache maintenance breakdown
+	// (entries retained, incrementally regrown, and dropped).
 	EngineStats = engine.Stats
 	// EdgeSpec names one edge for Engine.Mutate.
 	EdgeSpec = engine.EdgeSpec
