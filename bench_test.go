@@ -446,6 +446,7 @@ func BenchmarkEngineMaintain(b *testing.B) {
 		if _, err := e.Mutate([]engine.EdgeSpec{{From: "mx0", Label: "zz", To: "mx1"}}); err != nil {
 			b.Fatal(err)
 		}
+		e.FlushMaintenance() // maintenance is async; wait for the retain
 		res, err := e.Select(src)
 		if err != nil {
 			b.Fatal(err)
@@ -486,6 +487,7 @@ func BenchmarkEngineMaintain(b *testing.B) {
 			}}); err != nil {
 				b.Fatal(err)
 			}
+			e.FlushMaintenance() // include the async regrow in the round trip
 			res, err := e.Select(src)
 			if err != nil {
 				b.Fatal(err)
@@ -568,8 +570,13 @@ func BenchmarkEngineMaintain(b *testing.B) {
 			stop := make(chan struct{})
 			var wg sync.WaitGroup
 			wg.Add(1)
-			go func() { // write lane: publish as fast as the rebuild allows
+			go func() { // write lane: one publish per millisecond
 				defer wg.Done()
+				// The lane is paced explicitly: before incremental
+				// publishing the ~4ms from-scratch rebuild throttled it
+				// implicitly, and an unthrottled µs-scale publisher would
+				// turn this into a publish-saturation benchmark instead of
+				// the readers-vs-periodic-publishes regime it measures.
 				labels := []string{"zz", "l01"} // disjoint and overlapping publishes
 				for j := 0; ; j++ {
 					select {
@@ -584,6 +591,7 @@ func BenchmarkEngineMaintain(b *testing.B) {
 					}}); err != nil {
 						panic(err)
 					}
+					time.Sleep(time.Millisecond)
 				}
 			}()
 			const readers = 16
@@ -619,6 +627,7 @@ func BenchmarkEngineMaintain(b *testing.B) {
 		wall := 300 * time.Millisecond * time.Duration(b.N)
 		b.ReportMetric(float64(selects)/wall.Seconds(), "req/s")
 		b.ReportMetric(100*float64(cached)/float64(selects), "cached-%")
+		e.FlushMaintenance()
 		st := e.Stats()
 		b.ReportMetric(float64(st.ResultRetained), "retained")
 		b.ReportMetric(float64(st.ResultRegrown), "regrown")
@@ -653,6 +662,57 @@ func BenchmarkWALAppend(b *testing.B) {
 	fsync := st.FsyncLatency()
 	b.ReportMetric(float64(fsync.Quantile(0.99).Nanoseconds()), "fsync-p99-ns")
 	b.ReportMetric(float64(fsync.Mean().Nanoseconds()), "fsync-mean-ns")
+}
+
+// BenchmarkWALGroupCommit measures sustained durable mutation throughput
+// with 8 concurrent writer lanes group-committing into one on-disk WAL.
+// BenchmarkWALAppend above is the per-mutation-fsync baseline (one lane,
+// one fsync each); the acceptance criterion is ≥5× its mutation rate —
+// ns/op here is per mutation, so the ratio reads directly off the two
+// benchmarks. muts-per-fsync reports the mean coalescing factor.
+func BenchmarkWALGroupCommit(b *testing.B) {
+	dir := b.TempDir()
+	st, err := store.Open(dir, store.Options{CheckpointEvery: -1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer st.Close()
+	e := engine.New(st.Graph(), engine.Options{Log: st})
+	defer e.Close()
+	const writers = 8
+	b.ResetTimer()
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := next.Add(1)
+				if i > int64(b.N) {
+					return
+				}
+				if _, err := e.Mutate([]engine.EdgeSpec{{
+					From:  fmt.Sprintf("n%d", i),
+					Label: "w",
+					To:    fmt.Sprintf("n%d", i+1),
+				}}); err != nil {
+					panic(err)
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	b.StopTimer()
+	es := e.Stats()
+	if es.WalBatches > 0 {
+		b.ReportMetric(float64(es.WalBatchedMutations)/float64(es.WalBatches), "muts-per-fsync")
+	}
+	fsync := st.FsyncLatency()
+	b.ReportMetric(float64(fsync.Quantile(0.99).Nanoseconds()), "fsync-p99-ns")
+	build, _, _ := e.PublishLatency()
+	b.ReportMetric(float64(build.Quantile(0.50).Nanoseconds()), "publish-build-p50-ns")
+	b.ReportMetric(float64(build.Quantile(0.99).Nanoseconds()), "publish-build-p99-ns")
 }
 
 // BenchmarkEvaluateWitness measures the witness accumulator of the

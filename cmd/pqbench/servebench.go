@@ -32,8 +32,8 @@ func runServeBench() error {
 	if *serveBaseline {
 		mode = "prune-everything baseline"
 	}
-	section(fmt.Sprintf("Serving benchmark — %d nodes, %d clients, %v, mutate every %d requests, rate %.2g (%s)",
-		*serveSyn, *serveClients, *serveDuration, *serveMutateEvery, *serveMutateRate, mode))
+	section(fmt.Sprintf("Serving benchmark — %d nodes, %d clients, %d writer lanes, %v, mutate every %d requests, rate %.2g (%s)",
+		*serveSyn, *serveClients, *serveWriters, *serveDuration, *serveMutateEvery, *serveMutateRate, mode))
 	for _, q := range queries {
 		fmt.Printf("query: %s\n", q)
 	}
@@ -45,6 +45,7 @@ func runServeBench() error {
 		MutateEvery: *serveMutateEvery,
 		MutateRate:  *serveMutateRate,
 		BatchSize:   *serveBatch,
+		Writers:     *serveWriters,
 		Seed:        *seed,
 	})
 	if err != nil {

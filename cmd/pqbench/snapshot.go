@@ -15,8 +15,9 @@ import (
 // Benchmark snapshots: run the repository's go-benchmarks and persist the
 // parsed results as BENCH_<date>.json so the perf trajectory is tracked
 // in-tree, PR over PR. The snapshot runs `go test -bench` as a subprocess
-// (benchmarks live in the root package's test binary), so it must be
-// invoked from inside the module.
+// (benchmarks live in the root package's test binary, plus the graph
+// package's publish benchmarks), so it must be invoked from inside the
+// module.
 
 // Snapshot is the BENCH_<date>.json document.
 type Snapshot struct {
@@ -44,7 +45,8 @@ var benchLine = regexp.MustCompile(`^(Benchmark\S+?)(?:-\d+)?\s+(\d+)\s+(.+)$`)
 
 func runSnapshot() error {
 	args := []string{"test", "-run", "^$", "-bench", *snapshotBench,
-		"-benchmem", "-count", strconv.Itoa(*snapshotCount), "pathquery"}
+		"-benchmem", "-count", strconv.Itoa(*snapshotCount),
+		"pathquery", "pathquery/internal/graph"}
 	cmd := exec.Command("go", args...)
 	cmd.Stderr = os.Stderr
 	out, err := cmd.Output()

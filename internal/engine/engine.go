@@ -94,18 +94,48 @@ type Engine struct {
 
 	// evalHist[s] is the end-to-end Evaluate latency under semantics s
 	// (per batch member in EvaluateBatch); mutateHist is the Mutate
-	// latency including the WAL append and epoch publication. The
-	// deprecated Select path is deliberately not timed: it is the
-	// cached-hit nanosecond benchmark, and two time.Now calls would be
-	// a measurable fraction of it.
+	// latency including the group-commit queue wait, WAL append, and
+	// epoch publication. The deprecated Select path is deliberately not
+	// timed: it is the cached-hit nanosecond benchmark, and two time.Now
+	// calls would be a measurable fraction of it.
 	evalHist   [query.NumSemantics]telemetry.Histogram
 	mutateHist telemetry.Histogram
+	// Per-stage publish latency: building the new epoch's adjacency,
+	// the WAL append+fsync, and the snapshot swap. walBatchHist is the
+	// distribution of mutations coalesced per WAL batch.
+	publishBuildHist telemetry.Histogram
+	publishFsyncHist telemetry.Histogram
+	publishSwapHist  telemetry.Histogram
+	walBatchHist     telemetry.ValueHistogram
+	walBatches       atomic.Uint64
+	walBatchedMuts   atomic.Uint64
+
+	// Group commit (combining lock): concurrent Mutate callers enqueue
+	// on commitQ under commitMu; the first to find no committer in
+	// flight becomes the leader and drains the queue in byte-capped
+	// batches — one WAL append (one fsync), one applied delta, one
+	// published epoch per batch — fanning results back to the waiters.
+	commitMu   sync.Mutex
+	commitCond *sync.Cond
+	commitQ    []*pendingMutation
+	committing bool
+
 	// regrowHist is the per-entry incremental regrow latency; maintMu
-	// serializes publish-time cache maintenance (maintain.go) so two
-	// racing publications never interleave their classification passes.
+	// serializes cache maintenance passes (maintain.go); maint is the
+	// async maintainer's mailbox — publications enqueue their snapshot
+	// there and return without waiting for classification.
 	regrowHist   telemetry.Histogram
 	maintMu      sync.Mutex
+	maint        maintState
 	regrowBudget int
+}
+
+// pendingMutation is one Mutate call waiting in the group-commit queue.
+type pendingMutation struct {
+	edges []EdgeSpec
+	res   MutationResult
+	err   error
+	done  bool
 }
 
 // New wraps g in a serving engine and publishes its first epoch. The
@@ -125,7 +155,13 @@ func New(g *graph.Graph, opt Options) *Engine {
 		results:      newResultCache(opt.ResultCacheCap),
 		regrowBudget: opt.RegrowBudget,
 	}
-	g.Snapshot()
+	e.commitCond = sync.NewCond(&e.commitMu)
+	snap := g.Snapshot()
+	e.maint.workCond = sync.NewCond(&e.maint.mu)
+	e.maint.doneCond = sync.NewCond(&e.maint.mu)
+	e.maint.doneEpoch = snap.Epoch()
+	e.maint.exited = make(chan struct{})
+	go e.maintainLoop()
 	return e
 }
 
@@ -248,12 +284,19 @@ type MutationResult struct {
 	Nodes, Edges int
 }
 
+// maxCommitBatchBytes caps how much one group-commit batch carries (by
+// estimated WAL record payload); the batch's first mutation is always
+// included, so an oversized single mutation still commits alone.
+const maxCommitBatchBytes = 4 << 20
+
 // Mutate adds the given edges (creating nodes and interning labels as
 // needed) and publishes a new epoch serving them. Mutations from any
 // number of goroutines are serialized; in-flight readers keep their
-// pinned epochs. On a durable engine (Options.Log) the edges are
-// appended to the write-ahead log and fsynced before they are applied:
-// a log failure aborts the mutation — graph untouched, epoch unchanged
+// pinned epochs. Concurrent callers group-commit: one leader drains the
+// queue in byte-capped batches, writing each batch as a single WAL
+// record (one fsync on a durable engine), applying it as one delta, and
+// publishing one epoch that every batched caller's result reports. A
+// log failure aborts the whole batch — graph untouched, epoch unchanged
 // — with a 503 durability_error. An empty edge list is a no-op.
 func (e *Engine) Mutate(edges []EdgeSpec) (MutationResult, error) {
 	if len(edges) == 0 {
@@ -262,39 +305,160 @@ func (e *Engine) Mutate(edges []EdgeSpec) (MutationResult, error) {
 	}
 	start := time.Now()
 	defer func() { e.mutateHist.Observe(time.Since(start)) }()
-	snap, err := e.publish(func() error {
-		if e.log != nil {
-			// Every AddEdge dirties the build side, so a nonempty mutation
-			// publishes exactly the next epoch — the number logged here.
-			if err := e.log.Append(e.g.Epoch()+1, edges); err != nil {
-				return &APIError{
-					Code:    "durability_error",
-					Status:  http.StatusServiceUnavailable,
-					Message: fmt.Sprintf("mutation not applied: %v", err),
-				}
+	pm := &pendingMutation{edges: edges}
+	e.commitMu.Lock()
+	e.commitQ = append(e.commitQ, pm)
+	for !pm.done {
+		if e.committing {
+			// A leader is draining the queue; it will commit pm (and
+			// broadcast) or exit, whichever comes first.
+			e.commitCond.Wait()
+			continue
+		}
+		e.committing = true
+		e.commitMu.Unlock()
+		e.commitBatches()
+		e.commitMu.Lock()
+		e.committing = false
+		e.commitCond.Broadcast()
+	}
+	e.commitMu.Unlock()
+	return pm.res, pm.err
+}
+
+// nextBatch dequeues the next group-commit batch: a maximal prefix of
+// the queue within maxCommitBatchBytes (first entry always included).
+func (e *Engine) nextBatch() []*pendingMutation {
+	e.commitMu.Lock()
+	defer e.commitMu.Unlock()
+	if len(e.commitQ) == 0 {
+		return nil
+	}
+	n, size := 0, 0
+	for n < len(e.commitQ) {
+		sz := 0
+		for _, ed := range e.commitQ[n].edges {
+			sz += len(ed.From) + len(ed.Label) + len(ed.To) + 12
+		}
+		if n > 0 && size+sz > maxCommitBatchBytes {
+			break
+		}
+		size += sz
+		n++
+	}
+	batch := make([]*pendingMutation, n)
+	copy(batch, e.commitQ)
+	rest := copy(e.commitQ, e.commitQ[n:])
+	for i := rest; i < len(e.commitQ); i++ {
+		e.commitQ[i] = nil // release for GC
+	}
+	e.commitQ = e.commitQ[:rest]
+	return batch
+}
+
+// commitGatherWindow is how long the leader pauses between consecutive
+// durable batches before picking up the next one: the writers woken by
+// the previous fan-out are re-enqueueing at that very moment, and the
+// window lets them join the imminent batch instead of the one after it —
+// roughly doubling coalescing under writer saturation for a cost that is
+// noise next to the fsync the batch is about to pay. A parked sleep, not
+// a Gosched loop: yielding on a single-P runtime donates whole scheduler
+// slices to unrelated spinning goroutines, while a timer wakes the
+// leader regardless of what else is runnable.
+const commitGatherWindow = 50 * time.Microsecond
+
+// commitBatches drains the group-commit queue; only the leader runs it.
+// The first batch is taken immediately: an uncontended Mutate must not
+// pay any gather window.
+func (e *Engine) commitBatches() {
+	for first := true; ; first = false {
+		if !first && e.log != nil {
+			time.Sleep(commitGatherWindow)
+		}
+		batch := e.nextBatch()
+		if batch == nil {
+			return
+		}
+		e.commitBatch(batch)
+	}
+}
+
+// commitBatch commits one batch: one WAL append covering every queued
+// mutation, one build-side application, one published epoch, results
+// fanned back to the waiters. On append failure the whole batch errors
+// with the graph untouched.
+func (e *Engine) commitBatch(batch []*pendingMutation) {
+	edges := batch[0].edges
+	if len(batch) > 1 {
+		total := 0
+		for _, pm := range batch {
+			total += len(pm.edges)
+		}
+		edges = make([]EdgeSpec, 0, total)
+		for _, pm := range batch {
+			edges = append(edges, pm.edges...)
+		}
+	}
+
+	var commitErr error
+	var snap *graph.Snapshot
+	var st graph.PublishStats
+	var fsyncDur time.Duration
+	e.mu.Lock()
+	if e.log != nil {
+		// Every AddEdge dirties the build side, so a nonempty batch
+		// publishes exactly the next epoch — the number logged here.
+		fsyncStart := time.Now()
+		err := e.log.Append(e.g.Epoch()+1, edges)
+		fsyncDur = time.Since(fsyncStart)
+		if err != nil {
+			commitErr = &APIError{
+				Code:    "durability_error",
+				Status:  http.StatusServiceUnavailable,
+				Message: fmt.Sprintf("mutation not applied: %v", err),
 			}
 		}
+	}
+	if commitErr == nil {
 		for _, ed := range edges {
 			e.g.AddEdgeByName(ed.From, ed.Label, ed.To)
 		}
-		return nil
-	})
-	if err != nil {
-		return MutationResult{}, err
+		snap, st = e.g.SnapshotStats()
 	}
-	if e.log != nil {
-		e.log.Committed(snap)
+	e.mu.Unlock()
+
+	var res MutationResult
+	if commitErr == nil {
+		res = MutationResult{Epoch: snap.Epoch(), Nodes: snap.NumNodes(), Edges: snap.NumEdges()}
+		e.mutations.Add(uint64(len(batch)))
+		e.walBatches.Add(1)
+		e.walBatchedMuts.Add(uint64(len(batch)))
+		e.walBatchHist.Observe(int64(len(batch)))
+		if e.log != nil {
+			e.publishFsyncHist.Observe(fsyncDur)
+		}
+		e.publishBuildHist.Observe(st.Build)
+		e.publishSwapHist.Observe(st.Swap)
+		if e.log != nil {
+			e.log.Committed(snap)
+		}
+		e.scheduleMaintain(snap)
 	}
-	return MutationResult{Epoch: snap.Epoch(), Nodes: snap.NumNodes(), Edges: snap.NumEdges()}, nil
+	e.commitMu.Lock()
+	for _, pm := range batch {
+		pm.res, pm.err, pm.done = res, commitErr, true
+	}
+	e.commitCond.Broadcast()
+	e.commitMu.Unlock()
 }
 
-// publish is the single path every epoch publisher goes through: fn runs
-// under the write lock (the write-ahead append plus the build-side
-// mutations; an error aborts with the graph untouched), the new epoch is
-// published, and result-cache maintenance classifies every cached entry
-// against the epoch delta (maintain.go) — so no future publisher can
-// forget maintenance. Maintenance runs outside the write lock: readers
-// pin epochs via one atomic load and are never blocked behind it.
+// publish is the single path every non-batched epoch publisher goes
+// through: fn runs under the write lock (an error aborts with the graph
+// untouched), the new epoch is published, and the snapshot is handed to
+// the async maintainer (maintain.go) — so no future publisher can forget
+// maintenance. Neither readers nor the publisher wait on maintenance:
+// readers pin epochs via one atomic load, and classification happens on
+// the maintainer goroutine.
 func (e *Engine) publish(fn func() error) (*graph.Snapshot, error) {
 	e.mu.Lock()
 	if err := fn(); err != nil {
@@ -304,7 +468,7 @@ func (e *Engine) publish(fn func() error) (*graph.Snapshot, error) {
 	snap := e.g.Snapshot()
 	e.mu.Unlock()
 	e.mutations.Add(1)
-	e.maintainResults(snap)
+	e.scheduleMaintain(snap)
 	return snap, nil
 }
 
@@ -442,6 +606,13 @@ type Stats struct {
 	ResultRetained uint64 `json:"result_retained"`
 	ResultRegrown  uint64 `json:"result_regrown"`
 	ResultDropped  uint64 `json:"result_dropped"`
+
+	// Group-commit write path: batches published, mutations carried by
+	// them (batched/batches is the mean coalescing factor), and the
+	// publications not yet processed by the async cache maintainer.
+	WalBatches          uint64 `json:"wal_batches"`
+	WalBatchedMutations uint64 `json:"wal_batched_mutations"`
+	MaintainQueueDepth  uint64 `json:"maintain_queue_depth"`
 }
 
 // Plans lists every cached compiled plan — source, canonical key, state
@@ -466,7 +637,20 @@ func (e *Engine) RegisterMetrics(reg *telemetry.Registry, labels ...telemetry.La
 			"End-to-end Evaluate latency by requested semantics.", &e.evalHist[s], ls...)
 	}
 	reg.RegisterHistogram("pathquery_mutate_seconds",
-		"Mutate latency, including the WAL append and epoch publication.", &e.mutateHist, labels...)
+		"Mutate latency, including the group-commit wait, WAL append, and epoch publication.", &e.mutateHist, labels...)
+	reg.RegisterHistogram("pathquery_publish_build_seconds",
+		"Per-publication adjacency build time (incremental overlay merge or full rebuild).", &e.publishBuildHist, labels...)
+	reg.RegisterHistogram("pathquery_publish_fsync_seconds",
+		"Per-batch WAL append+fsync time (durable engines only).", &e.publishFsyncHist, labels...)
+	reg.RegisterHistogram("pathquery_publish_swap_seconds",
+		"Per-publication snapshot swap time (delta seal + pointer install).", &e.publishSwapHist, labels...)
+	reg.RegisterValueHistogram("pathquery_wal_batch_records",
+		"Mutations coalesced per group-commit batch.", &e.walBatchHist, labels...)
+	reg.CounterFunc("pathquery_wal_batches_total",
+		"Group-commit batches published.", e.walBatches.Load, labels...)
+	reg.GaugeFunc("pathquery_maintain_queue_depth",
+		"Published epochs not yet processed by the async cache maintainer.",
+		func() float64 { return float64(e.maintainLag()) }, labels...)
 	reg.CounterFunc("pathquery_engine_queries_total",
 		"Queries evaluated, batch members included.", e.queries.Load, labels...)
 	reg.CounterFunc("pathquery_engine_batches_total",
@@ -503,17 +687,28 @@ func (e *Engine) RegisterMetrics(reg *telemetry.Registry, labels ...telemetry.La
 		"Edges in the served epoch.", func() float64 { return float64(e.g.Current().NumEdges()) }, labels...)
 }
 
+// PublishLatency returns snapshots of the per-stage publish histograms
+// (adjacency build, WAL append+fsync, snapshot swap) — the same
+// distributions exported to /metrics — for benchmarks and load drivers
+// that report percentiles directly.
+func (e *Engine) PublishLatency() (build, fsync, swap telemetry.HistogramSnapshot) {
+	return e.publishBuildHist.Snapshot(), e.publishFsyncHist.Snapshot(), e.publishSwapHist.Snapshot()
+}
+
 // Stats returns current counters.
 func (e *Engine) Stats() Stats {
 	snap := e.g.Current()
 	s := Stats{
-		Epoch:     snap.Epoch(),
-		Nodes:     snap.NumNodes(),
-		Edges:     snap.NumEdges(),
-		Queries:   e.queries.Load(),
-		Batches:   e.batches.Load(),
-		Mutations: e.mutations.Load(),
-		Learns:    e.learns.Load(),
+		Epoch:               snap.Epoch(),
+		Nodes:               snap.NumNodes(),
+		Edges:               snap.NumEdges(),
+		Queries:             e.queries.Load(),
+		Batches:             e.batches.Load(),
+		Mutations:           e.mutations.Load(),
+		Learns:              e.learns.Load(),
+		WalBatches:          e.walBatches.Load(),
+		WalBatchedMutations: e.walBatchedMuts.Load(),
+		MaintainQueueDepth:  e.maintainLag(),
 	}
 	e.plans.fill(&s)
 	e.results.fill(&s)

@@ -89,6 +89,9 @@ func TestEngineMutateAdvancesEpoch(t *testing.T) {
 	if m.Epoch != before.Epoch+1 {
 		t.Fatalf("mutation published epoch %d, want %d", m.Epoch, before.Epoch+1)
 	}
+	// Maintenance is async; wait for the regrow so the next select is
+	// deterministically a hit.
+	e.FlushMaintenance()
 	after, err := e.Select("bus·cinema")
 	if err != nil {
 		t.Fatal(err)

@@ -38,6 +38,11 @@ type LoadConfig struct {
 	// BatchSize > 1 issues SelectBatch requests of that many queries
 	// instead of single Selects.
 	BatchSize int
+	// Writers adds that many dedicated mutator lanes: free-running
+	// goroutines issuing back-to-back mutations for the whole run, on
+	// top of the Clients mix — the group-commit saturation axis
+	// (`pqbench -serve-writers`).
+	Writers int
 	// Seed makes the query mix deterministic per client.
 	Seed int64
 }
@@ -71,6 +76,9 @@ type LoadReport struct {
 	// Retained, Regrown, Dropped are the engine's result-cache
 	// maintenance outcome deltas over the run.
 	Retained, Regrown, Dropped uint64
+	// Batches and BatchedMutations are the group-commit deltas over the
+	// run: BatchedMutations/Batches is the mean coalescing factor.
+	Batches, BatchedMutations uint64
 }
 
 // String renders the report as a one-stanza summary.
@@ -80,14 +88,23 @@ func (r LoadReport) String() string {
 			"throughput %.0f req/s   latency p50 %v  p90 %v  p99 %v  max %v\n"+
 			"select  p50 %v  p99 %v   mutate  p50 %v  p99 %v\n"+
 			"cached  p50 %v  p99 %v (%d)   uncached  p50 %v  p99 %v (%d)\n"+
-			"maintenance  retained %d  regrown %d  dropped %d",
+			"maintenance  retained %d  regrown %d  dropped %d\n"+
+			"group commit  batches %d  mutations carried %d  (mean %.1f/batch)",
 		r.Clients, r.Requests, r.Selects, r.Mutations, r.Duration.Round(time.Millisecond),
 		r.Throughput, r.P50, r.P90, r.P99, r.Max,
 		r.SelectLatency.Quantile(0.50), r.SelectLatency.Quantile(0.99),
 		r.MutateLatency.Quantile(0.50), r.MutateLatency.Quantile(0.99),
 		r.CachedLatency.Quantile(0.50), r.CachedLatency.Quantile(0.99), r.CachedLatency.Count(),
 		r.UncachedLatency.Quantile(0.50), r.UncachedLatency.Quantile(0.99), r.UncachedLatency.Count(),
-		r.Retained, r.Regrown, r.Dropped)
+		r.Retained, r.Regrown, r.Dropped,
+		r.Batches, r.BatchedMutations, r.meanBatch())
+}
+
+func (r LoadReport) meanBatch() float64 {
+	if r.Batches == 0 {
+		return 0
+	}
+	return float64(r.BatchedMutations) / float64(r.Batches)
 }
 
 // RunLoad drives e with a closed-loop workload and reports throughput and
@@ -125,7 +142,7 @@ func RunLoad(e *Engine, cfg LoadConfig) (LoadReport, error) {
 		selects   uint64
 		mutations uint64
 	}
-	stats := make([]clientStats, cfg.Clients)
+	stats := make([]clientStats, cfg.Clients+cfg.Writers)
 	// Latencies go into two shared lock-free histograms (one per request
 	// class) instead of per-client slices: memory is a fixed few hundred
 	// bytes regardless of how many million requests a long run completes,
@@ -194,6 +211,24 @@ func RunLoad(e *Engine, cfg LoadConfig) (LoadReport, error) {
 			}
 		}(c)
 	}
+	for w := 0; w < cfg.Writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			st := &stats[cfg.Clients+w]
+			for {
+				if time.Now().After(deadline) {
+					return
+				}
+				t0 := time.Now()
+				if _, err := e.Mutate(nextMutation()); err != nil {
+					panic(err) // the loadgen engine cannot fail durably
+				}
+				st.mutations++
+				mutateLat.Observe(time.Since(t0))
+			}
+		}(w)
+	}
 	wg.Wait()
 	wall := time.Since(start)
 
@@ -206,10 +241,13 @@ func RunLoad(e *Engine, cfg LoadConfig) (LoadReport, error) {
 	report.MutateLatency = mutateLat.Snapshot()
 	report.CachedLatency = cachedLat.Snapshot()
 	report.UncachedLatency = uncachedLat.Snapshot()
+	e.FlushMaintenance() // settle async maintenance so the counter deltas are complete
 	after := e.Stats()
 	report.Retained = after.ResultRetained - before.ResultRetained
 	report.Regrown = after.ResultRegrown - before.ResultRegrown
 	report.Dropped = after.ResultDropped - before.ResultDropped
+	report.Batches = after.WalBatches - before.WalBatches
+	report.BatchedMutations = after.WalBatchedMutations - before.WalBatchedMutations
 	all := report.SelectLatency
 	all.Merge(&report.MutateLatency)
 	report.Requests = all.Count()

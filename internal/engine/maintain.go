@@ -1,6 +1,7 @@
 package engine
 
 import (
+	"sync"
 	"time"
 
 	"pathquery/internal/graph"
@@ -33,10 +34,18 @@ import (
 //     cost would exceed the remaining budget. This is exactly the old
 //     prune behavior.
 //
-// Maintenance runs synchronously on the mutating goroutine after the
-// epoch is published, serialized by Engine.maintMu; readers are never
-// blocked (entries are immutable — retain moves a pointer, regrow
-// inserts a fresh entry).
+// Maintenance runs asynchronously: every publication hands its snapshot
+// to a background maintainer goroutine through a one-slot, max-epoch
+// coalescing mailbox (maintState), so classification and regrowth are
+// off the publish path entirely — the mutator returns as soon as the
+// epoch is swapped in. Correctness does not depend on the maintainer
+// keeping up: an entry the maintainer has not reached yet simply misses
+// at the new epoch and is computed from scratch. Coalescing is sound
+// because maintain classifies every entry against DeltaSince(entry
+// epoch → newest epoch), so maintaining only the newest pending
+// snapshot subsumes the skipped intermediates. Engine.maintMu still
+// serializes the maintainer against post-Close synchronous maintenance,
+// so two classification passes never interleave.
 
 // defaultRegrowBudget is the per-publish edge-relaxation budget when
 // Options.RegrowBudget is zero. A relaxation is a few nanoseconds, so
@@ -52,6 +61,151 @@ var closedDone = func() chan struct{} {
 	close(ch)
 	return ch
 }()
+
+// maintState is the maintainer goroutine's mailbox and progress ledger.
+// pending is a one-slot queue holding the newest unmaintained snapshot
+// (publishers overwrite it with any later epoch — see the coalescing
+// argument above); doneEpoch is the highest epoch whose maintenance has
+// completed. All fields are guarded by mu.
+type maintState struct {
+	mu       sync.Mutex
+	workCond *sync.Cond // pending set, or closed
+	doneCond *sync.Cond // doneEpoch advanced, or maintainer stopped
+	pending  *graph.Snapshot
+	// doneEpoch starts at the engine's first published epoch (which has
+	// no delta to maintain against) so FlushMaintenance on an unmutated
+	// engine returns immediately.
+	doneEpoch uint64
+	closed    bool // Close called: drain pending, then stop
+	stopped   bool // maintainer has drained and exited its loop
+	exited    chan struct{}
+}
+
+// maxMaintainLag bounds how many epochs the maintainer may trail the
+// published graph before the publisher pitches in and maintains the
+// pending snapshot on its own goroutine. Unbounded lag is correct
+// (unmaintained entries just miss) but lets a starved maintainer — on a
+// loaded single-P runtime, free-spinning readers can keep it off the
+// scheduler for tens of milliseconds — leave the whole working set
+// stale across many publishes, turning every cached hit back into a
+// product pass. The bound keeps staleness proportional to one
+// classification pass; below it the mailbox coalesces as usual.
+const maxMaintainLag = 8
+
+// scheduleMaintain hands a just-published snapshot to the maintainer.
+// After Close the maintainer is gone, so maintenance degrades to the old
+// synchronous behavior — late publishers still keep the cache coherent.
+func (e *Engine) scheduleMaintain(snap *graph.Snapshot) {
+	m := &e.maint
+	m.mu.Lock()
+	if m.closed {
+		m.mu.Unlock()
+		e.maintainResults(snap)
+		m.mu.Lock()
+		if ep := snap.Epoch(); ep > m.doneEpoch {
+			m.doneEpoch = ep
+		}
+		m.doneCond.Broadcast()
+		m.mu.Unlock()
+		return
+	}
+	if m.pending == nil || snap.Epoch() > m.pending.Epoch() {
+		m.pending = snap
+	}
+	if m.pending != nil && snap.Epoch() > m.doneEpoch+maxMaintainLag {
+		// Bounded staleness: claim the pending snapshot ourselves rather
+		// than signal a maintainer that evidently is not getting CPU.
+		p := m.pending
+		m.pending = nil
+		m.mu.Unlock()
+		e.maintainResults(p)
+		m.mu.Lock()
+		if ep := p.Epoch(); ep > m.doneEpoch {
+			m.doneEpoch = ep
+		}
+		m.doneCond.Broadcast()
+		m.mu.Unlock()
+		return
+	}
+	m.workCond.Signal()
+	m.mu.Unlock()
+}
+
+// maintainLoop is the maintainer goroutine: take the newest pending
+// snapshot, maintain against it, record progress, repeat. On Close it
+// drains the slot before exiting, so FlushMaintenance-then-Close never
+// strands work.
+func (e *Engine) maintainLoop() {
+	m := &e.maint
+	m.mu.Lock()
+	for {
+		for m.pending == nil && !m.closed {
+			m.workCond.Wait()
+		}
+		if m.pending == nil {
+			break // closed and drained
+		}
+		snap := m.pending
+		m.pending = nil
+		m.mu.Unlock()
+		e.maintainResults(snap)
+		m.mu.Lock()
+		if ep := snap.Epoch(); ep > m.doneEpoch {
+			m.doneEpoch = ep
+		}
+		m.doneCond.Broadcast()
+	}
+	m.stopped = true
+	m.doneCond.Broadcast()
+	m.mu.Unlock()
+	close(m.exited)
+}
+
+// FlushMaintenance blocks until the maintainer has processed every epoch
+// published before the call — after it returns, Stats' retained/regrown/
+// dropped counters account for all those publications. It is the
+// test-and-benchmark barrier; serving code never needs it (an
+// unmaintained entry just misses).
+func (e *Engine) FlushMaintenance() {
+	target := e.g.Current().Epoch()
+	m := &e.maint
+	m.mu.Lock()
+	for m.doneEpoch < target && !m.stopped {
+		m.doneCond.Wait()
+	}
+	m.mu.Unlock()
+}
+
+// Close stops the maintainer after it drains any pending work. Close is
+// idempotent and safe to call concurrently; it returns once the
+// maintainer has exited. The engine still serves reads and mutations
+// after Close — only maintenance reverts to running synchronously on the
+// publishing goroutine.
+func (e *Engine) Close() {
+	m := &e.maint
+	m.mu.Lock()
+	if !m.closed {
+		m.closed = true
+		m.workCond.Signal()
+	}
+	m.mu.Unlock()
+	<-m.exited
+}
+
+// maintainLag is the maintain_queue_depth gauge: how many published
+// epochs the maintainer has not yet processed. Zero when idle; under a
+// saturating writer it hovers near the coalescing depth.
+func (e *Engine) maintainLag() uint64 {
+	cur := e.g.Current().Epoch()
+	m := &e.maint
+	m.mu.Lock()
+	done := m.doneEpoch
+	m.mu.Unlock()
+	if cur > done {
+		return cur - done
+	}
+	return 0
+}
 
 // maintainResults classifies the result cache against the just-published
 // snapshot. A negative budget disables maintenance entirely — the

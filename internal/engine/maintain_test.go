@@ -93,6 +93,10 @@ func TestMaintainIncrementalMatchesFromScratch(t *testing.T) {
 				if _, err := e.Mutate(edges); err != nil {
 					t.Fatal(err)
 				}
+				// Force the async maintainer to classify this publish so
+				// the retain/regrow paths (not just cache misses) are what
+				// the equality assertions below exercise.
+				e.FlushMaintenance()
 				continue
 			}
 			qi := rng.Intn(len(maintainQueries))
@@ -191,6 +195,10 @@ func TestMaintainConcurrentStress(t *testing.T) {
 					errs <- err
 					return
 				}
+				// Pace the writer to maintenance completion: without this
+				// the (now-async) publishes coalesce into one terminal
+				// classification pass and readers never race a re-key.
+				e.FlushMaintenance()
 			}
 		}(int64(m))
 	}
@@ -199,6 +207,7 @@ func TestMaintainConcurrentStress(t *testing.T) {
 	for err := range errs {
 		t.Fatal(err)
 	}
+	e.FlushMaintenance()
 	st := e.Stats()
 	if st.ResultRetained+st.ResultRegrown == 0 {
 		t.Fatalf("stress run never retained or regrew: %+v", st)

@@ -94,8 +94,9 @@ func (s *Snapshot) witnessPath(ctx context.Context, p *plan.Plan, start NodeID, 
 		v := NodeID(idx / uint64(nq))
 		q := int32(idx % uint64(nq))
 		base := int(q) * p.NumSyms
-		for si := co.segStart[v]; si < co.segStart[v+1]; si++ {
-			sym := int(co.segSym[si])
+		rs := co.segs(v)
+		for si := range rs.syms {
+			sym := int(rs.syms[si])
 			if sym >= p.NumSyms {
 				continue
 			}
@@ -104,7 +105,7 @@ func (s *Snapshot) witnessPath(ctx context.Context, p *plan.Plan, start NodeID, 
 				continue
 			}
 			tb := int(t)
-			for _, e := range co.edges[co.segOff[si]:co.segOff[si+1]] {
+			for _, e := range rs.edges[rs.offs[si]:rs.offs[si+1]] {
 				nidx := uint64(int(e.To)*nq + tb)
 				if !sc.bits.TrySet(int(nidx)) {
 					continue
@@ -196,8 +197,9 @@ func (s *Snapshot) CountPlanCtx(ctx context.Context, p *plan.Plan, maxLen int) (
 		for _, idx := range cur {
 			v := NodeID(idx / uint64(nq))
 			q := int(idx % uint64(nq))
-			for si := ci.segStart[v]; si < ci.segStart[v+1]; si++ {
-				sym := int(ci.segSym[si])
+			rs := ci.segs(v)
+			for si := range rs.syms {
+				sym := int(rs.syms[si])
 				if sym >= p.NumSyms {
 					continue
 				}
@@ -206,7 +208,7 @@ func (s *Snapshot) CountPlanCtx(ctx context.Context, p *plan.Plan, maxLen int) (
 				if len(preds) == 0 {
 					continue
 				}
-				tails := ci.edges[ci.segOff[si]:ci.segOff[si+1]]
+				tails := rs.edges[rs.offs[si]:rs.offs[si+1]]
 				for _, pr := range preds {
 					if !p.Reach[pr] {
 						continue

@@ -2,6 +2,7 @@ package graph
 
 import (
 	"sort"
+	"time"
 
 	"pathquery/internal/alphabet"
 	"pathquery/internal/bitset"
@@ -58,6 +59,14 @@ func buildCSR(adj [][]Edge) csr {
 		})
 	}
 	c.rowStart[nv] = int32(len(c.edges))
+	c.buildSegs()
+	return c
+}
+
+// buildSegs derives the segment tables from the grouped, sorted edge
+// array; rows must already be in place behind rowStart.
+func (c *csr) buildSegs() {
+	nv := len(c.rowStart) - 1
 	for v := 0; v < nv; v++ {
 		c.segStart[v] = int32(len(c.segSym))
 		lo, hi := c.rowStart[v], c.rowStart[v+1]
@@ -72,7 +81,6 @@ func buildCSR(adj [][]Edge) csr {
 	}
 	c.segStart[nv] = int32(len(c.segSym))
 	c.segOff = append(c.segOff, int32(len(c.edges)))
-	return c
 }
 
 // row returns node v's edges, sorted by (symbol, neighbor).
@@ -112,8 +120,8 @@ type Snapshot struct {
 	ne    int
 	nsym  int
 	names []string // immutable prefix of the name table at publish time
-	out   csr
-	in    csr
+	out   adj
+	in    adj
 	delta *Delta // what this publication added; nil at chain starts (delta.go)
 	// inSymCount[sym] is the number of edges labeled sym (counted on the
 	// in-side CSR): the direction-optimizing evaluators estimate the cost
@@ -122,14 +130,10 @@ type Snapshot struct {
 }
 
 // OutDegree returns the number of out-edges of v in this epoch.
-func (s *Snapshot) OutDegree(v NodeID) int {
-	return int(s.out.rowStart[v+1] - s.out.rowStart[v])
-}
+func (s *Snapshot) OutDegree(v NodeID) int { return s.out.degree(v) }
 
 // InDegree returns the number of in-edges of v in this epoch.
-func (s *Snapshot) InDegree(v NodeID) int {
-	return int(s.in.rowStart[v+1] - s.in.rowStart[v])
-}
+func (s *Snapshot) InDegree(v NodeID) int { return s.in.degree(v) }
 
 // Epoch returns the snapshot's epoch number. Epochs start at 1 and
 // increase by 1 per publication.
@@ -167,6 +171,33 @@ func (g *Graph) Freeze() { g.reader() }
 // operation: it must not run concurrently with other mutations.
 func (g *Graph) Snapshot() *Snapshot { return g.reader() }
 
+// PublishStats describes how a publication was performed, for the write
+// path's per-stage observability.
+type PublishStats struct {
+	// Incremental reports the overlay path was taken (vs a from-scratch
+	// buildCSR rebuild: first epoch or delta-accumulator overflow).
+	Incremental bool
+	// Compacted reports the publication folded the overlay into a fresh
+	// base CSR.
+	Compacted bool
+	// OverlayEdges is the total overlay size (both directions) after the
+	// publication; 0 when compacted.
+	OverlayEdges int
+	// Build is the time spent constructing the new epoch's adjacency
+	// (overlay merge or full rebuild); Swap the time sealing the delta
+	// chain and installing the snapshot pointer.
+	Build, Swap time.Duration
+}
+
+// SnapshotStats is Snapshot returning how the publication was performed;
+// a clean build side returns the current epoch with zero stats.
+func (g *Graph) SnapshotStats() (*Snapshot, PublishStats) {
+	if s := g.cur.Load(); s != nil && !g.dirty.Load() {
+		return s, PublishStats{}
+	}
+	return g.publishEx()
+}
+
 // Current returns the latest published snapshot without publishing
 // pending mutations — the serving read path: loading the epoch pointer is
 // the only synchronization, so readers never block writers. Before the
@@ -188,10 +219,20 @@ func (g *Graph) reader() *Snapshot {
 }
 
 func (g *Graph) publish() *Snapshot {
+	s, _ := g.publishEx()
+	return s
+}
+
+// compactOverlayDivisor triggers compaction once the larger overlay
+// exceeds |E| / compactOverlayDivisor edges; the age trigger aligns with
+// the delta-chain fence (maxDeltaChain).
+const compactOverlayDivisor = 8
+
+func (g *Graph) publishEx() (*Snapshot, PublishStats) {
 	g.publishMu.Lock()
 	defer g.publishMu.Unlock()
 	if s := g.cur.Load(); s != nil && !g.dirty.Load() {
-		return s
+		return s, PublishStats{}
 	}
 	// Clear dirty before reading the build side: a mutation racing with
 	// this build (only possible through engine misuse) re-marks it so the
@@ -206,18 +247,48 @@ func (g *Graph) publish() *Snapshot {
 		ne:    g.numEdges,
 		nsym:  g.alpha.Size(),
 		names: g.nodeNames[:nv:nv],
-		out:   buildCSR(g.out),
-		in:    buildCSR(g.in),
 	}
-	s.inSymCount = make([]int32, s.nsym)
-	for si := range s.in.segSym {
-		if sym := int(s.in.segSym[si]); sym < len(s.inSymCount) {
-			s.inSymCount[sym] += s.in.segOff[si+1] - s.in.segOff[si]
+	var st PublishStats
+	buildStart := time.Now()
+	if prev == nil || g.deltaOverflow {
+		// First epoch or delta overflow: the only from-scratch rebuilds.
+		s.out = fullCSR(g.out)
+		s.in = fullCSR(g.in)
+		s.inSymCount = make([]int32, s.nsym)
+		for si := range s.in.base.segSym {
+			if sym := int(s.in.base.segSym[si]); sym < len(s.inSymCount) {
+				s.inSymCount[sym] += s.in.base.segOff[si+1] - s.in.base.segOff[si]
+			}
+		}
+	} else {
+		st.Incremental = true
+		delta := g.deltaEdges
+		s.out = prev.out.apply(deltaRows(delta, true), nv)
+		s.in = prev.in.apply(deltaRows(delta, false), nv)
+		ovMax := s.out.overlayEdges()
+		if ie := s.in.overlayEdges(); ie > ovMax {
+			ovMax = ie
+		}
+		if s.out.ov.age >= maxDeltaChain || ovMax*compactOverlayDivisor > g.numEdges {
+			s.out = s.out.compact(nv, g.numEdges)
+			s.in = s.in.compact(nv, g.numEdges)
+			st.Compacted = true
+		}
+		st.OverlayEdges = s.out.overlayEdges() + s.in.overlayEdges()
+		s.inSymCount = make([]int32, s.nsym)
+		copy(s.inSymCount, prev.inSymCount)
+		for _, de := range delta {
+			if int(de.Sym) < len(s.inSymCount) {
+				s.inSymCount[de.Sym]++
+			}
 		}
 	}
+	swapStart := time.Now()
+	st.Build = swapStart.Sub(buildStart)
 	g.sealDelta(s, prev)
 	g.cur.Store(s)
-	return s
+	st.Swap = time.Since(swapStart)
+	return s, st
 }
 
 // stepScratch is pooled per-call state for Step and symbolsOf: dedup

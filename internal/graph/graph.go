@@ -354,14 +354,15 @@ func (s *Snapshot) StepAll(set []NodeID, fn func(sym alphabet.Symbol, succ []Nod
 	symMarks := sc.syms
 	co := &s.out
 	for _, v := range set {
-		for si := co.segStart[v]; si < co.segStart[v+1]; si++ {
-			sym := co.segSym[si]
+		rs := co.segs(v)
+		for k := range rs.syms {
+			sym := rs.syms[k]
 			if symMarks.TrySet(int(sym)) {
 				present = append(present, sym)
 				buckets[sym] = buckets[sym][:0]
 			}
 			b := buckets[sym]
-			for _, e := range co.edges[co.segOff[si]:co.segOff[si+1]] {
+			for _, e := range rs.edges[rs.offs[k]:rs.offs[k+1]] {
 				b = append(b, e.To)
 			}
 			buckets[sym] = b
@@ -393,7 +394,7 @@ func (s *Snapshot) SymbolsOf(set []NodeID) []alphabet.Symbol {
 	defer s.putStep(sc)
 	mk := bitset.NewMarker(sc.syms)
 	for _, v := range set {
-		for _, sym := range s.out.segSym[s.out.segStart[v]:s.out.segStart[v+1]] {
+		for _, sym := range s.out.segs(v).syms {
 			mk.TrySet(int(sym))
 		}
 	}

@@ -129,8 +129,9 @@ func (s *Snapshot) SelectBinaryFromMaskedState(ctx context.Context, p *plan.Plan
 		v := NodeID(vi)
 		m := pending[v]
 		pending[v] = 0
-		for si := co.segStart[v]; si < co.segStart[v+1]; si++ {
-			sym := int(co.segSym[si])
+		rs := co.segs(v)
+		for si := range rs.syms {
+			sym := int(rs.syms[si])
 			if sym >= nsym {
 				continue
 			}
@@ -138,7 +139,7 @@ func (s *Snapshot) SelectBinaryFromMaskedState(ctx context.Context, p *plan.Plan
 			if tm == 0 {
 				continue
 			}
-			for _, e := range co.edges[co.segOff[si]:co.segOff[si+1]] {
+			for _, e := range rs.edges[rs.offs[si]:rs.offs[si+1]] {
 				if add := tm &^ masks[e.To]; add != 0 {
 					masks[e.To] |= add
 					if pending[e.To] == 0 {
@@ -232,8 +233,9 @@ func (s *Snapshot) RegrowMonadicMasked(p *plan.Plan, masks []uint64, span *Delta
 		stack = stack[:len(stack)-1]
 		m := pending[v]
 		pending[v] = 0
-		for si := ci.segStart[v]; si < ci.segStart[v+1]; si++ {
-			sym := int(ci.segSym[si])
+		rs := ci.segs(v)
+		for si := range rs.syms {
+			sym := int(rs.syms[si])
 			if sym >= nsym {
 				continue
 			}
@@ -245,7 +247,7 @@ func (s *Snapshot) RegrowMonadicMasked(p *plan.Plan, masks []uint64, span *Delta
 			if pm == 0 {
 				continue
 			}
-			edges := ci.edges[ci.segOff[si]:ci.segOff[si+1]]
+			edges := rs.edges[rs.offs[si]:rs.offs[si+1]]
 			if cost += len(edges); cost > budget {
 				return nil, cost, false
 			}
@@ -303,8 +305,9 @@ func (s *Snapshot) RegrowBinaryFromMasked(p *plan.Plan, masks []uint64, span *De
 		stack = stack[:len(stack)-1]
 		m := pending[v]
 		pending[v] = 0
-		for si := co.segStart[v]; si < co.segStart[v+1]; si++ {
-			sym := int(co.segSym[si])
+		rs := co.segs(v)
+		for si := range rs.syms {
+			sym := int(rs.syms[si])
 			if sym >= nsym {
 				continue
 			}
@@ -312,7 +315,7 @@ func (s *Snapshot) RegrowBinaryFromMasked(p *plan.Plan, masks []uint64, span *De
 			if tm == 0 {
 				continue
 			}
-			edges := co.edges[co.segOff[si]:co.segOff[si+1]]
+			edges := rs.edges[rs.offs[si]:rs.offs[si+1]]
 			if cost += len(edges); cost > budget {
 				return nil, cost, false
 			}

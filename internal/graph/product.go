@@ -69,6 +69,22 @@ var (
 // check out of the innermost edge loops.
 const ctxCheckInterval = 4096
 
+// orWord is atomic.OrUint64 through an explicit load/CAS loop. Kept out
+// of line on purpose: the direct OrUint64 intrinsic miscompiles inside
+// relaxMasked's segment loop under go1.24 -- optimized builds dropped
+// marks that appear with -N or with the race detector -- and the call
+// boundary plus CAS shape sidesteps the bad lowering.
+//
+//go:noinline
+func orWord(p *uint64, mask uint64) uint64 {
+	for {
+		old := atomic.LoadUint64(p)
+		if old&mask == mask || atomic.CompareAndSwapUint64(p, old, old|mask) {
+			return old
+		}
+	}
+}
+
 // SelectMonadic returns the per-node selection vector of the query DFA d
 // under monadic semantics: selected[ν] iff L(d) ∩ paths_G(ν) ≠ ∅.
 func (g *Graph) SelectMonadic(d *automata.DFA) []bool {
@@ -166,8 +182,9 @@ func (s *Snapshot) relaxMonadic(p *plan.Plan, nq int, good bitset.Bits, frontier
 	for _, idx := range frontier {
 		v := NodeID(idx / uint64(nq))
 		q := int(idx % uint64(nq))
-		for si := ci.segStart[v]; si < ci.segStart[v+1]; si++ {
-			sym := int(ci.segSym[si])
+		rs := ci.segs(v)
+		for si := range rs.syms {
+			sym := int(rs.syms[si])
 			if sym >= p.NumSyms {
 				continue
 			}
@@ -176,7 +193,7 @@ func (s *Snapshot) relaxMonadic(p *plan.Plan, nq int, good bitset.Bits, frontier
 			if len(preds) == 0 {
 				continue
 			}
-			tails := ci.edges[ci.segOff[si]:ci.segOff[si+1]]
+			tails := rs.edges[rs.offs[si]:rs.offs[si+1]]
 			for _, pr := range preds {
 				base := int(pr)
 				for _, e := range tails {
@@ -253,22 +270,25 @@ func (s *Snapshot) selectMaskedSerial(ctx context.Context, p *plan.Plan, nq int,
 	predMask, finalMask := p.PredMask, p.FinalMask
 	pending := sc.maskCur
 	stack := sc.stack
-	for si := 0; si < len(ci.segSym); si++ {
-		sym := int(ci.segSym[si])
-		if sym >= nsym {
-			continue
-		}
-		pm := p.FinalPredMask[sym]
-		if pm == 0 {
-			continue
-		}
-		for _, e := range ci.edges[ci.segOff[si]:ci.segOff[si+1]] {
-			if add := pm &^ (good[e.To] | finalMask); add != 0 {
-				good[e.To] |= add
-				if pending[e.To] == 0 {
-					stack = append(stack, uint64(e.To))
+	for w := 0; w < s.nv; w++ {
+		rs := ci.segs(NodeID(w))
+		for si := range rs.syms {
+			sym := int(rs.syms[si])
+			if sym >= nsym {
+				continue
+			}
+			pm := p.FinalPredMask[sym]
+			if pm == 0 {
+				continue
+			}
+			for _, e := range rs.edges[rs.offs[si]:rs.offs[si+1]] {
+				if add := pm &^ (good[e.To] | finalMask); add != 0 {
+					good[e.To] |= add
+					if pending[e.To] == 0 {
+						stack = append(stack, uint64(e.To))
+					}
+					pending[e.To] |= add
 				}
-				pending[e.To] |= add
 			}
 		}
 	}
@@ -290,8 +310,9 @@ func (s *Snapshot) selectMaskedSerial(ctx context.Context, p *plan.Plan, nq int,
 		v := NodeID(vi)
 		m := pending[v]
 		pending[v] = 0
-		for si := ci.segStart[v]; si < ci.segStart[v+1]; si++ {
-			sym := int(ci.segSym[si])
+		rs := ci.segs(v)
+		for si := range rs.syms {
+			sym := int(rs.syms[si])
 			if sym >= nsym {
 				continue
 			}
@@ -303,7 +324,7 @@ func (s *Snapshot) selectMaskedSerial(ctx context.Context, p *plan.Plan, nq int,
 			if pm == 0 {
 				continue
 			}
-			for _, e := range ci.edges[ci.segOff[si]:ci.segOff[si+1]] {
+			for _, e := range rs.edges[rs.offs[si]:rs.offs[si+1]] {
 				if add := pm &^ (good[e.To] | finalMask); add != 0 {
 					good[e.To] |= add
 					if pending[e.To] == 0 {
@@ -404,8 +425,9 @@ func (s *Snapshot) relaxMasked(p *plan.Plan, nq int, good, curNew, nextNew bitse
 		v := NodeID(vi)
 		m := curNew[v]
 		curNew[v] = 0
-		for si := ci.segStart[v]; si < ci.segStart[v+1]; si++ {
-			sym := int(ci.segSym[si])
+		rs := ci.segs(v)
+		for si := range rs.syms {
+			sym := int(rs.syms[si])
 			if sym >= p.NumSyms {
 				continue
 			}
@@ -417,11 +439,12 @@ func (s *Snapshot) relaxMasked(p *plan.Plan, nq int, good, curNew, nextNew bitse
 			if pm == 0 {
 				continue
 			}
-			for _, e := range ci.edges[ci.segOff[si]:ci.segOff[si+1]] {
+			edges := rs.edges[rs.offs[si]:rs.offs[si+1]]
+			for _, e := range edges {
 				if atomicMark {
-					old := atomic.OrUint64(&good[e.To], pm)
+					old := orWord(&good[e.To], pm)
 					if add := pm &^ old; add != 0 {
-						if atomic.OrUint64(&nextNew[e.To], add) == 0 {
+						if orWord(&nextNew[e.To], add) == 0 {
 							next = append(next, uint64(e.To))
 						}
 					}
@@ -512,8 +535,7 @@ func (s *Snapshot) CoversAnyPlan(p *plan.Plan, set []NodeID) bool {
 // an accepted word — the plan's first-symbol filter applied to the node's
 // CSR segment list (no edges are touched).
 func (s *Snapshot) hasFirstSymEdge(p *plan.Plan, v NodeID) bool {
-	co := &s.out
-	for _, sym := range co.segSym[co.segStart[v]:co.segStart[v+1]] {
+	for _, sym := range s.out.segs(v).syms {
 		if int(sym) < p.NumSyms && p.FirstSym[sym] {
 			return true
 		}
@@ -525,10 +547,11 @@ func (s *Snapshot) hasFirstSymEdge(p *plan.Plan, v NodeID) bool {
 // (v, q): out-segment symbols look up the plan's flat transition table
 // once, then mark every neighbor in the contiguous segment. Transitions
 // into non-live states (no final reachable) are pruned.
-func (s *Snapshot) expandForwardPlan(p *plan.Plan, co *csr, v NodeID, q int32, nq int, sc *productScratch, stack []uint64) []uint64 {
+func (s *Snapshot) expandForwardPlan(p *plan.Plan, co *adj, v NodeID, q int32, nq int, sc *productScratch, stack []uint64) []uint64 {
 	base := int(q) * p.NumSyms
-	for si := co.segStart[v]; si < co.segStart[v+1]; si++ {
-		sym := int(co.segSym[si])
+	rs := co.segs(v)
+	for si := range rs.syms {
+		sym := int(rs.syms[si])
 		if sym >= p.NumSyms {
 			continue
 		}
@@ -537,7 +560,7 @@ func (s *Snapshot) expandForwardPlan(p *plan.Plan, co *csr, v NodeID, q int32, n
 			continue
 		}
 		tb := int(t)
-		for _, e := range co.edges[co.segOff[si]:co.segOff[si+1]] {
+		for _, e := range rs.edges[rs.offs[si]:rs.offs[si+1]] {
 			idx := int(e.To)*nq + tb
 			if sc.bits.TrySet(idx) {
 				sc.touched = append(sc.touched, uint64(idx))
@@ -645,8 +668,9 @@ func (s *Snapshot) relaxPlanForward(p *plan.Plan, nq int, sc *productScratch, fr
 		v := NodeID(idx / uint64(nq))
 		q := int32(idx % uint64(nq))
 		base := int(q) * p.NumSyms
-		for si := co.segStart[v]; si < co.segStart[v+1]; si++ {
-			sym := int(co.segSym[si])
+		rs := co.segs(v)
+		for si := range rs.syms {
+			sym := int(rs.syms[si])
 			if sym >= p.NumSyms {
 				continue
 			}
@@ -656,7 +680,7 @@ func (s *Snapshot) relaxPlanForward(p *plan.Plan, nq int, sc *productScratch, fr
 			}
 			tb := int(t)
 			final := p.Final[t]
-			for _, e := range co.edges[co.segOff[si]:co.segOff[si+1]] {
+			for _, e := range rs.edges[rs.offs[si]:rs.offs[si+1]] {
 				nidx := int(e.To)*nq + tb
 				if restrict && !final && !sc.bits2.Get(nidx) {
 					continue
@@ -690,8 +714,9 @@ func (s *Snapshot) relaxPlanBackward(p *plan.Plan, nq int, sc *productScratch, f
 	for _, idx := range frontier {
 		v := NodeID(idx / uint64(nq))
 		q := int(idx % uint64(nq))
-		for si := ci.segStart[v]; si < ci.segStart[v+1]; si++ {
-			sym := int(ci.segSym[si])
+		rs := ci.segs(v)
+		for si := range rs.syms {
+			sym := int(rs.syms[si])
 			if sym >= p.NumSyms {
 				continue
 			}
@@ -700,7 +725,7 @@ func (s *Snapshot) relaxPlanBackward(p *plan.Plan, nq int, sc *productScratch, f
 			if len(preds) == 0 {
 				continue
 			}
-			tails := ci.edges[ci.segOff[si]:ci.segOff[si+1]]
+			tails := rs.edges[rs.offs[si]:rs.offs[si+1]]
 			for _, pr := range preds {
 				if !p.Reach[pr] {
 					continue
@@ -876,24 +901,27 @@ func (s *Snapshot) seedBackwardAll(p *plan.Plan, nq int, sc *productScratch, fro
 
 	ci := &s.in
 	cost := 0
-	for si := 0; si < len(ci.segSym); si++ {
-		sym := int(ci.segSym[si])
-		if sym >= p.NumSyms {
-			continue
-		}
-		preds := finalPreds[sym]
-		if len(preds) == 0 {
-			continue
-		}
-		tails := ci.edges[ci.segOff[si]:ci.segOff[si+1]]
-		for _, pr := range preds {
-			base := int(pr)
-			for _, e := range tails {
-				nidx := int(e.To)*nq + base
-				if sc.bits2.TrySet(nidx) {
-					sc.touched2 = append(sc.touched2, uint64(nidx))
-					front = append(front, uint64(nidx))
-					cost += s.InDegree(e.To)
+	for w := 0; w < s.nv; w++ {
+		rs := ci.segs(NodeID(w))
+		for si := range rs.syms {
+			sym := int(rs.syms[si])
+			if sym >= p.NumSyms {
+				continue
+			}
+			preds := finalPreds[sym]
+			if len(preds) == 0 {
+				continue
+			}
+			tails := rs.edges[rs.offs[si]:rs.offs[si+1]]
+			for _, pr := range preds {
+				base := int(pr)
+				for _, e := range tails {
+					nidx := int(e.To)*nq + base
+					if sc.bits2.TrySet(nidx) {
+						sc.touched2 = append(sc.touched2, uint64(nidx))
+						front = append(front, uint64(nidx))
+						cost += s.InDegree(e.To)
+					}
 				}
 			}
 		}
@@ -957,15 +985,16 @@ func (s *Snapshot) firstEscaping(left, right []NodeID, depth int) (words.Word, b
 	w, escaped := WitnessBFS(depth, starts,
 		func(_, set int32) bool { return len(ix.Set(set)) == 0 },
 		func(v, set int32, emit func(sym alphabet.Symbol, a2, b2 int32)) {
-			for si := co.segStart[v]; si < co.segStart[v+1]; si++ {
-				sym := co.segSym[si]
+			rs := co.segs(v)
+			for si := range rs.syms {
+				sym := rs.syms[si]
 				tk := uint64(uint32(set))<<32 | uint64(sym)
 				ns, ok := trans[tk]
 				if !ok {
 					ns = ix.Intern(s.Step(ix.Set(set), sym))
 					trans[tk] = ns
 				}
-				for _, e := range co.edges[co.segOff[si]:co.segOff[si+1]] {
+				for _, e := range rs.edges[rs.offs[si]:rs.offs[si+1]] {
 					emit(sym, e.To, ns)
 				}
 			}

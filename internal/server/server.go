@@ -191,8 +191,9 @@ func (s *Server) RecoverAll() {
 // Ready reports whether startup recovery has finished.
 func (s *Server) Ready() bool { return s.ready.Load() }
 
-// Close closes every tenant's store. In-flight mutations already inside
-// the engine finish against ErrClosed (a 503 to their clients).
+// Close stops every tenant's engine maintainer (draining its queue) and
+// closes every tenant's store. In-flight mutations already inside the
+// engine finish against ErrClosed (a 503 to their clients).
 func (s *Server) Close() error {
 	s.mu.Lock()
 	s.closed = true
@@ -204,6 +205,9 @@ func (s *Server) Close() error {
 	var first error
 	for _, t := range tenants {
 		t.once.Do(func() { t.err = errors.New("server: closed before recovery") })
+		if t.eng != nil {
+			t.eng.Close()
+		}
 		if t.store != nil {
 			if err := t.store.Close(); err != nil && first == nil {
 				first = err

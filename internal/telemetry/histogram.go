@@ -184,3 +184,92 @@ func (s HistogramSnapshot) Mean() time.Duration {
 	}
 	return time.Duration(s.Sum / int64(n))
 }
+
+// Value histogram: the same lock-free discipline as Histogram for
+// unitless integer observations (records per WAL batch, queue depths).
+// Buckets are powers of two — bound i is 2^i — so small counts get
+// exact-ish resolution and the range covers anything a batch could
+// plausibly hold.
+
+// NumValueBuckets is the number of finite value-histogram buckets; the
+// largest finite upper bound is 2^(NumValueBuckets-1).
+const NumValueBuckets = 20
+
+// ValueHistogram is a lock-free histogram over non-negative integer
+// values. The zero value is ready to use; Observe and Snapshot are safe
+// for concurrent use.
+type ValueHistogram struct {
+	buckets [NumValueBuckets + 1]atomic.Uint64
+	sum     atomic.Int64
+	max     atomic.Int64
+}
+
+// valueBucketOf returns the bucket index for v: the smallest i with
+// v ≤ 2^i, or the overflow bucket.
+func valueBucketOf(v int64) int {
+	if v < 0 {
+		v = 0
+	}
+	for i := 0; i < NumValueBuckets; i++ {
+		if v <= 1<<uint(i) {
+			return i
+		}
+	}
+	return NumValueBuckets
+}
+
+// Observe records one value. Negative values clamp to zero.
+func (h *ValueHistogram) Observe(v int64) {
+	if v < 0 {
+		v = 0
+	}
+	h.buckets[valueBucketOf(v)].Add(1)
+	h.sum.Add(v)
+	for {
+		cur := h.max.Load()
+		if v <= cur || h.max.CompareAndSwap(cur, v) {
+			return
+		}
+	}
+}
+
+// Snapshot returns a point-in-time copy, with the same per-bucket
+// consistency trade as Histogram.Snapshot.
+func (h *ValueHistogram) Snapshot() ValueHistogramSnapshot {
+	var s ValueHistogramSnapshot
+	for i := range h.buckets {
+		s.Buckets[i] = h.buckets[i].Load()
+	}
+	s.Sum = h.sum.Load()
+	s.Max = h.max.Load()
+	return s
+}
+
+// ValueHistogramSnapshot is a point-in-time value-histogram view.
+type ValueHistogramSnapshot struct {
+	// Buckets[i] counts observations v with v ≤ 2^i (and > the previous
+	// bound); the last entry is the overflow bucket.
+	Buckets [NumValueBuckets + 1]uint64
+	// Sum is the total of all observed values.
+	Sum int64
+	// Max is the largest single observation.
+	Max int64
+}
+
+// Count returns the total number of observations.
+func (s ValueHistogramSnapshot) Count() uint64 {
+	var n uint64
+	for _, c := range s.Buckets {
+		n += c
+	}
+	return n
+}
+
+// Mean returns the average observed value.
+func (s ValueHistogramSnapshot) Mean() float64 {
+	n := s.Count()
+	if n == 0 {
+		return 0
+	}
+	return float64(s.Sum) / float64(n)
+}

@@ -32,6 +32,7 @@ const (
 	typeCounter metricType = iota
 	typeGauge
 	typeHistogram
+	typeValueHistogram
 )
 
 func (t metricType) String() string {
@@ -59,6 +60,7 @@ type child struct {
 	gauge     *Gauge
 	gaugeFn   func() float64
 	hist      *Histogram
+	vhist     *ValueHistogram
 }
 
 // NewRegistry returns an empty registry.
@@ -133,6 +135,17 @@ func (r *Registry) RegisterHistogram(name, help string, h *Histogram, labels ...
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	r.childLocked(name, help, typeHistogram, key).hist = h
+}
+
+// RegisterValueHistogram exposes an externally owned value histogram
+// (unitless integer observations, e.g. records per WAL batch) under
+// name and labels. Rendered as a histogram family with power-of-two
+// integer bucket bounds.
+func (r *Registry) RegisterValueHistogram(name, help string, h *ValueHistogram, labels ...Label) {
+	key := renderLabels(labels)
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.childLocked(name, help, typeValueHistogram, key).vhist = h
 }
 
 // childLocked is the get-or-create core shared by every getter. It —
@@ -290,6 +303,22 @@ func writeChild(b *strings.Builder, f *famSnapshot, c *child) {
 		}
 		fmt.Fprintf(b, "%s_sum%s %s\n", f.name, braced(c.labels),
 			strconv.FormatFloat(float64(s.Sum)/1e9, 'g', -1, 64))
+		fmt.Fprintf(b, "%s_count%s %d\n", f.name, braced(c.labels), cum)
+	case typeValueHistogram:
+		var s ValueHistogramSnapshot
+		if c.vhist != nil {
+			s = c.vhist.Snapshot()
+		}
+		var cum uint64
+		for i, count := range s.Buckets {
+			cum += count
+			le := "+Inf"
+			if i < NumValueBuckets {
+				le = strconv.FormatUint(1<<uint(i), 10)
+			}
+			fmt.Fprintf(b, "%s_bucket%s %d\n", f.name, bracedWith(c.labels, `le="`+le+`"`), cum)
+		}
+		fmt.Fprintf(b, "%s_sum%s %d\n", f.name, braced(c.labels), s.Sum)
 		fmt.Fprintf(b, "%s_count%s %d\n", f.name, braced(c.labels), cum)
 	}
 }
