@@ -31,6 +31,7 @@ import (
 	"pathquery/internal/rpni"
 	"pathquery/internal/scp"
 	"pathquery/internal/store"
+	"pathquery/internal/workload"
 )
 
 // Shared fixtures, built once.
@@ -418,6 +419,56 @@ func BenchmarkEngineServe(b *testing.B) {
 		b.ReportMetric(float64(report.MutateLatency.Quantile(0.50).Nanoseconds()), "mutate-p50-ns")
 		b.ReportMetric(float64(report.MutateLatency.Quantile(0.99).Nanoseconds()), "mutate-p99-ns")
 	})
+}
+
+// BenchmarkReplayMixed is the workload-replay regression gate: forge a
+// deterministic three-tier workload (one class per operator family —
+// concatenation, union, optional, one-or-more, star, anchored tails)
+// over the synthetic graph, replay it through the engine's ReplaySpec
+// closed loop with a 2% mutation rate, and record per-AQ-class p50/p99
+// as custom metrics so every BENCH_<date>.json snapshot carries a
+// scenario-diverse latency profile, not just the hand-picked queries.
+func BenchmarkReplayMixed(b *testing.B) {
+	classes := []string{"AQ1", "AQ2", "AQ7", "AQ15", "AQ18", "AQ22", "AQ27", "AQ28"}
+	file, err := workload.ForgeGraph(datasets.Synthetic(5000, 11), workload.ForgeConfig{
+		Seed: 7, Classes: classes,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	spec := &engine.ReplaySpec{}
+	for _, e := range file.Entries {
+		spec.Entries = append(spec.Entries, engine.ReplayEntry{
+			Class: e.Class, Expr: e.Expr, Semantics: e.Semantics, From: e.From,
+		})
+	}
+	var report engine.LoadReport
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		// A fresh mutable graph per run: mutations must not accumulate
+		// across iterations or leak into the forge fixture.
+		e := engine.New(datasets.Synthetic(5000, 11), engine.Options{})
+		b.StartTimer()
+		report, err = engine.RunLoad(e, engine.LoadConfig{
+			Clients:    16,
+			Duration:   300 * time.Millisecond,
+			Replay:     spec,
+			MutateRate: 0.02,
+			Seed:       1,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(report.Throughput, "req/s")
+	for _, class := range classes {
+		snap, ok := report.ClassLatency[class]
+		if !ok || snap.Count() == 0 {
+			b.Fatalf("class %s absent from the replay report", class)
+		}
+		b.ReportMetric(float64(snap.Quantile(0.50).Nanoseconds()), class+"-p50-ns")
+		b.ReportMetric(float64(snap.Quantile(0.99).Nanoseconds()), class+"-p99-ns")
+	}
 }
 
 // BenchmarkEngineMaintain measures publish-time result-cache maintenance

@@ -60,7 +60,7 @@ var (
 	synSize   = flag.Int("syn-size", 0, "run synthetic experiments on this single size only")
 
 	snapshot      = flag.Bool("snapshot", false, "run go-benchmarks and write BENCH_<date>.json")
-	snapshotBench = flag.String("snapshot-bench", "BenchmarkSelectMonadic$|BenchmarkSCPSearch$|BenchmarkLearnerPaperExample$|BenchmarkEngineServe|BenchmarkEngineMaintain|BenchmarkLearn$|BenchmarkEngineLearn$|BenchmarkPlanCompile|BenchmarkSelectBinaryDirectional|BenchmarkEvaluateWitness$|BenchmarkEvaluateCount$|BenchmarkStoreRecovery|BenchmarkWALAppend$|BenchmarkWALGroupCommit$|BenchmarkPublishIncremental$|BenchmarkPublishFull$|BenchmarkPublishCompact$",
+	snapshotBench = flag.String("snapshot-bench", "BenchmarkSelectMonadic$|BenchmarkSCPSearch$|BenchmarkLearnerPaperExample$|BenchmarkEngineServe|BenchmarkEngineMaintain|BenchmarkReplayMixed$|BenchmarkLearn$|BenchmarkEngineLearn$|BenchmarkPlanCompile|BenchmarkSelectBinaryDirectional|BenchmarkEvaluateWitness$|BenchmarkEvaluateCount$|BenchmarkStoreRecovery|BenchmarkWALAppend$|BenchmarkWALGroupCommit$|BenchmarkPublishIncremental$|BenchmarkPublishFull$|BenchmarkPublishCompact$",
 		"benchmark pattern for -snapshot")
 	snapshotOut   = flag.String("snapshot-out", "", "snapshot file name (default BENCH_<date>.json)")
 	snapshotNote  = flag.String("snapshot-note", "", "free-form note stored in the snapshot")
@@ -104,6 +104,12 @@ func main() {
 	}
 	if *serve {
 		if err := runServeBench(); err != nil {
+			log.Fatal(err)
+		}
+		return
+	}
+	if *replayFile != "" {
+		if err := runReplay(); err != nil {
 			log.Fatal(err)
 		}
 		return

@@ -120,6 +120,7 @@ func instrument(reg *telemetry.Registry, next http.Handler) http.Handler {
 		reg.Counter("pathquery_requests_total",
 			"Requests served, by tenant, operation and HTTP status.",
 			append(ls, telemetry.Label{Key: "code", Value: strconv.Itoa(rec.Code)})...).Inc()
+		server.ObserveWorkloadClass(reg, r, "default", time.Since(start))
 	})
 }
 

@@ -176,6 +176,13 @@ func AliBaba() *graph.Graph {
 // so that the selectivity ordering bio1 < bio2 < bio3 < bio4 ≈ bio5 < bio6
 // carries over to the stand-in graph.
 func BioQueries(g *graph.Graph) []NamedQuery {
+	return BioQueriesOn(g.Snapshot())
+}
+
+// BioQueriesOn is BioQueries pinned to an epoch snapshot: the rare-label
+// choice evaluates candidate queries on s, so the returned workload is a
+// pure function of the snapshot even while writers advance the graph.
+func BioQueriesOn(s *graph.Snapshot) []NamedQuery {
 	// Classes over frequency-ranked labels (rank 0 = most frequent).
 	A := classExpr(rankRange(2, 7))   // broad mid-frequency
 	I := classExpr(rankRange(5, 12))  // overlapping A, less frequent
@@ -185,7 +192,7 @@ func BioQueries(g *graph.Graph) []NamedQuery {
 	// b is the tail label making bio1 the most selective query that still
 	// selects at least one node — the paper likewise "retained those
 	// queries that select at least one node on the graph".
-	b := labelName(chooseRareLabel(g, A))
+	b := labelName(chooseRareLabel(s, A))
 	defs := []struct {
 		name, expr string
 		sel        float64
@@ -202,7 +209,7 @@ func BioQueries(g *graph.Graph) []NamedQuery {
 		out[i] = NamedQuery{
 			Name:             d.name,
 			Expr:             d.expr,
-			Query:            query.MustParse(g.Alphabet(), d.expr),
+			Query:            query.MustParse(s.Alphabet(), d.expr),
 			PaperSelectivity: d.sel,
 		}
 	}
@@ -210,16 +217,16 @@ func BioQueries(g *graph.Graph) []NamedQuery {
 }
 
 // chooseRareLabel returns the rank r ≥ 20 minimizing the (non-zero)
-// selectivity of labelName(r)·A·A* on g.
-func chooseRareLabel(g *graph.Graph, A string) int {
+// selectivity of labelName(r)·A·A* on the snapshot.
+func chooseRareLabel(s *graph.Snapshot, A string) int {
 	best, bestSel := 20, math.Inf(1)
-	for r := 20; r < g.Alphabet().Size(); r++ {
+	for r := 20; r < s.Alphabet().Size(); r++ {
 		expr := fmt.Sprintf("%s·%s·%s*", labelName(r), A, A)
-		q, err := query.Parse(g.Alphabet(), expr)
+		q, err := query.Parse(s.Alphabet(), expr)
 		if err != nil {
 			continue
 		}
-		sel := q.Selectivity(g)
+		sel := q.EvaluateOn(s).Selectivity()
 		if sel > 0 && sel < bestSel {
 			bestSel = sel
 			best = r
@@ -252,10 +259,17 @@ var SynTargets = []float64{0.01, 0.15, 0.40}
 // class widths for A and C with B fixed mid-weight, evaluating each
 // candidate on g and keeping the closest.
 func SynQueries(g *graph.Graph) []NamedQuery {
+	return SynQueriesOn(g.Snapshot())
+}
+
+// SynQueriesOn is SynQueries pinned to an epoch snapshot: every
+// calibration candidate is evaluated on s, so concurrent mutations cannot
+// skew the search mid-way.
+func SynQueriesOn(s *graph.Snapshot) []NamedQuery {
 	out := make([]NamedQuery, len(SynTargets))
 	for i, target := range SynTargets {
 		name := fmt.Sprintf("syn%d", i+1)
-		expr, q := calibrateABC(g, target)
+		expr, q := calibrateABC(s, target)
 		out[i] = NamedQuery{Name: name, Expr: expr, Query: q, PaperSelectivity: target}
 	}
 	return out
@@ -263,15 +277,16 @@ func SynQueries(g *graph.Graph) []NamedQuery {
 
 // calibrateABC searches start ranks and widths for the classes A and C
 // (B fixed as a mid-frequency band, overlapping as the paper allows) and
-// returns the A·B*·C candidate whose selectivity on g is closest to
-// target. The search evaluates each candidate on g, so calibration adapts
-// to the generated graph — the paper's queries likewise hold their
-// selectivities "regardless of the actual size of the graph".
-func calibrateABC(g *graph.Graph, target float64) (string, *query.Query) {
+// returns the A·B*·C candidate whose selectivity on the snapshot is
+// closest to target. The search evaluates each candidate on s, so
+// calibration adapts to the generated graph — the paper's queries
+// likewise hold their selectivities "regardless of the actual size of the
+// graph".
+func calibrateABC(s *graph.Snapshot, target float64) (string, *query.Query) {
 	bestExpr := ""
 	var bestQ *query.Query
 	bestGap := math.Inf(1)
-	labels := g.Alphabet().Size()
+	labels := s.Alphabet().Size()
 	B := classExpr(rankRange(1, 4))
 	starts := []int{0, 2, 4, 6, 8, 10, 12, 14, 16}
 	widths := []int{1, 2, 3, 4, 6, 8, 10}
@@ -288,11 +303,11 @@ func calibrateABC(g *graph.Graph, target float64) (string, *query.Query) {
 					expr := fmt.Sprintf("%s·%s*·%s",
 						classExpr(rankRange(la, la+wa-1)), B,
 						classExpr(rankRange(lc, lc+wc-1)))
-					q, err := query.Parse(g.Alphabet(), expr)
+					q, err := query.Parse(s.Alphabet(), expr)
 					if err != nil {
 						continue
 					}
-					gap := math.Abs(q.Selectivity(g) - target)
+					gap := math.Abs(q.EvaluateOn(s).Selectivity() - target)
 					if gap < bestGap {
 						bestGap = gap
 						bestExpr = expr
@@ -311,8 +326,14 @@ func calibrateABC(g *graph.Graph, target float64) (string, *query.Query) {
 // may contain zero positives for very selective goals at low fractions —
 // exactly as in the paper's static experiments.
 func RandomSample(g *graph.Graph, goal *query.Query, fraction float64, rng *rand.Rand) ([]graph.NodeID, []graph.NodeID) {
-	sel := goal.Select(g)
-	n := g.NumNodes()
+	return RandomSampleOn(g.Snapshot(), goal, fraction, rng)
+}
+
+// RandomSampleOn is RandomSample pinned to an epoch snapshot, so the
+// labels and the node universe come from one consistent epoch.
+func RandomSampleOn(s *graph.Snapshot, goal *query.Query, fraction float64, rng *rand.Rand) ([]graph.NodeID, []graph.NodeID) {
+	sel := goal.EvaluateOn(s).Vector()
+	n := s.NumNodes()
 	want := int(fraction * float64(n))
 	if want < 1 {
 		want = 1

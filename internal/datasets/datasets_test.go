@@ -204,3 +204,48 @@ func TestNamedQueryRegex(t *testing.T) {
 		}
 	}
 }
+
+// TestSnapshotWorkloadsPinned: the ...On variants are pure functions of
+// the pinned snapshot — mutating the graph after pinning changes neither
+// the chosen queries nor the sample, and the Graph receivers delegate to
+// the same code.
+func TestSnapshotWorkloadsPinned(t *testing.T) {
+	g := Synthetic(800, 3)
+	s := g.Snapshot()
+
+	wantBio := BioQueries(g)
+	wantSyn := SynQueries(g)
+	rng := rand.New(rand.NewSource(4))
+	wantPos, wantNeg := RandomSample(g, wantSyn[0].Query, 0.05, rng)
+
+	// Advance the live graph past the pinned epoch.
+	a := g.AddNode("pin-a")
+	b := g.AddNode("pin-b")
+	for i := 0; i < 200; i++ {
+		g.AddEdge(a, 0, b)
+	}
+
+	gotBio := BioQueriesOn(s)
+	for i := range wantBio {
+		if gotBio[i].Expr != wantBio[i].Expr {
+			t.Fatalf("%s drifted after mutation: %q vs %q", wantBio[i].Name, gotBio[i].Expr, wantBio[i].Expr)
+		}
+	}
+	gotSyn := SynQueriesOn(s)
+	for i := range wantSyn {
+		if gotSyn[i].Expr != wantSyn[i].Expr {
+			t.Fatalf("%s drifted after mutation: %q vs %q", wantSyn[i].Name, gotSyn[i].Expr, wantSyn[i].Expr)
+		}
+	}
+	rng = rand.New(rand.NewSource(4))
+	gotPos, gotNeg := RandomSampleOn(s, gotSyn[0].Query, 0.05, rng)
+	if len(gotPos) != len(wantPos) || len(gotNeg) != len(wantNeg) {
+		t.Fatalf("sample drifted after mutation: %d/%d vs %d/%d",
+			len(gotPos), len(gotNeg), len(wantPos), len(wantNeg))
+	}
+	for i := range gotPos {
+		if gotPos[i] != wantPos[i] {
+			t.Fatalf("positive sample drifted at %d", i)
+		}
+	}
+}

@@ -1,6 +1,7 @@
 package engine
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 	"sync"
@@ -23,8 +24,22 @@ type LoadConfig struct {
 	Clients int
 	// Duration is how long to drive load (default 1s).
 	Duration time.Duration
-	// Queries is the query mix; each request draws one uniformly.
+	// RequestsPerClient, when > 0, replaces the Duration cutoff: every
+	// client issues exactly this many requests and stops. With a fixed
+	// Seed the whole run is then a pure function of the config — the
+	// deterministic mode the replay determinism tests pin. (Writer lanes
+	// stay time-bounded by Duration.)
+	RequestsPerClient int
+	// Queries is the query mix; each request draws one uniformly, or
+	// proportionally to Weights when those are set.
 	Queries []string
+	// Weights are optional per-query draw weights parallel to Queries.
+	// A zero weight means that query is never drawn.
+	Weights []float64
+	// Replay replaces the Queries/Weights read mix with draws from a
+	// recorded workload (see ReplaySpec). Mutation knobs still apply;
+	// BatchSize is ignored under replay.
+	Replay *ReplaySpec
 	// MutateEvery makes every n-th request of each client a mutation
 	// (0: read-only load).
 	MutateEvery int
@@ -66,6 +81,13 @@ type LoadReport struct {
 	// classes separately, since a mutation (WAL fsync included) and a
 	// cached select live orders of magnitude apart.
 	SelectLatency, MutateLatency telemetry.HistogramSnapshot
+
+	// ClassLatency is the per-workload-class latency split of a replay
+	// run (nil outside replay mode): one distribution per AQ class drawn,
+	// keyed by ReplayEntry.Class. Per-class issue counts are the
+	// snapshots' Count()s — with a fixed Seed and RequestsPerClient they
+	// are identical across runs.
+	ClassLatency map[string]telemetry.HistogramSnapshot
 
 	// CachedLatency and UncachedLatency split SelectLatency by whether
 	// the answer came from the result cache (retained or regrown entries
@@ -112,12 +134,28 @@ func (r LoadReport) meanBatch() float64 {
 // (no queries, or a query that fails to parse — verified up front so the
 // hot loop never hits parse errors).
 func RunLoad(e *Engine, cfg LoadConfig) (LoadReport, error) {
-	if len(cfg.Queries) == 0 {
+	var mix *replayMix
+	if cfg.Replay != nil {
+		var err error
+		if mix, err = buildReplayMix(e, cfg.Replay); err != nil {
+			return LoadReport{}, err
+		}
+	} else if len(cfg.Queries) == 0 {
 		return LoadReport{}, fmt.Errorf("engine: load config needs at least one query")
 	}
 	for _, src := range cfg.Queries {
 		if _, err := e.plans.get(src); err != nil {
 			return LoadReport{}, fmt.Errorf("engine: load query %q: %w", src, err)
+		}
+	}
+	var qmix WeightedChooser
+	if len(cfg.Weights) > 0 {
+		if len(cfg.Weights) != len(cfg.Queries) {
+			return LoadReport{}, fmt.Errorf("engine: %d weights for %d queries", len(cfg.Weights), len(cfg.Queries))
+		}
+		var err error
+		if qmix, err = NewWeightedChooser(cfg.Weights); err != nil {
+			return LoadReport{}, fmt.Errorf("engine: load weights: %w", err)
 		}
 	}
 	if cfg.Clients <= 0 {
@@ -169,8 +207,18 @@ func RunLoad(e *Engine, cfg LoadConfig) (LoadReport, error) {
 			defer wg.Done()
 			rng := rand.New(rand.NewSource(cfg.Seed + int64(c)))
 			st := &stats[c]
+			pickQuery := func() string {
+				if len(cfg.Weights) > 0 {
+					return cfg.Queries[qmix.Choose(rng.Float64())]
+				}
+				return cfg.Queries[rng.Intn(len(cfg.Queries))]
+			}
 			for n := 1; ; n++ {
-				if time.Now().After(deadline) {
+				if cfg.RequestsPerClient > 0 {
+					if n > cfg.RequestsPerClient {
+						return
+					}
+				} else if time.Now().After(deadline) {
 					return
 				}
 				t0 := time.Now()
@@ -184,10 +232,27 @@ func RunLoad(e *Engine, cfg LoadConfig) (LoadReport, error) {
 					}
 					st.mutations++
 					mutateLat.Observe(time.Since(t0))
+				} else if mix != nil {
+					re := &mix.entries[mix.chooser.Choose(rng.Float64())]
+					a, err := e.Evaluate(context.Background(), Request{
+						Query: re.Expr, Semantics: re.Semantics, From: re.From,
+					})
+					if err != nil {
+						panic(err) // entries were verified by buildReplayMix
+					}
+					st.selects++
+					d := time.Since(t0)
+					selectLat.Observe(d)
+					mix.hists[re.Class].Observe(d)
+					if a.Cached {
+						cachedLat.Observe(d)
+					} else {
+						uncachedLat.Observe(d)
+					}
 				} else if cfg.BatchSize > 1 {
 					batch := make([]string, cfg.BatchSize)
 					for i := range batch {
-						batch[i] = cfg.Queries[rng.Intn(len(cfg.Queries))]
+						batch[i] = pickQuery()
 					}
 					if _, err := e.SelectBatch(batch); err != nil {
 						panic(err) // queries were verified above
@@ -195,7 +260,7 @@ func RunLoad(e *Engine, cfg LoadConfig) (LoadReport, error) {
 					st.selects++
 					selectLat.Observe(time.Since(t0))
 				} else {
-					r, err := e.Select(cfg.Queries[rng.Intn(len(cfg.Queries))])
+					r, err := e.Select(pickQuery())
 					if err != nil {
 						panic(err)
 					}
@@ -239,6 +304,9 @@ func RunLoad(e *Engine, cfg LoadConfig) (LoadReport, error) {
 	}
 	report.SelectLatency = selectLat.Snapshot()
 	report.MutateLatency = mutateLat.Snapshot()
+	if mix != nil {
+		report.ClassLatency = mix.snapshot()
+	}
 	report.CachedLatency = cachedLat.Snapshot()
 	report.UncachedLatency = uncachedLat.Snapshot()
 	e.FlushMaintenance() // settle async maintenance so the counter deltas are complete

@@ -1,0 +1,53 @@
+package server
+
+import (
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+// A replayed request tagged with a valid workload class must surface a
+// per-class latency series in /metrics; an arbitrary client string must
+// not mint one.
+func TestDispatchRecordsWorkloadClass(t *testing.T) {
+	s := newServer(t, Options{})
+	h := s.Handler()
+	if rec := do(t, h, "POST", "/v1/graphs/g/mutate", mutateBody("a", "x", "b")); rec.Code != http.StatusOK {
+		t.Fatalf("mutate: %d %s", rec.Code, rec.Body.String())
+	}
+
+	query := func(class string) {
+		req := httptest.NewRequest("POST", "/v1/graphs/g/query", strings.NewReader(`{"query":"x"}`))
+		if class != "" {
+			req.Header.Set(WorkloadClassHeader, class)
+		}
+		rec := httptest.NewRecorder()
+		h.ServeHTTP(rec, req)
+		if rec.Code != http.StatusOK {
+			t.Fatalf("query: %d %s", rec.Code, rec.Body.String())
+		}
+	}
+	query("AQ7")
+	query("AQ7")
+	query("AQ28")
+	query("pwn{evil=\"1\"}") // invalid: must not become a label
+	query("")                // untagged: must not be recorded
+
+	rec := do(t, h, "GET", "/metrics", "")
+	if rec.Code != http.StatusOK {
+		t.Fatalf("/metrics: %d", rec.Code)
+	}
+	body := rec.Body.String()
+	for _, want := range []string{
+		`pathquery_replay_class_seconds_count{class="AQ7",tenant="g"} 2`,
+		`pathquery_replay_class_seconds_count{class="AQ28",tenant="g"} 1`,
+	} {
+		if !strings.Contains(body, want) {
+			t.Errorf("/metrics missing %q", want)
+		}
+	}
+	if strings.Contains(body, "pwn") || strings.Contains(body, "evil") {
+		t.Error("client-chosen class string leaked into /metrics")
+	}
+}

@@ -451,6 +451,7 @@ func (s *Server) dispatch(w http.ResponseWriter, r *http.Request) {
 		s.reg.Counter("pathquery_requests_total",
 			"Requests served, by tenant, operation and HTTP status.",
 			append(ls, telemetry.Label{Key: "code", Value: strconv.Itoa(rec.Code)})...).Inc()
+		ObserveWorkloadClass(s.reg, r, tenantLabel, time.Since(start))
 	}()
 
 	if op == "query" && (r.URL.Query().Get("trace") == "1" || s.opt.SlowQuery > 0) {

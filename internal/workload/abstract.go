@@ -1,0 +1,94 @@
+package workload
+
+// Tier 1 of the PathForge methodology: the abstract query patterns.
+// AQ1–AQ28 cover the regular-expression operator space systematically —
+// concatenations, disjunctions, optionals, and the four Kleene flavors
+// (a*, a+, tails and heads of chains) — so a workload instantiated from
+// the full table exercises every operator combination the plan compiler
+// and product engine distinguish, instead of whichever handful of
+// queries a benchmark author happened to like.
+//
+// The patterns are recorded in PathForge's own notation ('|' union,
+// '.' concatenation, '?' optional, postfix '+' one-or-more, '*' star)
+// and carried alongside a template desugared into this repo's grammar
+// (q1 + q2 | q1 · q2 | q*, with x? → (x+ε) and x+ → x·x*), with the
+// slot letters a, b, c as placeholders for concrete labels.
+
+import (
+	"fmt"
+	"strings"
+)
+
+// AbstractQuery is one abstract pattern of the AQ1–AQ28 table.
+type AbstractQuery struct {
+	// ID is the PathForge identifier, "AQ1" through "AQ28".
+	ID string
+	// Pattern is the pattern in PathForge notation over the slots a, b, c.
+	Pattern string
+	// Template is the same pattern desugared into the repo grammar, with
+	// the slots still abstract: substituting concrete label expressions
+	// for a, b, c yields a parseable query.
+	Template string
+	// Slots is the number of distinct slots the pattern uses (1–3).
+	Slots int
+}
+
+// AbstractQueries is the full AQ1–AQ28 table, in ID order.
+var AbstractQueries = []AbstractQuery{
+	{"AQ1", "a.b", "a·b", 2},
+	{"AQ2", "a.b.c", "a·b·c", 3},
+	{"AQ3", "(a.b)?", "(a·b+ε)", 2},
+	{"AQ4", "a.(b|c)", "a·(b+c)", 3},
+	{"AQ5", "c.(a?)", "c·(a+ε)", 2},
+	{"AQ6", "(c?).a", "(c+ε)·a", 2},
+	{"AQ7", "a|b", "a+b", 2},
+	{"AQ8", "(a.b)|c", "a·b+c", 3},
+	{"AQ9", "(a|b)|c", "a+b+c", 3},
+	{"AQ10", "a+|b", "a·a*+b", 2},
+	{"AQ11", "a*|b", "a*+b", 2},
+	{"AQ12", "a|c", "a+c", 2},
+	{"AQ13", "(a?)|b", "(a+ε)+b", 2},
+	{"AQ14", "c|(a?)", "c+(a+ε)", 2},
+	{"AQ15", "a?", "(a+ε)", 1},
+	{"AQ16", "a??", "((a+ε)+ε)", 1},
+	{"AQ17", "c|(a|b)", "c+(a+b)", 3},
+	{"AQ18", "(a|b)+", "(a+b)·(a+b)*", 2},
+	{"AQ19", "(a|b)?", "(a+b+ε)", 2},
+	{"AQ20", "(a|b)*", "(a+b)*", 2},
+	{"AQ21", "c|(a.b)", "c+a·b", 3},
+	{"AQ22", "a+.b", "a·a*·b", 2},
+	{"AQ23", "a*.b", "a*·b", 2},
+	{"AQ24", "a.b+", "a·b·b*", 2},
+	{"AQ25", "a.b*", "a·b*", 2},
+	{"AQ26", "a|(a+)", "a+a·a*", 1},
+	{"AQ27", "a+", "a·a*", 1},
+	{"AQ28", "a*", "a*", 1},
+}
+
+// AbstractByID returns the abstract query with the given ID.
+func AbstractByID(id string) (AbstractQuery, bool) {
+	for _, aq := range AbstractQueries {
+		if aq.ID == id {
+			return aq, true
+		}
+	}
+	return AbstractQuery{}, false
+}
+
+// ValidClass reports whether id names one of the AQ1–AQ28 classes — the
+// bounded label set the replay metrics use, so arbitrary client strings
+// can never mint metric series.
+func ValidClass(id string) bool {
+	_, ok := AbstractByID(id)
+	return ok
+}
+
+// Render substitutes concrete label expressions for the slots a, b, c.
+// The replacement is a single left-to-right pass, so label names that
+// themselves contain the letters a, b or c are never re-substituted.
+func (aq AbstractQuery) Render(la, lb, lc string) (string, error) {
+	if la == "" || lb == "" || lc == "" {
+		return "", fmt.Errorf("workload: %s needs three slot labels", aq.ID)
+	}
+	return strings.NewReplacer("a", la, "b", lb, "c", lc).Replace(aq.Template), nil
+}

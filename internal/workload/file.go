@@ -1,0 +1,193 @@
+package workload
+
+// The workload file format: a versioned, deterministic, line-oriented
+// record of one forged workload. The first line is a JSON header naming
+// the format version, the forge seed, the graph the workload was
+// generated against (by fingerprint, so a replay against a different
+// graph is detectable), and the generation parameters; every following
+// line is one NDJSON entry. Writing is deterministic — field order is
+// fixed by the struct layout and no timestamps are recorded — so the
+// same snapshot and config always produce byte-identical files, and
+// Write∘Read is the identity on anything Write produced (the fixed-point
+// property the determinism tests pin).
+
+import (
+	"bufio"
+	"encoding/binary"
+	"encoding/json"
+	"fmt"
+	"hash/fnv"
+	"io"
+	"os"
+
+	"pathquery/internal/graph"
+)
+
+// FormatVersion identifies the workload file format. Readers reject
+// files claiming any other version.
+const FormatVersion = "pathquery-workload/1"
+
+// Tier names recorded on file entries.
+const (
+	// TierTemplate marks a schema-instantiated template query (tier 2):
+	// concrete labels, no anchor.
+	TierTemplate = "template"
+	// TierReal marks a node-anchored real query (tier 3).
+	TierReal = "real"
+)
+
+// GraphInfo identifies the graph a workload was forged against.
+type GraphInfo struct {
+	Fingerprint string `json:"fingerprint"`
+	Nodes       int    `json:"nodes"`
+	Edges       int    `json:"edges"`
+	Labels      int    `json:"labels"`
+}
+
+// ParamsInfo records the generation parameters in the header.
+type ParamsInfo struct {
+	Classes            []string `json:"classes"`
+	TemplatesPerClass  int      `json:"templates_per_class"`
+	AnchorsPerTemplate int      `json:"anchors_per_template"`
+	TopDegree          int      `json:"top_degree"`
+}
+
+// Header is the first line of a workload file.
+type Header struct {
+	Format string     `json:"format"`
+	Seed   int64      `json:"seed"`
+	Graph  GraphInfo  `json:"graph"`
+	Params ParamsInfo `json:"params"`
+}
+
+// FileEntry is one recorded query — one NDJSON line.
+type FileEntry struct {
+	// Class is the abstract query class, "AQ1".."AQ28".
+	Class string `json:"class"`
+	// Tier is TierTemplate or TierReal.
+	Tier string `json:"tier"`
+	// Expr is the concrete query expression.
+	Expr string `json:"expr"`
+	// Semantics is the evaluation semantics the entry replays under
+	// ("nodes" for unanchored, "pairsFrom" for anchored).
+	Semantics string `json:"semantics"`
+	// From is the anchor node name (TierReal only).
+	From string `json:"from,omitempty"`
+	// Band is the expected-selectivity band the entry fell in at forge
+	// time (a DefaultBands name, by nearest containing band).
+	Band string `json:"band"`
+	// Selectivity is the measured monadic selectivity at forge time.
+	Selectivity float64 `json:"selectivity"`
+}
+
+// File is a parsed (or forged) workload file.
+type File struct {
+	Header  Header
+	Entries []FileEntry
+}
+
+// Write emits f in the versioned line format. Output is byte-identical
+// across calls for equal receivers.
+func (f *File) Write(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	hdr, err := json.Marshal(f.Header)
+	if err != nil {
+		return err
+	}
+	bw.Write(hdr)
+	bw.WriteByte('\n')
+	for i := range f.Entries {
+		line, err := json.Marshal(&f.Entries[i])
+		if err != nil {
+			return err
+		}
+		bw.Write(line)
+		bw.WriteByte('\n')
+	}
+	return bw.Flush()
+}
+
+// Read parses a workload file, rejecting unknown format versions.
+func Read(r io.Reader) (*File, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 16*1024*1024)
+	if !sc.Scan() {
+		if err := sc.Err(); err != nil {
+			return nil, err
+		}
+		return nil, fmt.Errorf("workload: empty file (missing header)")
+	}
+	var f File
+	if err := json.Unmarshal(sc.Bytes(), &f.Header); err != nil {
+		return nil, fmt.Errorf("workload: bad header: %w", err)
+	}
+	if f.Header.Format != FormatVersion {
+		return nil, fmt.Errorf("workload: unsupported format %q (want %q)", f.Header.Format, FormatVersion)
+	}
+	for line := 2; sc.Scan(); line++ {
+		if len(sc.Bytes()) == 0 {
+			continue // tolerate a trailing blank line
+		}
+		var e FileEntry
+		if err := json.Unmarshal(sc.Bytes(), &e); err != nil {
+			return nil, fmt.Errorf("workload: line %d: %w", line, err)
+		}
+		if !ValidClass(e.Class) {
+			return nil, fmt.Errorf("workload: line %d: unknown class %q", line, e.Class)
+		}
+		f.Entries = append(f.Entries, e)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return &f, nil
+}
+
+// WriteFile writes f to path.
+func WriteFile(path string, f *File) error {
+	out, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := f.Write(out); err != nil {
+		out.Close()
+		return err
+	}
+	return out.Close()
+}
+
+// ReadFile reads the workload file at path.
+func ReadFile(path string) (*File, error) {
+	in, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer in.Close()
+	return Read(in)
+}
+
+// Fingerprint digests a snapshot's structure — node and edge counts, the
+// alphabet, and every adjacency row — into a short stable hex string, so
+// a workload file records exactly which graph it was forged against.
+func Fingerprint(s *graph.Snapshot) string {
+	h := fnv.New64a()
+	var buf [8]byte
+	writeInt := func(v uint64) {
+		binary.LittleEndian.PutUint64(buf[:], v)
+		h.Write(buf[:])
+	}
+	writeInt(uint64(s.NumNodes()))
+	writeInt(uint64(s.NumEdges()))
+	for _, name := range s.Alphabet().Names() {
+		h.Write([]byte(name))
+		h.Write([]byte{0})
+	}
+	for v := 0; v < s.NumNodes(); v++ {
+		for _, e := range s.OutEdges(graph.NodeID(v)) {
+			writeInt(uint64(v))
+			writeInt(uint64(e.Sym))
+			writeInt(uint64(e.To))
+		}
+	}
+	return fmt.Sprintf("%016x", h.Sum64())
+}

@@ -74,12 +74,22 @@ type Entry struct {
 }
 
 // Generate instantiates the given params on g and measures the result.
+// It is the read-your-writes delegate of GenerateOn: it freezes g's
+// current state into a snapshot and generates against that.
 func Generate(g *graph.Graph, p Params) (Entry, error) {
-	expr, err := render(g, p)
+	return GenerateOn(g.Snapshot(), p)
+}
+
+// GenerateOn instantiates the given params against a pinned epoch
+// snapshot and measures the result. Pinning lets generation run against
+// a live engine's served epoch while mutations publish future epochs
+// underneath (the same port the PR 3 learner received).
+func GenerateOn(s *graph.Snapshot, p Params) (Entry, error) {
+	expr, err := render(s, p)
 	if err != nil {
 		return Entry{}, err
 	}
-	q, err := query.Parse(g.Alphabet(), expr)
+	q, err := query.Parse(s.Alphabet(), expr)
 	if err != nil {
 		return Entry{}, fmt.Errorf("workload: rendering %v produced invalid expr %q: %w", p, expr, err)
 	}
@@ -87,7 +97,7 @@ func Generate(g *graph.Graph, p Params) (Entry, error) {
 		Params:      p,
 		Expr:        expr,
 		Query:       q,
-		Selectivity: q.Selectivity(g),
+		Selectivity: q.EvaluateOn(s).Selectivity(),
 		Size:        q.PrefixFree().Size(),
 		StarHeight:  starHeight(q.Regex()),
 		K:           charsample.KFor(q),
@@ -101,15 +111,15 @@ func Generate(g *graph.Graph, p Params) (Entry, error) {
 	return e, nil
 }
 
-// render materializes a shape over g's frequency-ranked labels.
-func render(g *graph.Graph, p Params) (string, error) {
+// render materializes a shape over the snapshot's frequency-ranked labels.
+func render(s *graph.Snapshot, p Params) (string, error) {
 	if p.Length < 1 {
 		return "", fmt.Errorf("workload: length must be ≥ 1")
 	}
 	if p.ClassWidth < 1 {
 		p.ClassWidth = 1
 	}
-	labels := rankedLabels(g)
+	labels := rankedLabels(s)
 	pick := func(i int) (string, error) {
 		lo := p.RankOffset + i*p.ClassWidth
 		hi := lo + p.ClassWidth
@@ -179,15 +189,16 @@ func render(g *graph.Graph, p Params) (string, error) {
 	}
 }
 
-// rankedLabels returns g's labels ordered by descending edge frequency.
-func rankedLabels(g *graph.Graph) []string {
+// rankedLabels returns the snapshot's labels ordered by descending edge
+// frequency (ties broken by name, so the ranking is deterministic).
+func rankedLabels(s *graph.Snapshot) []string {
 	counts := make(map[string]int)
-	for v := 0; v < g.NumNodes(); v++ {
-		for _, e := range g.OutEdges(graph.NodeID(v)) {
-			counts[g.Alphabet().Name(e.Sym)]++
+	for v := 0; v < s.NumNodes(); v++ {
+		for _, e := range s.OutEdges(graph.NodeID(v)) {
+			counts[s.Alphabet().Name(e.Sym)]++
 		}
 	}
-	labels := g.Alphabet().Names()
+	labels := s.Alphabet().Names()
 	sort.SliceStable(labels, func(i, j int) bool {
 		if counts[labels[i]] != counts[labels[j]] {
 			return counts[labels[i]] > counts[labels[j]]
@@ -232,11 +243,19 @@ var DefaultBands = []Band{
 }
 
 // Suite generates, per shape and band, the instantiation whose selectivity
-// falls in (or nearest to) the band, sweeping lengths, widths and rank
-// offsets. Entries that select nothing are dropped — the paper retains
-// only queries selecting at least one node.
+// falls in (or nearest to) the band. It is the read-your-writes delegate
+// of SuiteOn over g's current state.
 func Suite(g *graph.Graph, shapes []Shape, bands []Band) []Entry {
-	labels := g.Alphabet().Size()
+	return SuiteOn(g.Snapshot(), shapes, bands)
+}
+
+// SuiteOn generates, per shape and band, the instantiation whose
+// selectivity falls in (or nearest to) the band, sweeping lengths, widths
+// and rank offsets against one pinned epoch snapshot. Entries that select
+// nothing are dropped — the paper retains only queries selecting at least
+// one node.
+func SuiteOn(s *graph.Snapshot, shapes []Shape, bands []Band) []Entry {
+	labels := s.Alphabet().Size()
 	var out []Entry
 	for _, shape := range shapes {
 		for _, band := range bands {
@@ -246,7 +265,7 @@ func Suite(g *graph.Graph, shapes []Shape, bands []Band) []Entry {
 			for _, length := range []int{1, 2, 3} {
 				for _, width := range []int{1, 2, 4, 8} {
 					for offset := 0; offset < labels-width*3-1; offset += 2 {
-						e, err := Generate(g, Params{
+						e, err := GenerateOn(s, Params{
 							Shape: shape, Length: length, ClassWidth: width, RankOffset: offset,
 						})
 						if err != nil {
